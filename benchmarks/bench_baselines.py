@@ -1,0 +1,31 @@
+"""Comparison benchmark: SWAP vs alternative incentive mechanisms.
+
+Places the paper's mechanism between the idealized bounds (per-chunk
+reward = perfect F1, equal split = perfect F2) and alongside
+Filecoin-style storage rewards and BitTorrent tit-for-tat.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import run_baselines
+
+
+def test_baselines(benchmark):
+    report = benchmark.pedantic(
+        run_baselines,
+        kwargs={"n_files": 300, "n_nodes": 200},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    rows = report.data["rows"]
+    _, f1_ideal = rows["per-chunk reward (F1-ideal)"]
+    f2_ideal, _ = rows["equal split (F2-ideal)"]
+    assert f1_ideal == pytest.approx(0.0, abs=1e-9)
+    assert f2_ideal == pytest.approx(0.0, abs=1e-9)
+    swap_f2, swap_f1 = rows["swap"]
+    assert swap_f1 > f1_ideal
+    assert swap_f2 > f2_ideal
+    assert report.data["tft_completion"] == 1.0

@@ -1,0 +1,31 @@
+"""Ablation benchmark: widening only bucket zero (paper §V idea).
+
+"It is interesting to see what happens in payment distribution if we
+only increase the k for a particular bucket, e.g., bucket zero."
+Bucket zero serves roughly half of all first hops, so widening it
+alone should capture much of the k=20 fairness gain at a fraction of
+the added connections.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_bucket0
+
+BUCKET_ZERO_SIZES = (4, 8, 16, 20)
+
+
+def test_bucket0(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_bucket0,
+        kwargs={
+            "n_files": bench_scale["n_files"],
+            "n_nodes": bench_scale["n_nodes"],
+            "bucket_zero_sizes": BUCKET_ZERO_SIZES,
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    assert series[20]["f2"] < series[4]["f2"]
+    assert series[20]["forwarded"] < series[4]["forwarded"]

@@ -1,0 +1,25 @@
+"""Extension benchmark: forwarding caches (paper §V).
+
+"Adding content popularity and caching policies can also have an
+impact ... due to the reduced number of forwarded requests." Runs on
+the reference simulator (real stores and caches) under a Zipf
+catalog; LRU/LFU must reduce total forwarded chunks versus no cache.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_caching
+
+
+def test_caching(benchmark):
+    report = benchmark.pedantic(
+        run_caching,
+        kwargs={"n_files": 150, "n_nodes": 200, "catalog_size": 40},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    assert series["lru"]["cache_hits"] > 0
+    assert series["lru"]["forwarded"] < series["none"]["forwarded"]
+    assert series["lfu"]["forwarded"] < series["none"]["forwarded"]

@@ -1,0 +1,27 @@
+"""Extension benchmark: availability under churn (paper §II motivation).
+
+The paper's incentives exist partly to "decrease churn"; this
+benchmark quantifies what churn costs under the paper's single-storer
+placement: availability drops roughly with the offline fraction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import run_churn
+
+
+def test_churn(benchmark):
+    report = benchmark.pedantic(
+        run_churn,
+        kwargs={"n_files": 150, "n_nodes": 200},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    assert series["static"]["availability"] == 1.0
+    assert series["churning"]["availability"] < 1.0
+    # Availability cannot be much better than the live fraction under
+    # single-storer placement.
+    live = series["churning"]["live_fraction"]
+    assert series["churning"]["availability"] < live + 0.25

@@ -1,0 +1,19 @@
+"""Benchmark + regeneration of Figure 3 (routing-table structure).
+
+Rebuilds the paper's routing-table illustration for node 91 in an
+8-bit space with k=4 and verifies its structural invariants: peers
+sit in the bucket their proximity dictates, and the paper's worked
+example (chunk at 245 -> bucket 0) holds on the live overlay.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_fig3(benchmark):
+    report = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert report.data["node"] == 91
+    assert report.data["bucket_for_245"] == 0

@@ -1,0 +1,23 @@
+"""Benchmark + regeneration of Figure 5 (F2 Lorenz curves and Gini).
+
+Prints the Lorenz curves of per-node income for all four
+configurations plus the Gini table. Asserted shape, as in the paper:
+k=20 yields a lower (fairer) F2 Gini than k=4 under both workloads,
+and the skewed 20 %-originator workload is less fair than 100 %.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper import run_fig5
+
+
+def test_fig5(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_fig5, kwargs=bench_scale, rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    gini = report.data["gini"]
+    assert gini["k=20,share=0.2"] < gini["k=4,share=0.2"]
+    assert gini["k=20,share=1.0"] < gini["k=4,share=1.0"]
+    assert gini["k=4,share=0.2"] > gini["k=4,share=1.0"]

@@ -1,0 +1,22 @@
+"""Benchmark + regeneration of Figure 6 (F1 Lorenz curves and Gini).
+
+F1 relates total forwarded chunks to chunks served as the paid first
+hop, over nodes that received payment. Asserted shape, as in the
+paper: k=20 with 100 % originators is closest to full equity, k=4
+with 20 % originators is the most uneven.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper import run_fig6
+
+
+def test_fig6(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_fig6, kwargs=bench_scale, rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    gini = report.data["gini"]
+    assert gini["k=20,share=1.0"] == min(gini.values())
+    assert gini["k=4,share=0.2"] == max(gini.values())

@@ -1,0 +1,27 @@
+"""Extension benchmark: misbehaving peers (paper §V, thread 2).
+
+"What happens when some peers misbehave? ... What happens to F1 and
+F2 properties?" Free-riding originators never settle their
+zero-proximity payments; their first hops lose income and overall F2
+inequality rises with the free-rider fraction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_freeriders
+
+FRACTIONS = (0.0, 0.1, 0.3, 0.5)
+
+
+def test_freeriders(benchmark):
+    report = benchmark.pedantic(
+        run_freeriders,
+        kwargs={"n_files": 150, "n_nodes": 200, "fractions": FRACTIONS},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    assert series[0.0]["defaults"] == 0
+    assert series[0.5]["defaults"] > series[0.1]["defaults"]
+    assert series[0.5]["f2"] > series[0.0]["f2"]

@@ -1,0 +1,31 @@
+"""Ablation benchmark: fairness and bandwidth across bucket sizes.
+
+Extends the paper's two-point comparison (k=4 vs k=20) to a sweep,
+quantifying the §V trade-off: fairness and route length improve with
+k while connection count (maintenance cost) grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_k_sweep
+
+BUCKET_SIZES = (2, 4, 8, 16, 20)
+
+
+def test_k_sweep(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_k_sweep,
+        kwargs={
+            "n_files": bench_scale["n_files"],
+            "n_nodes": bench_scale["n_nodes"],
+            "bucket_sizes": BUCKET_SIZES,
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    # Monotone trends across the sweep endpoints.
+    assert series[20]["f2"] < series[2]["f2"]
+    assert series[20]["hops"] < series[2]["hops"]
+    assert series[20]["degree"] > series[2]["degree"]

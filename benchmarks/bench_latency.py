@@ -1,0 +1,28 @@
+"""Extension benchmark: retrieval latency vs bucket size.
+
+The performance companion to the paper's fairness result: every hop
+saved by a larger routing table is a saved round trip, so k=20 cuts
+both mean and tail retrieval latency.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import run_latency
+
+
+def test_latency(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_latency,
+        kwargs={
+            "n_files": bench_scale["n_files"],
+            "n_nodes": bench_scale["n_nodes"],
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    ks = sorted(series)
+    # Mean latency decreases monotonically with k.
+    means = [series[k]["mean_ms"] for k in ks]
+    assert means == sorted(means, reverse=True)

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These time the individual components — Gini computation, overlay
+construction, next-hop table building, routing throughput in both
+backends — so performance regressions are visible independently of
+the experiment-level numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fairness import gini, lorenz_curve
+from repro.experiments.fast import FastSimulation, FastSimulationConfig
+from repro.kademlia.buckets import BucketLimits
+from repro.kademlia.overlay import Overlay, OverlayConfig
+from repro.kademlia.routing import Router
+
+
+@pytest.fixture(scope="module")
+def overlay() -> Overlay:
+    return Overlay.build(
+        OverlayConfig(n_nodes=300, bits=14,
+                      limits=BucketLimits.uniform(4), seed=2)
+    )
+
+
+def test_gini_100k_values(benchmark):
+    values = np.random.default_rng(0).random(100_000)
+    result = benchmark(gini, values)
+    assert 0.0 <= result <= 1.0
+
+
+def test_lorenz_curve_100k_values(benchmark):
+    values = np.random.default_rng(0).random(100_000)
+    curve = benchmark(lorenz_curve, values)
+    assert curve.cumulative[-1] == pytest.approx(1.0)
+
+
+def test_overlay_build_300_nodes(benchmark):
+    config = OverlayConfig(n_nodes=300, bits=14,
+                           limits=BucketLimits.uniform(4), seed=3)
+    overlay = benchmark.pedantic(
+        Overlay.build, args=(config,), rounds=3, iterations=1,
+    )
+    assert len(overlay) == 300
+
+
+def test_reference_routing_throughput(benchmark, overlay):
+    router = Router(overlay)
+    rng = np.random.default_rng(1)
+    origins = rng.choice(overlay.address_array(), size=500)
+    targets = rng.integers(0, overlay.space.size, size=500)
+
+    def route_batch():
+        for origin, target in zip(origins, targets):
+            router.route(int(origin), int(target))
+        return router.stats.routes
+
+    assert benchmark(route_batch) > 0
+
+
+def test_fast_simulation_chunk_throughput(benchmark):
+    config = FastSimulationConfig(
+        n_nodes=300, bits=14, bucket_size=4, originator_share=1.0,
+        n_files=100, file_min=100, file_max=200,
+        overlay_seed=4, workload_seed=5,
+    )
+    simulation = FastSimulation(config)  # table built outside the timer
+
+    result = benchmark(simulation.run)
+    assert result.chunks >= 100 * 100
+
+
+def test_next_hop_table_build(benchmark):
+    from repro.experiments.fast import NextHopTable
+
+    overlay = Overlay.build(
+        OverlayConfig(n_nodes=200, bits=12,
+                      limits=BucketLimits.uniform(4), seed=6)
+    )
+    table = benchmark.pedantic(
+        NextHopTable, args=(overlay,), rounds=3, iterations=1,
+    )
+    assert table.n_nodes == 200

@@ -1,0 +1,29 @@
+"""Extension benchmark: overhead-adjusted earnings (paper §V, thread 1).
+
+"There should be a trade-off between the quantity of overhead
+generated and the amount of money received." Nets per-node income
+against connection keepalive, settlement transactions, and channel
+state for k=4 vs k=20.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import run_overhead
+
+
+def test_overhead(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_overhead,
+        kwargs={
+            "n_files": bench_scale["n_files"],
+            "n_nodes": bench_scale["n_nodes"],
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    # k=20's larger table must cost a larger share of gross income.
+    assert series[20]["share"] > series[4]["share"]
+    assert series[4]["net"] <= series[4]["gross"]
+    assert series[20]["net"] <= series[20]["gross"]

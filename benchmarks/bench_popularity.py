@@ -1,0 +1,30 @@
+"""Extension benchmark: Zipf content popularity (paper §V).
+
+Replaces the paper's uniform chunk addresses with a Zipf-popular
+catalog and reports the fairness impact of request concentration.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_popularity
+
+EXPONENTS = (0.5, 1.0, 1.5)
+
+
+def test_popularity(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_popularity,
+        kwargs={
+            "n_files": bench_scale["n_files"],
+            "n_nodes": bench_scale["n_nodes"],
+            "exponents": EXPONENTS,
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    assert "uniform" in series
+    assert len(series) == 1 + len(EXPONENTS)
+    for value in series.values():
+        assert 0.0 <= value <= 1.0

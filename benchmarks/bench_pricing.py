@@ -1,0 +1,31 @@
+"""Ablation benchmark: pricing strategies (DESIGN.md design choice).
+
+The paper prices requests by XOR distance; this ablation isolates how
+much of the measured income inequality comes from price dispersion
+versus traffic dispersion by comparing xor, proximity-step, and flat
+pricing under both bucket sizes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import run_pricing
+
+
+def test_pricing(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_pricing,
+        kwargs={
+            "n_files": bench_scale["n_files"],
+            "n_nodes": bench_scale["n_nodes"],
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    for pricing in ("xor", "proximity", "flat"):
+        # k=20 is fairer regardless of the pricing strategy.
+        assert series[pricing][20] < series[pricing][4]
+    # Flat pricing removes price dispersion, so it cannot be less fair
+    # than xor pricing on the same traffic.
+    assert series["flat"][4] <= series["xor"][4] + 0.02

@@ -1,0 +1,24 @@
+"""Extension benchmark: identity exposure (paper §III-A).
+
+Quantifies the privacy claim that motivates forwarding Kademlia: an
+iterative lookup reveals the requester to every queried node, while
+forwarding reveals it only to the first hop.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import run_privacy
+
+
+def test_privacy(benchmark):
+    report = benchmark.pedantic(
+        run_privacy,
+        kwargs={"n_files": 100, "n_nodes": 300, "lookups_per_file": 5},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    # Iterative lookups must expose the requester to many more nodes
+    # than forwarding's single first hop.
+    assert report.data["mean_exposure"] > 3.0
+    assert report.data["mean_rounds"] >= 1.0

@@ -1,0 +1,25 @@
+"""Benchmark + regeneration of Table I (average forwarded chunks).
+
+Prints the same rows the paper reports: the 2x2 grid of average
+forwarded chunks for k in {4, 20} x originators in {20 %, 100 %}.
+The asserted *shape*: k=20 always forwards fewer chunks than k=4
+(paper: 11356 vs 17253 at 20 % originators; 10904 vs 16048 at 100 %).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper import run_table1
+
+
+def test_table1(benchmark, bench_scale):
+    report = benchmark.pedantic(
+        run_table1, kwargs=bench_scale, rounds=1, iterations=1,
+    )
+    print()
+    print(report.render())
+    grid = report.data["grid"]
+    assert grid["k=20,share=0.2"] < grid["k=4,share=0.2"]
+    assert grid["k=20,share=1.0"] < grid["k=4,share=1.0"]
+    # Paper magnitude check: k=4 forwards roughly 1.25-1.8x more.
+    ratio = grid["k=4,share=0.2"] / grid["k=20,share=0.2"]
+    assert 1.1 < ratio < 2.5

@@ -1,0 +1,25 @@
+"""Shared scale settings for the benchmark harness.
+
+Benchmarks regenerate every table and figure of the paper at a
+reduced default scale (300 nodes, 400 files) so the whole harness
+completes in minutes; the paper-scale run (1000 nodes, 10 000 files)
+is produced by ``python -m repro.cli run all`` and recorded in
+EXPERIMENTS.md. Scale can be raised via environment variables::
+
+    REPRO_BENCH_FILES=10000 REPRO_BENCH_NODES=1000 pytest benchmarks/
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+BENCH_FILES = int(os.environ.get("REPRO_BENCH_FILES", "400"))
+BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "300"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    """(n_files, n_nodes) used by the artifact benchmarks."""
+    return {"n_files": BENCH_FILES, "n_nodes": BENCH_NODES}

@@ -1,0 +1,74 @@
+"""Multi-machine simulation: split a workload, merge the results.
+
+The paper notes its tool "allows us to collect data from runs on
+multiple machines into a single simulation" by reusing one overlay.
+This example demonstrates the protocol end to end on one machine:
+
+1. both "machines" build the identical overlay from the shared
+   overlay seed;
+2. each runs half of the downloads with its own workload seed;
+3. the per-node result vectors merge into one simulation, and the
+   merged fairness numbers are compared against a single-machine run
+   of the same total size.
+
+Run with::
+
+    python examples/multi_machine_merge.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import FastSimulation, FastSimulationConfig
+from repro.workloads import (
+    DownloadWorkload,
+    OriginatorPool,
+    UniformFileSize,
+)
+
+BASE = dict(
+    n_nodes=200, bits=16, bucket_size=4, originator_share=0.2,
+    file_min=100, file_max=1000, overlay_seed=42,
+)
+#: All machines must agree on which 20 % of nodes originate downloads.
+SHARED_POOL_SEED = 7
+
+
+def make_workload(n_files: int, traffic_seed: int) -> DownloadWorkload:
+    return DownloadWorkload(
+        n_files=n_files,
+        originators=OriginatorPool(share=BASE["originator_share"]),
+        file_size=UniformFileSize(BASE["file_min"], BASE["file_max"]),
+        seed=traffic_seed,
+        pool_seed=SHARED_POOL_SEED,
+    )
+
+
+def main() -> None:
+    # -- machine A and machine B, 300 files each ------------------------
+    config_half = FastSimulationConfig(**BASE, n_files=300)
+    machine_a = FastSimulation(config_half).run(make_workload(300, 101))
+    machine_b = FastSimulation(config_half).run(make_workload(300, 202))
+    merged = machine_a.merge(machine_b)
+
+    # -- single machine, 600 files --------------------------------------
+    single = FastSimulation(
+        FastSimulationConfig(**BASE, n_files=600)
+    ).run(make_workload(600, 303))
+
+    print("machine A :", machine_a.summary())
+    print("machine B :", machine_b.summary())
+    print()
+    print("merged    :", merged.summary())
+    print("single    :", single.summary())
+    print()
+    drift_f2 = abs(merged.f2_gini() - single.f2_gini())
+    print(f"F2 Gini drift between merged and single runs: {drift_f2:.4f}")
+    print(
+        "Reading: with the shared overlay the two half-workloads merge "
+        "into a statistically equivalent simulation - the same protocol "
+        "the paper used to aggregate runs across machines."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Storage incentives: the §V "missing half", end to end.
+
+The paper simulates bandwidth incentives only and notes that storage
+incentives "appear needed to complete the simulation". This example
+runs the complete storage-incentive loop this library adds:
+
+1. uploaders buy postage batches and stamp their chunks;
+2. every accounting round, rent drains from live batches into a pot;
+3. a redistribution lottery pays the pot to a stake-weighted winner
+   among the storers of a random anchor neighborhood;
+4. a planted cheater (overstating its reserve) gets detected, slashed,
+   and frozen.
+
+Run with::
+
+    python examples/storage_incentives.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import gini, lorenz_curve
+from repro.analysis import ascii_lorenz
+from repro.kademlia import Overlay, OverlayConfig
+from repro.swarm import (
+    PostageOffice,
+    RedistributionGame,
+    StakeRegistry,
+    SwarmNode,
+)
+
+N_NODES = 200
+UPLOADS = 80
+CHUNKS_PER_UPLOAD = 40
+ROUNDS = 400
+
+
+def main() -> None:
+    overlay = Overlay.build(OverlayConfig(n_nodes=N_NODES, bits=14, seed=12))
+    nodes = {a: SwarmNode(a, overlay.table(a)) for a in overlay.addresses}
+    office = PostageOffice(rent_per_chunk_round=0.002)
+    stakes = StakeRegistry(minimum_stake=1.0)
+    rng = np.random.default_rng(3)
+    for address in overlay.addresses:
+        stakes.deposit(address, float(rng.uniform(1.0, 4.0)))
+
+    # -- uploads --------------------------------------------------------
+    for _ in range(UPLOADS):
+        owner = int(rng.choice(overlay.address_array()))
+        batch = office.buy_batch(owner, value=4.0, depth=8)
+        for chunk in rng.integers(0, overlay.space.size,
+                                  size=CHUNKS_PER_UPLOAD):
+            stamp = batch.stamp(int(chunk))
+            assert office.validate(stamp)
+            nodes[overlay.closest_node(int(chunk))].store.put(int(chunk))
+    stored = sum(len(node.store) for node in nodes.values())
+    print(f"{UPLOADS} uploads stamped; {stored} chunks pinned across "
+          f"{N_NODES} nodes")
+
+    # -- lottery with a planted cheater ----------------------------------
+    game = RedistributionGame(
+        overlay=overlay, nodes=nodes, office=office, stakes=stakes,
+        seed=21,
+    )
+    cheater = overlay.addresses[0]
+    game.mark_cheater(cheater)
+    game.play_rounds(ROUNDS)
+
+    rewards = np.array(game.reward_vector(list(overlay.addresses)))
+    print(f"\nafter {ROUNDS} rounds:")
+    print(f"  rent collected & paid out : {rewards.sum():.3f}")
+    print(f"  distinct winners          : {len(game.win_counts())}")
+    print(f"  storage-reward F2 Gini    : {gini(rewards):.4f}")
+    detected = any(cheater in o.cheaters for o in game.history)
+    print(f"  planted cheater detected  : {detected} "
+          f"(stake now {stakes.stake_of(cheater):.2f})")
+    print()
+    print(ascii_lorenz({"storage rewards": lorenz_curve(rewards)}))
+    print()
+    print(
+        "Reading: redistribution is a lottery, so short-horizon rewards "
+        "are concentrated (high Gini) even though every staked storer "
+        "has proportional expected income - F2 is about opportunity, "
+        "which the stake-weighted draw provides."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Analysis and rendering: histograms, Lorenz plots, tables, stats.
+
+Everything the experiment runners use to turn per-node vectors into
+the artifacts the paper reports — Fig. 4 frequency histograms,
+Figs. 5/6 Lorenz curves (ASCII), Table I rows, and run-level summary
+statistics.
+"""
+
+from .histogram import Histogram, area_ratio, histogram
+from .latency import LatencyDistribution, LatencyModel, latency_distribution
+from .plots import ascii_bars, ascii_histogram, ascii_lorenz
+from .reports import Table
+from .sensitivity import MetricEstimate, compare_configs, replicate
+from .stats import (
+    Summary,
+    bootstrap_gini_interval,
+    mean_confidence_interval,
+    summarize,
+)
+from .table_viz import render_bucket_occupancy, render_routing_table
+
+__all__ = [
+    "Histogram",
+    "LatencyDistribution",
+    "LatencyModel",
+    "MetricEstimate",
+    "Summary",
+    "Table",
+    "area_ratio",
+    "ascii_bars",
+    "ascii_histogram",
+    "ascii_lorenz",
+    "bootstrap_gini_interval",
+    "compare_configs",
+    "histogram",
+    "latency_distribution",
+    "mean_confidence_interval",
+    "render_bucket_occupancy",
+    "render_routing_table",
+    "replicate",
+    "summarize",
+]

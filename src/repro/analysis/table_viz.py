@@ -1,0 +1,71 @@
+"""Routing-table rendering (paper Fig. 3).
+
+Fig. 3 illustrates a node's routing table as its bucket layout: the
+owner's address bit by bit, then each bucket with the peers that share
+exactly that prefix length. :func:`render_routing_table` reproduces
+that diagram as text for any :class:`~repro.kademlia.table.RoutingTable`,
+which makes overlay construction auditable by eye — every peer is
+printed under the bucket its proximity order dictates, with the shared
+prefix visually separated from the first differing bit.
+"""
+
+from __future__ import annotations
+
+from ..kademlia.table import RoutingTable
+
+__all__ = ["render_routing_table", "render_bucket_occupancy"]
+
+
+def render_routing_table(table: RoutingTable, *,
+                         max_buckets: int | None = None) -> str:
+    """Render *table* in the style of the paper's Fig. 3.
+
+    Each populated bucket lists its peers in binary with the shared
+    prefix, the differing bit, and the remainder visually separated
+    (``prefix|d|rest``). ``max_buckets`` truncates deep empty space.
+    """
+    bits = table.space.bits
+    owner_bits = table.space.format_address(table.owner)
+    lines = [f"routing table of {owner_bits} (={table.owner})"]
+    depth = table.neighborhood_depth()
+    buckets = table.buckets
+    if max_buckets is not None:
+        buckets = buckets[:max_buckets]
+    for bucket in buckets:
+        if len(bucket) == 0:
+            continue
+        marker = " [neighborhood]" if bucket.index >= depth else ""
+        capacity = "∞" if bucket.capacity is None else str(bucket.capacity)
+        lines.append(
+            f"bucket {bucket.index:>2} "
+            f"({len(bucket)}/{capacity}){marker}:"
+        )
+        for peer in bucket:
+            peer_bits = table.space.format_address(peer)
+            prefix = peer_bits[: bucket.index]
+            differing = peer_bits[bucket.index] if bucket.index < bits else ""
+            rest = peer_bits[bucket.index + 1:]
+            lines.append(f"    {prefix}|{differing}|{rest}  (={peer})")
+    lines.append(
+        f"{len(table)} peers, neighborhood depth {depth}"
+    )
+    return "\n".join(lines)
+
+
+def render_bucket_occupancy(table: RoutingTable, *, width: int = 30) -> str:
+    """One-line-per-bucket occupancy bars (capacity utilisation)."""
+    lines = [f"bucket occupancy of node {table.owner}"]
+    for bucket in table.buckets:
+        if bucket.capacity is None:
+            utilisation = 1.0 if len(bucket) else 0.0
+            capacity_label = "∞"
+        else:
+            utilisation = len(bucket) / bucket.capacity
+            capacity_label = str(bucket.capacity)
+        filled = round(width * min(utilisation, 1.0))
+        overflow = "+" if bucket.capacity and len(bucket) > bucket.capacity else ""
+        lines.append(
+            f"  {bucket.index:>2} |{'#' * filled}{' ' * (width - filled)}| "
+            f"{len(bucket)}/{capacity_label}{overflow}"
+        )
+    return "\n".join(lines)

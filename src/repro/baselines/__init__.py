@@ -1,0 +1,32 @@
+"""Comparison mechanisms and misbehaviour models.
+
+BitTorrent tit-for-tat (service-for-service), Filecoin-style storage
+rewards, idealized per-chunk / equal-split references, and the §V
+free-rider models — all speaking the same
+:class:`~repro.core.incentives.IncentiveMechanism` interface (or, for
+the standalone BitTorrent swarm, exposing the same income /
+contribution vectors) so the fairness metrics compare like for like.
+"""
+
+from .filecoin import FilecoinConfig, FilecoinMechanism
+from .flat import (
+    EqualSplitMechanism,
+    NoRewardMechanism,
+    PerChunkRewardMechanism,
+)
+from .freerider import FreeRiderPlan, apply_free_riders, select_free_riders
+from .tit_for_tat import TitForTatConfig, TitForTatPeer, TitForTatSwarm
+
+__all__ = [
+    "EqualSplitMechanism",
+    "FilecoinConfig",
+    "FilecoinMechanism",
+    "FreeRiderPlan",
+    "NoRewardMechanism",
+    "PerChunkRewardMechanism",
+    "TitForTatConfig",
+    "TitForTatPeer",
+    "TitForTatSwarm",
+    "apply_free_riders",
+    "select_free_riders",
+]

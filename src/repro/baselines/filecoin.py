@@ -1,0 +1,119 @@
+"""Filecoin-style incentive baseline (paper §I).
+
+Filecoin is "an incentive layer in IPFS" rewarding storage providers
+through two channels, both modelled here:
+
+* **block rewards** — each epoch one provider wins the block,
+  sampled proportionally to *storage power* (Expected Consensus),
+  and receives a fixed reward;
+* **retrieval deals** — serving a chunk earns a per-chunk retrieval
+  payment from the requester (the retrieval market).
+
+The model plugs into the same :class:`~repro.core.incentives.
+IncentiveMechanism` interface the Swarm mechanism uses, so the
+baseline benchmark compares F1/F2 across mechanisms on identical
+routed traffic: retrieval payments go to the node that *served* the
+chunk (the end of the route), block rewards accrue to storage power
+regardless of traffic — which is exactly why its bandwidth-fairness
+profile differs from SWAP's.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import require_int, require_non_negative, require_positive
+from ..core.incentives import IncentiveMechanism
+from ..errors import ConfigurationError
+from ..kademlia.routing import Route
+
+__all__ = ["FilecoinConfig", "FilecoinMechanism"]
+
+
+@dataclass(frozen=True)
+class FilecoinConfig:
+    """Parameters of the Filecoin-style reward model."""
+
+    block_reward: float = 10.0
+    epoch_length: int = 100
+    retrieval_price: float = 1.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.block_reward, "block_reward")
+        require_int(self.epoch_length, "epoch_length")
+        require_positive(self.epoch_length, "epoch_length")
+        require_non_negative(self.retrieval_price, "retrieval_price")
+
+
+class FilecoinMechanism(IncentiveMechanism):
+    """Storage-power block rewards plus retrieval-market payments.
+
+    ``power`` maps node address to committed storage power; nodes
+    absent from the map have zero power and can only earn retrieval
+    fees. One *epoch* elapses every ``epoch_length`` processed routes.
+    """
+
+    def __init__(self, power: dict[int, float],
+                 config: FilecoinConfig | None = None) -> None:
+        self.config = config if config is not None else FilecoinConfig()
+        for node, value in power.items():
+            if value < 0:
+                raise ConfigurationError(
+                    f"storage power must be >= 0, got {value} for {node}"
+                )
+        self.power = dict(power)
+        self._rng = np.random.default_rng(self.config.seed)
+        self._income: defaultdict[int, float] = defaultdict(float)
+        self._served: defaultdict[int, int] = defaultdict(int)
+        self._forwarded: defaultdict[int, int] = defaultdict(int)
+        self.routes_processed = 0
+        self.epochs_elapsed = 0
+        self.blocks_won: defaultdict[int, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Traffic
+
+    def process_route(self, route: Route) -> None:
+        """Retrieval payment to the server; epoch rewards on schedule."""
+        for node in route.forwarders:
+            self._forwarded[node] += 1
+        if route.hops > 0:
+            server = route.storer
+            self._served[server] += 1
+            self._income[server] += self.config.retrieval_price
+        self.routes_processed += 1
+        if self.routes_processed % self.config.epoch_length == 0:
+            self._run_epoch()
+
+    def _run_epoch(self) -> None:
+        """Sample a block winner proportional to storage power."""
+        self.epochs_elapsed += 1
+        if self.config.block_reward == 0:
+            return
+        nodes = sorted(self.power)
+        weights = np.array([self.power[n] for n in nodes], dtype=np.float64)
+        total = weights.sum()
+        if total == 0:
+            return
+        winner = int(self._rng.choice(nodes, p=weights / total))
+        self.blocks_won[winner] += 1
+        self._income[winner] += self.config.block_reward
+
+    # ------------------------------------------------------------------
+    # IncentiveMechanism interface
+
+    def incomes(self, nodes: Sequence[int]) -> list[float]:
+        return [self._income[node] for node in nodes]
+
+    def contributions(self, nodes: Sequence[int]) -> list[float]:
+        """Bandwidth contribution: chunks forwarded (incl. serving)."""
+        return [float(self._forwarded[node]) for node in nodes]
+
+    def served_counts(self, nodes: Sequence[int]) -> list[int]:
+        """Chunks served as the terminal node, per node."""
+        return [self._served[node] for node in nodes]

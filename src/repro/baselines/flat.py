@@ -1,0 +1,95 @@
+"""Reference reward mechanisms bracketing the fairness space.
+
+Two idealized mechanisms that bound what any real scheme can achieve
+on the paper's properties, plus a do-nothing control:
+
+* :class:`PerChunkRewardMechanism` — every forwarded chunk earns the
+  same reward. F1 is 0 by construction (reward exactly proportional
+  to contribution); F2 equals the inequality of the traffic itself.
+* :class:`EqualSplitMechanism` — a fixed pool is split equally over
+  all nodes each epoch regardless of work. F2 is 0 by construction;
+  F1 is as bad as the traffic is skewed.
+* :class:`NoRewardMechanism` — nobody earns anything (churn/free-ride
+  control).
+
+Comparing SWAP against these extremes shows how much of its measured
+unfairness is mechanism-induced versus workload-induced.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from .._validation import require_non_negative, require_positive
+from ..core.incentives import IncentiveMechanism
+from ..kademlia.routing import Route
+
+__all__ = [
+    "PerChunkRewardMechanism",
+    "EqualSplitMechanism",
+    "NoRewardMechanism",
+]
+
+
+class _TrafficCountingMechanism(IncentiveMechanism):
+    """Shared forwarded-chunk bookkeeping."""
+
+    def __init__(self) -> None:
+        self._forwarded: defaultdict[int, int] = defaultdict(int)
+        self.routes_processed = 0
+
+    def process_route(self, route: Route) -> None:
+        for node in route.forwarders:
+            self._forwarded[node] += 1
+        self.routes_processed += 1
+
+    def contributions(self, nodes: Sequence[int]) -> list[float]:
+        return [float(self._forwarded[node]) for node in nodes]
+
+
+@dataclass(frozen=True)
+class _PerChunkParams:
+    reward_per_chunk: float = 1.0
+
+
+class PerChunkRewardMechanism(_TrafficCountingMechanism):
+    """Perfectly proportional: fixed reward per forwarded chunk."""
+
+    def __init__(self, reward_per_chunk: float = 1.0) -> None:
+        super().__init__()
+        require_positive(reward_per_chunk, "reward_per_chunk")
+        self.reward_per_chunk = reward_per_chunk
+
+    def incomes(self, nodes: Sequence[int]) -> list[float]:
+        return [
+            self._forwarded[node] * self.reward_per_chunk for node in nodes
+        ]
+
+
+class EqualSplitMechanism(_TrafficCountingMechanism):
+    """Perfectly equal: a pool split evenly regardless of work.
+
+    The pool grows by ``pool_per_route`` for each processed route, so
+    total rewards scale with system activity like the other
+    mechanisms'.
+    """
+
+    def __init__(self, pool_per_route: float = 1.0) -> None:
+        super().__init__()
+        require_non_negative(pool_per_route, "pool_per_route")
+        self.pool_per_route = pool_per_route
+
+    def incomes(self, nodes: Sequence[int]) -> list[float]:
+        if len(nodes) == 0:
+            return []
+        share = self.routes_processed * self.pool_per_route / len(nodes)
+        return [share for _ in nodes]
+
+
+class NoRewardMechanism(_TrafficCountingMechanism):
+    """Control: traffic is counted, nobody is rewarded."""
+
+    def incomes(self, nodes: Sequence[int]) -> list[float]:
+        return [0.0 for _ in nodes]

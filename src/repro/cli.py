@@ -1,0 +1,264 @@
+"""Command-line interface.
+
+``repro-swarm`` (or ``python -m repro.cli``) runs the paper's
+experiments and the ablations from the terminal::
+
+    repro-swarm list                     # available experiments
+    repro-swarm run table1               # paper scale (10k downloads)
+    repro-swarm run fig5 --files 1000    # scaled down
+    repro-swarm run all --files 2000     # every experiment
+    repro-swarm run table1 --out out.txt # also write the report
+
+    repro-swarm trace generate t.json --files 100    # freeze a workload
+    repro-swarm trace replay t.json --bucket-size 20 # replay it
+
+Reports render as plain text; ``--markdown`` switches the tables to
+Markdown for pasting into documents. Traces freeze a workload into a
+file so the exact same requests can be replayed against different
+configurations (the paper's replay-for-comparison methodology).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .experiments.registry import get_experiment, list_experiments
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-swarm",
+        description=(
+            "Reproduce 'Fair Incentivization of Bandwidth Sharing in "
+            "Decentralized Storage Networks' (ICDCS 2022)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run = subparsers.add_parser("run", help="run an experiment")
+    run.add_argument(
+        "experiment",
+        help="experiment name from 'list', or 'all'",
+    )
+    run.add_argument(
+        "--files", type=int, default=None,
+        help="number of file downloads (default: experiment's own)",
+    )
+    run.add_argument(
+        "--nodes", type=int, default=None,
+        help="number of overlay nodes (default: experiment's own)",
+    )
+    run.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the rendered report to this file",
+    )
+    run.add_argument(
+        "--markdown", action="store_true",
+        help="render tables as Markdown",
+    )
+
+    trace = subparsers.add_parser(
+        "trace", help="generate or replay workload traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    generate = trace_sub.add_parser(
+        "generate", help="freeze a workload into a JSON trace"
+    )
+    generate.add_argument("path", type=Path, help="output trace file")
+    generate.add_argument("--files", type=int, default=100)
+    generate.add_argument("--nodes", type=int, default=1000)
+    generate.add_argument("--bits", type=int, default=16)
+    generate.add_argument("--share", type=float, default=1.0,
+                          help="originator share (paper: 0.2 or 1.0)")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--overlay-seed", type=int, default=42)
+
+    replay = trace_sub.add_parser(
+        "replay", help="replay a trace against a configuration"
+    )
+    replay.add_argument("path", type=Path, help="trace file to replay")
+    replay.add_argument("--nodes", type=int, default=1000)
+    replay.add_argument("--bits", type=int, default=16)
+    replay.add_argument("--bucket-size", type=int, default=4)
+    replay.add_argument("--overlay-seed", type=int, default=42)
+
+    overlay = subparsers.add_parser(
+        "overlay", help="build or inspect overlay networks"
+    )
+    overlay_sub = overlay.add_subparsers(dest="overlay_command",
+                                         required=True)
+
+    build = overlay_sub.add_parser(
+        "build", help="build an overlay and save it as JSON"
+    )
+    build.add_argument("path", type=Path, help="output overlay file")
+    build.add_argument("--nodes", type=int, default=1000)
+    build.add_argument("--bits", type=int, default=16)
+    build.add_argument("--bucket-size", type=int, default=4)
+    build.add_argument("--seed", type=int, default=42)
+
+    inspect = overlay_sub.add_parser(
+        "inspect", help="degree stats and a Fig.3-style routing table"
+    )
+    inspect.add_argument("path", type=Path, help="overlay file to inspect")
+    inspect.add_argument(
+        "--node", type=int, default=None,
+        help="render this node's routing table (default: first node)",
+    )
+    return parser
+
+
+def _render(report, markdown: bool) -> str:
+    if not markdown:
+        return report.render()
+    parts = [f"## {report.title} ({report.name})"]
+    for table in report.tables:
+        parts.append("")
+        parts.append(table.to_markdown())
+    for caption, figure in report.figures:
+        parts.append("")
+        parts.append(f"**{caption}**")
+        parts.append("```")
+        parts.append(figure)
+        parts.append("```")
+    for note in report.notes:
+        parts.append("")
+        parts.append(f"> {note}")
+    return "\n".join(parts)
+
+
+def _run_one(name: str, args: argparse.Namespace) -> str:
+    spec = get_experiment(name)
+    kwargs = {}
+    if args.files is not None:
+        kwargs["n_files"] = args.files
+    if args.nodes is not None:
+        kwargs["n_nodes"] = args.nodes
+    started = time.perf_counter()
+    report = spec.runner(**kwargs)
+    elapsed = time.perf_counter() - started
+    rendered = _render(report, args.markdown)
+    return f"{rendered}\n\n[{name} completed in {elapsed:.1f}s]"
+
+
+def _trace_generate(args: argparse.Namespace) -> int:
+    from .experiments.fast import cached_overlay
+    from .kademlia.buckets import BucketLimits
+    from .kademlia.overlay import OverlayConfig
+    from .workloads.distributions import OriginatorPool
+    from .workloads.generators import DownloadWorkload
+    from .workloads.traces import WorkloadTrace
+
+    overlay = cached_overlay(OverlayConfig(
+        n_nodes=args.nodes, bits=args.bits,
+        limits=BucketLimits.uniform(4), seed=args.overlay_seed,
+    ))
+    workload = DownloadWorkload(
+        n_files=args.files,
+        originators=OriginatorPool(share=args.share),
+        seed=args.seed,
+    )
+    events = workload.materialize(overlay.address_array(), overlay.space)
+    trace = WorkloadTrace(events)
+    trace.save(args.path)
+    print(f"trace written to {args.path}: {trace.summary()}")
+    return 0
+
+
+def _trace_replay(args: argparse.Namespace) -> int:
+    from .experiments.fast import FastSimulation, FastSimulationConfig
+    from .workloads.traces import TraceWorkload, WorkloadTrace
+
+    trace = WorkloadTrace.load(args.path)
+    config = FastSimulationConfig(
+        n_nodes=args.nodes, bits=args.bits,
+        bucket_size=args.bucket_size, overlay_seed=args.overlay_seed,
+        n_files=len(trace),
+    )
+    result = FastSimulation(config).run(TraceWorkload(trace))
+    print(f"replayed {args.path}: {trace.summary()}")
+    print(result.summary())
+    return 0
+
+
+def _overlay_build(args: argparse.Namespace) -> int:
+    from .kademlia.buckets import BucketLimits
+    from .kademlia.overlay import Overlay, OverlayConfig
+    from .kademlia.topology import degree_stats
+
+    overlay = Overlay.build(OverlayConfig(
+        n_nodes=args.nodes, bits=args.bits,
+        limits=BucketLimits.uniform(args.bucket_size), seed=args.seed,
+    ))
+    overlay.save(args.path)
+    print(f"overlay written to {args.path}: {degree_stats(overlay)}")
+    return 0
+
+
+def _overlay_inspect(args: argparse.Namespace) -> int:
+    from .analysis.table_viz import (
+        render_bucket_occupancy,
+        render_routing_table,
+    )
+    from .kademlia.overlay import Overlay
+    from .kademlia.topology import degree_stats
+
+    overlay = Overlay.load(args.path)
+    print(degree_stats(overlay))
+    node = args.node if args.node is not None else overlay.addresses[0]
+    print()
+    print(render_routing_table(overlay.table(node)))
+    print()
+    print(render_bucket_occupancy(overlay.table(node)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for spec in list_experiments():
+            artifact = f" [{spec.paper_artifact}]" if spec.paper_artifact else ""
+            print(f"{spec.name:<12} {spec.description}{artifact}")
+        return 0
+
+    if args.command == "trace":
+        if args.trace_command == "generate":
+            return _trace_generate(args)
+        return _trace_replay(args)
+
+    if args.command == "overlay":
+        if args.overlay_command == "build":
+            return _overlay_build(args)
+        return _overlay_inspect(args)
+
+    names = (
+        [spec.name for spec in list_experiments()]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    outputs = []
+    for name in names:
+        output = _run_one(name, args)
+        print(output)
+        print()
+        outputs.append(output)
+    if args.out is not None:
+        args.out.write_text("\n\n".join(outputs) + "\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Time-based amortization of SWAP balances (paper §III-B).
+
+"All balances gravitate continuously to zero via a time-based
+amortization of balances. Thus, nodes may give away a limited amount
+of bandwidth per time-unit and connection for free."
+
+Two schedules are provided:
+
+* :class:`LinearAmortization` — debt shrinks by a fixed number of
+  accounting units per time unit (Swarm's model: a constant free-tier
+  bandwidth allowance per connection).
+* :class:`ExponentialAmortization` — debt decays by a fixed fraction
+  per time unit (useful as an ablation; heavier debts amortize
+  faster in absolute terms).
+
+Schedules are pure: ``forgiven(balance, elapsed)`` returns how much of
+*balance* is forgiven after *elapsed* time. The
+:class:`~repro.engine.des.EventScheduler` drives them periodically in
+the reference simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from .._validation import require_non_negative, require_positive
+from ..errors import ConfigurationError
+
+__all__ = [
+    "AmortizationSchedule",
+    "LinearAmortization",
+    "ExponentialAmortization",
+    "NoAmortization",
+    "make_amortization",
+]
+
+
+class AmortizationSchedule(ABC):
+    """How much outstanding debt is forgiven per elapsed time."""
+
+    @abstractmethod
+    def forgiven(self, balance: float, elapsed: float) -> float:
+        """Units of *balance* forgiven after *elapsed* time.
+
+        Always in ``[0, abs(balance)]``; the sign handling is the
+        channel's job.
+        """
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Stable identifier for configs and reports."""
+
+
+class LinearAmortization(AmortizationSchedule):
+    """Constant free bandwidth per time unit and connection."""
+
+    def __init__(self, units_per_time: float) -> None:
+        require_positive(units_per_time, "units_per_time")
+        self.units_per_time = units_per_time
+
+    def forgiven(self, balance: float, elapsed: float) -> float:
+        require_non_negative(elapsed, "elapsed")
+        return min(abs(balance), self.units_per_time * elapsed)
+
+    @property
+    def name(self) -> str:
+        return "linear"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinearAmortization(units_per_time={self.units_per_time})"
+
+
+class ExponentialAmortization(AmortizationSchedule):
+    """Debt decays by a fixed fraction per time unit.
+
+    ``rate`` is the decay constant: after time ``t`` a balance ``b``
+    becomes ``b * exp(-rate * t)``.
+    """
+
+    def __init__(self, rate: float) -> None:
+        require_positive(rate, "rate")
+        self.rate = rate
+
+    def forgiven(self, balance: float, elapsed: float) -> float:
+        require_non_negative(elapsed, "elapsed")
+        remaining = abs(balance) * math.exp(-self.rate * elapsed)
+        return abs(balance) - remaining
+
+    @property
+    def name(self) -> str:
+        return "exponential"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExponentialAmortization(rate={self.rate})"
+
+
+class NoAmortization(AmortizationSchedule):
+    """Debt never decays — the paper's single-snapshot experiments.
+
+    The paper's simulation measures accounting units accumulated over
+    a burst of downloads without modelling wall-clock time, which is
+    equivalent to amortization never firing.
+    """
+
+    def forgiven(self, balance: float, elapsed: float) -> float:
+        require_non_negative(elapsed, "elapsed")
+        return 0.0
+
+    @property
+    def name(self) -> str:
+        return "none"
+
+
+def make_amortization(name: str, rate: float = 1.0) -> AmortizationSchedule:
+    """Factory for configs ('linear', 'exponential', 'none')."""
+    if name == "linear":
+        return LinearAmortization(rate)
+    if name == "exponential":
+        return ExponentialAmortization(rate)
+    if name == "none":
+        return NoAmortization()
+    raise ConfigurationError(
+        f"unknown amortization schedule {name!r}; expected 'linear', "
+        f"'exponential' or 'none'"
+    )

@@ -1,0 +1,151 @@
+"""Discrete-event scheduler.
+
+The paper's time-based behaviours — SWAP amortization, threshold
+settlement, and the churn experiments sketched in §V — need wall-clock
+time, not just cadCAD's lockstep timesteps. :class:`EventScheduler` is
+a classic priority-queue DES kernel: events fire in timestamp order
+(FIFO among equal timestamps), handlers may schedule further events,
+and periodic events (amortization ticks) are first-class.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .._validation import require_non_negative, require_positive
+from ..errors import SimulationError
+
+__all__ = ["Event", "EventScheduler", "PeriodicEvent"]
+
+#: An event handler receives the scheduler (to schedule follow-ups)
+#: and the firing time.
+Handler = Callable[["EventScheduler", float], None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled event (internal queue entry)."""
+
+    time: float
+    sequence: int
+    name: str
+    handler: Handler = field(compare=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+
+@dataclass
+class PeriodicEvent:
+    """Handle for a repeating event; cancel via :meth:`cancel`."""
+
+    name: str
+    interval: float
+    handler: Handler
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Stop future firings (the current one completes)."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Priority-queue discrete-event kernel."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+        self.events_fired: int = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def schedule_at(self, time: float, handler: Handler,
+                    name: str = "event") -> Event:
+        """Schedule *handler* at absolute *time* (>= now)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule {name!r} at {time} before now ({self.now})"
+            )
+        event = Event(
+            time=time, sequence=next(self._counter), name=name, handler=handler
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(self, delay: float, handler: Handler,
+                    name: str = "event") -> Event:
+        """Schedule *handler* after *delay* time units."""
+        require_non_negative(delay, "delay")
+        return self.schedule_at(self.now + delay, handler, name)
+
+    def schedule_periodic(self, interval: float, handler: Handler,
+                          name: str = "periodic",
+                          start_in: float | None = None) -> PeriodicEvent:
+        """Schedule *handler* every *interval*, starting after one interval.
+
+        Returns a handle whose :meth:`PeriodicEvent.cancel` stops the
+        repetition.
+        """
+        require_positive(interval, "interval")
+        periodic = PeriodicEvent(name=name, interval=interval, handler=handler)
+
+        def fire(scheduler: "EventScheduler", time: float) -> None:
+            if periodic.cancelled:
+                return
+            periodic.handler(scheduler, time)
+            if not periodic.cancelled:
+                scheduler.schedule_in(periodic.interval, fire, periodic.name)
+
+        first_delay = interval if start_in is None else start_in
+        require_non_negative(first_delay, "start_in")
+        self.schedule_in(first_delay, fire, name)
+        return periodic
+
+    def step(self) -> Event | None:
+        """Fire the next event; returns it, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        event = heapq.heappop(self._queue)
+        self.now = event.time
+        self.events_fired += 1
+        event.handler(self, event.time)
+        return event
+
+    def run_until(self, horizon: float, *, max_events: int | None = None) -> int:
+        """Fire every event with ``time <= horizon``; returns count fired.
+
+        ``max_events`` bounds runaway self-scheduling loops; exceeding
+        it raises so the bug is loud.
+        """
+        if horizon < self.now:
+            raise SimulationError(
+                f"horizon {horizon} is before now ({self.now})"
+            )
+        fired = 0
+        while self._queue and self._queue[0].time <= horizon:
+            self.step()
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} before horizon "
+                    f"{horizon}; runaway event loop?"
+                )
+        self.now = horizon
+        return fired
+
+    def run_all(self, *, max_events: int = 1_000_000) -> int:
+        """Fire until the queue drains; returns count fired."""
+        fired = 0
+        while self._queue:
+            self.step()
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway event loop?"
+                )
+        return fired

@@ -1,0 +1,166 @@
+"""Result collection for simulation runs.
+
+A :class:`ResultSet` is an append-only log of state snapshots, one per
+(run, timestep, substep). It supports the access patterns the
+experiments need — time series of one variable, final states per run —
+and merging result sets produced independently (the paper collects
+"data from runs on multiple machines into a single simulation" by
+sharing the overlay seed; :meth:`ResultSet.merge` is that operation).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from ..errors import SimulationError
+
+__all__ = ["Record", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class Record:
+    """One state snapshot."""
+
+    run: int
+    timestep: int
+    substep: int
+    state: Mapping[str, Any]
+
+    def value(self, key: str) -> Any:
+        """A state variable from this snapshot."""
+        try:
+            return self.state[key]
+        except KeyError:
+            raise SimulationError(
+                f"state variable {key!r} not recorded; available: "
+                f"{sorted(self.state)}"
+            ) from None
+
+
+@dataclass
+class ResultSet:
+    """Append-only log of simulation snapshots."""
+
+    records: list[Record] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def append(self, record: Record) -> None:
+        """Add one snapshot."""
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # Queries
+
+    def runs(self) -> list[int]:
+        """Sorted distinct run indices."""
+        return sorted({record.run for record in self.records})
+
+    def for_run(self, run: int) -> "ResultSet":
+        """Snapshots of one Monte-Carlo run."""
+        return ResultSet(
+            records=[r for r in self.records if r.run == run],
+            metadata=dict(self.metadata),
+        )
+
+    def at_substep_end(self) -> "ResultSet":
+        """Only the last substep of each (run, timestep)."""
+        last: dict[tuple[int, int], Record] = {}
+        for record in self.records:
+            key = (record.run, record.timestep)
+            current = last.get(key)
+            if current is None or record.substep >= current.substep:
+                last[key] = record
+        ordered = sorted(
+            last.values(), key=lambda r: (r.run, r.timestep, r.substep)
+        )
+        return ResultSet(records=ordered, metadata=dict(self.metadata))
+
+    def series(self, key: str, run: int | None = None) -> list[Any]:
+        """Time series of one variable (end-of-timestep snapshots)."""
+        snapshots = self.at_substep_end()
+        records = (
+            snapshots.records
+            if run is None
+            else [r for r in snapshots.records if r.run == run]
+        )
+        return [record.value(key) for record in records]
+
+    def final_state(self, run: int) -> Mapping[str, Any]:
+        """The last snapshot of one run."""
+        candidates = [r for r in self.records if r.run == run]
+        if not candidates:
+            raise SimulationError(f"no records for run {run}")
+        return max(candidates, key=lambda r: (r.timestep, r.substep)).state
+
+    def final_states(self) -> dict[int, Mapping[str, Any]]:
+        """Final snapshot of every run."""
+        return {run: self.final_state(run) for run in self.runs()}
+
+    def map_final(self, function: Callable[[Mapping[str, Any]], Any]) -> list[Any]:
+        """Apply *function* to each run's final state."""
+        return [function(state) for _, state in sorted(self.final_states().items())]
+
+    # ------------------------------------------------------------------
+    # Multi-machine aggregation
+
+    def merge(self, other: "ResultSet") -> "ResultSet":
+        """Combine two result sets from independent executions.
+
+        Run indices must not collide — the caller assigns disjoint run
+        ranges to each machine, as the paper's shared-overlay protocol
+        implies.
+        """
+        overlap = set(self.runs()) & set(other.runs())
+        if overlap:
+            raise SimulationError(
+                f"cannot merge result sets with overlapping runs: "
+                f"{sorted(overlap)}"
+            )
+        merged_meta = dict(self.metadata)
+        for key, value in other.metadata.items():
+            if key in merged_meta and merged_meta[key] != value:
+                raise SimulationError(
+                    f"metadata conflict on {key!r}: "
+                    f"{merged_meta[key]!r} != {value!r}"
+                )
+            merged_meta[key] = value
+        return ResultSet(
+            records=[*self.records, *other.records], metadata=merged_meta
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+
+    def save(self, path: str | Path) -> None:
+        """Write the result set as JSON (state must be JSON-encodable)."""
+        payload = {
+            "metadata": self.metadata,
+            "records": [
+                {
+                    "run": r.run,
+                    "timestep": r.timestep,
+                    "substep": r.substep,
+                    "state": dict(r.state),
+                }
+                for r in self.records
+            ],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ResultSet":
+        """Read a result set written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            records=[Record(**record) for record in payload["records"]],
+            metadata=payload["metadata"],
+        )

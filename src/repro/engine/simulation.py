@@ -1,0 +1,114 @@
+"""The simulation executor (cadCAD-equivalent engine core).
+
+:class:`Simulator` evolves a :class:`~repro.engine.state.Model` for a
+number of timesteps and Monte-Carlo runs:
+
+* each run gets an independent named RNG substream of the root seed;
+* within a timestep, blocks execute in order as substeps: policies
+  produce signals, updaters produce the next values of the variables
+  their block owns, all other variables carry over;
+* every substep's resulting state is recorded into a
+  :class:`~repro.engine.results.ResultSet`, including the initial
+  state as timestep 0.
+
+The executor is single-threaded and deterministic; parallelism across
+machines is achieved by splitting runs (``first_run`` offset) and
+merging result sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require_int
+from ..errors import SimulationError
+from .results import Record, ResultSet
+from .rng import run_seed, substream
+from .state import Model, StepContext
+
+__all__ = ["SimulationConfig", "Simulator"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Execution envelope of a simulation."""
+
+    timesteps: int
+    runs: int = 1
+    seed: int = 42
+    first_run: int = 0
+    record_substeps: bool = False
+
+    def __post_init__(self) -> None:
+        require_int(self.timesteps, "timesteps")
+        require_int(self.runs, "runs")
+        require_int(self.seed, "seed")
+        require_int(self.first_run, "first_run")
+        if self.timesteps < 1:
+            raise SimulationError(
+                f"timesteps must be >= 1, got {self.timesteps}"
+            )
+        if self.runs < 1:
+            raise SimulationError(f"runs must be >= 1, got {self.runs}")
+        if self.first_run < 0:
+            raise SimulationError(
+                f"first_run must be >= 0, got {self.first_run}"
+            )
+
+
+class Simulator:
+    """Deterministic executor for cadCAD-style models."""
+
+    def __init__(self, model: Model) -> None:
+        self.model = model
+
+    def run(self, config: SimulationConfig) -> ResultSet:
+        """Execute the model; returns the full snapshot log."""
+        results = ResultSet(
+            metadata={
+                "timesteps": config.timesteps,
+                "runs": config.runs,
+                "seed": config.seed,
+                "first_run": config.first_run,
+                "params": {k: repr(v) for k, v in self.model.params.items()},
+            }
+        )
+        for offset in range(config.runs):
+            run = config.first_run + offset
+            self._execute_run(run, config, results)
+        return results
+
+    def _execute_run(self, run: int, config: SimulationConfig,
+                     results: ResultSet) -> None:
+        rng = substream(run_seed(config.seed, run))
+        state = dict(self.model.initial_state)
+        results.append(Record(run=run, timestep=0, substep=0, state=dict(state)))
+        for timestep in range(1, config.timesteps + 1):
+            for substep, block in enumerate(self.model.blocks, start=1):
+                context = StepContext(
+                    params=self.model.params,
+                    run=run,
+                    timestep=timestep,
+                    substep=substep,
+                    state=state,
+                    rng=rng,
+                )
+                signals = block.signals(context)
+                updated = dict(state)
+                for variable, updater in block.updates.items():
+                    updated[variable] = updater(context, signals)
+                state = updated
+                if config.record_substeps:
+                    results.append(
+                        Record(
+                            run=run, timestep=timestep, substep=substep,
+                            state=dict(state),
+                        )
+                    )
+            if not config.record_substeps:
+                results.append(
+                    Record(
+                        run=run, timestep=timestep,
+                        substep=len(self.model.blocks), state=dict(state),
+                    )
+                )

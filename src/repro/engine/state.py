@@ -1,0 +1,123 @@
+"""Simulation state and update blocks (cadCAD-style).
+
+The paper's simulator is built on cadCAD, whose model is: a dict of
+*state variables*, evolved timestep by timestep through an ordered
+list of *partial state update blocks*. Each block runs its *policy
+functions* against the current state (producing a combined signal
+dict) and then applies one *state updater* per variable it owns.
+
+:class:`Block` and :class:`Model` are this library's from-scratch
+equivalent (DESIGN.md substitution note). Policies and updaters are
+plain callables receiving a :class:`StepContext`, which carries the
+sweep parameters, run/timestep indices, the read-only current state,
+and a per-run random generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["StepContext", "Policy", "Updater", "Block", "Model"]
+
+
+@dataclass(frozen=True)
+class StepContext:
+    """Everything a policy or updater may read during one substep."""
+
+    params: Mapping[str, Any]
+    run: int
+    timestep: int
+    substep: int
+    state: Mapping[str, Any]
+    rng: np.random.Generator
+
+    def param(self, name: str) -> Any:
+        """A sweep parameter; raises a clear error when missing."""
+        try:
+            return self.params[name]
+        except KeyError:
+            raise SimulationError(
+                f"parameter {name!r} is not defined; available: "
+                f"{sorted(self.params)}"
+            ) from None
+
+
+#: A policy reads the context and emits a signal mapping.
+Policy = Callable[[StepContext], Mapping[str, Any]]
+#: An updater computes the new value of its state variable.
+Updater = Callable[[StepContext, Mapping[str, Any]], Any]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One partial state update block.
+
+    ``policies`` run first (in order); their signal dicts are merged —
+    duplicate signal keys are an error, because silent overwrites are
+    a classic cadCAD footgun. ``updates`` maps state-variable names to
+    updaters applied with the merged signals.
+    """
+
+    name: str
+    updates: Mapping[str, Updater]
+    policies: tuple[Policy, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("a block needs a non-empty name")
+        if not self.updates:
+            raise SimulationError(
+                f"block {self.name!r} must update at least one variable"
+            )
+
+    def signals(self, context: StepContext) -> dict[str, Any]:
+        """Run all policies and merge their signals."""
+        merged: dict[str, Any] = {}
+        for policy in self.policies:
+            produced = policy(context)
+            for key, value in produced.items():
+                if key in merged:
+                    raise SimulationError(
+                        f"block {self.name!r}: signal {key!r} produced by "
+                        "two policies; rename one signal"
+                    )
+                merged[key] = value
+        return merged
+
+
+@dataclass(frozen=True)
+class Model:
+    """A complete simulation model: initial state plus update blocks."""
+
+    initial_state: Mapping[str, Any]
+    blocks: tuple[Block, ...]
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.initial_state:
+            raise SimulationError("initial_state must not be empty")
+        if not self.blocks:
+            raise SimulationError("a model needs at least one block")
+        state_keys = set(self.initial_state)
+        for block in self.blocks:
+            unknown = set(block.updates) - state_keys
+            if unknown:
+                raise SimulationError(
+                    f"block {block.name!r} updates undeclared state "
+                    f"variables: {sorted(unknown)}"
+                )
+
+    def with_params(self, **overrides: Any) -> "Model":
+        """A copy of the model with some parameters overridden."""
+        merged = dict(self.params)
+        merged.update(overrides)
+        return Model(
+            initial_state=self.initial_state,
+            blocks=self.blocks,
+            params=merged,
+        )

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class. Subclasses are grouped by the
+subsystem that raises them; they carry enough context in their message
+to diagnose a failure without a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent.
+
+    Raised eagerly at object construction time so that misconfiguration
+    fails fast rather than corrupting a long simulation run.
+    """
+
+
+class AddressError(ConfigurationError):
+    """An overlay address is outside the configured address space."""
+
+
+class OverlayError(ReproError):
+    """The overlay network is malformed or cannot satisfy a request."""
+
+
+class RoutingError(ReproError):
+    """Chunk routing could not make progress toward the target."""
+
+    def __init__(self, message: str, *, origin: int | None = None,
+                 target: int | None = None) -> None:
+        super().__init__(message)
+        self.origin = origin
+        self.target = target
+
+
+class AccountingError(ReproError):
+    """A SWAP accounting operation violated an invariant."""
+
+
+class SettlementError(AccountingError):
+    """A settlement (cheque) operation failed, e.g. over-drawing."""
+
+
+class InsufficientFundsError(SettlementError):
+    """A peer attempted to issue a cheque beyond its funds/limits."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an invalid state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or run is invalid."""
+
+
+class WorkloadError(ConfigurationError):
+    """A workload description is invalid (empty ranges, bad shares...)."""

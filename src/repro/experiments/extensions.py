@@ -1,0 +1,326 @@
+"""Extension experiments beyond the paper's published evaluation.
+
+These exercise the substrates built for the paper's §V future-work
+directions and this reproduction's own design checks:
+
+* :func:`run_overhead` — §V thread 1: net earnings after connection,
+  transaction, and channel-state overhead, k=4 vs k=20;
+* :func:`run_churn` — §II motivation: availability and fairness when
+  nodes leave and rejoin;
+* :func:`run_privacy` — §III-A claim: identity exposure of iterative
+  Kademlia lookups versus forwarding Kademlia;
+* :func:`run_sensitivity` — §VI robustness: the headline Gini
+  reductions replicated across workload seeds with confidence
+  intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.reports import Table
+from ..analysis.sensitivity import compare_configs
+from ..core.overhead import OverheadModel, overhead_report
+from ..engine.des import EventScheduler
+from ..kademlia.iterative import IterativeLookup
+from ..kademlia.overlay import OverlayConfig
+from ..kademlia.routing import Router
+from ..swarm.churn import ChurnModel
+from .fast import FastSimulation, FastSimulationConfig
+from .report import ExperimentReport
+
+__all__ = [
+    "run_overhead",
+    "run_churn",
+    "run_privacy",
+    "run_sensitivity",
+    "run_latency",
+]
+
+
+def run_latency(n_files: int = 2000, n_nodes: int = 1000,
+                bucket_sizes: tuple[int, ...] = (2, 4, 8, 20),
+                per_hop_ms: float = 30.0) -> ExperimentReport:
+    """Latency flip side of the §V trade-off: hops cost round trips.
+
+    Converts each configuration's per-chunk hop histogram into a
+    retrieval-latency distribution under a fixed per-hop delay.
+    """
+    from ..analysis.latency import LatencyModel, latency_distribution
+    from ..analysis.reports import Table as _Table
+
+    report = ExperimentReport(
+        name="latency",
+        title=(
+            f"Retrieval latency vs bucket size ({n_files} downloads, "
+            f"{per_hop_ms:.0f} ms per hop)"
+        ),
+    )
+    model = LatencyModel(per_hop_ms=per_hop_ms)
+    table = _Table(
+        title="chunk retrieval latency (20% originators)",
+        headers=["k", "mean hops", "mean ms", "p50 ms", "p90 ms",
+                 "p99 ms"],
+    )
+    series: dict[int, dict[str, float]] = {}
+    for bucket_size in bucket_sizes:
+        result = FastSimulation(FastSimulationConfig(
+            n_nodes=n_nodes, bucket_size=bucket_size,
+            originator_share=0.2, n_files=n_files,
+        )).run()
+        distribution = latency_distribution(result.hop_histogram, model)
+        table.add_row(
+            bucket_size, round(result.mean_hops, 2),
+            round(distribution.mean_ms, 1),
+            distribution.p50_ms, distribution.p90_ms,
+            distribution.p99_ms,
+        )
+        series[bucket_size] = {
+            "hops": result.mean_hops,
+            "mean_ms": distribution.mean_ms,
+            "p99_ms": distribution.p99_ms,
+        }
+    report.add_table(table)
+    report.add_note(
+        "larger buckets shorten routes, cutting tail latency - the "
+        "performance companion to the paper's fairness result"
+    )
+    report.data["series"] = series
+    return report
+
+
+def run_overhead(n_files: int = 2000, n_nodes: int = 1000,
+                 transaction_cost: float = 0.01,
+                 keepalive_cost: float = 0.001) -> ExperimentReport:
+    """§V thread 1: does the k=20 fairness gain survive its overhead?"""
+    report = ExperimentReport(
+        name="overhead",
+        title=(
+            f"Overhead-adjusted earnings ({n_files} downloads, "
+            f"tx cost {transaction_cost}, keepalive {keepalive_cost})"
+        ),
+    )
+    model = OverheadModel(
+        keepalive_cost_per_connection=keepalive_cost,
+        transaction_cost=transaction_cost,
+    )
+    table = Table(
+        title="gross vs net earnings (20% originators)",
+        headers=["k", "mean income", "mean net income", "overhead share",
+                 "underwater nodes", "F2 Gini (net clipped)"],
+    )
+    series: dict[int, dict[str, float]] = {}
+    for bucket_size in (4, 20):
+        simulation = FastSimulation(FastSimulationConfig(
+            n_nodes=n_nodes, bucket_size=bucket_size,
+            originator_share=0.2, n_files=n_files,
+        ))
+        result = simulation.run()
+        overhead = overhead_report(
+            simulation.overlay, result.income, result.first_hop, model
+        )
+        from ..core.fairness import gini
+
+        net_clipped = np.maximum(overhead.net_income, 0.0)
+        net_gini = gini(net_clipped)
+        table.add_row(
+            bucket_size,
+            round(float(result.income.mean()), 4),
+            round(overhead.mean_net_income(), 4),
+            f"{overhead.overhead_share():.1%}",
+            overhead.underwater_nodes,
+            net_gini,
+        )
+        series[bucket_size] = {
+            "gross": float(result.income.mean()),
+            "net": overhead.mean_net_income(),
+            "share": overhead.overhead_share(),
+            "underwater": float(overhead.underwater_nodes),
+            "net_gini": net_gini,
+        }
+    report.add_table(table)
+    report.add_note(
+        "k=20 opens ~4x more connections; whether its fairness gain "
+        "survives depends on the keepalive/transaction cost regime "
+        "(the trade-off §V predicts)"
+    )
+    report.data["series"] = series
+    return report
+
+
+def run_churn(n_files: int = 400, n_nodes: int = 300,
+              mean_session: float = 60.0,
+              mean_downtime: float = 20.0) -> ExperimentReport:
+    """§II churn motivation: availability and fairness under churn.
+
+    Nodes alternate exponential online/offline periods while a
+    download workload runs; a retrieval fails when the chunk's single
+    storer is offline (the paper's closest-node placement has no
+    redundancy — exactly why real Swarm replicates in neighborhoods).
+    """
+    report = ExperimentReport(
+        name="churn",
+        title=(
+            f"Churn extension ({n_files} downloads, {n_nodes} nodes, "
+            f"session {mean_session}, downtime {mean_downtime})"
+        ),
+    )
+    table = Table(
+        title="churn vs availability (k=4, uniform originators)",
+        headers=["scenario", "live fraction", "available", "unavailable",
+                 "availability"],
+    )
+    series: dict[str, dict[str, float]] = {}
+    for label, churning in (("static", False), ("churning", True)):
+        overlay_config = OverlayConfig(n_nodes=n_nodes, bits=14, seed=17)
+        from ..kademlia.overlay import Overlay
+
+        overlay = Overlay.build(overlay_config)
+        scheduler = EventScheduler()
+        churn = ChurnModel(
+            overlay,
+            mean_session=mean_session,
+            mean_downtime=mean_downtime,
+            seed=23,
+        )
+        if churning:
+            churn.install(scheduler)
+        router = Router(overlay)
+        rng = np.random.default_rng(31)
+        available = 0
+        unavailable = 0
+        for step in range(n_files):
+            scheduler.run_until(float(step))
+            live = churn.live_array()
+            originator = int(rng.choice(live))
+            for chunk in rng.integers(0, overlay.space.size, size=20):
+                storer = overlay.closest_node(int(chunk))
+                if not churn.is_live(storer):
+                    unavailable += 1
+                    continue
+                route = router.route(originator, int(chunk))
+                # The greedy path only traverses live tables; dead
+                # peers were evicted on departure.
+                assert all(churn.is_live(n) for n in route.path)
+                available += 1
+        availability = available / (available + unavailable)
+        table.add_row(
+            label, round(churn.live_fraction, 3), available, unavailable,
+            f"{availability:.1%}",
+        )
+        series[label] = {
+            "availability": availability,
+            "live_fraction": churn.live_fraction,
+            "departures": float(churn.stats.departures),
+        }
+    report.add_table(table)
+    report.add_note(
+        "single-storer placement loses availability exactly in "
+        "proportion to offline storers; Swarm's neighborhood "
+        "replication (NeighborhoodPlacement) exists to close this gap"
+    )
+    report.data["series"] = series
+    return report
+
+
+def run_privacy(n_files: int = 300, n_nodes: int = 500,
+                lookups_per_file: int = 10) -> ExperimentReport:
+    """§III-A: identity exposure, iterative vs forwarding Kademlia."""
+    report = ExperimentReport(
+        name="privacy",
+        title=(
+            f"Privacy comparison: iterative vs forwarding Kademlia "
+            f"({n_files * lookups_per_file} lookups)"
+        ),
+    )
+    from ..kademlia.overlay import Overlay
+
+    overlay = Overlay.build(OverlayConfig(n_nodes=n_nodes, bits=14, seed=3))
+    router = Router(overlay)
+    lookup = IterativeLookup(overlay)
+    rng = np.random.default_rng(9)
+    exposures = []
+    round_trips = []
+    forwarding_hops = []
+    for _ in range(n_files):
+        requester = int(rng.choice(overlay.address_array()))
+        for chunk in rng.integers(0, overlay.space.size,
+                                  size=lookups_per_file):
+            result = lookup.lookup(requester, int(chunk))
+            route = router.route(requester, int(chunk))
+            assert result.found == route.storer
+            exposures.append(result.identity_exposure)
+            round_trips.append(result.round_trips)
+            forwarding_hops.append(route.hops)
+    table = Table(
+        title="identity exposure and latency per retrieval",
+        headers=["scheme", "nodes learning requester", "rounds/hops"],
+    )
+    table.add_row(
+        "iterative Kademlia",
+        round(float(np.mean(exposures)), 2),
+        round(float(np.mean(round_trips)), 2),
+    )
+    table.add_row(
+        "forwarding Kademlia (Swarm)",
+        1.0,  # only the first hop ever sees the requester
+        round(float(np.mean(forwarding_hops)), 2),
+    )
+    report.add_table(table)
+    report.add_note(
+        "forwarding Kademlia exposes the requester to exactly one peer "
+        "per retrieval; iterative lookups expose it to every queried "
+        "node (paper §III-A's privacy argument, quantified)"
+    )
+    report.data["mean_exposure"] = float(np.mean(exposures))
+    report.data["mean_rounds"] = float(np.mean(round_trips))
+    report.data["mean_hops"] = float(np.mean(forwarding_hops))
+    return report
+
+
+def run_sensitivity(n_files: int = 1000, n_nodes: int = 500,
+                    n_replications: int = 5) -> ExperimentReport:
+    """§VI robustness: headline Gini reductions across seeds."""
+    report = ExperimentReport(
+        name="sensitivity",
+        title=(
+            f"Seed sensitivity of the headline reductions "
+            f"({n_replications} replications, {n_files} downloads each)"
+        ),
+    )
+    baseline = FastSimulationConfig(
+        n_nodes=n_nodes, bucket_size=4, originator_share=0.2,
+        n_files=n_files,
+    )
+    treatment = FastSimulationConfig(
+        n_nodes=n_nodes, bucket_size=20, originator_share=0.2,
+        n_files=n_files,
+    )
+    table = Table(
+        title="relative Gini reduction k=4 -> k=20 (paired seeds)",
+        headers=["property", "mean reduction", "95% CI", "robust"],
+    )
+    outcomes = {}
+    for name, metric in (
+        ("F2", lambda r: r.f2_gini()),
+        ("F1", lambda r: r.f1_gini()),
+    ):
+        outcome = compare_configs(
+            baseline, treatment, metric, metric_name=name,
+            n_replications=n_replications,
+        )
+        low, high = outcome["ci"]
+        table.add_row(
+            name,
+            f"{outcome['mean_reduction']:.1%}",
+            f"[{low:.1%}, {high:.1%}]",
+            "yes" if outcome["robust"] else "no",
+        )
+        outcomes[name] = outcome
+    report.add_table(table)
+    report.add_note(
+        "paper reports single-seed reductions (F2 -7%, F1 -6%); the "
+        "paired-seed CIs show whether the direction survives seed noise"
+    )
+    report.data["outcomes"] = outcomes
+    return report

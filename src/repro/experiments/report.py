@@ -1,0 +1,55 @@
+"""Experiment report container.
+
+Every experiment runner returns an :class:`ExperimentReport`: named
+tables, pre-rendered ASCII figures, prose notes, and the raw data the
+tests assert against. ``render()`` produces the terminal/Markdown-ish
+output the CLI prints and EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..analysis.reports import Table
+
+__all__ = ["ExperimentReport"]
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one experiment produced."""
+
+    name: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    figures: list[tuple[str, str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def add_table(self, table: Table) -> None:
+        """Attach a result table."""
+        self.tables.append(table)
+
+    def add_figure(self, caption: str, rendered: str) -> None:
+        """Attach a pre-rendered ASCII figure."""
+        self.figures.append((caption, rendered))
+
+    def add_note(self, note: str) -> None:
+        """Attach a prose observation."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Full textual report."""
+        parts = [f"== {self.title} ({self.name}) =="]
+        for table in self.tables:
+            parts.append("")
+            parts.append(table.to_text())
+        for caption, figure in self.figures:
+            parts.append("")
+            parts.append(f"-- {caption} --")
+            parts.append(figure)
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,143 @@
+"""Storage-incentive experiment (paper §V's "missing half").
+
+"While creators of these networks claim that the storage incentive
+makes up the majority of the profit for peers contributing to the
+network, having not just the bandwidth incentives simulated but also
+the storage incentives appears needed to complete the simulation."
+
+:func:`run_storage` simulates the complete storage-incentive loop —
+postage batches, per-chunk stamps, rent collection, and the
+stake-weighted redistribution lottery — and evaluates the same F2
+fairness property the paper applies to bandwidth rewards, now on
+storage rewards. It also combines both income streams into a total
+per-node profit profile, answering which incentive dominates under
+the simulated parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.reports import Table
+from ..core.fairness import gini
+from ..kademlia.overlay import Overlay, OverlayConfig
+from ..swarm.caching import NoCache
+from ..swarm.node import SwarmNode
+from ..swarm.postage import PostageOffice
+from ..swarm.redistribution import RedistributionGame, StakeRegistry
+from .fast import FastSimulation, FastSimulationConfig
+from .report import ExperimentReport
+
+__all__ = ["run_storage"]
+
+
+def run_storage(n_files: int = 1000, n_nodes: int = 500,
+                n_rounds: int = 500, uploads: int = 200,
+                chunks_per_upload: int = 50,
+                cheater_fraction: float = 0.05) -> ExperimentReport:
+    """Simulate postage + redistribution and evaluate reward fairness.
+
+    Parameters mirror the bandwidth experiments where possible:
+    ``n_files``/``n_nodes`` size the bandwidth side used for the
+    combined-profit comparison; ``uploads`` files are stamped and
+    placed, rent is collected every round, and ``n_rounds`` lottery
+    rounds are played.
+    """
+    report = ExperimentReport(
+        name="storage",
+        title=(
+            f"Storage incentives: postage + redistribution "
+            f"({uploads} uploads, {n_rounds} rounds, {n_nodes} nodes)"
+        ),
+    )
+    overlay = Overlay.build(OverlayConfig(n_nodes=n_nodes, bits=16, seed=42))
+    nodes = {
+        address: SwarmNode(address, overlay.table(address), cache=NoCache())
+        for address in overlay.addresses
+    }
+    office = PostageOffice(rent_per_chunk_round=0.001)
+    stakes = StakeRegistry(minimum_stake=1.0)
+    rng = np.random.default_rng(55)
+    for address in overlay.addresses:
+        stakes.deposit(address, float(rng.uniform(1.0, 3.0)))
+
+    # -- uploads: stamped chunks placed at their storers ---------------
+    for upload in range(uploads):
+        owner = int(rng.choice(overlay.address_array()))
+        batch = office.buy_batch(owner, value=5.0, depth=10)
+        addresses = rng.integers(0, overlay.space.size,
+                                 size=chunks_per_upload)
+        for chunk in addresses:
+            stamp = batch.stamp(int(chunk))
+            assert office.validate(stamp)
+            storer = overlay.closest_node(int(chunk))
+            nodes[storer].store.put(int(chunk))
+
+    # -- lottery rounds with rent collection ----------------------------
+    game = RedistributionGame(
+        overlay=overlay, nodes=nodes, office=office, stakes=stakes,
+        seed=7,
+    )
+    cheaters = rng.choice(
+        overlay.address_array(),
+        size=round(cheater_fraction * n_nodes), replace=False,
+    )
+    for cheater in cheaters:
+        game.mark_cheater(int(cheater))
+    game.play_rounds(n_rounds)
+
+    storage_rewards = np.array(
+        game.reward_vector(list(overlay.addresses)), dtype=np.float64
+    )
+    storage_gini = gini(storage_rewards)
+    winners = game.win_counts()
+    detected = {
+        node for outcome in game.history for node in outcome.cheaters
+    }
+
+    # -- combine with bandwidth income -----------------------------------
+    bandwidth = FastSimulation(FastSimulationConfig(
+        n_nodes=n_nodes, bucket_size=4, originator_share=1.0,
+        n_files=n_files,
+    )).run()
+    total = bandwidth.income + storage_rewards
+    table = Table(
+        title="reward stream fairness (F2 Gini over all nodes)",
+        headers=["stream", "total paid", "recipients", "F2 Gini"],
+    )
+    table.add_row(
+        "bandwidth (SWAP first-hop)",
+        round(float(bandwidth.income.sum()), 2),
+        int(np.count_nonzero(bandwidth.income > 0)),
+        gini(bandwidth.income),
+    )
+    table.add_row(
+        "storage (redistribution)",
+        round(float(storage_rewards.sum()), 2),
+        int(np.count_nonzero(storage_rewards > 0)),
+        storage_gini,
+    )
+    table.add_row(
+        "combined",
+        round(float(total.sum()), 2),
+        int(np.count_nonzero(total > 0)),
+        gini(total),
+    )
+    report.add_table(table)
+    report.add_note(
+        f"{len(detected)}/{len(cheaters)} cheating applicants were "
+        f"detected and frozen; {len(winners)} distinct nodes won rounds"
+    )
+    report.add_note(
+        "storage rewards are lottery-style (few large wins -> high "
+        "instantaneous Gini); over time the stake-weighted draw "
+        "equalizes - opportunity (F2) fairness, not per-round equality"
+    )
+    report.data["storage_gini"] = storage_gini
+    report.data["bandwidth_gini"] = gini(bandwidth.income)
+    report.data["combined_gini"] = gini(total)
+    report.data["pot_remaining"] = office.pot
+    report.data["distinct_winners"] = len(winners)
+    report.data["cheaters_detected"] = len(detected)
+    report.data["cheaters_planted"] = len(cheaters)
+    return report

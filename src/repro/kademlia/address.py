@@ -1,0 +1,252 @@
+"""Overlay addressing for Kademlia-style networks.
+
+Swarm places both nodes and content chunks on a single flat address
+space of ``2**bits`` integers and measures distance with the Kademlia
+XOR metric. The paper's simulations use ``bits = 16`` (addresses in
+``[0, 2**16)``); the helpers here accept any width between 1 and 64
+bits so tests can exercise tiny spaces exhaustively.
+
+Key notions (paper §III-A):
+
+* **XOR distance** ``d(a, b) = a ^ b`` — a metric: symmetric,
+  ``d(a, b) = 0`` iff ``a == b``, and it satisfies the triangle
+  inequality. Uniquely, for any ``a`` and distance ``d`` there is
+  exactly one ``b`` with ``d(a, b) = d``, so "the closest node to an
+  address" is well defined up to the address itself.
+* **Proximity order** ``po(a, b)`` — the number of leading bits the
+  two addresses share. ``po`` buckets the address space
+  logarithmically: roughly half of a uniform population lies at
+  ``po = 0``, a quarter at ``po = 1``, and so on. By convention
+  ``po(a, a) == bits``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import AddressError, ConfigurationError
+
+__all__ = [
+    "AddressSpace",
+    "xor_distance",
+    "proximity",
+    "common_prefix_length",
+    "bit_length_array",
+    "proximity_array",
+]
+
+#: Maximum supported address width in bits. 64 keeps every address a
+#: machine int; the paper only needs 16.
+MAX_BITS = 64
+
+
+def xor_distance(a: int, b: int) -> int:
+    """Return the Kademlia XOR distance between two addresses."""
+    return a ^ b
+
+
+def common_prefix_length(a: int, b: int, bits: int) -> int:
+    """Return the number of leading bits shared by *a* and *b*.
+
+    Equals *bits* when the addresses are identical.
+    """
+    diff = a ^ b
+    if diff == 0:
+        return bits
+    return bits - diff.bit_length()
+
+
+#: Alias matching the Swarm literature's name for this quantity.
+proximity = common_prefix_length
+
+
+def bit_length_array(values: np.ndarray) -> np.ndarray:
+    """Exact ``int.bit_length`` of every element of an unsigned array.
+
+    Implemented with integer shifts (a binary search over the bit
+    positions) rather than ``log2``/``frexp``, which round and give
+    off-by-one answers for integers above 2**53.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    result = np.zeros(values.shape, dtype=np.int64)
+    work = values.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        mask = work >= (np.uint64(1) << np.uint64(shift))
+        result[mask] += shift
+        work[mask] >>= np.uint64(shift)
+    result[values != 0] += 1
+    return result
+
+
+def proximity_array(owner: int, others: np.ndarray, bits: int) -> np.ndarray:
+    """Proximity order of *owner* to every address in *others*.
+
+    Vectorized counterpart of :func:`common_prefix_length`; entries
+    equal to *owner* get proximity *bits*.
+    """
+    others = np.asarray(others, dtype=np.uint64)
+    return bits - bit_length_array(others ^ np.uint64(owner))
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """A flat ``2**bits`` overlay address space.
+
+    The address space is the single authority on address validity,
+    distance and proximity computations. It is an immutable value
+    object: two spaces with the same width are interchangeable.
+
+    Parameters
+    ----------
+    bits:
+        Address width in bits; the paper uses 16.
+    """
+
+    bits: int = 16
+
+    def __post_init__(self) -> None:
+        if isinstance(self.bits, bool) or not isinstance(self.bits, int):
+            raise ConfigurationError(
+                f"bits must be an int, got {type(self.bits).__name__}"
+            )
+        if not 1 <= self.bits <= MAX_BITS:
+            raise ConfigurationError(
+                f"bits must be in [1, {MAX_BITS}], got {self.bits}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of distinct addresses, ``2**bits``."""
+        return 1 << self.bits
+
+    @property
+    def max_address(self) -> int:
+        """Largest valid address, ``2**bits - 1``."""
+        return self.size - 1
+
+    def __contains__(self, address: object) -> bool:
+        return (
+            isinstance(address, int)
+            and not isinstance(address, bool)
+            and 0 <= address < self.size
+        )
+
+    def validate(self, address: int, *, name: str = "address") -> int:
+        """Return *address* if valid, else raise :class:`AddressError`."""
+        if address not in self:
+            raise AddressError(
+                f"{name} {address!r} outside address space [0, {self.size})"
+            )
+        return address
+
+    def validate_many(self, addresses: Iterable[int],
+                      *, name: str = "address") -> list[int]:
+        """Validate every address in *addresses*; return them as a list."""
+        return [self.validate(a, name=name) for a in addresses]
+
+    def distance(self, a: int, b: int) -> int:
+        """XOR distance between two validated addresses."""
+        self.validate(a, name="a")
+        self.validate(b, name="b")
+        return a ^ b
+
+    def proximity(self, a: int, b: int) -> int:
+        """Proximity order (shared prefix length) of two addresses."""
+        self.validate(a, name="a")
+        self.validate(b, name="b")
+        return common_prefix_length(a, b, self.bits)
+
+    def bucket_index(self, owner: int, other: int) -> int:
+        """Routing-table bucket of *other* from *owner*'s point of view.
+
+        This is exactly the proximity order; kept as a separate name
+        because routing tables index buckets by it. Raises
+        :class:`AddressError` for ``owner == other`` — a node never
+        stores itself in a bucket.
+        """
+        if owner == other:
+            raise AddressError("a node has no bucket for its own address")
+        return self.proximity(owner, other)
+
+    def closest(self, target: int, candidates: Sequence[int]) -> int:
+        """Return the candidate address XOR-closest to *target*.
+
+        Ties are impossible in the XOR metric (distinct candidates have
+        distinct distances to any target), so the result is unique.
+        Raises :class:`AddressError` if *candidates* is empty.
+        """
+        self.validate(target, name="target")
+        if len(candidates) == 0:
+            raise AddressError("closest() requires at least one candidate")
+        best = None
+        best_distance = self.size
+        for candidate in candidates:
+            self.validate(candidate, name="candidate")
+            distance = candidate ^ target
+            if distance < best_distance:
+                best = candidate
+                best_distance = distance
+        assert best is not None
+        return best
+
+    def closest_index(self, target: int, candidates: np.ndarray) -> int:
+        """Vectorized :meth:`closest` over a numpy array of addresses.
+
+        Returns the *index* of the closest candidate rather than the
+        address, which is what the vectorized router needs.
+        """
+        if candidates.size == 0:
+            raise AddressError("closest_index() requires at least one candidate")
+        return int(np.argmin(candidates ^ np.uint64(target)))
+
+    def sort_by_distance(self, target: int,
+                         candidates: Iterable[int]) -> list[int]:
+        """Return *candidates* sorted by increasing XOR distance to *target*."""
+        self.validate(target, name="target")
+        return sorted(candidates, key=lambda c: c ^ target)
+
+    def random_addresses(self, count: int, rng: np.random.Generator,
+                         *, unique: bool = False) -> list[int]:
+        """Draw *count* uniform addresses from the space.
+
+        With ``unique=True`` the addresses are drawn without
+        replacement (requires ``count <= size``).
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        if unique:
+            if count > self.size:
+                raise ConfigurationError(
+                    f"cannot draw {count} unique addresses from a space of "
+                    f"{self.size}"
+                )
+            chosen = rng.choice(self.size, size=count, replace=False)
+            return [int(a) for a in chosen]
+        return [int(a) for a in rng.integers(0, self.size, size=count)]
+
+    def iter_prefix_group(self, prefix: int, prefix_len: int) -> Iterator[int]:
+        """Yield all addresses whose top *prefix_len* bits equal *prefix*.
+
+        Useful in tests to enumerate a bucket's candidate set
+        exhaustively in small spaces.
+        """
+        if not 0 <= prefix_len <= self.bits:
+            raise ConfigurationError(
+                f"prefix_len must be in [0, {self.bits}], got {prefix_len}"
+            )
+        if prefix >= (1 << prefix_len) and prefix_len > 0:
+            raise AddressError(
+                f"prefix {prefix} does not fit in {prefix_len} bits"
+            )
+        suffix_bits = self.bits - prefix_len
+        base = prefix << suffix_bits
+        for suffix in range(1 << suffix_bits):
+            yield base | suffix
+
+    def format_address(self, address: int) -> str:
+        """Render an address as a zero-padded binary string."""
+        self.validate(address)
+        return format(address, f"0{self.bits}b")

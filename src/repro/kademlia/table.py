@@ -1,0 +1,218 @@
+"""Per-node routing tables for forwarding Kademlia.
+
+A :class:`RoutingTable` is owned by one overlay address and organizes
+every peer the node knows into k-buckets by proximity order (paper
+§III-A, Fig. 3). It answers the single question routing needs: *which
+known peer is XOR-closest to a target address?*
+
+The table also computes the node's **neighborhood depth**: the
+shallowest proximity order ``d`` such that the node knows at least
+:data:`~repro.kademlia.buckets.NEIGHBORHOOD_MIN` peers at proximity
+``>= d``. Peers at or beyond the depth form the neighborhood; overlay
+builders keep the neighborhood uncapped and symmetric so greedy
+routing converges to the globally closest node (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError, OverlayError
+from .address import AddressSpace
+from .buckets import BucketLimits, KBucket, NEIGHBORHOOD_MIN
+
+__all__ = ["RoutingTable"]
+
+
+class RoutingTable:
+    """All peers known to one node, organized into k-buckets.
+
+    Parameters
+    ----------
+    owner:
+        Overlay address of the node owning this table.
+    space:
+        The overlay address space (defines bit width and metrics).
+    limits:
+        Per-bucket capacities; defaults to Swarm's ``k = 4``.
+
+    Notes
+    -----
+    The table caches a numpy array of peer addresses for the vectorized
+    nearest-peer query; the cache is invalidated on mutation. Tables in
+    the paper's experiments are built once and then frozen, so the
+    cache is almost always warm.
+    """
+
+    def __init__(self, owner: int, space: AddressSpace,
+                 limits: BucketLimits | None = None) -> None:
+        self.space = space
+        self.owner = space.validate(owner, name="owner")
+        self.limits = limits if limits is not None else BucketLimits()
+        self._buckets: list[KBucket] = [
+            KBucket(i, self.limits.capacity(i)) for i in range(space.bits)
+        ]
+        self._peer_cache: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets)
+
+    def __contains__(self, address: object) -> bool:
+        if not isinstance(address, int) or isinstance(address, bool):
+            return False
+        if address == self.owner or address not in self.space:
+            return False
+        return address in self._buckets[self.space.proximity(self.owner, address)]
+
+    def __iter__(self) -> Iterator[int]:
+        for bucket in self._buckets:
+            yield from bucket
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        populated = {
+            bucket.index: len(bucket) for bucket in self._buckets if len(bucket)
+        }
+        return (
+            f"RoutingTable(owner={self.owner}, peers={len(self)}, "
+            f"buckets={populated})"
+        )
+
+    @property
+    def buckets(self) -> tuple[KBucket, ...]:
+        """The table's buckets, indexed by proximity order."""
+        return tuple(self._buckets)
+
+    def bucket(self, index: int) -> KBucket:
+        """Return the bucket at proximity order *index*."""
+        if not 0 <= index < self.space.bits:
+            raise ConfigurationError(
+                f"bucket index must be in [0, {self.space.bits}), got {index}"
+            )
+        return self._buckets[index]
+
+    def bucket_of(self, address: int) -> KBucket:
+        """Return the bucket *address* belongs to (whether present or not)."""
+        return self._buckets[self.space.bucket_index(self.owner, address)]
+
+    def peers(self) -> list[int]:
+        """Every known peer address, shallowest bucket first."""
+        return list(self)
+
+    def peer_array(self) -> np.ndarray:
+        """Known peers as a cached ``uint64`` numpy array."""
+        if self._peer_cache is None:
+            self._peer_cache = np.fromiter(
+                self, dtype=np.uint64, count=len(self)
+            )
+        return self._peer_cache
+
+    # ------------------------------------------------------------------
+    # Mutation
+
+    def add(self, address: int) -> bool:
+        """Learn about a peer; return ``True`` if it was stored.
+
+        A peer is rejected (``False``) when its bucket is full or it is
+        already known. Adding the owner's own address raises
+        :class:`~repro.errors.AddressError` via ``bucket_index``.
+        """
+        self.space.validate(address)
+        bucket = self.bucket_of(address)
+        added = bucket.add(address)
+        if added:
+            self._peer_cache = None
+        return added
+
+    def add_unbounded(self, address: int) -> bool:
+        """Learn about a peer ignoring its bucket's capacity.
+
+        Overlay builders use this for neighborhood peers, which Swarm
+        keeps uncapped (paper §III-A: the last bucket "includes all
+        nodes" beyond the depth).
+        """
+        self.space.validate(address)
+        bucket = self.bucket_of(address)
+        if address in bucket:
+            return False
+        # Bypass the capacity check while preserving bucket invariants.
+        saved_capacity = bucket.capacity
+        bucket.capacity = None
+        try:
+            added = bucket.add(address)
+        finally:
+            bucket.capacity = saved_capacity
+        if added:
+            self._peer_cache = None
+        return added
+
+    def remove(self, address: int) -> None:
+        """Forget a peer; raise :class:`OverlayError` if unknown."""
+        self.bucket_of(address).remove(address)
+        self._peer_cache = None
+
+    def extend(self, addresses: Iterable[int]) -> int:
+        """Add peers until buckets fill; return how many were stored."""
+        return sum(1 for address in addresses if self.add(address))
+
+    # ------------------------------------------------------------------
+    # Queries used by routing
+
+    def closest_peer(self, target: int) -> int:
+        """Return the known peer XOR-closest to *target*.
+
+        Raises :class:`OverlayError` when the table is empty. The owner
+        itself is never returned; the router compares the result with
+        the owner's own distance to decide whether to stop.
+        """
+        peers = self.peer_array()
+        if peers.size == 0:
+            raise OverlayError(f"routing table of {self.owner} is empty")
+        index = int(np.argmin(peers ^ np.uint64(self.space.validate(target))))
+        return int(peers[index])
+
+    def closest_peers(self, target: int, count: int) -> list[int]:
+        """Return up to *count* known peers sorted by distance to *target*."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count}")
+        return self.space.sort_by_distance(target, self.peers())[:count]
+
+    def neighborhood_depth(self, minimum: int = NEIGHBORHOOD_MIN) -> int:
+        """Shallowest proximity order with >= *minimum* peers at or beyond it.
+
+        Returns 0 when the node knows fewer than *minimum* peers in
+        total (the whole network is its neighborhood). This matches the
+        paper's definition: the neighborhood is "defined by the
+        proximity at which the node cannot connect to at least four
+        other nodes".
+        """
+        if minimum < 1:
+            raise ConfigurationError(f"minimum must be >= 1, got {minimum}")
+        cumulative = 0
+        # Walk from the deepest bucket toward bucket 0, accumulating
+        # the population at proximity >= depth.
+        for depth in range(self.space.bits - 1, -1, -1):
+            cumulative += len(self._buckets[depth])
+            if cumulative >= minimum:
+                return depth
+        return 0
+
+    def neighborhood(self, minimum: int = NEIGHBORHOOD_MIN) -> list[int]:
+        """Peers at proximity order >= :meth:`neighborhood_depth`."""
+        depth = self.neighborhood_depth(minimum)
+        members: list[int] = []
+        for bucket in self._buckets[depth:]:
+            members.extend(bucket)
+        return members
+
+    def bucket_histogram(self) -> dict[int, int]:
+        """Map of bucket index to population, for diagnostics."""
+        return {
+            bucket.index: len(bucket)
+            for bucket in self._buckets
+            if len(bucket) > 0
+        }

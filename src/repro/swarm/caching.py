@@ -1,0 +1,162 @@
+"""Forwarding-path caching policies (paper §V future work).
+
+"Adding content popularity and caching policies can also have an
+impact on time-based amortization due to the reduced number of
+forwarded requests." In real Swarm every forwarder may opportunistically
+cache chunks it relays; a later request for the same chunk is then
+served from the cache, truncating the path.
+
+Policies implement a minimal mapping interface (``touch`` on hit,
+``admit`` on insert). :class:`LRUCache` and :class:`LFUCache` are the
+classic replacement schemes; :class:`NoCache` disables caching and is
+the paper's baseline behaviour.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter, OrderedDict
+
+from .._validation import require_int
+from ..errors import ConfigurationError
+
+__all__ = ["CachePolicy", "NoCache", "LRUCache", "LFUCache", "make_cache"]
+
+
+class CachePolicy(ABC):
+    """A bounded set of chunk addresses with a replacement scheme."""
+
+    @abstractmethod
+    def __contains__(self, address: object) -> bool:
+        """Whether *address* is currently cached."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of cached addresses."""
+
+    @abstractmethod
+    def touch(self, address: int) -> None:
+        """Record a cache hit on *address* (updates recency/frequency)."""
+
+    @abstractmethod
+    def admit(self, address: int) -> None:
+        """Insert *address*, evicting per the policy if full."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Stable identifier for configs and reports."""
+
+
+class NoCache(CachePolicy):
+    """Caching disabled — every request travels to the storer."""
+
+    def __contains__(self, address: object) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def touch(self, address: int) -> None:
+        raise ConfigurationError("NoCache cannot be touched: nothing is cached")
+
+    def admit(self, address: int) -> None:
+        pass  # Admission is a no-op by design.
+
+    @property
+    def name(self) -> str:
+        return "none"
+
+
+class _BoundedCache(CachePolicy):
+    """Shared capacity validation for real caches."""
+
+    def __init__(self, capacity: int) -> None:
+        require_int(capacity, "capacity")
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+
+
+class LRUCache(_BoundedCache):
+    """Evicts the least-recently used chunk."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: OrderedDict[int, None] = OrderedDict()
+
+    def __contains__(self, address: object) -> bool:
+        return address in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def touch(self, address: int) -> None:
+        if address not in self._entries:
+            raise ConfigurationError(f"cannot touch uncached address {address}")
+        self._entries.move_to_end(address)
+
+    def admit(self, address: int) -> None:
+        if address in self._entries:
+            self._entries.move_to_end(address)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[address] = None
+
+    @property
+    def name(self) -> str:
+        return "lru"
+
+
+class LFUCache(_BoundedCache):
+    """Evicts the least-frequently used chunk (FIFO tie-break)."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._counts: Counter[int] = Counter()
+        self._arrival: dict[int, int] = {}
+        self._clock = 0
+
+    def __contains__(self, address: object) -> bool:
+        return address in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def touch(self, address: int) -> None:
+        if address not in self._counts:
+            raise ConfigurationError(f"cannot touch uncached address {address}")
+        self._counts[address] += 1
+
+    def admit(self, address: int) -> None:
+        if address in self._counts:
+            self._counts[address] += 1
+            return
+        if len(self._counts) >= self.capacity:
+            victim = min(
+                self._counts,
+                key=lambda a: (self._counts[a], self._arrival[a]),
+            )
+            del self._counts[victim]
+            del self._arrival[victim]
+        self._counts[address] = 1
+        self._arrival[address] = self._clock
+        self._clock += 1
+
+    @property
+    def name(self) -> str:
+        return "lfu"
+
+
+def make_cache(name: str, capacity: int = 128) -> CachePolicy:
+    """Factory for configs ('none', 'lru', 'lfu')."""
+    if name == "none":
+        return NoCache()
+    if name == "lru":
+        return LRUCache(capacity)
+    if name == "lfu":
+        return LFUCache(capacity)
+    raise ConfigurationError(
+        f"unknown cache policy {name!r}; expected 'none', 'lru' or 'lfu'"
+    )

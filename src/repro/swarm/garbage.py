@@ -1,0 +1,101 @@
+"""Garbage collection of unfunded chunks (closing the postage loop).
+
+In Swarm, storage is only promised while it is paid for: a chunk whose
+postage batch has expired loses its claim and becomes evictable. This
+module implements that reclamation over this library's stores:
+
+* :class:`StampIndex` — remembers which batch stamped each stored
+  chunk (the simulation-side stand-in for the stamp attached to every
+  chunk in the wire protocol);
+* :func:`collect_garbage` — evicts, from every node's store, chunks
+  whose batch is expired or unknown, returning per-node reclaim
+  counts.
+
+Together with :mod:`repro.swarm.postage` (rent) and
+:mod:`repro.swarm.redistribution` (rewards), this completes the
+storage-incentive lifecycle: pay → store → earn → stop paying → evict.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .node import SwarmNode
+from .postage import PostageOffice, PostageStamp
+
+__all__ = ["StampIndex", "GarbageReport", "collect_garbage"]
+
+
+class StampIndex:
+    """Which batch funds each stored chunk address."""
+
+    def __init__(self) -> None:
+        self._by_chunk: dict[int, int] = {}
+
+    def record(self, stamp: PostageStamp) -> None:
+        """Associate a chunk with the batch that stamped it.
+
+        Re-stamping with a different batch transfers the funding claim
+        (the newest valid stamp wins, as in Swarm).
+        """
+        self._by_chunk[stamp.chunk_address] = stamp.batch_id
+
+    def batch_of(self, chunk_address: int) -> int | None:
+        """The funding batch of a chunk, or None if never stamped."""
+        return self._by_chunk.get(chunk_address)
+
+    def __len__(self) -> int:
+        return len(self._by_chunk)
+
+
+@dataclass(frozen=True)
+class GarbageReport:
+    """Outcome of one collection pass."""
+
+    evicted_per_node: dict[int, int]
+    kept: int
+
+    @property
+    def evicted(self) -> int:
+        """Total chunks reclaimed."""
+        return sum(self.evicted_per_node.values())
+
+
+def collect_garbage(nodes: dict[int, SwarmNode], office: PostageOffice,
+                    index: StampIndex,
+                    *, evict_unstamped: bool = True) -> GarbageReport:
+    """Evict chunks whose funding lapsed from every store.
+
+    A chunk is kept only when its recorded batch exists and has not
+    expired. ``evict_unstamped=False`` grandfathers chunks that were
+    stored before postage existed (useful when enabling the stamp
+    economy mid-simulation).
+    """
+    if not nodes:
+        raise ConfigurationError("collect_garbage needs at least one node")
+    evicted: defaultdict[int, int] = defaultdict(int)
+    kept = 0
+    for address, node in nodes.items():
+        for chunk in list(node.store.addresses()):
+            batch_id = index.batch_of(chunk)
+            if batch_id is None:
+                if evict_unstamped:
+                    node.store.delete(chunk)
+                    evicted[address] += 1
+                else:
+                    kept += 1
+                continue
+            try:
+                batch = office.batch(batch_id)
+            except Exception:
+                node.store.delete(chunk)
+                evicted[address] += 1
+                continue
+            if batch.expired:
+                node.store.delete(chunk)
+                evicted[address] += 1
+            else:
+                kept += 1
+    return GarbageReport(evicted_per_node=dict(evicted), kept=kept)

@@ -1,0 +1,60 @@
+"""A Swarm node: overlay identity, storage, cache (paper §III).
+
+:class:`SwarmNode` bundles what one peer owns — its routing table
+(shared with the overlay), its pinned-chunk store, and its forwarding
+cache. Accounting state lives in the network-wide
+:class:`~repro.core.swap.SwapLedger` rather than per node, mirroring
+how the simulation observes the whole system.
+"""
+
+from __future__ import annotations
+
+from ..kademlia.table import RoutingTable
+from .caching import CachePolicy, NoCache
+from .storage import ChunkStore
+
+__all__ = ["SwarmNode"]
+
+
+class SwarmNode:
+    """One peer of the Swarm network.
+
+    Parameters
+    ----------
+    address:
+        The node's overlay address.
+    table:
+        The node's routing table (built by the overlay).
+    store_capacity:
+        Bound on pinned chunks (``None`` = unbounded, paper setting).
+    cache:
+        Forwarding-cache policy; defaults to no caching as in the
+        paper's main experiments.
+    """
+
+    def __init__(self, address: int, table: RoutingTable,
+                 store_capacity: int | None = None,
+                 cache: CachePolicy | None = None) -> None:
+        self.address = address
+        self.table = table
+        self.store = ChunkStore(address, store_capacity)
+        self.cache = cache if cache is not None else NoCache()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SwarmNode(address={self.address}, stored={len(self.store)}, "
+            f"cached={len(self.cache)}, peers={len(self.table)})"
+        )
+
+    def has_chunk(self, address: int) -> bool:
+        """Whether this node can serve *address* from store or cache."""
+        return address in self.store or address in self.cache
+
+    def serve_source(self, address: int) -> str:
+        """Where a hit would be served from: 'store', 'cache' or 'miss'."""
+        if address in self.store:
+            return "store"
+        if address in self.cache:
+            self.cache.touch(address)
+            return "cache"
+        return "miss"

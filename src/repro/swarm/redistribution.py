@@ -1,0 +1,229 @@
+"""The storage-incentive redistribution game (paper §V's missing half).
+
+Swarm pays storage providers through a periodic lottery (the
+"redistribution game"): every round an *anchor* address is drawn; the
+nodes whose neighborhood covers the anchor apply with a proof of
+their stored *reserve*; honest applicants form the truth set and one
+winner, sampled **stake-weighted**, takes the round's pot of
+collected postage rent.
+
+This module implements that loop over this library's overlays and
+chunk stores:
+
+* :class:`StakeRegistry` — per-node stake deposits (required to play);
+* :class:`RedistributionGame` — anchor sampling, eligibility by
+  proximity, reserve commitment checks against the actual stores,
+  stake-weighted winner selection, pot payout, and per-node reward
+  telemetry that plugs straight into the paper's F2 fairness metric.
+
+Cheating (committing to chunks the node does not hold) is detected by
+comparing commitments against the node's true reserve; cheaters are
+*frozen* for a number of rounds, mirroring Swarm's penalty.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import require_int, require_positive
+from ..errors import ConfigurationError
+from ..kademlia.overlay import Overlay
+from .node import SwarmNode
+from .postage import PostageOffice
+
+__all__ = ["StakeRegistry", "RoundOutcome", "RedistributionGame"]
+
+
+class StakeRegistry:
+    """Stake deposits gating participation in the game."""
+
+    def __init__(self, minimum_stake: float = 1.0) -> None:
+        require_positive(minimum_stake, "minimum_stake")
+        self.minimum_stake = minimum_stake
+        self._stakes: dict[int, float] = {}
+
+    def deposit(self, node: int, amount: float) -> None:
+        """Add stake for *node*."""
+        require_positive(amount, "amount")
+        self._stakes[node] = self._stakes.get(node, 0.0) + amount
+
+    def stake_of(self, node: int) -> float:
+        """Current stake of *node* (0 when never deposited)."""
+        return self._stakes.get(node, 0.0)
+
+    def eligible(self, node: int) -> bool:
+        """Whether *node* staked at least the minimum."""
+        return self.stake_of(node) >= self.minimum_stake
+
+    def slash(self, node: int, fraction: float) -> float:
+        """Burn a fraction of a node's stake; returns the amount."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(
+                f"fraction must be in [0, 1], got {fraction}"
+            )
+        current = self.stake_of(node)
+        burned = current * fraction
+        self._stakes[node] = current - burned
+        return burned
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What happened in one redistribution round."""
+
+    round_index: int
+    anchor: int
+    applicants: tuple[int, ...]
+    truth_players: tuple[int, ...]
+    cheaters: tuple[int, ...]
+    winner: int | None
+    reward: float
+
+
+@dataclass
+class RedistributionGame:
+    """The periodic storage-reward lottery.
+
+    Parameters
+    ----------
+    overlay:
+        The network's overlay (defines neighborhoods).
+    nodes:
+        Address -> :class:`SwarmNode`; the stores are the ground truth
+        reserves.
+    office:
+        The postage office whose rent pot funds the rewards.
+    stakes:
+        Stake registry gating participation.
+    neighborhood_size:
+        How many XOR-closest nodes to the anchor may apply.
+    freeze_rounds:
+        Penalty applied to detected cheaters.
+    """
+
+    overlay: Overlay
+    nodes: dict[int, SwarmNode]
+    office: PostageOffice
+    stakes: StakeRegistry
+    neighborhood_size: int = 4
+    freeze_rounds: int = 3
+    seed: int = 77
+    rewards: defaultdict[int, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    history: list[RoundOutcome] = field(default_factory=list)
+    _frozen_until: dict[int, int] = field(default_factory=dict)
+    _cheaters: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        require_int(self.neighborhood_size, "neighborhood_size")
+        require_int(self.freeze_rounds, "freeze_rounds")
+        if self.neighborhood_size < 1:
+            raise ConfigurationError(
+                "neighborhood_size must be >= 1, got "
+                f"{self.neighborhood_size}"
+            )
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------------
+    # Cheating control (for misbehaviour experiments)
+
+    def mark_cheater(self, node: int) -> None:
+        """Make *node* overstate its reserve in every application."""
+        self._cheaters.add(node)
+
+    def is_frozen(self, node: int, round_index: int) -> bool:
+        """Whether *node* is serving a cheating penalty."""
+        return self._frozen_until.get(node, -1) >= round_index
+
+    # ------------------------------------------------------------------
+    # The game
+
+    def play_round(self, round_index: int) -> RoundOutcome:
+        """Run one round: anchor, applications, winner, payout."""
+        anchor = int(self._rng.integers(0, self.overlay.space.size))
+        ordered = self.overlay.space.sort_by_distance(
+            anchor, self.overlay.addresses
+        )
+        neighborhood = ordered[: self.neighborhood_size]
+        applicants = tuple(
+            node for node in neighborhood
+            if self.stakes.eligible(node)
+            and not self.is_frozen(node, round_index)
+        )
+        # Honest commitment = true reserve size; cheaters overstate.
+        commitments: dict[int, int] = {}
+        for node in applicants:
+            truth = len(self.nodes[node].store)
+            if node in self._cheaters:
+                commitments[node] = truth + 1_000_000
+            else:
+                commitments[node] = truth
+        # The truth is the commitment the honest majority agrees on;
+        # with stores synced within a neighborhood, honest nodes agree
+        # and overstaters stick out. A node whose commitment exceeds
+        # its verifiable reserve is a detected cheater.
+        cheaters = tuple(
+            node for node in applicants
+            if commitments[node] > len(self.nodes[node].store)
+        )
+        for node in cheaters:
+            self._frozen_until[node] = round_index + self.freeze_rounds
+            self.stakes.slash(node, 0.5)
+        truth_players = tuple(
+            node for node in applicants if node not in cheaters
+        )
+        winner: int | None = None
+        reward = 0.0
+        if truth_players:
+            weights = np.array(
+                [self.stakes.stake_of(node) for node in truth_players],
+                dtype=np.float64,
+            )
+            total = weights.sum()
+            if total > 0:
+                winner = int(
+                    self._rng.choice(truth_players, p=weights / total)
+                )
+                reward = self.office.pay_out(self.office.pot)
+                self.rewards[winner] += reward
+        outcome = RoundOutcome(
+            round_index=round_index,
+            anchor=anchor,
+            applicants=applicants,
+            truth_players=truth_players,
+            cheaters=cheaters,
+            winner=winner,
+            reward=reward,
+        )
+        self.history.append(outcome)
+        return outcome
+
+    def play_rounds(self, count: int, *,
+                    collect_rent: bool = True) -> list[RoundOutcome]:
+        """Run *count* rounds, optionally collecting rent before each."""
+        require_int(count, "count")
+        outcomes = []
+        for round_index in range(count):
+            if collect_rent:
+                self.office.collect_rent()
+            outcomes.append(self.play_round(round_index))
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # Evaluation views
+
+    def reward_vector(self, nodes: list[int]) -> list[float]:
+        """Storage rewards per node, aligned with *nodes* (F2 input)."""
+        return [self.rewards[node] for node in nodes]
+
+    def win_counts(self) -> dict[int, int]:
+        """Rounds won per node."""
+        counts: dict[int, int] = {}
+        for outcome in self.history:
+            if outcome.winner is not None:
+                counts[outcome.winner] = counts.get(outcome.winner, 0) + 1
+        return counts

@@ -1,0 +1,91 @@
+"""Neighborhood synchronization (Swarm's pull-sync protocol).
+
+Swarm keeps content available despite churn by having every node
+continuously *pull-sync* from its neighbors: a node fetches the chunks
+whose addresses fall in its area of responsibility from the peers that
+already hold them. The paper's static experiments never need this,
+but the churn extension does — a node that was offline during uploads
+is missing chunks it is now the closest node for.
+
+:func:`plan_sync` computes what a node is missing; :func:`pull_sync`
+transfers it, accounting the bandwidth through the incentive
+mechanism like any other traffic (synced chunks are forwarded chunks
+— neighbors are paid for them under the all-hops policy, or
+accumulate SWAP debt under the default policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.incentives import IncentiveMechanism
+from ..errors import OverlayError
+from ..kademlia.overlay import Overlay
+from ..kademlia.routing import Route
+from .node import SwarmNode
+from .storage import PlacementPolicy
+
+__all__ = ["SyncPlan", "plan_sync", "pull_sync"]
+
+
+@dataclass(frozen=True)
+class SyncPlan:
+    """What one node must fetch, and from whom."""
+
+    node: int
+    #: chunk address -> neighbor holding it
+    transfers: dict[int, int]
+
+    @property
+    def chunks_needed(self) -> int:
+        """Number of chunks the node is missing."""
+        return len(self.transfers)
+
+    def sources(self) -> set[int]:
+        """Distinct neighbors that will serve the sync."""
+        return set(self.transfers.values())
+
+
+def plan_sync(overlay: Overlay, nodes: dict[int, SwarmNode],
+              node: int, placement: PlacementPolicy) -> SyncPlan:
+    """Compute the chunks *node* should store but does not.
+
+    Scans every other node's store for chunks whose placement makes
+    *node* responsible (primary or replica) and that *node* is
+    missing. O(total stored chunks); fine at simulation scale.
+    """
+    if node not in nodes:
+        raise OverlayError(f"no node at address {node}")
+    target = nodes[node]
+    transfers: dict[int, int] = {}
+    for holder_address, holder in nodes.items():
+        if holder_address == node:
+            continue
+        for chunk in holder.store.addresses():
+            if chunk in target.store or chunk in transfers:
+                continue
+            if node in placement.storers(chunk, overlay):
+                transfers[chunk] = holder_address
+    return SyncPlan(node=node, transfers=transfers)
+
+
+def pull_sync(overlay: Overlay, nodes: dict[int, SwarmNode], node: int,
+              placement: PlacementPolicy,
+              incentives: IncentiveMechanism | None = None) -> SyncPlan:
+    """Execute a sync: fetch every missing chunk from a neighbor.
+
+    Each transfer is modelled as a one-hop retrieval (neighbors are
+    directly connected within the neighborhood) and pushed through
+    *incentives* when given, so sync bandwidth shows up in the same
+    fairness accounting as retrieval bandwidth.
+    """
+    plan = plan_sync(overlay, nodes, node, placement)
+    target = nodes[node]
+    for chunk, source in plan.transfers.items():
+        payload = nodes[source].store.get(chunk)
+        target.store.put(chunk, payload)
+        if incentives is not None:
+            incentives.process_route(
+                Route(target=chunk, path=(node, source))
+            )
+    return plan

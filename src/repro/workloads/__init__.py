@@ -1,0 +1,28 @@
+"""Workload generation: who downloads what (paper §IV-B).
+
+Originator pools (20 % / 100 % shares, Zipf skew), file-size and
+chunk-address distributions, streaming download generators, and
+persistable traces for replaying identical request sequences.
+"""
+
+from .distributions import (
+    OriginatorPool,
+    UniformChunks,
+    UniformFileSize,
+    ZipfCatalog,
+)
+from .generators import DownloadWorkload, FileDownload, paper_workload
+from .traces import TraceSummary, TraceWorkload, WorkloadTrace
+
+__all__ = [
+    "DownloadWorkload",
+    "FileDownload",
+    "OriginatorPool",
+    "TraceSummary",
+    "TraceWorkload",
+    "UniformChunks",
+    "UniformFileSize",
+    "WorkloadTrace",
+    "ZipfCatalog",
+    "paper_workload",
+]

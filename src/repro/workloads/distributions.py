@@ -1,0 +1,158 @@
+"""Sampling distributions for workload generation (paper §IV-B).
+
+Three axes of a download workload are configurable:
+
+* **who downloads** — :class:`OriginatorPool`: originators drawn
+  uniformly from a *share* of the nodes (the paper's 20 % vs 100 %
+  skew experiment) or Zipf-weighted to model heavy users;
+* **what is downloaded** — :class:`UniformChunks` (the paper: chunk
+  addresses uniform over the whole space) or :class:`ZipfCatalog`
+  (popular files downloaded more often, §V future work);
+* **file size** — :class:`UniformFileSize`: chunks per file uniform
+  in a range (the paper: 100 to 1000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_fraction, require_int, require_positive
+from ..errors import WorkloadError
+from ..kademlia.address import AddressSpace
+
+__all__ = [
+    "OriginatorPool",
+    "UniformFileSize",
+    "UniformChunks",
+    "ZipfCatalog",
+]
+
+
+@dataclass(frozen=True)
+class OriginatorPool:
+    """Chooses which node originates each download.
+
+    ``share`` restricts originators to the first ``share`` fraction of
+    a fixed node permutation (the paper "pick[s] originators uniformly
+    from either 20% or 100% of the nodes"); ``zipf_exponent`` skews
+    the pick within the pool toward its first members (0 = uniform).
+    """
+
+    share: float = 1.0
+    zipf_exponent: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_fraction(self.share, "share")
+        if self.share == 0:
+            raise WorkloadError("originator share must be positive")
+        if self.zipf_exponent < 0:
+            raise WorkloadError(
+                f"zipf_exponent must be >= 0, got {self.zipf_exponent}"
+            )
+
+    def pool_size(self, n_nodes: int) -> int:
+        """Number of nodes eligible to originate downloads."""
+        require_int(n_nodes, "n_nodes")
+        if n_nodes < 1:
+            raise WorkloadError(f"n_nodes must be >= 1, got {n_nodes}")
+        return max(1, round(self.share * n_nodes))
+
+    def members(self, nodes: np.ndarray,
+                rng: np.random.Generator) -> np.ndarray:
+        """The eligible originator addresses (a stable random subset).
+
+        The subset is drawn once per workload from *rng*, so two
+        workloads with the same seed target the same 20 %.
+        """
+        size = self.pool_size(len(nodes))
+        if size == len(nodes):
+            return np.asarray(nodes)
+        return rng.choice(nodes, size=size, replace=False)
+
+    def sample(self, pool: np.ndarray, count: int,
+               rng: np.random.Generator) -> np.ndarray:
+        """Draw *count* originators from the eligible pool."""
+        require_int(count, "count")
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        if self.zipf_exponent == 0.0:
+            return rng.choice(pool, size=count, replace=True)
+        ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+        weights = ranks ** (-self.zipf_exponent)
+        weights /= weights.sum()
+        return rng.choice(pool, size=count, replace=True, p=weights)
+
+
+@dataclass(frozen=True)
+class UniformFileSize:
+    """Chunks per file drawn uniformly from [low, high] (paper: 100..1000)."""
+
+    low: int = 100
+    high: int = 1000
+
+    def __post_init__(self) -> None:
+        require_int(self.low, "low")
+        require_int(self.high, "high")
+        if not 1 <= self.low <= self.high:
+            raise WorkloadError(
+                f"file size range must satisfy 1 <= low <= high, got "
+                f"[{self.low}, {self.high}]"
+            )
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw *count* file sizes."""
+        return rng.integers(self.low, self.high + 1, size=count)
+
+
+@dataclass(frozen=True)
+class UniformChunks:
+    """Chunk addresses uniform over the whole space (the paper's model)."""
+
+    def sample(self, n_chunks: int, space: AddressSpace,
+               rng: np.random.Generator) -> np.ndarray:
+        """Draw *n_chunks* chunk addresses."""
+        return rng.integers(0, space.size, size=n_chunks, dtype=np.uint64)
+
+    @property
+    def name(self) -> str:
+        return "uniform"
+
+
+class ZipfCatalog:
+    """A fixed catalog of files with Zipf-distributed popularity.
+
+    Models the §V extension: requests concentrate on popular content,
+    which interacts with forwarding caches. The catalog pre-draws
+    ``catalog_size`` files once (chunk addresses uniform); downloads
+    then sample *which file* by Zipf rank.
+    """
+
+    def __init__(self, catalog_size: int, exponent: float,
+                 file_size: UniformFileSize, space: AddressSpace,
+                 rng: np.random.Generator) -> None:
+        require_int(catalog_size, "catalog_size")
+        require_positive(catalog_size, "catalog_size")
+        require_positive(exponent, "exponent")
+        self.exponent = exponent
+        sizes = file_size.sample(catalog_size, rng)
+        self.files: list[np.ndarray] = [
+            rng.integers(0, space.size, size=int(size), dtype=np.uint64)
+            for size in sizes
+        ]
+        ranks = np.arange(1, catalog_size + 1, dtype=np.float64)
+        weights = ranks ** (-exponent)
+        self._weights = weights / weights.sum()
+
+    def __len__(self) -> int:
+        return len(self.files)
+
+    def sample_file(self, rng: np.random.Generator) -> tuple[int, np.ndarray]:
+        """Draw one (file index, chunk addresses) by popularity."""
+        index = int(rng.choice(len(self.files), p=self._weights))
+        return index, self.files[index]
+
+    @property
+    def name(self) -> str:
+        return f"zipf({self.exponent})"

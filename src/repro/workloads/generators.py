@@ -1,0 +1,148 @@
+"""Download-workload generation (paper §IV-B).
+
+A workload is a deterministic sequence of :class:`FileDownload`
+events: *who* downloads *which chunk addresses*. The paper's workload
+is ``paper_workload()``: each step one originator (uniform from the
+eligible pool) requests a file of U(100, 1000) chunks with uniform
+addresses; experiments run 100 to 10 000 such files.
+
+Generation is streaming (one event at a time) so paper-scale
+workloads never materialize millions of addresses at once unless the
+caller asks for a trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from .._validation import require_int
+from ..errors import WorkloadError
+from ..kademlia.address import AddressSpace
+from .distributions import (
+    OriginatorPool,
+    UniformChunks,
+    UniformFileSize,
+    ZipfCatalog,
+)
+
+__all__ = ["FileDownload", "DownloadWorkload", "paper_workload"]
+
+
+@dataclass(frozen=True)
+class FileDownload:
+    """One workload event: a node downloads one file."""
+
+    file_id: int
+    originator: int
+    chunk_addresses: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.chunk_addresses) == 0:
+            raise WorkloadError("a download needs at least one chunk")
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks in the file."""
+        return len(self.chunk_addresses)
+
+
+@dataclass(frozen=True)
+class DownloadWorkload:
+    """A reproducible stream of download events.
+
+    Parameters
+    ----------
+    n_files:
+        How many downloads the stream yields.
+    originators:
+        Who downloads (share of eligible nodes, skew).
+    file_size:
+        Chunks per file distribution.
+    seed:
+        Workload RNG seed — independent of the overlay seed, so the
+        same topology can serve many workloads.
+    pool_seed:
+        Optional separate seed for *which* nodes form the originator
+        pool. Two workloads sharing a pool_seed target the same
+        eligible subset even with different traffic seeds — required
+        for the paper's multi-machine protocol, where machines split
+        the downloads but must agree on who the 20 % originators are.
+        ``None`` derives the pool from ``seed``.
+    catalog:
+        Optional popularity catalog; replaces fresh uniform chunks per
+        file with Zipf-popular repeated files (§V extension).
+    """
+
+    n_files: int
+    originators: OriginatorPool = field(default_factory=OriginatorPool)
+    file_size: UniformFileSize = field(default_factory=UniformFileSize)
+    seed: int = 7
+    pool_seed: int | None = None
+    catalog_size: int = 0
+    catalog_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_int(self.n_files, "n_files")
+        require_int(self.seed, "seed")
+        if self.n_files < 1:
+            raise WorkloadError(f"n_files must be >= 1, got {self.n_files}")
+        require_int(self.catalog_size, "catalog_size")
+        if self.catalog_size < 0:
+            raise WorkloadError(
+                f"catalog_size must be >= 0, got {self.catalog_size}"
+            )
+
+    def events(self, nodes: np.ndarray,
+               space: AddressSpace) -> Iterator[FileDownload]:
+        """Stream the workload's download events for a node population."""
+        rng = np.random.default_rng(self.seed)
+        if self.pool_seed is None:
+            pool = self.originators.members(np.asarray(nodes), rng)
+        else:
+            pool_rng = np.random.default_rng(self.pool_seed)
+            pool = self.originators.members(np.asarray(nodes), pool_rng)
+        chosen = self.originators.sample(pool, self.n_files, rng)
+        catalog = None
+        if self.catalog_size > 0:
+            catalog = ZipfCatalog(
+                self.catalog_size, self.catalog_exponent,
+                self.file_size, space, rng,
+            )
+        uniform = UniformChunks()
+        sizes = self.file_size.sample(self.n_files, rng)
+        for file_id in range(self.n_files):
+            if catalog is not None:
+                _, addresses = catalog.sample_file(rng)
+            else:
+                addresses = uniform.sample(int(sizes[file_id]), space, rng)
+            yield FileDownload(
+                file_id=file_id,
+                originator=int(chosen[file_id]),
+                chunk_addresses=addresses,
+            )
+
+    def materialize(self, nodes: np.ndarray,
+                    space: AddressSpace) -> list[FileDownload]:
+        """The full event list (use for traces and small workloads)."""
+        return list(self.events(nodes, space))
+
+    def total_chunks(self, nodes: np.ndarray, space: AddressSpace) -> int:
+        """Total chunk requests the workload will issue."""
+        return sum(event.n_chunks for event in self.events(nodes, space))
+
+
+def paper_workload(n_files: int, originator_share: float,
+                   seed: int = 7) -> DownloadWorkload:
+    """The paper's workload: U(100,1000) chunks, uniform addresses.
+
+    ``originator_share`` is 0.2 or 1.0 in the paper's experiments.
+    """
+    return DownloadWorkload(
+        n_files=n_files,
+        originators=OriginatorPool(share=originator_share),
+        file_size=UniformFileSize(low=100, high=1000),
+        seed=seed,
+    )

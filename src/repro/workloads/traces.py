@@ -1,0 +1,153 @@
+"""Workload traces: record, persist, replay, summarize.
+
+A :class:`WorkloadTrace` freezes a generated workload into an explicit
+event list so that (a) the exact same requests can be replayed against
+different mechanisms or topologies, and (b) workloads can be shipped
+between machines alongside a shared overlay (the paper's multi-machine
+protocol).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .generators import FileDownload
+
+__all__ = ["TraceSummary", "WorkloadTrace", "TraceWorkload"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Shape statistics of a trace."""
+
+    n_files: int
+    total_chunks: int
+    distinct_originators: int
+    min_file_chunks: int
+    max_file_chunks: int
+    mean_file_chunks: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.n_files} files, {self.total_chunks} chunks, "
+            f"{self.distinct_originators} distinct originators, "
+            f"file size {self.min_file_chunks}..{self.max_file_chunks} "
+            f"(mean {self.mean_file_chunks:.1f})"
+        )
+
+
+class WorkloadTrace:
+    """An explicit, immutable list of download events."""
+
+    def __init__(self, events: Sequence[FileDownload]) -> None:
+        if len(events) == 0:
+            raise WorkloadError("a trace needs at least one event")
+        self._events = tuple(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FileDownload]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> FileDownload:
+        return self._events[index]
+
+    @property
+    def events(self) -> tuple[FileDownload, ...]:
+        """The trace's events in order."""
+        return self._events
+
+    def summary(self) -> TraceSummary:
+        """Shape statistics for reports."""
+        sizes = np.array([event.n_chunks for event in self._events])
+        return TraceSummary(
+            n_files=len(self._events),
+            total_chunks=int(sizes.sum()),
+            distinct_originators=len(
+                {event.originator for event in self._events}
+            ),
+            min_file_chunks=int(sizes.min()),
+            max_file_chunks=int(sizes.max()),
+            mean_file_chunks=float(sizes.mean()),
+        )
+
+    def originator_counts(self) -> dict[int, int]:
+        """Downloads issued per originator."""
+        counts: dict[int, int] = {}
+        for event in self._events:
+            counts[event.originator] = counts.get(event.originator, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Persistence
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON."""
+        payload = [
+            {
+                "file_id": event.file_id,
+                "originator": event.originator,
+                "chunks": [int(a) for a in event.chunk_addresses],
+            }
+            for event in self._events
+        ]
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "WorkloadTrace":
+        """Read a trace written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        events = [
+            FileDownload(
+                file_id=item["file_id"],
+                originator=item["originator"],
+                chunk_addresses=np.asarray(item["chunks"], dtype=np.uint64),
+            )
+            for item in payload
+        ]
+        return cls(events)
+
+
+class TraceWorkload:
+    """Adapter replaying a frozen trace through the workload interface.
+
+    Simulators consume workloads via ``events(nodes, space)``; this
+    wrapper satisfies that interface from a :class:`WorkloadTrace`,
+    validating that every recorded originator exists in the target
+    node population (replays against a different overlay are a user
+    error worth failing loudly on).
+    """
+
+    def __init__(self, trace: WorkloadTrace) -> None:
+        self.trace = trace
+        self.n_files = len(trace)
+
+    def events(self, nodes, space) -> Iterator[FileDownload]:
+        """Yield the trace's events after validating the population."""
+        population = set(int(n) for n in nodes)
+        for event in self.trace:
+            if event.originator not in population:
+                raise WorkloadError(
+                    f"trace originator {event.originator} is not a node "
+                    "of this overlay; replay traces against the overlay "
+                    "seed they were generated for"
+                )
+            if len(event.chunk_addresses) and (
+                int(event.chunk_addresses.max()) >= space.size
+            ):
+                raise WorkloadError(
+                    f"trace chunk address {int(event.chunk_addresses.max())} "
+                    f"outside the {space.bits}-bit space"
+                )
+            yield event
+
+    def materialize(self, nodes, space) -> list[FileDownload]:
+        """The validated event list."""
+        return list(self.events(nodes, space))

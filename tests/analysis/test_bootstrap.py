@@ -1,0 +1,56 @@
+"""Unit tests for the Gini bootstrap interval (repro.analysis.stats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_gini_interval
+from repro.core.fairness import gini
+from repro.errors import ConfigurationError
+
+
+class TestBootstrapGini:
+    def test_point_estimate_is_the_sample_gini(self, rng):
+        values = rng.random(200)
+        point, low, high = bootstrap_gini_interval(values, seed=1)
+        assert point == gini(values)
+        assert low <= point <= high
+
+    def test_interval_narrows_with_population(self):
+        rng = np.random.default_rng(2)
+        small = rng.random(30)
+        large = rng.random(3000)
+        _, low_s, high_s = bootstrap_gini_interval(small, n_resamples=300)
+        _, low_l, high_l = bootstrap_gini_interval(large, n_resamples=300)
+        assert (high_l - low_l) < (high_s - low_s)
+
+    def test_deterministic_by_seed(self, rng):
+        values = rng.random(100)
+        a = bootstrap_gini_interval(values, seed=5)
+        b = bootstrap_gini_interval(values, seed=5)
+        assert a == b
+
+    def test_equal_values_give_zero_interval(self):
+        point, low, high = bootstrap_gini_interval([3.0] * 50)
+        assert point == 0.0
+        assert low == 0.0
+        assert high == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_gini_interval([1.0])
+        with pytest.raises(ConfigurationError):
+            bootstrap_gini_interval([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_gini_interval([1.0, 2.0], n_resamples=5)
+
+    def test_distinguishes_different_configurations(self):
+        # Per-node incomes from clearly different inequality regimes
+        # produce non-overlapping bootstrap intervals.
+        rng = np.random.default_rng(3)
+        equalish = rng.uniform(0.9, 1.1, size=400)
+        skewed = rng.pareto(1.5, size=400)
+        _, _, high_eq = bootstrap_gini_interval(equalish, n_resamples=300)
+        _, low_sk, _ = bootstrap_gini_interval(skewed, n_resamples=300)
+        assert high_eq < low_sk

@@ -1,0 +1,81 @@
+"""Unit tests for latency modelling (repro.analysis.latency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.latency import (
+    LatencyDistribution,
+    LatencyModel,
+    latency_distribution,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLatencyModel:
+    def test_round_trip_formula(self):
+        model = LatencyModel(per_hop_ms=30.0, base_ms=5.0)
+        assert model.retrieval_ms(0) == 5.0
+        assert model.retrieval_ms(3) == 5.0 + 2 * 3 * 30.0
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel().retrieval_ms(-1)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(per_hop_ms=0.0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(base_ms=-1.0)
+
+
+class TestLatencyDistribution:
+    def test_single_bucket(self):
+        dist = latency_distribution({2: 100})
+        expected = LatencyModel().retrieval_ms(2)
+        assert dist.mean_ms == expected
+        assert dist.p50_ms == expected
+        assert dist.p99_ms == expected
+        assert dist.chunks == 100
+
+    def test_weighted_mean(self):
+        model = LatencyModel(per_hop_ms=10.0, base_ms=0.0)
+        dist = latency_distribution({1: 50, 3: 50}, model)
+        assert dist.mean_ms == pytest.approx((20.0 + 60.0) / 2)
+
+    def test_percentiles_ordered(self):
+        dist = latency_distribution({0: 10, 1: 60, 2: 20, 5: 10})
+        assert dist.p50_ms <= dist.p90_ms <= dist.p99_ms <= dist.max_ms
+
+    def test_p99_hits_the_tail(self):
+        model = LatencyModel(per_hop_ms=10.0, base_ms=0.0)
+        # 2% of chunks take 9 hops, so the 99th percentile is in the tail.
+        dist = latency_distribution({1: 980, 9: 20}, model)
+        assert dist.p90_ms == 20.0
+        assert dist.p99_ms == 180.0
+
+    def test_p99_excludes_a_sub_percent_tail(self):
+        model = LatencyModel(per_hop_ms=10.0, base_ms=0.0)
+        # Exactly 99% of chunks are <= 20ms, so p99 is 20ms.
+        dist = latency_distribution({1: 990, 9: 10}, model)
+        assert dist.p99_ms == 20.0
+        assert dist.max_ms == 180.0
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latency_distribution({})
+
+    def test_str_format(self):
+        assert "p99" in str(latency_distribution({1: 10}))
+
+
+class TestLatencyExperiment:
+    def test_larger_k_lower_latency(self):
+        from repro.experiments.extensions import run_latency
+
+        report = run_latency(
+            n_files=150, n_nodes=200, bucket_sizes=(2, 20)
+        )
+        series = report.data["series"]
+        assert series[20]["mean_ms"] < series[2]["mean_ms"]
+        assert series[20]["p99_ms"] <= series[2]["p99_ms"]

@@ -1,0 +1,63 @@
+"""Unit tests for table rendering (repro.analysis.reports)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reports import Table
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def table() -> Table:
+    table = Table(title="Demo", headers=["name", "value"])
+    table.add_row("alpha", 1.23456)
+    table.add_row("beta", 7)
+    return table
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ConfigurationError):
+            Table(title="x", headers=[])
+
+    def test_row_width_enforced(self, table):
+        with pytest.raises(ConfigurationError, match="columns"):
+            table.add_row("only-one")
+
+    def test_text_rendering(self, table):
+        text = table.to_text()
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "1.2346" in text  # floats rendered to 4 decimals
+        assert "7" in text
+
+    def test_text_alignment(self, table):
+        lines = table.to_text().splitlines()
+        header, separator = lines[1], lines[2]
+        assert len(separator) >= len(header.rstrip())
+
+    def test_markdown_rendering(self, table):
+        markdown = table.to_markdown()
+        assert markdown.startswith("### Demo")
+        assert "| name | value |" in markdown
+        assert "| alpha | 1.2346 |" in markdown
+
+    def test_csv_rendering(self, table):
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "name,value"
+        assert "alpha,1.2346" in csv
+
+    def test_csv_quoting(self):
+        table = Table(title="q", headers=["a"])
+        table.add_row('with,comma "and quotes"')
+        assert '"with,comma ""and quotes"""' in table.to_csv()
+
+    def test_save_csv(self, table, tmp_path):
+        path = tmp_path / "table.csv"
+        table.save_csv(path)
+        assert path.read_text().startswith("name,value")
+
+    def test_empty_table_renders(self):
+        table = Table(title="empty", headers=["a", "b"])
+        assert "empty" in table.to_text()

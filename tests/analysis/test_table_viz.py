@@ -1,0 +1,68 @@
+"""Unit tests for routing-table rendering (repro.analysis.table_viz)."""
+
+from __future__ import annotations
+
+from repro.analysis.table_viz import (
+    render_bucket_occupancy,
+    render_routing_table,
+)
+from repro.kademlia.address import AddressSpace
+from repro.kademlia.buckets import BucketLimits
+from repro.kademlia.table import RoutingTable
+
+
+def make_table():
+    space = AddressSpace(8)
+    table = RoutingTable(0b01011011, space, BucketLimits.uniform(4))
+    # The paper's Fig. 3 example peers (owner 0b01011011).
+    for peer in (0b10100010, 0b11101010, 0b00100010, 0b01101010,
+                 0b01001010, 0b01010100):
+        table.add(peer)
+    return table
+
+
+class TestRenderRoutingTable:
+    def test_mentions_owner_and_buckets(self):
+        rendered = render_routing_table(make_table())
+        assert "01011011" in rendered
+        assert "bucket  0" in rendered
+
+    def test_every_peer_listed_with_address(self):
+        table = make_table()
+        rendered = render_routing_table(table)
+        for peer in table.peers():
+            assert f"(={peer})" in rendered
+
+    def test_prefix_separation_matches_bucket(self):
+        table = make_table()
+        rendered = render_routing_table(table)
+        # Peer 0b01101010 shares 2 bits with the owner: prefix "01".
+        assert "01|1|01010" in rendered
+
+    def test_peer_count_reported(self):
+        table = make_table()
+        assert f"{len(table)} peers" in render_routing_table(table)
+
+    def test_max_buckets_truncates(self):
+        table = make_table()
+        rendered = render_routing_table(table, max_buckets=1)
+        assert "bucket  1" not in rendered
+
+
+class TestRenderBucketOccupancy:
+    def test_one_line_per_bucket(self):
+        table = make_table()
+        rendered = render_bucket_occupancy(table)
+        assert len(rendered.splitlines()) == table.space.bits + 1
+
+    def test_counts_shown(self):
+        rendered = render_bucket_occupancy(make_table())
+        assert "1/4" in rendered
+
+    def test_overflowed_bucket_marked(self):
+        space = AddressSpace(8)
+        table = RoutingTable(0, space, BucketLimits.uniform(1))
+        table.add(0b10000000)
+        table.add_unbounded(0b11000000)  # neighborhood overflow
+        rendered = render_bucket_occupancy(table)
+        assert "2/1+" in rendered

@@ -1,0 +1,76 @@
+"""Unit tests for the Filecoin-style baseline (repro.baselines.filecoin)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.filecoin import FilecoinConfig, FilecoinMechanism
+from repro.errors import ConfigurationError
+from repro.kademlia.routing import Route
+
+
+class TestConfig:
+    def test_bad_epoch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FilecoinConfig(epoch_length=0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FilecoinMechanism({1: -2.0})
+
+
+class TestRetrievalPayments:
+    def test_server_earns_per_chunk(self):
+        mechanism = FilecoinMechanism(
+            {1: 0.0, 2: 0.0, 3: 0.0},
+            FilecoinConfig(block_reward=0.0, retrieval_price=2.0),
+        )
+        mechanism.process_route(Route(target=9, path=(1, 2, 3)))
+        assert mechanism.incomes([1, 2, 3]) == [0.0, 0.0, 2.0]
+        assert mechanism.served_counts([3]) == [1]
+
+    def test_forwarders_counted_as_contribution(self):
+        mechanism = FilecoinMechanism({}, FilecoinConfig(block_reward=0.0))
+        mechanism.process_route(Route(target=9, path=(1, 2, 3)))
+        assert mechanism.contributions([1, 2, 3]) == [0.0, 1.0, 1.0]
+
+    def test_local_hit_earns_nothing(self):
+        mechanism = FilecoinMechanism({}, FilecoinConfig(block_reward=0.0))
+        mechanism.process_route(Route(target=9, path=(1,)))
+        assert mechanism.incomes([1]) == [0.0]
+
+
+class TestBlockRewards:
+    def test_epochs_fire_on_schedule(self):
+        mechanism = FilecoinMechanism(
+            {1: 1.0}, FilecoinConfig(epoch_length=10, block_reward=5.0),
+        )
+        for i in range(25):
+            mechanism.process_route(Route(target=i % 7, path=(1, 2)))
+        assert mechanism.epochs_elapsed == 2
+
+    def test_rewards_proportional_to_power(self):
+        mechanism = FilecoinMechanism(
+            {1: 9.0, 2: 1.0},
+            FilecoinConfig(epoch_length=1, block_reward=1.0,
+                           retrieval_price=0.0, seed=5),
+        )
+        for i in range(2000):
+            mechanism.process_route(Route(target=i % 31, path=(1, 2)))
+        wins = mechanism.blocks_won
+        assert wins[1] > wins[2] * 4  # expected 9:1
+
+    def test_zero_total_power_pays_nobody(self):
+        mechanism = FilecoinMechanism(
+            {1: 0.0}, FilecoinConfig(epoch_length=1, block_reward=5.0,
+                                     retrieval_price=0.0),
+        )
+        mechanism.process_route(Route(target=3, path=(1, 2)))
+        assert mechanism.incomes([1, 2]) == [0.0, 0.0]
+
+    def test_zero_block_reward_skips_sampling(self):
+        mechanism = FilecoinMechanism(
+            {1: 5.0}, FilecoinConfig(epoch_length=1, block_reward=0.0),
+        )
+        mechanism.process_route(Route(target=3, path=(1, 2)))
+        assert mechanism.blocks_won == {}

@@ -1,0 +1,77 @@
+"""Unit tests for the reference mechanisms (repro.baselines.flat)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.flat import (
+    EqualSplitMechanism,
+    NoRewardMechanism,
+    PerChunkRewardMechanism,
+)
+from repro.core.fairness import evaluate_fairness
+from repro.errors import ConfigurationError
+from repro.kademlia.routing import Route
+
+
+ROUTES = [
+    Route(target=1, path=(1, 2, 3)),
+    Route(target=2, path=(4, 2)),
+    Route(target=3, path=(1, 3, 2, 4)),
+]
+
+
+class TestPerChunkReward:
+    def test_income_proportional_to_forwarding(self):
+        mechanism = PerChunkRewardMechanism(reward_per_chunk=2.0)
+        for route in ROUTES:
+            mechanism.process_route(route)
+        nodes = [1, 2, 3, 4]
+        contributions = mechanism.contributions(nodes)
+        incomes = mechanism.incomes(nodes)
+        assert incomes == [c * 2.0 for c in contributions]
+
+    def test_f1_is_zero_by_construction(self):
+        mechanism = PerChunkRewardMechanism()
+        for route in ROUTES:
+            mechanism.process_route(route)
+        nodes = [1, 2, 3, 4]
+        report = evaluate_fairness(
+            mechanism.contributions(nodes), mechanism.incomes(nodes)
+        )
+        assert report.f1_gini == pytest.approx(0.0, abs=1e-12)
+
+    def test_bad_reward_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerChunkRewardMechanism(reward_per_chunk=0.0)
+
+
+class TestEqualSplit:
+    def test_everyone_earns_the_same(self):
+        mechanism = EqualSplitMechanism(pool_per_route=4.0)
+        for route in ROUTES:
+            mechanism.process_route(route)
+        incomes = mechanism.incomes([1, 2, 3, 4])
+        assert incomes == [3.0, 3.0, 3.0, 3.0]  # 3 routes * 4.0 / 4 nodes
+
+    def test_f2_is_zero_by_construction(self):
+        mechanism = EqualSplitMechanism()
+        for route in ROUTES:
+            mechanism.process_route(route)
+        nodes = [1, 2, 3, 4]
+        report = evaluate_fairness(
+            mechanism.contributions(nodes), mechanism.incomes(nodes)
+        )
+        assert report.f2_gini == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_node_list(self):
+        assert EqualSplitMechanism().incomes([]) == []
+
+
+class TestNoReward:
+    def test_nobody_earns(self):
+        mechanism = NoRewardMechanism()
+        for route in ROUTES:
+            mechanism.process_route(route)
+        assert mechanism.incomes([1, 2, 3, 4]) == [0.0] * 4
+        assert mechanism.routes_processed == 3

@@ -1,0 +1,69 @@
+"""Unit tests for free-rider models (repro.baselines.freerider)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.freerider import (
+    FreeRiderPlan,
+    apply_free_riders,
+    select_free_riders,
+)
+from repro.core.incentives import SwapIncentives
+from repro.core.pricing import FlatPricing
+from repro.errors import ConfigurationError
+from repro.kademlia.routing import Route
+
+
+class TestPlan:
+    def test_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            FreeRiderPlan(fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            FreeRiderPlan(fraction=0.5, pay_probability=-0.1)
+
+
+class TestSelection:
+    def test_count_follows_fraction(self):
+        nodes = list(range(100))
+        riders = select_free_riders(nodes, FreeRiderPlan(fraction=0.3))
+        assert len(riders) == 30
+        assert set(riders) <= set(nodes)
+
+    def test_deterministic_by_seed(self):
+        nodes = list(range(100))
+        a = select_free_riders(nodes, FreeRiderPlan(fraction=0.2, seed=1))
+        b = select_free_riders(nodes, FreeRiderPlan(fraction=0.2, seed=1))
+        assert a == b
+
+    def test_zero_fraction_selects_nobody(self):
+        assert select_free_riders([1, 2], FreeRiderPlan(fraction=0.0)) == []
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_free_riders([], FreeRiderPlan(fraction=0.5))
+
+
+class TestApply:
+    def test_full_freeriders_always_default(self):
+        incentives = SwapIncentives(FlatPricing(1.0))
+        riders = apply_free_riders(
+            incentives, [1, 2, 3, 4], FreeRiderPlan(fraction=1.0)
+        )
+        assert set(riders) == {1, 2, 3, 4}
+        incentives.process_route(Route(target=9, path=(1, 2, 3)))
+        assert incentives.defaults[1] == 1
+        assert incentives.incomes([2]) == [0.0]
+
+    def test_selective_freeriders_pay_until_budget(self):
+        incentives = SwapIncentives(FlatPricing(1.0))
+        apply_free_riders(
+            incentives, [1],
+            FreeRiderPlan(fraction=1.0, pay_probability=0.5),
+            expected_spend=4.0,
+        )
+        # Budget of 2.0 covers two flat-priced payments, then defaults.
+        for _ in range(3):
+            incentives.process_route(Route(target=9, path=(1, 2, 3)))
+        assert incentives.defaults[1] == 1
+        assert incentives.incomes([2]) == [2.0]

@@ -1,0 +1,54 @@
+"""Shared fixtures: small deterministic overlays and networks.
+
+Session-scoped where construction is expensive; tests must not mutate
+shared overlays (they build their own when they need mutation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kademlia import AddressSpace, BucketLimits, Overlay, OverlayConfig
+
+
+@pytest.fixture(scope="session")
+def space12() -> AddressSpace:
+    """A 12-bit address space (4096 addresses)."""
+    return AddressSpace(12)
+
+
+@pytest.fixture(scope="session")
+def small_overlay() -> Overlay:
+    """60 nodes in an 8-bit space, k=4 — tiny but non-trivial."""
+    return Overlay.build(
+        OverlayConfig(
+            n_nodes=60, bits=8, limits=BucketLimits.uniform(4), seed=5
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_overlay() -> Overlay:
+    """200 nodes in a 12-bit space, k=4 — the workhorse fixture."""
+    return Overlay.build(
+        OverlayConfig(
+            n_nodes=200, bits=12, limits=BucketLimits.uniform(4), seed=11
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def wide_overlay() -> Overlay:
+    """200 nodes in a 12-bit space, k=20 — the paper's alternative k."""
+    return Overlay.build(
+        OverlayConfig(
+            n_nodes=200, bits=12, limits=BucketLimits.uniform(20), seed=11
+        )
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,80 @@
+"""Unit tests for amortization schedules (repro.core.amortization)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.amortization import (
+    ExponentialAmortization,
+    LinearAmortization,
+    NoAmortization,
+    make_amortization,
+)
+from repro.errors import ConfigurationError
+
+
+class TestLinearAmortization:
+    def test_rate_times_elapsed(self):
+        schedule = LinearAmortization(units_per_time=2.0)
+        assert schedule.forgiven(100.0, 3.0) == 6.0
+
+    def test_capped_at_balance(self):
+        schedule = LinearAmortization(units_per_time=10.0)
+        assert schedule.forgiven(4.0, 100.0) == 4.0
+
+    def test_negative_balance_uses_magnitude(self):
+        schedule = LinearAmortization(units_per_time=1.0)
+        assert schedule.forgiven(-5.0, 2.0) == 2.0
+
+    def test_zero_elapsed_forgives_nothing(self):
+        assert LinearAmortization(1.0).forgiven(5.0, 0.0) == 0.0
+
+    def test_negative_elapsed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearAmortization(1.0).forgiven(5.0, -1.0)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearAmortization(0.0)
+
+
+class TestExponentialAmortization:
+    def test_decay_fraction(self):
+        schedule = ExponentialAmortization(rate=math.log(2))
+        # One half-life forgives half the balance.
+        assert schedule.forgiven(8.0, 1.0) == pytest.approx(4.0)
+
+    def test_bounded_by_balance(self):
+        schedule = ExponentialAmortization(rate=5.0)
+        assert schedule.forgiven(3.0, 100.0) <= 3.0
+
+    def test_monotone_in_time(self):
+        schedule = ExponentialAmortization(rate=0.5)
+        assert schedule.forgiven(10.0, 2.0) > schedule.forgiven(10.0, 1.0)
+
+
+class TestNoAmortization:
+    def test_never_forgives(self):
+        schedule = NoAmortization()
+        assert schedule.forgiven(100.0, 1000.0) == 0.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("linear", LinearAmortization),
+        ("exponential", ExponentialAmortization),
+        ("none", NoAmortization),
+    ])
+    def test_known(self, name, cls):
+        assert isinstance(make_amortization(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_amortization("bogus")
+
+    def test_names_stable(self):
+        assert make_amortization("linear").name == "linear"
+        assert make_amortization("exponential").name == "exponential"
+        assert make_amortization("none").name == "none"

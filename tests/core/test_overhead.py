@@ -1,0 +1,81 @@
+"""Unit tests for overhead accounting (repro.core.overhead)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.overhead import OverheadModel, overhead_report
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def vectors(small_overlay):
+    n = len(small_overlay)
+    income = np.linspace(0.0, 10.0, n)
+    paid = np.arange(n, dtype=np.int64)
+    return income, paid
+
+
+class TestOverheadModel:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OverheadModel(transaction_cost=-1.0)
+        with pytest.raises(ConfigurationError):
+            OverheadModel(keepalive_cost_per_connection=-0.1)
+
+    def test_zero_cost_model_is_free(self, small_overlay, vectors):
+        income, paid = vectors
+        model = OverheadModel(
+            keepalive_cost_per_connection=0.0,
+            transaction_cost=0.0,
+            channel_state_cost=0.0,
+        )
+        report = overhead_report(small_overlay, income, paid, model)
+        assert np.allclose(report.net_income, income)
+        assert report.underwater_nodes == 0
+        assert report.overhead_share() == 0.0
+
+
+class TestOverheadReport:
+    def test_costs_scale_with_degree(self, small_overlay, vectors):
+        income, paid = vectors
+        report = overhead_report(small_overlay, income, paid)
+        degrees = np.array(
+            [len(small_overlay.table(a)) for a in small_overlay.addresses]
+        )
+        expected = degrees * OverheadModel().keepalive_cost_per_connection
+        assert np.allclose(report.connection_cost, expected)
+
+    def test_transactions_capped_by_paid_chunks(self, small_overlay):
+        n = len(small_overlay)
+        income = np.ones(n)
+        paid = np.zeros(n, dtype=np.int64)  # nobody was ever paid
+        report = overhead_report(small_overlay, income, paid)
+        assert np.all(report.transaction_cost == 0.0)
+
+    def test_underwater_detection(self, small_overlay):
+        n = len(small_overlay)
+        income = np.zeros(n)          # no income, positive costs
+        paid = np.ones(n, dtype=np.int64)
+        report = overhead_report(small_overlay, income, paid)
+        assert report.underwater_nodes == n
+        assert report.mean_net_income() < 0
+
+    def test_overhead_share_zero_income(self, small_overlay):
+        n = len(small_overlay)
+        report = overhead_report(
+            small_overlay, np.zeros(n), np.zeros(n, dtype=np.int64)
+        )
+        assert report.overhead_share() == 0.0
+
+    def test_shape_mismatch_rejected(self, small_overlay):
+        with pytest.raises(ValueError):
+            overhead_report(
+                small_overlay, np.zeros(3), np.zeros(3, dtype=np.int64)
+            )
+
+    def test_summary_mentions_underwater(self, small_overlay, vectors):
+        income, paid = vectors
+        text = overhead_report(small_overlay, income, paid).summary()
+        assert "underwater" in text

@@ -1,0 +1,74 @@
+"""Unit tests for payment policies (repro.core.policies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import (
+    AllHopsPolicy,
+    NoPaymentPolicy,
+    Payment,
+    ZeroProximityPolicy,
+    make_policy,
+)
+from repro.core.pricing import FlatPricing
+from repro.errors import ConfigurationError
+from repro.kademlia.routing import Route
+
+
+@pytest.fixture()
+def route() -> Route:
+    return Route(target=99, path=(10, 20, 30, 40))
+
+
+class TestPayment:
+    def test_self_payment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Payment(payer=1, payee=1, amount=1.0)
+
+    def test_nonpositive_amount_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Payment(payer=1, payee=2, amount=0.0)
+
+
+class TestZeroProximityPolicy:
+    def test_originator_pays_first_hop_only(self, route):
+        payments = ZeroProximityPolicy().payments(route, FlatPricing(2.0))
+        assert payments == [Payment(payer=10, payee=20, amount=2.0)]
+
+    def test_local_hit_pays_nobody(self):
+        route = Route(target=1, path=(10,))
+        assert ZeroProximityPolicy().payments(route, FlatPricing()) == []
+
+    def test_name(self):
+        assert ZeroProximityPolicy().name == "zero-proximity"
+
+
+class TestAllHopsPolicy:
+    def test_every_edge_paid(self, route):
+        payments = AllHopsPolicy().payments(route, FlatPricing(1.0))
+        assert [(p.payer, p.payee) for p in payments] == [
+            (10, 20), (20, 30), (30, 40),
+        ]
+
+    def test_name(self):
+        assert AllHopsPolicy().name == "all-hops"
+
+
+class TestNoPaymentPolicy:
+    def test_nothing_paid(self, route):
+        assert NoPaymentPolicy().payments(route, FlatPricing()) == []
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("zero-proximity", ZeroProximityPolicy),
+        ("all-hops", AllHopsPolicy),
+        ("none", NoPaymentPolicy),
+    ])
+    def test_known(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="zero-proximity"):
+            make_policy("bogus")

@@ -1,0 +1,90 @@
+"""Unit tests for pricing strategies (repro.core.pricing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pricing import (
+    FlatPricing,
+    ProximityStepPricing,
+    XorDistancePricing,
+    make_pricing,
+)
+from repro.errors import ConfigurationError
+from repro.kademlia.address import AddressSpace
+
+
+@pytest.fixture()
+def space() -> AddressSpace:
+    return AddressSpace(8)
+
+
+class TestXorDistancePricing:
+    def test_proportional_to_distance(self, space):
+        pricing = XorDistancePricing(space)
+        near = pricing.price(0b10000001, 0b10000000)
+        far = pricing.price(0b00000000, 0b10000000)
+        assert far > near
+
+    def test_normalized_below_base(self, space):
+        pricing = XorDistancePricing(space, base=2.0)
+        for server in (0, 17, 255):
+            for chunk in (0, 128, 255):
+                assert 0 < pricing.price(server, chunk) <= 2.0
+
+    def test_same_address_still_positive(self, space):
+        assert XorDistancePricing(space).price(7, 7) > 0
+
+    def test_exact_value(self, space):
+        pricing = XorDistancePricing(space, base=1.0)
+        assert pricing.price(0, 128) == pytest.approx(128 / 256)
+
+    def test_bad_base_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            XorDistancePricing(space, base=0)
+
+    def test_name(self, space):
+        assert XorDistancePricing(space).name == "xor"
+
+
+class TestProximityStepPricing:
+    def test_steps_with_proximity(self, space):
+        pricing = ProximityStepPricing(space, base=1.0)
+        # proximity 0 -> price 8; proximity 7 -> price 1.
+        assert pricing.price(0b00000000, 0b10000000) == 8.0
+        assert pricing.price(0b00000000, 0b00000001) == 1.0
+
+    def test_floored_at_base(self, space):
+        pricing = ProximityStepPricing(space, base=3.0)
+        assert pricing.price(5, 5) == 3.0
+
+    def test_name(self, space):
+        assert ProximityStepPricing(space).name == "proximity"
+
+
+class TestFlatPricing:
+    def test_constant(self):
+        pricing = FlatPricing(2.5)
+        assert pricing.price(0, 1) == 2.5
+        assert pricing.price(9, 200) == 2.5
+
+    def test_bad_amount_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FlatPricing(-1.0)
+
+    def test_name(self):
+        assert FlatPricing().name == "flat"
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("xor", XorDistancePricing),
+        ("proximity", ProximityStepPricing),
+        ("flat", FlatPricing),
+    ])
+    def test_known_names(self, space, name, cls):
+        assert isinstance(make_pricing(name, space), cls)
+
+    def test_unknown_name_lists_options(self, space):
+        with pytest.raises(ConfigurationError, match="flat"):
+            make_pricing("bogus", space)

@@ -1,0 +1,119 @@
+"""Unit tests for the discrete-event scheduler (repro.engine.des)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.des import EventScheduler
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        scheduler = EventScheduler()
+        fired: list[str] = []
+        scheduler.schedule_at(5.0, lambda s, t: fired.append("late"))
+        scheduler.schedule_at(1.0, lambda s, t: fired.append("early"))
+        scheduler.run_all()
+        assert fired == ["early", "late"]
+        assert scheduler.now == 5.0
+
+    def test_fifo_among_equal_times(self):
+        scheduler = EventScheduler()
+        fired: list[int] = []
+        for i in range(5):
+            scheduler.schedule_at(1.0, lambda s, t, i=i: fired.append(i))
+        scheduler.run_all()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_uses_now(self):
+        scheduler = EventScheduler()
+        times: list[float] = []
+        def chain(s, t):
+            times.append(t)
+            if len(times) < 3:
+                s.schedule_in(2.0, chain)
+        scheduler.schedule_in(1.0, chain)
+        scheduler.run_all()
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_schedule_in_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(5.0, lambda s, t: None)
+        scheduler.run_all()
+        with pytest.raises(SimulationError, match="before now"):
+            scheduler.schedule_at(1.0, lambda s, t: None)
+
+    def test_step_returns_event(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda s, t: None, name="tick")
+        event = scheduler.step()
+        assert event is not None and event.name == "tick"
+        assert scheduler.step() is None
+
+
+class TestRunUntil:
+    def test_fires_only_up_to_horizon(self):
+        scheduler = EventScheduler()
+        fired: list[float] = []
+        for time in (1.0, 2.0, 3.0):
+            scheduler.schedule_at(time, lambda s, t: fired.append(t))
+        count = scheduler.run_until(2.0)
+        assert count == 2
+        assert fired == [1.0, 2.0]
+        assert scheduler.now == 2.0
+        assert len(scheduler) == 1
+
+    def test_horizon_before_now_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(5.0)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(1.0)
+
+    def test_max_events_guard(self):
+        scheduler = EventScheduler()
+        def respawn(s, t):
+            s.schedule_in(0.1, respawn)
+        scheduler.schedule_in(0.0, respawn)
+        with pytest.raises(SimulationError, match="runaway"):
+            scheduler.run_until(1e9, max_events=100)
+
+
+class TestPeriodic:
+    def test_fires_every_interval(self):
+        scheduler = EventScheduler()
+        ticks: list[float] = []
+        scheduler.schedule_periodic(1.0, lambda s, t: ticks.append(t))
+        scheduler.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_cancel_stops_future_firings(self):
+        scheduler = EventScheduler()
+        ticks: list[float] = []
+        handle = scheduler.schedule_periodic(
+            1.0, lambda s, t: ticks.append(t)
+        )
+        scheduler.run_until(2.5)
+        handle.cancel()
+        scheduler.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_start_in_override(self):
+        scheduler = EventScheduler()
+        ticks: list[float] = []
+        scheduler.schedule_periodic(
+            2.0, lambda s, t: ticks.append(t), start_in=0.5
+        )
+        scheduler.run_until(5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_self_cancel_inside_handler(self):
+        scheduler = EventScheduler()
+        ticks: list[float] = []
+        def tick(s, t):
+            ticks.append(t)
+            if len(ticks) == 2:
+                handle.cancel()
+        handle = scheduler.schedule_periodic(1.0, tick)
+        scheduler.run_until(10.0)
+        assert ticks == [1.0, 2.0]

@@ -1,0 +1,71 @@
+"""Unit tests for parameter sweeps (repro.engine.experiment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.experiment import (
+    ExperimentRunner,
+    ParameterSweep,
+    SweepPoint,
+)
+from repro.engine.simulation import SimulationConfig
+from repro.engine.state import Block, Model
+from repro.errors import ExperimentError
+
+
+def step_model() -> Model:
+    return Model(
+        initial_state={"x": 0},
+        blocks=(
+            Block(
+                name="count",
+                updates={"x": lambda c, s: c.state["x"] + c.param("step")},
+            ),
+        ),
+        params={"step": 1},
+    )
+
+
+class TestParameterSweep:
+    def test_cross_product_size(self):
+        sweep = ParameterSweep({"k": [4, 20], "share": [0.2, 1.0]})
+        assert len(sweep) == 4
+        labels = [point.label() for point in sweep]
+        assert "k=4, share=0.2" in labels
+        assert "k=20, share=1.0" in labels
+
+    def test_indices_are_sequential(self):
+        sweep = ParameterSweep({"k": [1, 2, 3]})
+        assert [point.index for point in sweep] == [0, 1, 2]
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ExperimentError):
+            ParameterSweep({})
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ExperimentError, match="no values"):
+            ParameterSweep({"k": []})
+
+
+class TestExperimentRunner:
+    def test_sweep_applies_params(self):
+        runner = ExperimentRunner(
+            model=step_model(),
+            config=SimulationConfig(timesteps=3),
+        )
+        results = runner.run_sweep(ParameterSweep({"step": [1, 5]}))
+        finals = {
+            index: result.final_state(0)["x"]
+            for index, result in results.items()
+        }
+        assert finals == {0: 3, 1: 15}
+
+    def test_results_labelled(self):
+        runner = ExperimentRunner(
+            model=step_model(), config=SimulationConfig(timesteps=1)
+        )
+        result = runner.run_point(SweepPoint(index=3, params={"step": 2}))
+        assert result.metadata["sweep_index"] == 3
+        assert result.metadata["sweep_label"] == "step=2"
+        assert result.metadata["param:step"] == "2"

@@ -1,0 +1,92 @@
+"""Unit tests for result sets (repro.engine.results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.results import Record, ResultSet
+from repro.errors import SimulationError
+
+
+def build_results() -> ResultSet:
+    results = ResultSet(metadata={"seed": 1})
+    for run in (0, 1):
+        results.append(Record(run=run, timestep=0, substep=0,
+                              state={"x": 0}))
+        for t in (1, 2):
+            results.append(Record(run=run, timestep=t, substep=1,
+                                  state={"x": t}))
+            results.append(Record(run=run, timestep=t, substep=2,
+                                  state={"x": t * 10}))
+    return results
+
+
+class TestQueries:
+    def test_runs(self):
+        assert build_results().runs() == [0, 1]
+
+    def test_for_run_filters(self):
+        subset = build_results().for_run(1)
+        assert all(record.run == 1 for record in subset)
+        assert len(subset) == 5
+
+    def test_at_substep_end_keeps_last(self):
+        ends = build_results().at_substep_end()
+        values = [record.value("x") for record in ends.for_run(0)]
+        assert values == [0, 10, 20]
+
+    def test_series(self):
+        assert build_results().series("x", run=0) == [0, 10, 20]
+
+    def test_series_missing_key_raises(self):
+        with pytest.raises(SimulationError, match="available"):
+            build_results().series("y", run=0)
+
+    def test_final_state(self):
+        assert build_results().final_state(0)["x"] == 20
+
+    def test_final_state_missing_run_raises(self):
+        with pytest.raises(SimulationError):
+            build_results().final_state(9)
+
+    def test_map_final(self):
+        values = build_results().map_final(lambda state: state["x"])
+        assert values == [20, 20]
+
+
+class TestMerge:
+    def test_disjoint_runs_merge(self):
+        a = ResultSet(metadata={"seed": 1})
+        a.append(Record(run=0, timestep=1, substep=1, state={"x": 1}))
+        b = ResultSet(metadata={"machine": "two"})
+        b.append(Record(run=1, timestep=1, substep=1, state={"x": 2}))
+        merged = a.merge(b)
+        assert merged.runs() == [0, 1]
+        assert merged.metadata == {"seed": 1, "machine": "two"}
+
+    def test_overlapping_runs_rejected(self):
+        a = ResultSet()
+        a.append(Record(run=0, timestep=1, substep=1, state={}))
+        b = ResultSet()
+        b.append(Record(run=0, timestep=2, substep=1, state={}))
+        with pytest.raises(SimulationError, match="overlapping"):
+            a.merge(b)
+
+    def test_conflicting_metadata_rejected(self):
+        a = ResultSet(metadata={"seed": 1})
+        a.append(Record(run=0, timestep=1, substep=1, state={}))
+        b = ResultSet(metadata={"seed": 2})
+        b.append(Record(run=1, timestep=1, substep=1, state={}))
+        with pytest.raises(SimulationError, match="conflict"):
+            a.merge(b)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        results = build_results()
+        path = tmp_path / "results.json"
+        results.save(path)
+        loaded = ResultSet.load(path)
+        assert len(loaded) == len(results)
+        assert loaded.metadata == results.metadata
+        assert loaded.series("x", run=0) == results.series("x", run=0)

@@ -1,0 +1,48 @@
+"""Unit tests for seed management (repro.engine.rng)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.rng import derive_seed, run_seed, substream
+from repro.errors import ConfigurationError
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "overlay") == derive_seed(42, "overlay")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "overlay") != derive_seed(42, "workload")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(42, "overlay") != derive_seed(43, "overlay")
+
+    def test_path_depth_matters(self):
+        assert derive_seed(42, "a", "b") != derive_seed(42, "a:b")
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_non_int_root_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_seed("42", "x")
+
+
+class TestSubstream:
+    def test_streams_reproducible(self):
+        a = substream(7, "traffic").random(5)
+        b = substream(7, "traffic").random(5)
+        assert (a == b).all()
+
+    def test_streams_differ_by_name(self):
+        a = substream(7, "traffic").random(5)
+        b = substream(7, "pricing").random(5)
+        assert not (a == b).all()
+
+
+class TestRunSeed:
+    def test_distinct_across_runs(self):
+        seeds = {run_seed(1, run) for run in range(100)}
+        assert len(seeds) == 100
+
+    def test_deterministic(self):
+        assert run_seed(1, 3) == run_seed(1, 3)

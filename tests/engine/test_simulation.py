@@ -1,0 +1,118 @@
+"""Unit tests for the simulation executor (repro.engine.simulation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.simulation import SimulationConfig, Simulator
+from repro.engine.state import Block, Model
+from repro.errors import SimulationError
+
+
+def counter_model(step: int = 1) -> Model:
+    """x increases by a policy-provided step each timestep."""
+    return Model(
+        initial_state={"x": 0, "history_len": 0},
+        blocks=(
+            Block(
+                name="count",
+                policies=(lambda c: {"step": c.param("step")},),
+                updates={
+                    "x": lambda c, s: c.state["x"] + s["step"],
+                },
+            ),
+            Block(
+                name="observe",
+                updates={
+                    "history_len": lambda c, s: c.state["history_len"] + 1,
+                },
+            ),
+        ),
+        params={"step": step},
+    )
+
+
+class TestSimulationConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"timesteps": 0},
+        {"timesteps": 5, "runs": 0},
+        {"timesteps": 5, "first_run": -1},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            SimulationConfig(**kwargs)
+
+
+class TestSimulator:
+    def test_counter_advances(self):
+        results = Simulator(counter_model()).run(
+            SimulationConfig(timesteps=5)
+        )
+        assert results.series("x", run=0) == [0, 1, 2, 3, 4, 5]
+
+    def test_blocks_run_in_order(self):
+        results = Simulator(counter_model()).run(
+            SimulationConfig(timesteps=3)
+        )
+        final = results.final_state(0)
+        assert final["x"] == 3
+        assert final["history_len"] == 3
+
+    def test_params_respected(self):
+        results = Simulator(counter_model(step=10)).run(
+            SimulationConfig(timesteps=2)
+        )
+        assert results.final_state(0)["x"] == 20
+
+    def test_deterministic_across_executions(self):
+        model = Model(
+            initial_state={"v": 0.0},
+            blocks=(
+                Block(
+                    name="noise",
+                    updates={
+                        "v": lambda c, s: c.state["v"] + c.rng.random()
+                    },
+                ),
+            ),
+        )
+        config = SimulationConfig(timesteps=10, runs=2, seed=5)
+        a = Simulator(model).run(config)
+        b = Simulator(model).run(config)
+        assert a.series("v", run=0) == b.series("v", run=0)
+        assert a.series("v", run=1) == b.series("v", run=1)
+
+    def test_runs_have_independent_randomness(self):
+        model = Model(
+            initial_state={"v": 0.0},
+            blocks=(
+                Block(
+                    name="noise",
+                    updates={"v": lambda c, s: c.rng.random()},
+                ),
+            ),
+        )
+        results = Simulator(model).run(
+            SimulationConfig(timesteps=1, runs=3, seed=5)
+        )
+        finals = {results.final_state(run)["v"] for run in range(3)}
+        assert len(finals) == 3
+
+    def test_first_run_offset(self):
+        results = Simulator(counter_model()).run(
+            SimulationConfig(timesteps=1, runs=2, first_run=10)
+        )
+        assert results.runs() == [10, 11]
+
+    def test_record_substeps(self):
+        config = SimulationConfig(timesteps=2, record_substeps=True)
+        results = Simulator(counter_model()).run(config)
+        # initial + 2 timesteps x 2 blocks
+        assert len(results) == 5
+
+    def test_metadata_captured(self):
+        results = Simulator(counter_model()).run(
+            SimulationConfig(timesteps=1, seed=77)
+        )
+        assert results.metadata["seed"] == 77
+        assert "step" in results.metadata["params"]

@@ -1,0 +1,77 @@
+"""Unit tests for models and blocks (repro.engine.state)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.state import Block, Model, StepContext
+from repro.errors import SimulationError
+
+
+def make_context(state=None, params=None):
+    return StepContext(
+        params=params or {},
+        run=0, timestep=1, substep=1,
+        state=state or {"x": 0},
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestStepContext:
+    def test_param_lookup(self):
+        context = make_context(params={"k": 4})
+        assert context.param("k") == 4
+
+    def test_missing_param_raises_with_available(self):
+        context = make_context(params={"k": 4})
+        with pytest.raises(SimulationError, match="'k'"):
+            context.param("missing")
+
+
+class TestBlock:
+    def test_requires_name_and_updates(self):
+        with pytest.raises(SimulationError):
+            Block(name="", updates={"x": lambda c, s: 1})
+        with pytest.raises(SimulationError):
+            Block(name="b", updates={})
+
+    def test_signals_merged(self):
+        block = Block(
+            name="b",
+            policies=(lambda c: {"a": 1}, lambda c: {"b": 2}),
+            updates={"x": lambda c, s: s["a"] + s["b"]},
+        )
+        assert block.signals(make_context()) == {"a": 1, "b": 2}
+
+    def test_conflicting_signals_raise(self):
+        block = Block(
+            name="b",
+            policies=(lambda c: {"a": 1}, lambda c: {"a": 2}),
+            updates={"x": lambda c, s: 0},
+        )
+        with pytest.raises(SimulationError, match="two policies"):
+            block.signals(make_context())
+
+
+class TestModel:
+    def test_requires_state_and_blocks(self):
+        block = Block(name="b", updates={"x": lambda c, s: 1})
+        with pytest.raises(SimulationError):
+            Model(initial_state={}, blocks=(block,))
+        with pytest.raises(SimulationError):
+            Model(initial_state={"x": 0}, blocks=())
+
+    def test_unknown_updated_variable_rejected(self):
+        block = Block(name="b", updates={"y": lambda c, s: 1})
+        with pytest.raises(SimulationError, match="undeclared"):
+            Model(initial_state={"x": 0}, blocks=(block,))
+
+    def test_with_params_overrides(self):
+        block = Block(name="b", updates={"x": lambda c, s: 1})
+        model = Model(
+            initial_state={"x": 0}, blocks=(block,), params={"k": 4, "j": 1}
+        )
+        updated = model.with_params(k=20)
+        assert updated.params == {"k": 20, "j": 1}
+        assert model.params["k"] == 4  # original untouched

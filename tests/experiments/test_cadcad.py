@@ -1,0 +1,66 @@
+"""Tests for the cadCAD-style paper model (repro.experiments.cadcad)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments.cadcad import build_paper_model, run_paper_model
+from repro.kademlia.overlay import OverlayConfig
+from repro.swarm.network import SwarmNetwork, SwarmNetworkConfig
+from repro.workloads.distributions import UniformFileSize
+from repro.workloads.generators import DownloadWorkload
+
+
+def make_parts(n_files=10):
+    network = SwarmNetwork(SwarmNetworkConfig(
+        overlay=OverlayConfig(n_nodes=60, bits=11, seed=9),
+    ))
+    workload = DownloadWorkload(
+        n_files=n_files, file_size=UniformFileSize(5, 15), seed=4,
+    )
+    events = workload.materialize(
+        network.overlay.address_array(), network.overlay.space
+    )
+    return network, events
+
+
+class TestPaperModel:
+    def test_one_timestep_is_one_download(self):
+        network, events = make_parts(8)
+        results = run_paper_model(network, events)
+        assert network.files_downloaded == 8
+        assert results.series("files_downloaded", run=0) == list(range(9))
+
+    def test_chunk_counter_matches_network(self):
+        network, events = make_parts(6)
+        results = run_paper_model(network, events)
+        final = results.final_state(0)
+        expected = sum(event.n_chunks for event in events)
+        assert final["chunks_transferred"] == expected
+
+    def test_hop_counter_matches_ledger(self):
+        network, events = make_parts(6)
+        results = run_paper_model(network, events)
+        final = results.final_state(0)
+        assert final["total_hops"] == int(network.forwarded_per_node().sum())
+
+    def test_fairness_series_matches_direct_computation(self):
+        network, events = make_parts(6)
+        results = run_paper_model(network, events)
+        final = results.final_state(0)
+        assert final["f2_gini"] == pytest.approx(network.fairness().f2_gini)
+        assert final["f1_gini"] == pytest.approx(network.paper_f1().f1_gini)
+
+    def test_empty_workload_rejected(self):
+        network, _ = make_parts(1)
+        with pytest.raises(SimulationError):
+            build_paper_model(network, [])
+
+    def test_too_many_timesteps_raise(self):
+        network, events = make_parts(3)
+        from repro.engine.simulation import SimulationConfig, Simulator
+
+        model = build_paper_model(network, events)
+        with pytest.raises(SimulationError, match="exceeds the workload"):
+            Simulator(model).run(SimulationConfig(timesteps=5))

@@ -1,0 +1,68 @@
+"""Tests for the extension experiments (repro.experiments.extensions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_churn,
+    run_overhead,
+    run_privacy,
+    run_sensitivity,
+)
+
+
+class TestOverhead:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_overhead(n_files=150, n_nodes=200)
+
+    def test_both_bucket_sizes_reported(self, report):
+        assert set(report.data["series"]) == {4, 20}
+
+    def test_k20_pays_more_overhead(self, report):
+        series = report.data["series"]
+        # k=20 has ~4x the connections, so a larger overhead share.
+        assert series[20]["share"] > series[4]["share"]
+
+    def test_net_below_gross(self, report):
+        for row in report.data["series"].values():
+            assert row["net"] <= row["gross"]
+
+
+class TestChurn:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_churn(n_files=40, n_nodes=100)
+
+    def test_static_scenario_fully_available(self, report):
+        assert report.data["series"]["static"]["availability"] == 1.0
+
+    def test_churn_costs_availability(self, report):
+        series = report.data["series"]
+        assert series["churning"]["availability"] < 1.0
+        assert series["churning"]["departures"] > 0
+
+
+class TestPrivacy:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_privacy(n_files=20, n_nodes=150, lookups_per_file=3)
+
+    def test_iterative_exposes_more_identities(self, report):
+        assert report.data["mean_exposure"] > 1.0
+
+    def test_table_has_both_schemes(self, report):
+        assert len(report.tables[0].rows) == 2
+
+
+class TestSensitivity:
+    def test_reductions_with_ci(self):
+        report = run_sensitivity(
+            n_files=150, n_nodes=150, n_replications=3
+        )
+        outcomes = report.data["outcomes"]
+        assert set(outcomes) == {"F1", "F2"}
+        for outcome in outcomes.values():
+            low, high = outcome["ci"]
+            assert low <= outcome["mean_reduction"] <= high

@@ -1,0 +1,40 @@
+"""Tests for the Fig. 3 reconstruction (repro.experiments.fig3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig3 import FIG3_NODE, run_fig3
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fig3()
+
+
+class TestFig3:
+    def test_uses_the_papers_node_id(self, report):
+        assert report.data["node"] == FIG3_NODE == 91
+
+    def test_two_rendered_figures(self, report):
+        assert len(report.figures) == 2
+        assert "routing table of" in report.figures[0][1]
+        assert "bucket occupancy" in report.figures[1][1]
+
+    def test_bucket_capacities_respected_below_depth(self, report):
+        depth = report.data["neighborhood_depth"]
+        for bucket, count in report.data["bucket_histogram"].items():
+            if bucket < depth:
+                assert count <= 4
+
+    def test_papers_worked_example_bucket_zero(self, report):
+        # 245 = 0b11110101 differs from 91 = 0b01011011 in bit 0.
+        assert report.data["bucket_for_245"] == 0
+
+    def test_first_hop_lands_in_bucket_zero(self, report):
+        if report.data["first_hop_bucket"] is not None:
+            assert report.data["first_hop_bucket"] == 0
+
+    def test_cli_scale_arguments_tolerated(self):
+        scaled = run_fig3(n_files=10_000, n_nodes=1000)
+        assert scaled.data["node"] == FIG3_NODE

@@ -1,0 +1,116 @@
+"""Tests for the experiment registry and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    REGISTRY,
+    get_experiment,
+    list_experiments,
+)
+
+
+class TestRegistry:
+    def test_paper_artifacts_registered(self):
+        for name in ("table1", "fig4", "fig5", "fig6", "headline"):
+            spec = get_experiment(name)
+            assert spec.paper_artifact is not None
+
+    def test_ablations_registered(self):
+        for name in ("k_sweep", "bucket0", "pricing", "popularity",
+                     "caching", "freeriders", "baselines"):
+            assert get_experiment(name).paper_artifact is None
+
+    def test_unknown_name_raises_with_list(self):
+        with pytest.raises(ExperimentError, match="table1"):
+            get_experiment("bogus")
+
+    def test_list_puts_paper_artifacts_first(self):
+        specs = list_experiments()
+        first_ablation = next(
+            i for i, spec in enumerate(specs) if spec.paper_artifact is None
+        )
+        assert all(
+            spec.paper_artifact is None for spec in specs[first_ablation:]
+        )
+
+    def test_every_runner_is_callable(self):
+        for spec in REGISTRY.values():
+            assert callable(spec.runner)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table1" in output
+        assert "Table I" in output
+
+    def test_run_command_scaled_down(self, capsys):
+        code = main(["run", "table1", "--files", "60", "--nodes", "100"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Average forwarded chunks" in output
+        assert "completed in" in output
+
+    def test_run_markdown(self, capsys):
+        code = main([
+            "run", "table1", "--files", "60", "--nodes", "100",
+            "--markdown",
+        ])
+        assert code == 0
+        assert "| configuration |" in capsys.readouterr().out
+
+    def test_run_writes_out_file(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        code = main([
+            "run", "table1", "--files", "60", "--nodes", "100",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert "Average forwarded chunks" in out.read_text()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            main(["run", "bogus"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestOverlayCli:
+    def test_build_and_inspect_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "overlay.json"
+        code = main([
+            "overlay", "build", str(path),
+            "--nodes", "50", "--bits", "10", "--seed", "3",
+        ])
+        assert code == 0
+        assert path.exists()
+        assert "50 nodes" in capsys.readouterr().out
+
+        code = main(["overlay", "inspect", str(path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "routing table of" in output
+        assert "bucket occupancy" in output
+
+    def test_inspect_specific_node(self, tmp_path, capsys):
+        path = tmp_path / "overlay.json"
+        main([
+            "overlay", "build", str(path),
+            "--nodes", "50", "--bits", "10", "--seed", "3",
+        ])
+        capsys.readouterr()
+        from repro.kademlia.overlay import Overlay
+
+        node = Overlay.load(path).addresses[5]
+        code = main(["overlay", "inspect", str(path),
+                     "--node", str(node)])
+        assert code == 0
+        assert f"(={node})" in capsys.readouterr().out

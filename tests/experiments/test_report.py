@@ -1,0 +1,44 @@
+"""Unit tests for the report container (repro.experiments.report)."""
+
+from __future__ import annotations
+
+from repro.analysis.reports import Table
+from repro.experiments.report import ExperimentReport
+
+
+def make_report() -> ExperimentReport:
+    report = ExperimentReport(name="demo", title="Demo Experiment")
+    table = Table(title="numbers", headers=["a", "b"])
+    table.add_row(1, 2)
+    report.add_table(table)
+    report.add_figure("a figure", "| * |\n| o |")
+    report.add_note("something observed")
+    report.data["key"] = 42
+    return report
+
+
+class TestExperimentReport:
+    def test_render_contains_everything(self):
+        rendered = make_report().render()
+        assert "Demo Experiment" in rendered
+        assert "(demo)" in rendered
+        assert "numbers" in rendered
+        assert "-- a figure --" in rendered
+        assert "note: something observed" in rendered
+
+    def test_render_without_optional_sections(self):
+        report = ExperimentReport(name="bare", title="Bare")
+        rendered = report.render()
+        assert rendered == "== Bare (bare) =="
+
+    def test_sections_accumulate_in_order(self):
+        report = make_report()
+        report.add_note("second note")
+        rendered = report.render()
+        assert rendered.index("something observed") < rendered.index(
+            "second note"
+        )
+
+    def test_data_is_a_plain_dict(self):
+        report = make_report()
+        assert report.data["key"] == 42

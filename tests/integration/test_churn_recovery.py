@@ -1,0 +1,107 @@
+"""Integration: churn + pull-sync + garbage collection lifecycle.
+
+The full availability story across three subsystems: a node departs,
+its chunks are replicated elsewhere, it rejoins, pull-syncs its area
+of responsibility back, and later loses unfunded chunks to garbage
+collection when their postage batch expires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.des import EventScheduler
+from repro.kademlia.overlay import Overlay, OverlayConfig
+from repro.swarm.churn import ChurnModel, depart, rejoin
+from repro.swarm.garbage import StampIndex, collect_garbage
+from repro.swarm.node import SwarmNode
+from repro.swarm.postage import PostageOffice
+from repro.swarm.storage import NeighborhoodPlacement
+from repro.swarm.sync import pull_sync
+
+
+@pytest.fixture()
+def world():
+    overlay = Overlay.build(OverlayConfig(n_nodes=60, bits=11, seed=33))
+    nodes = {a: SwarmNode(a, overlay.table(a)) for a in overlay.addresses}
+    return overlay, nodes
+
+
+class TestChurnRecoveryLifecycle:
+    def test_depart_rejoin_sync_restores_responsibility(self, world, rng):
+        overlay, nodes = world
+        placement = NeighborhoodPlacement(replicas=3)
+        # Upload content to all replicas.
+        chunks = [int(c) for c in rng.integers(0, overlay.space.size,
+                                               size=150)]
+        for chunk in chunks:
+            for storer in placement.storers(chunk, overlay):
+                nodes[storer].store.put(chunk, b"data")
+
+        victim = overlay.addresses[0]
+        responsibility = set(nodes[victim].store.addresses())
+
+        # The victim crashes and loses its disk.
+        depart(overlay, victim)
+        for chunk in list(nodes[victim].store.addresses()):
+            nodes[victim].store.delete(chunk)
+
+        # It rejoins and pull-syncs.
+        live = set(overlay.addresses)
+        rejoin(overlay, victim, live)
+        plan = pull_sync(overlay, nodes, victim, placement)
+        assert set(nodes[victim].store.addresses()) == responsibility
+        assert plan.chunks_needed == len(responsibility)
+        # Payloads survived via the replicas.
+        for chunk in responsibility:
+            assert nodes[victim].store.get(chunk) == b"data"
+
+    def test_expired_funding_reclaims_recovered_chunks(self, world, rng):
+        overlay, nodes = world
+        placement = NeighborhoodPlacement(replicas=2)
+        office = PostageOffice(rent_per_chunk_round=0.5)
+        index = StampIndex()
+        batch = office.buy_batch(owner=int(overlay.addresses[1]),
+                                 value=3.0, depth=8)
+        chunks = [int(c) for c in rng.integers(0, overlay.space.size,
+                                               size=20)]
+        for chunk in chunks:
+            index.record(batch.stamp(chunk))
+            for storer in placement.storers(chunk, overlay):
+                nodes[storer].store.put(chunk)
+        stored_before = sum(len(n.store) for n in nodes.values())
+        assert stored_before > 0
+
+        # Rent rounds eventually exhaust the batch.
+        while not batch.expired:
+            office.collect_rent()
+        report = collect_garbage(nodes, office, index)
+        assert report.evicted == stored_before
+        assert sum(len(n.store) for n in nodes.values()) == 0
+
+    def test_churning_population_keeps_replicated_data_available(
+        self, world, rng
+    ):
+        overlay, nodes = world
+        placement = NeighborhoodPlacement(replicas=4)
+        chunks = [int(c) for c in rng.integers(0, overlay.space.size,
+                                               size=80)]
+        for chunk in chunks:
+            for storer in placement.storers(chunk, overlay):
+                nodes[storer].store.put(chunk)
+
+        churn = ChurnModel(overlay, mean_session=20.0, mean_downtime=5.0,
+                           protected_fraction=0.0, seed=2)
+        scheduler = EventScheduler()
+        churn.install(scheduler)
+        scheduler.run_until(100.0)
+
+        # With 4 replicas and ~80% liveness, nearly every chunk has at
+        # least one live holder.
+        available = 0
+        for chunk in chunks:
+            holders = placement.storers(chunk, overlay)
+            if any(churn.is_live(holder) for holder in holders):
+                available += 1
+        assert available / len(chunks) > 0.95

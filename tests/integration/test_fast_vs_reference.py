@@ -1,0 +1,85 @@
+"""Integration: the vectorized and reference simulators agree exactly.
+
+This is the central cross-validation promised in DESIGN.md §4: on a
+shared overlay and workload, the numpy backend and the object-oriented
+SwarmNetwork must produce identical forwarded counts, first-hop
+counts, and (up to float summation order) incomes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fast import FastSimulation, FastSimulationConfig
+from repro.swarm.chunk import FileManifest
+from repro.swarm.network import SwarmNetwork, SwarmNetworkConfig
+
+
+def reference_run(config: FastSimulationConfig) -> SwarmNetwork:
+    """Replay the fast config's workload on the reference simulator."""
+    network = SwarmNetwork(SwarmNetworkConfig(
+        overlay=config.overlay_config(),
+        pricing=config.pricing,
+    ))
+    workload = config.workload()
+    nodes = network.overlay.address_array()
+    for event in workload.events(nodes, network.overlay.space):
+        manifest = FileManifest(
+            file_id=event.file_id,
+            chunk_addresses=tuple(int(a) for a in event.chunk_addresses),
+        )
+        network.download_file(int(event.originator), manifest)
+    return network
+
+
+CONFIGS = [
+    FastSimulationConfig(
+        n_nodes=120, bits=12, bucket_size=4, originator_share=0.2,
+        n_files=40, file_min=10, file_max=30, overlay_seed=1,
+        workload_seed=2,
+    ),
+    FastSimulationConfig(
+        n_nodes=120, bits=12, bucket_size=20, originator_share=1.0,
+        n_files=40, file_min=10, file_max=30, overlay_seed=1,
+        workload_seed=2,
+    ),
+    FastSimulationConfig(
+        n_nodes=90, bits=11, bucket_size=4, bucket_zero=16,
+        originator_share=0.5, n_files=30, file_min=5, file_max=15,
+        overlay_seed=8, workload_seed=3, pricing="proximity",
+    ),
+]
+
+
+@pytest.mark.parametrize("config", CONFIGS,
+                         ids=["k4-skew", "k20-uniform", "bucket0-proximity"])
+class TestBackendsAgree:
+    def test_forwarded_counts_identical(self, config):
+        fast = FastSimulation(config).run()
+        reference = reference_run(config)
+        assert np.array_equal(
+            fast.forwarded, reference.forwarded_per_node()
+        )
+
+    def test_first_hop_counts_identical(self, config):
+        fast = FastSimulation(config).run()
+        reference = reference_run(config)
+        assert np.array_equal(
+            fast.first_hop, reference.first_hop_per_node()
+        )
+
+    def test_incomes_match(self, config):
+        fast = FastSimulation(config).run()
+        reference = reference_run(config)
+        assert np.allclose(fast.income, reference.income_per_node())
+
+    def test_fairness_metrics_match(self, config):
+        fast = FastSimulation(config).run()
+        reference = reference_run(config)
+        assert fast.f2_gini() == pytest.approx(
+            reference.fairness().f2_gini, abs=1e-9
+        )
+        assert fast.f1_gini() == pytest.approx(
+            reference.paper_f1().f1_gini, abs=1e-9
+        )

@@ -1,0 +1,73 @@
+"""Integration: all three execution styles agree on the same workload.
+
+The library offers three ways to run the paper's simulation:
+the vectorized backend (FastSimulation), the reference network driven
+directly (SwarmNetwork.download_file), and the cadCAD-style model
+(one timestep = one download). On a shared overlay and workload all
+three must report identical traffic and fairness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.cadcad import run_paper_model
+from repro.experiments.fast import FastSimulation, FastSimulationConfig
+from repro.swarm.network import SwarmNetwork, SwarmNetworkConfig
+
+
+CONFIG = FastSimulationConfig(
+    n_nodes=90, bits=11, bucket_size=4, originator_share=0.5,
+    n_files=15, file_min=5, file_max=20, overlay_seed=4,
+    workload_seed=11,
+)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    fast = FastSimulation(CONFIG).run()
+
+    network = SwarmNetwork(SwarmNetworkConfig(
+        overlay=CONFIG.overlay_config(), pricing=CONFIG.pricing,
+    ))
+    events = CONFIG.workload().materialize(
+        network.overlay.address_array(), network.overlay.space
+    )
+    results = run_paper_model(network, events)
+    return fast, network, results
+
+
+class TestThreeBackendsAgree:
+    def test_total_traffic_identical(self, outcomes):
+        fast, network, results = outcomes
+        assert int(fast.forwarded.sum()) == int(
+            network.forwarded_per_node().sum()
+        )
+        assert results.final_state(0)["total_hops"] == int(
+            fast.forwarded.sum()
+        )
+
+    def test_per_node_traffic_identical(self, outcomes):
+        fast, network, _results = outcomes
+        assert np.array_equal(fast.forwarded, network.forwarded_per_node())
+        assert np.array_equal(fast.first_hop, network.first_hop_per_node())
+
+    def test_chunk_counts_identical(self, outcomes):
+        fast, _network, results = outcomes
+        assert results.final_state(0)["chunks_transferred"] == fast.chunks
+
+    def test_fairness_identical(self, outcomes):
+        fast, network, results = outcomes
+        final = results.final_state(0)
+        assert final["f2_gini"] == pytest.approx(fast.f2_gini(), abs=1e-9)
+        assert final["f1_gini"] == pytest.approx(fast.f1_gini(), abs=1e-9)
+        assert network.fairness().f2_gini == pytest.approx(
+            fast.f2_gini(), abs=1e-9
+        )
+
+    def test_files_counted(self, outcomes):
+        fast, network, results = outcomes
+        assert fast.files == CONFIG.n_files
+        assert network.files_downloaded == CONFIG.n_files
+        assert results.final_state(0)["files_downloaded"] == CONFIG.n_files

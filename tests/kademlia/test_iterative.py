@@ -1,0 +1,96 @@
+"""Unit tests for iterative Kademlia lookups (repro.kademlia.iterative)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.kademlia.iterative import IterativeLookup
+from repro.kademlia.routing import Router
+
+
+class TestConstruction:
+    def test_bad_alpha_rejected(self, medium_overlay):
+        with pytest.raises(ConfigurationError):
+            IterativeLookup(medium_overlay, alpha=0)
+
+    def test_bad_k_rejected(self, medium_overlay):
+        with pytest.raises(ConfigurationError):
+            IterativeLookup(medium_overlay, k=0)
+
+
+class TestLookupCorrectness:
+    def test_finds_the_globally_closest_node(self, medium_overlay, rng):
+        lookup = IterativeLookup(medium_overlay)
+        for _ in range(150):
+            requester = int(rng.choice(medium_overlay.address_array()))
+            target = int(rng.integers(0, medium_overlay.space.size))
+            result = lookup.lookup(requester, target)
+            assert result.found == medium_overlay.closest_node(target)
+
+    def test_agrees_with_forwarding_router(self, medium_overlay, rng):
+        lookup = IterativeLookup(medium_overlay)
+        router = Router(medium_overlay)
+        for _ in range(100):
+            requester = int(rng.choice(medium_overlay.address_array()))
+            target = int(rng.integers(0, medium_overlay.space.size))
+            assert (
+                lookup.lookup(requester, target).found
+                == router.route(requester, target).storer
+            )
+
+    def test_exhaustive_small_overlay(self, small_overlay):
+        lookup = IterativeLookup(small_overlay, k=8)
+        for requester in small_overlay.addresses[:10]:
+            for target in range(0, small_overlay.space.size, 3):
+                result = lookup.lookup(requester, target)
+                assert result.found == small_overlay.closest_node(target)
+
+    def test_unknown_requester_rejected(self, medium_overlay):
+        missing = next(
+            a for a in range(medium_overlay.space.size)
+            if a not in medium_overlay
+        )
+        with pytest.raises(RoutingError):
+            IterativeLookup(medium_overlay).lookup(missing, 0)
+
+
+class TestPrivacyTelemetry:
+    def test_contacted_nodes_are_distinct_overlay_members(
+        self, medium_overlay, rng
+    ):
+        lookup = IterativeLookup(medium_overlay)
+        requester = int(rng.choice(medium_overlay.address_array()))
+        result = lookup.lookup(requester, 1234)
+        assert len(set(result.contacted)) == len(result.contacted)
+        for node in result.contacted:
+            assert node in medium_overlay
+            assert node != requester
+
+    def test_exposure_exceeds_forwarding(self, medium_overlay, rng):
+        # Iterative lookups reveal the requester to several nodes;
+        # forwarding reveals it to exactly one.
+        lookup = IterativeLookup(medium_overlay)
+        exposures = []
+        for _ in range(50):
+            requester = int(rng.choice(medium_overlay.address_array()))
+            target = int(rng.integers(0, medium_overlay.space.size))
+            exposures.append(
+                lookup.lookup(requester, target).identity_exposure
+            )
+        assert float(np.mean(exposures)) > 1.0
+
+    def test_round_trips_positive_for_remote_targets(self, medium_overlay):
+        lookup = IterativeLookup(medium_overlay)
+        requester = medium_overlay.addresses[0]
+        target = requester ^ (medium_overlay.space.size - 1)
+        result = lookup.lookup(requester, target)
+        assert result.round_trips >= 1
+
+    def test_alpha_bounds_contacts_per_round(self, medium_overlay, rng):
+        lookup = IterativeLookup(medium_overlay, alpha=2)
+        requester = int(rng.choice(medium_overlay.address_array()))
+        result = lookup.lookup(requester, 999)
+        # Can't contact more than alpha * rounds + final top-k flush.
+        assert len(result.contacted) <= 2 * result.round_trips + lookup.k

@@ -1,0 +1,176 @@
+"""Unit tests for routing tables (repro.kademlia.table)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError, ConfigurationError, OverlayError
+from repro.kademlia.address import AddressSpace
+from repro.kademlia.buckets import BucketLimits
+from repro.kademlia.table import RoutingTable
+
+
+@pytest.fixture()
+def space() -> AddressSpace:
+    return AddressSpace(8)
+
+
+@pytest.fixture()
+def table(space) -> RoutingTable:
+    return RoutingTable(owner=0b10000000, space=space,
+                        limits=BucketLimits.uniform(2))
+
+
+class TestConstruction:
+    def test_bucket_count_is_bits(self, table, space):
+        assert len(table.buckets) == space.bits
+
+    def test_invalid_owner_rejected(self, space):
+        with pytest.raises(AddressError):
+            RoutingTable(owner=1 << 9, space=space)
+
+    def test_capacities_follow_limits(self, space):
+        limits = BucketLimits(default=4, overrides={0: 20})
+        table = RoutingTable(owner=0, space=space, limits=limits)
+        assert table.bucket(0).capacity == 20
+        assert table.bucket(1).capacity == 4
+
+
+class TestAdd:
+    def test_add_places_in_proximity_bucket(self, table, space):
+        peer = 0b10100000  # shares 2 leading bits with owner 0b10000000
+        assert table.add(peer)
+        assert peer in table.bucket(2)
+        assert peer in table
+
+    def test_add_own_address_raises(self, table):
+        with pytest.raises(AddressError):
+            table.add(table.owner)
+
+    def test_add_beyond_capacity_returns_false(self, table):
+        # Bucket 0 of owner 0b10000000 holds addresses starting with 0.
+        assert table.add(0b00000001)
+        assert table.add(0b00000010)
+        assert not table.add(0b00000011)
+        assert len(table) == 2
+
+    def test_add_unbounded_ignores_capacity(self, table):
+        for peer in (0b00000001, 0b00000010, 0b00000011, 0b00000100):
+            assert table.add_unbounded(peer)
+        assert len(table.bucket(0)) == 4
+
+    def test_add_unbounded_restores_capacity(self, table):
+        table.add_unbounded(0b00000001)
+        assert table.bucket(0).capacity == 2
+
+    def test_extend_counts_insertions(self, table):
+        added = table.extend([0b00000001, 0b00000010, 0b00000011])
+        assert added == 2
+
+    def test_contains_rejects_non_ints(self, table):
+        assert "x" not in table
+        assert True not in table
+        assert (1 << 9) not in table
+
+
+class TestRemove:
+    def test_remove(self, table):
+        table.add(0b00000001)
+        table.remove(0b00000001)
+        assert 0b00000001 not in table
+
+    def test_remove_absent_raises(self, table):
+        with pytest.raises(OverlayError):
+            table.remove(0b00000001)
+
+
+class TestClosestPeer:
+    def test_empty_table_raises(self, table):
+        with pytest.raises(OverlayError, match="empty"):
+            table.closest_peer(3)
+
+    def test_returns_xor_minimum(self, table):
+        peers = [0b00000001, 0b11000000, 0b10100000]
+        for peer in peers:
+            table.add(peer)
+        target = 0b10110000
+        expected = min(peers, key=lambda p: p ^ target)
+        assert table.closest_peer(target) == expected
+
+    def test_cache_invalidation_on_add(self, table):
+        table.add(0b00000001)
+        assert table.closest_peer(0) == 0b00000001
+        table.add(0b11000000)
+        # A peer closer to 0b11000001 arrived after the cache warmed.
+        assert table.closest_peer(0b11000001) == 0b11000000
+
+    def test_cache_invalidation_on_remove(self, table):
+        table.add(0b00000001)
+        table.add(0b11000000)
+        assert table.closest_peer(0b11000001) == 0b11000000
+        table.remove(0b11000000)
+        assert table.closest_peer(0b11000001) == 0b00000001
+
+    def test_closest_peers_sorted_prefix(self, table):
+        peers = [0b00000001, 0b11000000, 0b10100000, 0b10000001]
+        for peer in peers:
+            table.add(peer)
+        target = 0b10000011
+        top2 = table.closest_peers(target, 2)
+        assert top2 == sorted(peers, key=lambda p: p ^ target)[:2]
+
+    def test_closest_peers_negative_count_raises(self, table):
+        with pytest.raises(ConfigurationError):
+            table.closest_peers(0, -1)
+
+
+class TestNeighborhood:
+    def test_depth_zero_when_sparse(self, table):
+        table.add(0b00000001)
+        assert table.neighborhood_depth() == 0
+
+    def test_depth_counts_cumulative_population(self, space):
+        owner = 0b00000000
+        table = RoutingTable(owner, space, BucketLimits.uniform(10))
+        # Four peers at proximity >= 5.
+        for peer in (0b00000100, 0b00000101, 0b00000110, 0b00000010):
+            table.add(peer)
+        # proximities: 5, 5, 5, 6 -> depth 5 has four peers.
+        assert table.neighborhood_depth(minimum=4) == 5
+
+    def test_neighborhood_members(self, space):
+        owner = 0
+        table = RoutingTable(owner, space, BucketLimits.uniform(10))
+        near = [0b00000100, 0b00000101, 0b00000110, 0b00000010]
+        far = [0b10000000]
+        for peer in near + far:
+            table.add(peer)
+        members = table.neighborhood(minimum=4)
+        assert set(members) == set(near)
+
+    def test_bad_minimum_raises(self, table):
+        with pytest.raises(ConfigurationError):
+            table.neighborhood_depth(minimum=0)
+
+
+class TestIntrospection:
+    def test_len_and_iter(self, table):
+        table.add(0b00000001)
+        table.add(0b11000000)
+        assert len(table) == 2
+        assert set(table) == {0b00000001, 0b11000000}
+
+    def test_bucket_histogram(self, table):
+        table.add(0b00000001)  # bucket 0
+        table.add(0b00000010)  # bucket 0
+        table.add(0b11000000)  # bucket 1
+        assert table.bucket_histogram() == {0: 2, 1: 1}
+
+    def test_bucket_range_validated(self, table, space):
+        with pytest.raises(ConfigurationError):
+            table.bucket(space.bits)
+
+    def test_peer_array_matches_iter(self, table):
+        table.add(0b00000001)
+        table.add(0b11000000)
+        assert sorted(table.peer_array().tolist()) == sorted(table)

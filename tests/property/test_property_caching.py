@@ -1,0 +1,91 @@
+"""Property-based tests for cache policies (hypothesis).
+
+The LRU cache is model-checked against an order-tracking reference;
+both caches are checked for the basic bounded-capacity invariants
+under arbitrary admit/touch sequences.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.swarm.caching import LFUCache, LRUCache
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["admit", "touch"]),
+              st.integers(min_value=0, max_value=20)),
+    min_size=1, max_size=200,
+)
+
+
+class LruModel:
+    """Executable specification of LRU semantics."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: OrderedDict[int, None] = OrderedDict()
+
+    def admit(self, key: int) -> None:
+        if key in self.entries:
+            self.entries.move_to_end(key)
+            return
+        if len(self.entries) >= self.capacity:
+            self.entries.popitem(last=False)
+        self.entries[key] = None
+
+    def touch(self, key: int) -> None:
+        self.entries.move_to_end(key)
+
+
+class TestLRUAgainstModel:
+    @given(st.integers(min_value=1, max_value=8), operations)
+    @settings(max_examples=100)
+    def test_matches_reference_model(self, capacity, ops):
+        cache = LRUCache(capacity)
+        model = LruModel(capacity)
+        for op, key in ops:
+            if op == "admit":
+                cache.admit(key)
+                model.admit(key)
+            else:
+                if key in model.entries:
+                    cache.touch(key)
+                    model.touch(key)
+        assert set(model.entries) == {
+            key for key in range(21) if key in cache
+        }
+
+
+class TestBoundedInvariants:
+    @given(st.integers(min_value=1, max_value=8), operations)
+    def test_lru_never_exceeds_capacity(self, capacity, ops):
+        cache = LRUCache(capacity)
+        for op, key in ops:
+            if op == "admit":
+                cache.admit(key)
+            elif key in cache:
+                cache.touch(key)
+            assert len(cache) <= capacity
+
+    @given(st.integers(min_value=1, max_value=8), operations)
+    def test_lfu_never_exceeds_capacity(self, capacity, ops):
+        cache = LFUCache(capacity)
+        for op, key in ops:
+            if op == "admit":
+                cache.admit(key)
+            elif key in cache:
+                cache.touch(key)
+            assert len(cache) <= capacity
+
+    @given(operations)
+    def test_admitted_key_is_present_immediately(self, ops):
+        cache = LRUCache(4)
+        for op, key in ops:
+            if op == "admit":
+                cache.admit(key)
+                assert key in cache
+            elif key in cache:
+                cache.touch(key)

@@ -1,0 +1,73 @@
+"""Property-based tests for the simulation engine (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.des import EventScheduler
+from repro.engine.simulation import SimulationConfig, Simulator
+from repro.engine.state import Block, Model
+
+
+class TestDesProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0),
+                    min_size=1, max_size=50))
+    def test_events_fire_in_nondecreasing_time(self, times):
+        scheduler = EventScheduler()
+        fired: list[float] = []
+        for time in times:
+            scheduler.schedule_at(time, lambda s, t: fired.append(t))
+        scheduler.run_all()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=30),
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_run_until_partitions_events(self, times, horizon):
+        scheduler = EventScheduler()
+        for time in times:
+            scheduler.schedule_at(time, lambda s, t: None)
+        fired = scheduler.run_until(horizon)
+        assert fired == sum(1 for t in times if t <= horizon)
+        assert len(scheduler) == len(times) - fired
+
+
+class TestSimulatorProperties:
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=4),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_for_any_config(self, timesteps, runs, seed):
+        model = Model(
+            initial_state={"v": 0.0},
+            blocks=(
+                Block(
+                    name="noise",
+                    updates={
+                        "v": lambda c, s: c.state["v"] + c.rng.random()
+                    },
+                ),
+            ),
+        )
+        config = SimulationConfig(timesteps=timesteps, runs=runs, seed=seed)
+        a = Simulator(model).run(config)
+        b = Simulator(model).run(config)
+        for run in range(runs):
+            assert a.series("v", run=run) == b.series("v", run=run)
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_snapshot_count(self, timesteps):
+        model = Model(
+            initial_state={"x": 0},
+            blocks=(
+                Block(name="inc",
+                      updates={"x": lambda c, s: c.state["x"] + 1}),
+            ),
+        )
+        results = Simulator(model).run(SimulationConfig(timesteps=timesteps))
+        # Initial snapshot plus one per timestep.
+        assert len(results) == timesteps + 1
+        assert results.final_state(0)["x"] == timesteps

@@ -1,0 +1,86 @@
+"""Property-based tests for postage accounting (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.swarm.postage import PostageBatch, PostageError, PostageOffice
+
+chunk_lists = st.lists(
+    st.integers(min_value=0, max_value=1 << 16),
+    min_size=1, max_size=60,
+)
+
+
+class TestBatchProperties:
+    @given(chunk_lists, st.integers(min_value=6, max_value=10))
+    def test_issued_counts_distinct_chunks(self, chunks, depth):
+        batch = PostageBatch(1, owner=0, value=100.0, depth=depth)
+        for chunk in chunks:
+            batch.stamp(chunk)
+        assert batch.issued == len(set(chunks))
+
+    @given(chunk_lists)
+    def test_stamps_always_verifiable(self, chunks):
+        batch = PostageBatch(1, owner=0, value=100.0, depth=10)
+        stamps = [batch.stamp(chunk) for chunk in chunks]
+        for stamp in stamps:
+            assert batch.covers(stamp)
+
+    @given(chunk_lists,
+           st.floats(min_value=0.001, max_value=10.0),
+           st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60)
+    def test_rent_conserves_value(self, chunks, rent, rounds):
+        initial = 50.0
+        batch = PostageBatch(1, owner=0, value=initial, depth=10)
+        for chunk in chunks:
+            batch.stamp(chunk)
+        collected = sum(batch.charge_rent(rent) for _ in range(rounds))
+        # Value is conserved: balance + collected == initial.
+        assert abs(batch.balance + collected - initial) < 1e-6
+        assert batch.balance >= 0
+
+    @given(chunk_lists)
+    def test_capacity_never_exceeded(self, chunks):
+        depth = 4  # capacity 16
+        batch = PostageBatch(1, owner=0, value=100.0, depth=depth)
+        for chunk in chunks:
+            try:
+                batch.stamp(chunk)
+            except PostageError:
+                pass
+        assert batch.issued <= batch.capacity
+
+
+class TestOfficeProperties:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.5, max_value=20.0),
+        st.integers(min_value=2, max_value=8),
+        st.lists(st.integers(min_value=0, max_value=1000),
+                 min_size=1, max_size=20),
+    ), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40)
+    def test_pot_equals_total_balance_drained(self, batch_specs, rounds):
+        office = PostageOffice(rent_per_chunk_round=0.1)
+        initial_total = 0.0
+        for value, depth, chunks in batch_specs:
+            batch = office.buy_batch(owner=0, value=value, depth=depth)
+            initial_total += value
+            for chunk in chunks[: batch.capacity]:
+                batch.stamp(chunk)
+        for _ in range(rounds):
+            office.collect_rent()
+        remaining = sum(batch.balance for batch in office.batches())
+        assert abs(office.pot + remaining - initial_total) < 1e-6
+
+    @given(st.floats(min_value=0.0, max_value=100.0),
+           st.floats(min_value=0.0, max_value=100.0))
+    def test_pay_out_never_overdraws(self, pot, request):
+        office = PostageOffice()
+        office.pot = pot
+        paid = office.pay_out(request)
+        assert paid <= pot + 1e-12
+        assert office.pot >= -1e-12

@@ -1,0 +1,63 @@
+"""Property-based tests for pricing strategies (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pricing import (
+    FlatPricing,
+    ProximityStepPricing,
+    XorDistancePricing,
+)
+from repro.kademlia.address import AddressSpace
+
+BITS = 12
+addresses = st.integers(min_value=0, max_value=(1 << BITS) - 1)
+space = AddressSpace(BITS)
+
+
+class TestPricingInvariants:
+    @given(addresses, addresses)
+    def test_all_prices_strictly_positive(self, server, chunk):
+        for pricing in (
+            XorDistancePricing(space),
+            ProximityStepPricing(space),
+            FlatPricing(),
+        ):
+            assert pricing.price(server, chunk) > 0
+
+    @given(addresses, addresses, st.floats(min_value=0.1, max_value=100))
+    def test_xor_price_scales_with_base(self, server, chunk, base):
+        unit = XorDistancePricing(space, base=1.0).price(server, chunk)
+        scaled = XorDistancePricing(space, base=base).price(server, chunk)
+        assert abs(scaled - unit * base) < 1e-9
+
+    @given(addresses, addresses)
+    def test_xor_price_bounded_by_base(self, server, chunk):
+        assert XorDistancePricing(space, base=2.0).price(server, chunk) <= 2.0
+
+    @given(addresses, addresses, addresses)
+    def test_xor_price_monotone_in_distance(self, server_a, server_b, chunk):
+        pricing = XorDistancePricing(space)
+        distance_a = server_a ^ chunk
+        distance_b = server_b ^ chunk
+        price_a = pricing.price(server_a, chunk)
+        price_b = pricing.price(server_b, chunk)
+        if distance_a > distance_b:
+            assert price_a >= price_b
+        elif distance_a < distance_b:
+            assert price_a <= price_b
+
+    @given(addresses, addresses)
+    def test_proximity_price_decreases_with_shared_prefix(self, server,
+                                                          chunk):
+        pricing = ProximityStepPricing(space)
+        po = space.proximity(server, chunk)
+        expected = max(BITS - po, 1) * 1.0
+        assert pricing.price(server, chunk) == expected
+
+    @given(addresses, addresses)
+    def test_prices_deterministic(self, server, chunk):
+        pricing = XorDistancePricing(space)
+        assert pricing.price(server, chunk) == pricing.price(server, chunk)

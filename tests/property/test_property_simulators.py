@@ -1,0 +1,86 @@
+"""Property-based cross-checks between the simulator backends."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.fast import FastSimulation, FastSimulationConfig
+from repro.kademlia.overlay import Overlay, OverlayConfig
+from repro.kademlia.routing import Router
+from repro.swarm.node import SwarmNode
+from repro.swarm.retrieval import RetrievalProtocol
+
+
+@st.composite
+def fast_configs(draw):
+    bits = draw(st.integers(min_value=8, max_value=12))
+    n_nodes = draw(st.integers(min_value=20, max_value=80))
+    return FastSimulationConfig(
+        n_nodes=n_nodes,
+        bits=bits,
+        bucket_size=draw(st.sampled_from([2, 4, 8])),
+        originator_share=draw(st.sampled_from([0.2, 0.5, 1.0])),
+        n_files=draw(st.integers(min_value=1, max_value=8)),
+        file_min=2,
+        file_max=10,
+        overlay_seed=draw(st.integers(min_value=0, max_value=50)),
+        workload_seed=draw(st.integers(min_value=0, max_value=50)),
+        pricing=draw(st.sampled_from(["xor", "proximity", "flat"])),
+    )
+
+
+class TestFastSimulationInvariants:
+    @given(fast_configs())
+    @settings(max_examples=25, deadline=None)
+    def test_accounting_identities_hold_for_any_config(self, config):
+        result = FastSimulation(config).run()
+        # Forwarded chunk-hops equal total hops.
+        assert result.forwarded.sum() == result.total_hops
+        # One paid first hop per non-local chunk.
+        assert result.first_hop.sum() == result.chunks - result.local_hits
+        # Money conservation.
+        assert result.income.sum() == float(
+            np.float64(result.expenditure.sum())
+        )
+        # Hop histogram covers every chunk.
+        assert sum(result.hop_histogram.values()) == result.chunks
+        # First-hop counts never exceed forwarded counts.
+        assert np.all(result.first_hop <= result.forwarded)
+
+
+@st.composite
+def overlay_and_traffic(draw):
+    bits = draw(st.integers(min_value=7, max_value=10))
+    n_nodes = draw(st.integers(min_value=10, max_value=50))
+    overlay_seed = draw(st.integers(min_value=0, max_value=50))
+    traffic_seed = draw(st.integers(min_value=0, max_value=50))
+    return (
+        OverlayConfig(n_nodes=n_nodes, bits=bits, seed=overlay_seed),
+        traffic_seed,
+    )
+
+
+class TestRetrievalMatchesRouter:
+    @given(overlay_and_traffic())
+    @settings(max_examples=20, deadline=None)
+    def test_cacheless_retrieval_paths_equal_router_paths(self, parts):
+        overlay_config, traffic_seed = parts
+        overlay = Overlay.build(overlay_config)
+        nodes = {
+            address: SwarmNode(address, overlay.table(address))
+            for address in overlay.addresses
+        }
+        protocol = RetrievalProtocol(
+            overlay, nodes, implicit_storage=True
+        )
+        router = Router(overlay)
+        rng = np.random.default_rng(traffic_seed)
+        for _ in range(15):
+            origin = int(rng.choice(overlay.address_array()))
+            target = int(rng.integers(0, overlay.space.size))
+            assert (
+                protocol.retrieve(origin, target).route.path
+                == router.route(origin, target).path
+            )

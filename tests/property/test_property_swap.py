@@ -1,0 +1,83 @@
+"""Property-based tests for SWAP accounting (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.swap import SwapChannel, SwapLedger
+
+service_events = st.lists(
+    st.tuples(
+        st.sampled_from([(1, 2), (2, 1)]),        # (provider, consumer)
+        st.floats(min_value=0.01, max_value=100.0),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+class TestChannelProperties:
+    @given(service_events)
+    def test_balance_is_net_of_service(self, events):
+        channel = SwapChannel(low=1, high=2)
+        expected = 0.0
+        for (provider, _consumer), units in events:
+            channel.provide(provider, units)
+            expected += units if provider == 1 else -units
+        assert abs(channel.balance - expected) < 1e-6
+
+    @given(service_events)
+    def test_balances_antisymmetric(self, events):
+        channel = SwapChannel(low=1, high=2)
+        for (provider, _consumer), units in events:
+            channel.provide(provider, units)
+        assert channel.balance_of(1) == -channel.balance_of(2)
+
+    @given(service_events,
+           st.floats(min_value=0.0, max_value=50.0))
+    def test_amortize_never_overshoots_zero(self, events, units):
+        channel = SwapChannel(low=1, high=2)
+        for (provider, _consumer), amount in events:
+            channel.provide(provider, amount)
+        before = channel.balance
+        forgiven = channel.amortize(units)
+        assert 0.0 <= forgiven <= abs(before) + 1e-9
+        assert abs(channel.balance) <= abs(before)
+        # Sign never flips.
+        assert channel.balance * before >= -1e-9
+
+
+class TestLedgerConservation:
+    @given(service_events)
+    def test_provided_equals_consumed(self, events):
+        ledger = SwapLedger()
+        for (provider, consumer), units in events:
+            ledger.record_service(provider, consumer, units)
+        assert abs(
+            sum(ledger.service_provided.values())
+            - sum(ledger.service_consumed.values())
+        ) < 1e-6
+
+    @given(service_events)
+    @settings(max_examples=50)
+    def test_income_equals_expenditure(self, events):
+        ledger = SwapLedger()
+        for (provider, consumer), units in events:
+            ledger.pay_direct(consumer, provider, units)
+        assert abs(
+            sum(ledger.income.values())
+            - sum(ledger.expenditure.values())
+        ) < 1e-6
+
+    @given(service_events,
+           st.floats(min_value=0.0, max_value=10.0))
+    def test_amortize_all_bounded(self, events, units):
+        ledger = SwapLedger()
+        total_debt = 0.0
+        for (provider, consumer), amount in events:
+            ledger.record_service(provider, consumer, amount)
+        total_debt = sum(
+            abs(channel.balance) for channel in ledger.channels()
+        )
+        forgiven = ledger.amortize_all(units)
+        assert forgiven <= total_debt + 1e-9

@@ -1,0 +1,97 @@
+"""Unit tests for cache policies (repro.swarm.caching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.swarm.caching import LFUCache, LRUCache, NoCache, make_cache
+
+
+class TestNoCache:
+    def test_never_holds_anything(self):
+        cache = NoCache()
+        cache.admit(5)
+        assert 5 not in cache
+        assert len(cache) == 0
+
+    def test_touch_raises(self):
+        with pytest.raises(ConfigurationError):
+            NoCache().touch(5)
+
+
+class TestLRUCache:
+    def test_admit_and_contains(self):
+        cache = LRUCache(capacity=2)
+        cache.admit(1)
+        assert 1 in cache
+        assert len(cache) == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(capacity=2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.touch(1)      # 2 is now the LRU entry
+        cache.admit(3)
+        assert 2 not in cache
+        assert 1 in cache and 3 in cache
+
+    def test_readmit_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.admit(1)      # refresh 1; 2 becomes LRU
+        cache.admit(3)
+        assert 2 not in cache
+
+    def test_touch_uncached_raises(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(capacity=2).touch(1)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUCache(capacity=0)
+
+
+class TestLFUCache:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(capacity=2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.touch(1)
+        cache.touch(1)
+        cache.admit(3)      # 2 has the lowest frequency
+        assert 2 not in cache
+        assert 1 in cache and 3 in cache
+
+    def test_fifo_tie_break(self):
+        cache = LFUCache(capacity=2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.admit(3)      # 1 and 2 tie at freq 1; 1 arrived first
+        assert 1 not in cache
+        assert 2 in cache
+
+    def test_readmit_counts_as_use(self):
+        cache = LFUCache(capacity=2)
+        cache.admit(1)
+        cache.admit(2)
+        cache.admit(2)      # freq(2)=2
+        cache.admit(3)
+        assert 1 not in cache
+
+    def test_touch_uncached_raises(self):
+        with pytest.raises(ConfigurationError):
+            LFUCache(capacity=2).touch(1)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("none", NoCache), ("lru", LRUCache), ("lfu", LFUCache),
+    ])
+    def test_known(self, name, cls):
+        assert isinstance(make_cache(name, capacity=4), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cache("bogus")

@@ -1,0 +1,104 @@
+"""Unit tests for chunks and manifests (repro.swarm.chunk)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kademlia.address import AddressSpace
+from repro.swarm.chunk import (
+    CHUNK_SIZE,
+    Chunk,
+    FileManifest,
+    random_file,
+    split_content,
+)
+
+
+@pytest.fixture()
+def space() -> AddressSpace:
+    return AddressSpace(12)
+
+
+class TestChunk:
+    def test_chunk_size_is_4kb(self):
+        assert CHUNK_SIZE == 4096
+
+    def test_oversized_payload_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            Chunk(address=1, data=b"x" * (CHUNK_SIZE + 1))
+
+    def test_abstract_chunk_reports_full_size(self):
+        assert Chunk(address=1).size == CHUNK_SIZE
+
+    def test_payload_size(self):
+        assert Chunk(address=1, data=b"abc").size == 3
+
+    def test_from_data_deterministic(self, space):
+        a = Chunk.from_data(b"hello", space)
+        b = Chunk.from_data(b"hello", space)
+        assert a.address == b.address
+        assert a.address in space
+
+    def test_from_data_differs_by_content(self, space):
+        assert (
+            Chunk.from_data(b"hello", space).address
+            != Chunk.from_data(b"world", space).address
+        )
+
+    def test_from_data_oversized_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            Chunk.from_data(b"x" * (CHUNK_SIZE + 1), space)
+
+
+class TestFileManifest:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FileManifest(file_id=1, chunk_addresses=())
+
+    def test_len_and_bytes(self):
+        manifest = FileManifest(file_id=1, chunk_addresses=(1, 2, 3))
+        assert len(manifest) == 3
+        assert manifest.total_bytes == 3 * CHUNK_SIZE
+
+    def test_chunks_alignment_enforced(self):
+        with pytest.raises(ConfigurationError, match="align"):
+            FileManifest(
+                file_id=1, chunk_addresses=(1, 2),
+                chunks=(Chunk(address=1),),
+            )
+
+
+class TestSplitContent:
+    def test_roundtrip_addresses(self, space):
+        content = bytes(range(256)) * 40  # 10240 bytes -> 3 chunks
+        manifest = split_content(7, content, space)
+        assert len(manifest) == 3
+        rebuilt = b"".join(chunk.data for chunk in manifest.chunks)
+        assert rebuilt == content
+
+    def test_addresses_match_chunks(self, space):
+        manifest = split_content(7, b"y" * 5000, space)
+        for address, chunk in zip(manifest.chunk_addresses, manifest.chunks):
+            assert address == chunk.address
+
+    def test_empty_content_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            split_content(1, b"", space)
+
+
+class TestRandomFile:
+    def test_size_and_range(self, space, rng):
+        manifest = random_file(3, 50, space, rng)
+        assert len(manifest) == 50
+        assert all(a in space for a in manifest.chunk_addresses)
+
+    def test_deterministic(self, space):
+        a = random_file(3, 50, space, np.random.default_rng(1))
+        b = random_file(3, 50, space, np.random.default_rng(1))
+        assert a.chunk_addresses == b.chunk_addresses
+
+    def test_zero_chunks_rejected(self, space, rng):
+        with pytest.raises(ConfigurationError):
+            random_file(3, 0, space, rng)

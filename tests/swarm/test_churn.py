@@ -1,0 +1,125 @@
+"""Unit tests for churn (repro.swarm.churn)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.des import EventScheduler
+from repro.errors import ConfigurationError, OverlayError
+from repro.kademlia.overlay import Overlay, OverlayConfig
+from repro.kademlia.routing import Router
+from repro.swarm.churn import ChurnModel, depart, rejoin
+
+
+@pytest.fixture()
+def overlay() -> Overlay:
+    return Overlay.build(OverlayConfig(n_nodes=60, bits=10, seed=2))
+
+
+class TestDepart:
+    def test_evicted_from_all_tables(self, overlay):
+        victim = overlay.addresses[0]
+        evictions = depart(overlay, victim)
+        assert evictions > 0
+        for owner in overlay.addresses:
+            if owner != victim:
+                assert victim not in overlay.table(owner)
+
+    def test_own_table_kept(self, overlay):
+        victim = overlay.addresses[0]
+        before = len(overlay.table(victim))
+        depart(overlay, victim)
+        assert len(overlay.table(victim)) == before
+
+    def test_unknown_node_rejected(self, overlay):
+        missing = next(
+            a for a in range(overlay.space.size) if a not in overlay
+        )
+        with pytest.raises(OverlayError):
+            depart(overlay, missing)
+
+    def test_routing_still_works_after_departure(self, overlay):
+        victim = overlay.addresses[0]
+        depart(overlay, victim)
+        router = Router(overlay)
+        live = [a for a in overlay.addresses if a != victim]
+        for origin in live[:10]:
+            for target in live[:10]:
+                route = router.route(origin, target)
+                assert victim not in route.path[1:-1]
+
+
+class TestRejoin:
+    def test_reannounced_to_live_peers(self, overlay):
+        victim = overlay.addresses[0]
+        depart(overlay, victim)
+        live = set(overlay.addresses)
+        acceptances = rejoin(overlay, victim, live)
+        assert acceptances > 0
+        present = sum(
+            1 for owner in overlay.addresses
+            if owner != victim and victim in overlay.table(owner)
+        )
+        assert present == acceptances
+
+    def test_dead_peers_dropped_from_own_table(self, overlay):
+        victim = overlay.addresses[0]
+        dead_peer = overlay.table(victim).peers()[0]
+        live = set(overlay.addresses) - {dead_peer}
+        rejoin(overlay, victim, live)
+        assert dead_peer not in overlay.table(victim)
+
+
+class TestChurnModel:
+    def test_protected_nodes_never_leave(self, overlay):
+        model = ChurnModel(overlay, mean_session=1.0, mean_downtime=1.0,
+                           protected_fraction=1.0, seed=4)
+        scheduler = EventScheduler()
+        model.install(scheduler)
+        scheduler.run_until(100.0)
+        assert model.live_fraction == 1.0
+        assert model.stats.departures == 0
+
+    def test_churn_reduces_live_fraction(self, overlay):
+        model = ChurnModel(overlay, mean_session=10.0, mean_downtime=10.0,
+                           protected_fraction=0.0, seed=4)
+        scheduler = EventScheduler()
+        model.install(scheduler)
+        scheduler.run_until(50.0)
+        assert model.stats.departures > 0
+        assert model.live_fraction < 1.0
+
+    def test_nodes_come_back(self, overlay):
+        model = ChurnModel(overlay, mean_session=5.0, mean_downtime=1.0,
+                           protected_fraction=0.0, seed=4)
+        scheduler = EventScheduler()
+        model.install(scheduler)
+        scheduler.run_until(200.0)
+        assert model.stats.rejoins > 0
+        # Short downtimes keep most of the population online.
+        assert model.live_fraction > 0.5
+
+    def test_live_array_matches_set(self, overlay):
+        model = ChurnModel(overlay, seed=4)
+        scheduler = EventScheduler()
+        model.install(scheduler)
+        scheduler.run_until(150.0)
+        assert set(model.live_array().tolist()) == model.live.intersection(
+            model.live
+        )
+
+    def test_bad_fraction_rejected(self, overlay):
+        with pytest.raises(ConfigurationError):
+            ChurnModel(overlay, protected_fraction=1.5)
+
+    def test_deterministic(self, overlay):
+        def run():
+            fresh = Overlay.build(OverlayConfig(n_nodes=60, bits=10, seed=2))
+            model = ChurnModel(fresh, mean_session=5.0, mean_downtime=5.0,
+                               protected_fraction=0.0, seed=4)
+            scheduler = EventScheduler()
+            model.install(scheduler)
+            scheduler.run_until(50.0)
+            return (model.stats.departures, model.stats.rejoins,
+                    sorted(model.live))
+        assert run() == run()

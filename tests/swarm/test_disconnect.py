@@ -1,0 +1,97 @@
+"""Tests for SWAP disconnect enforcement (paper §III-B).
+
+"If the balance reaches a certain limit, nodes stop serving each
+other's requests unless debt is settled."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import NoPaymentPolicy
+from repro.errors import RoutingError
+from repro.kademlia.overlay import OverlayConfig
+from repro.swarm.chunk import FileManifest
+from repro.swarm.network import SwarmNetwork, SwarmNetworkConfig
+
+
+def make_network(enforce: bool, *, payment=100.0, disconnect=150.0,
+                 policy: str = "zero-proximity") -> SwarmNetwork:
+    return SwarmNetwork(SwarmNetworkConfig(
+        overlay=OverlayConfig(n_nodes=80, bits=12, seed=14),
+        payment_threshold=payment,
+        disconnect_threshold=disconnect,
+        policy=policy,
+        enforce_disconnect=enforce,
+    ))
+
+
+def download_many(network, n_chunks, seed=0):
+    rng = np.random.default_rng(seed)
+    originator = int(rng.choice(network.overlay.address_array()))
+    manifest = FileManifest(
+        file_id=0,
+        chunk_addresses=tuple(
+            int(a) for a in
+            rng.integers(0, network.overlay.space.size, size=n_chunks)
+        ),
+    )
+    return network.download_file(originator, manifest)
+
+
+class TestDisconnectEnforcement:
+    def test_paper_default_never_refuses(self):
+        network = make_network(enforce=False)
+        download_many(network, 300)
+        assert network.retrieval.stats.refusals == 0
+
+    def test_generous_thresholds_never_refuse(self):
+        network = make_network(enforce=True, payment=1e6, disconnect=1e9)
+        download_many(network, 300)
+        assert network.retrieval.stats.refusals == 0
+
+    def test_unpaying_consumer_gets_cut_off(self):
+        # No payments at all plus tiny thresholds: debt builds on
+        # every edge until providers refuse.
+        network = make_network(
+            enforce=True, payment=0.5, disconnect=0.6, policy="none",
+        )
+        with pytest.raises(RoutingError, match="refused|cut off"):
+            for _ in range(50):
+                download_many(network, 200)
+
+    def test_refusals_are_counted_before_cutoff(self):
+        network = make_network(
+            enforce=True, payment=0.5, disconnect=0.8, policy="none",
+        )
+        try:
+            for _ in range(50):
+                download_many(network, 200)
+        except RoutingError:
+            pass
+        assert network.retrieval.stats.refusals > 0
+
+    def test_amortization_restores_service(self):
+        network = make_network(
+            enforce=True, payment=0.5, disconnect=0.6, policy="none",
+        )
+        try:
+            for _ in range(50):
+                download_many(network, 200)
+        except RoutingError:
+            pass
+        # Forgive all debt: the same downloads must flow again.
+        network.amortize(1e9)
+        receipt = download_many(network, 50, seed=1)
+        assert receipt.chunks == 50
+
+    def test_paying_consumers_stay_connected(self):
+        # With the default zero-proximity policy, first hops are paid
+        # and only deeper edges accrue debt; with roomy thresholds a
+        # normal workload never hits the disconnect limit.
+        network = make_network(enforce=True, payment=50.0,
+                               disconnect=75.0)
+        for seed in range(5):
+            download_many(network, 100, seed=seed)
+        assert network.retrieval.stats.refusals == 0

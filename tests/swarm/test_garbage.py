@@ -1,0 +1,99 @@
+"""Unit tests for garbage collection (repro.swarm.garbage)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kademlia.address import AddressSpace
+from repro.kademlia.table import RoutingTable
+from repro.swarm.garbage import StampIndex, collect_garbage
+from repro.swarm.node import SwarmNode
+from repro.swarm.postage import PostageOffice
+
+
+def make_world():
+    space = AddressSpace(10)
+    nodes = {
+        address: SwarmNode(address, RoutingTable(address, space))
+        for address in (1, 2, 3)
+    }
+    office = PostageOffice(rent_per_chunk_round=1.0)
+    index = StampIndex()
+    return nodes, office, index
+
+
+class TestStampIndex:
+    def test_record_and_lookup(self):
+        _nodes, office, index = make_world()
+        batch = office.buy_batch(owner=1, value=10.0, depth=4)
+        stamp = batch.stamp(100)
+        index.record(stamp)
+        assert index.batch_of(100) == batch.batch_id
+        assert index.batch_of(999) is None
+        assert len(index) == 1
+
+    def test_restamp_transfers_funding(self):
+        _nodes, office, index = make_world()
+        old = office.buy_batch(owner=1, value=10.0, depth=4)
+        new = office.buy_batch(owner=2, value=10.0, depth=4)
+        index.record(old.stamp(100))
+        index.record(new.stamp(100))
+        assert index.batch_of(100) == new.batch_id
+
+
+class TestCollectGarbage:
+    def test_funded_chunks_survive(self):
+        nodes, office, index = make_world()
+        batch = office.buy_batch(owner=1, value=100.0, depth=6)
+        for chunk in (10, 20, 30):
+            index.record(batch.stamp(chunk))
+            nodes[1].store.put(chunk)
+        report = collect_garbage(nodes, office, index)
+        assert report.evicted == 0
+        assert report.kept == 3
+        assert len(nodes[1].store) == 3
+
+    def test_expired_batch_chunks_evicted(self):
+        nodes, office, index = make_world()
+        batch = office.buy_batch(owner=1, value=1.0, depth=6)
+        for chunk in (10, 20):
+            index.record(batch.stamp(chunk))
+            nodes[1].store.put(chunk)
+        office.collect_rent()  # rent 1.0 x 2 chunks > balance: expires
+        assert batch.expired
+        report = collect_garbage(nodes, office, index)
+        assert report.evicted == 2
+        assert len(nodes[1].store) == 0
+        assert report.evicted_per_node == {1: 2}
+
+    def test_unstamped_chunks_policy(self):
+        nodes, office, index = make_world()
+        nodes[2].store.put(77)
+        evicting = collect_garbage(nodes, office, index)
+        assert evicting.evicted == 1
+
+        nodes[2].store.put(77)
+        keeping = collect_garbage(nodes, office, index,
+                                  evict_unstamped=False)
+        assert keeping.evicted == 0
+        assert 77 in nodes[2].store
+
+    def test_mixed_funding(self):
+        nodes, office, index = make_world()
+        live = office.buy_batch(owner=1, value=100.0, depth=6)
+        dying = office.buy_batch(owner=2, value=0.5, depth=6)
+        index.record(live.stamp(10))
+        index.record(dying.stamp(20))
+        nodes[3].store.put(10)
+        nodes[3].store.put(20)
+        office.collect_rent()
+        report = collect_garbage(nodes, office, index)
+        assert 10 in nodes[3].store
+        assert 20 not in nodes[3].store
+        assert report.kept == 1
+
+    def test_empty_nodes_rejected(self):
+        _nodes, office, index = make_world()
+        with pytest.raises(ConfigurationError):
+            collect_garbage({}, office, index)

@@ -1,0 +1,50 @@
+"""Unit tests for SwarmNode (repro.swarm.node)."""
+
+from __future__ import annotations
+
+from repro.kademlia.address import AddressSpace
+from repro.kademlia.table import RoutingTable
+from repro.swarm.caching import LRUCache
+from repro.swarm.node import SwarmNode
+
+
+def make_node(cache=None):
+    space = AddressSpace(8)
+    return SwarmNode(5, RoutingTable(5, space), cache=cache)
+
+
+class TestSwarmNode:
+    def test_default_has_no_cache(self):
+        node = make_node()
+        node.cache.admit(1)
+        assert not node.has_chunk(1)
+
+    def test_has_chunk_from_store(self):
+        node = make_node()
+        node.store.put(9)
+        assert node.has_chunk(9)
+        assert node.serve_source(9) == "store"
+
+    def test_has_chunk_from_cache(self):
+        node = make_node(cache=LRUCache(4))
+        node.cache.admit(9)
+        assert node.has_chunk(9)
+        assert node.serve_source(9) == "cache"
+
+    def test_store_takes_priority_over_cache(self):
+        node = make_node(cache=LRUCache(4))
+        node.store.put(9)
+        node.cache.admit(9)
+        assert node.serve_source(9) == "store"
+
+    def test_miss(self):
+        assert make_node().serve_source(1) == "miss"
+
+    def test_cache_hit_refreshes_recency(self):
+        node = make_node(cache=LRUCache(2))
+        node.cache.admit(1)
+        node.cache.admit(2)
+        assert node.serve_source(1) == "cache"   # touches 1
+        node.cache.admit(3)                       # evicts 2, not 1
+        assert 1 in node.cache
+        assert 2 not in node.cache

@@ -1,0 +1,163 @@
+"""Unit tests for the redistribution game (repro.swarm.redistribution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kademlia.overlay import Overlay, OverlayConfig
+from repro.swarm.node import SwarmNode
+from repro.swarm.postage import PostageOffice
+from repro.swarm.redistribution import RedistributionGame, StakeRegistry
+
+
+@pytest.fixture()
+def game_parts():
+    overlay = Overlay.build(OverlayConfig(n_nodes=40, bits=10, seed=8))
+    nodes = {
+        address: SwarmNode(address, overlay.table(address))
+        for address in overlay.addresses
+    }
+    rng = np.random.default_rng(1)
+    # Give every node a small reserve.
+    for node in nodes.values():
+        for chunk in rng.integers(0, overlay.space.size, size=5):
+            node.store.put(int(chunk))
+    office = PostageOffice(rent_per_chunk_round=0.01)
+    batch = office.buy_batch(owner=overlay.addresses[0], value=50.0,
+                             depth=10)
+    for chunk in range(100):
+        batch.stamp(chunk)
+    stakes = StakeRegistry(minimum_stake=1.0)
+    for address in overlay.addresses:
+        stakes.deposit(address, 2.0)
+    return overlay, nodes, office, stakes
+
+
+class TestStakeRegistry:
+    def test_deposit_accumulates(self):
+        stakes = StakeRegistry()
+        stakes.deposit(1, 2.0)
+        stakes.deposit(1, 0.5)
+        assert stakes.stake_of(1) == 2.5
+
+    def test_eligibility_threshold(self):
+        stakes = StakeRegistry(minimum_stake=2.0)
+        stakes.deposit(1, 1.0)
+        assert not stakes.eligible(1)
+        stakes.deposit(1, 1.0)
+        assert stakes.eligible(1)
+
+    def test_slash(self):
+        stakes = StakeRegistry()
+        stakes.deposit(1, 4.0)
+        burned = stakes.slash(1, 0.5)
+        assert burned == 2.0
+        assert stakes.stake_of(1) == 2.0
+
+    def test_bad_slash_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StakeRegistry().slash(1, 1.5)
+
+
+class TestRedistributionGame:
+    def test_rounds_pay_out_the_pot(self, game_parts):
+        overlay, nodes, office, stakes = game_parts
+        game = RedistributionGame(
+            overlay=overlay, nodes=nodes, office=office, stakes=stakes,
+        )
+        outcomes = game.play_rounds(50)
+        paid = sum(outcome.reward for outcome in outcomes)
+        assert paid > 0
+        assert office.pot == pytest.approx(0.0, abs=1e-9)
+        # Conservation: rewards distributed equal rent collected.
+        assert paid == pytest.approx(
+            sum(game.rewards.values())
+        )
+
+    def test_winners_are_anchor_neighbors(self, game_parts):
+        overlay, nodes, office, stakes = game_parts
+        game = RedistributionGame(
+            overlay=overlay, nodes=nodes, office=office, stakes=stakes,
+            neighborhood_size=4,
+        )
+        for outcome in game.play_rounds(30):
+            if outcome.winner is None:
+                continue
+            neighborhood = overlay.space.sort_by_distance(
+                outcome.anchor, overlay.addresses
+            )[:4]
+            assert outcome.winner in neighborhood
+
+    def test_unstaked_nodes_cannot_win(self, game_parts):
+        overlay, nodes, office, stakes = game_parts
+        fresh_stakes = StakeRegistry(minimum_stake=1.0)
+        staked = set(overlay.addresses[:5])
+        for address in staked:
+            fresh_stakes.deposit(address, 2.0)
+        game = RedistributionGame(
+            overlay=overlay, nodes=nodes, office=office,
+            stakes=fresh_stakes,
+        )
+        for outcome in game.play_rounds(50):
+            if outcome.winner is not None:
+                assert outcome.winner in staked
+
+    def test_cheaters_detected_frozen_and_slashed(self, game_parts):
+        overlay, nodes, office, stakes = game_parts
+        cheater = overlay.addresses[0]
+        before = stakes.stake_of(cheater)
+        game = RedistributionGame(
+            overlay=overlay, nodes=nodes, office=office, stakes=stakes,
+            freeze_rounds=1000,
+        )
+        game.mark_cheater(cheater)
+        outcomes = game.play_rounds(200)
+        detected = any(cheater in o.cheaters for o in outcomes)
+        if detected:
+            assert stakes.stake_of(cheater) < before
+            assert game.is_frozen(cheater, 199)
+            # A frozen cheater never wins after detection.
+            first = next(
+                o.round_index for o in outcomes if cheater in o.cheaters
+            )
+            for outcome in outcomes[first:]:
+                assert outcome.winner != cheater
+
+    def test_stake_weighting_biases_wins(self, game_parts):
+        overlay, nodes, office, stakes = game_parts
+        # One node gets overwhelming stake.
+        whale = overlay.addresses[0]
+        stakes.deposit(whale, 1000.0)
+        office.pot = 0.0
+        game = RedistributionGame(
+            overlay=overlay, nodes=nodes, office=office, stakes=stakes,
+            seed=3,
+        )
+        game.play_rounds(300, collect_rent=True)
+        wins = game.win_counts()
+        if whale in wins:
+            mean_other = np.mean(
+                [wins.get(a, 0) for a in overlay.addresses[1:]]
+            )
+            # The whale wins far above average whenever eligible.
+            assert wins[whale] > mean_other
+
+    def test_reward_vector_alignment(self, game_parts):
+        overlay, nodes, office, stakes = game_parts
+        game = RedistributionGame(
+            overlay=overlay, nodes=nodes, office=office, stakes=stakes,
+        )
+        game.play_rounds(20)
+        vector = game.reward_vector(list(overlay.addresses))
+        assert len(vector) == len(overlay.addresses)
+        assert sum(vector) == pytest.approx(sum(game.rewards.values()))
+
+    def test_bad_neighborhood_size_rejected(self, game_parts):
+        overlay, nodes, office, stakes = game_parts
+        with pytest.raises(ConfigurationError):
+            RedistributionGame(
+                overlay=overlay, nodes=nodes, office=office,
+                stakes=stakes, neighborhood_size=0,
+            )

@@ -1,0 +1,97 @@
+"""Unit tests for pull-sync (repro.swarm.sync)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incentives import SwapIncentives
+from repro.core.pricing import FlatPricing
+from repro.errors import OverlayError
+from repro.kademlia.overlay import Overlay, OverlayConfig
+from repro.swarm.node import SwarmNode
+from repro.swarm.storage import ClosestNodePlacement, NeighborhoodPlacement
+from repro.swarm.sync import plan_sync, pull_sync
+
+
+@pytest.fixture()
+def world():
+    overlay = Overlay.build(OverlayConfig(n_nodes=50, bits=10, seed=6))
+    nodes = {a: SwarmNode(a, overlay.table(a)) for a in overlay.addresses}
+    return overlay, nodes
+
+
+def seed_chunks(overlay, nodes, count, rng):
+    """Place chunks at their closest nodes; return the addresses."""
+    chunks = [int(c) for c in rng.integers(0, overlay.space.size, size=count)]
+    for chunk in chunks:
+        nodes[overlay.closest_node(chunk)].store.put(chunk, b"payload")
+    return chunks
+
+
+class TestPlanSync:
+    def test_up_to_date_node_needs_nothing(self, world, rng):
+        overlay, nodes = world
+        seed_chunks(overlay, nodes, 100, rng)
+        node = overlay.addresses[0]
+        plan = plan_sync(overlay, nodes, node, ClosestNodePlacement())
+        assert plan.chunks_needed == 0
+
+    def test_missing_replicas_detected(self, world, rng):
+        overlay, nodes = world
+        chunks = seed_chunks(overlay, nodes, 100, rng)
+        placement = NeighborhoodPlacement(replicas=2)
+        # With only the primary seeded, every second replica is missing.
+        total_missing = sum(
+            plan_sync(overlay, nodes, node, placement).chunks_needed
+            for node in overlay.addresses
+        )
+        distinct = len(set(chunks))
+        # The secondary of each distinct chunk is missing exactly once,
+        # except chunks whose primary and secondary collide (never, by
+        # definition) or duplicate draws.
+        assert total_missing == distinct
+
+    def test_unknown_node_rejected(self, world):
+        overlay, nodes = world
+        with pytest.raises(OverlayError):
+            plan_sync(overlay, nodes, -1, ClosestNodePlacement())
+
+
+class TestPullSync:
+    def test_rejoining_node_recovers_its_chunks(self, world, rng):
+        overlay, nodes = world
+        chunks = seed_chunks(overlay, nodes, 200, rng)
+        victim = overlay.addresses[0]
+        placement = NeighborhoodPlacement(replicas=2)
+        # Secondary replicas must exist before the victim loses data.
+        for node in overlay.addresses:
+            pull_sync(overlay, nodes, node, placement)
+        owned = list(nodes[victim].store.addresses())
+        for chunk in owned:
+            nodes[victim].store.delete(chunk)
+        plan = pull_sync(overlay, nodes, victim, placement)
+        assert plan.chunks_needed == len(owned)
+        for chunk in owned:
+            assert chunk in nodes[victim].store
+            assert nodes[victim].store.get(chunk) == b"payload"
+
+    def test_sync_bandwidth_is_accounted(self, world, rng):
+        overlay, nodes = world
+        seed_chunks(overlay, nodes, 150, rng)
+        placement = NeighborhoodPlacement(replicas=2)
+        incentives = SwapIncentives(FlatPricing(1.0))
+        node = overlay.addresses[0]
+        plan = pull_sync(overlay, nodes, node, placement, incentives)
+        if plan.chunks_needed:
+            served = incentives.contributions(sorted(plan.sources()))
+            assert sum(served) == plan.chunks_needed
+
+    def test_sync_is_idempotent(self, world, rng):
+        overlay, nodes = world
+        seed_chunks(overlay, nodes, 100, rng)
+        placement = NeighborhoodPlacement(replicas=3)
+        node = overlay.addresses[0]
+        pull_sync(overlay, nodes, node, placement)
+        second = pull_sync(overlay, nodes, node, placement)
+        assert second.chunks_needed == 0

@@ -1,0 +1,110 @@
+"""Unit tests for workload distributions (repro.workloads.distributions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kademlia.address import AddressSpace
+from repro.workloads.distributions import (
+    OriginatorPool,
+    UniformChunks,
+    UniformFileSize,
+    ZipfCatalog,
+)
+
+
+class TestOriginatorPool:
+    def test_pool_size_rounding(self):
+        assert OriginatorPool(share=0.2).pool_size(1000) == 200
+        assert OriginatorPool(share=1.0).pool_size(1000) == 1000
+        assert OriginatorPool(share=0.001).pool_size(100) == 1
+
+    def test_members_subset_and_deterministic(self, rng):
+        nodes = np.arange(100)
+        pool = OriginatorPool(share=0.3)
+        a = pool.members(nodes, np.random.default_rng(5))
+        b = pool.members(nodes, np.random.default_rng(5))
+        assert np.array_equal(a, b)
+        assert len(a) == 30
+        assert set(a) <= set(nodes.tolist())
+
+    def test_full_share_returns_everyone(self, rng):
+        nodes = np.arange(50)
+        members = OriginatorPool(share=1.0).members(nodes, rng)
+        assert np.array_equal(members, nodes)
+
+    def test_sample_uniform(self, rng):
+        pool = np.arange(10)
+        draws = OriginatorPool().sample(pool, 1000, rng)
+        assert set(draws.tolist()) <= set(pool.tolist())
+
+    def test_sample_zipf_skews_to_front(self, rng):
+        pool = np.arange(20)
+        draws = OriginatorPool(zipf_exponent=1.5).sample(pool, 5000, rng)
+        counts = np.bincount(draws, minlength=20)
+        assert counts[0] > counts[-1] * 2
+
+    def test_zero_share_rejected(self):
+        with pytest.raises(WorkloadError):
+            OriginatorPool(share=0.0)
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(WorkloadError):
+            OriginatorPool(zipf_exponent=-1)
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            OriginatorPool().sample(np.arange(5), -1, rng)
+
+
+class TestUniformFileSize:
+    def test_paper_defaults(self):
+        size = UniformFileSize()
+        assert size.low == 100 and size.high == 1000
+
+    def test_samples_in_range(self, rng):
+        sizes = UniformFileSize(low=5, high=9).sample(1000, rng)
+        assert sizes.min() >= 5
+        assert sizes.max() <= 9
+        assert set(sizes.tolist()) == {5, 6, 7, 8, 9}
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            UniformFileSize(low=10, high=5)
+        with pytest.raises(WorkloadError):
+            UniformFileSize(low=0, high=5)
+
+
+class TestUniformChunks:
+    def test_full_space_coverage(self, rng):
+        space = AddressSpace(6)
+        draws = UniformChunks().sample(5000, space, rng)
+        assert draws.min() >= 0
+        assert draws.max() < space.size
+        # With 5000 draws over 64 addresses every address appears.
+        assert len(set(draws.tolist())) == space.size
+
+
+class TestZipfCatalog:
+    def test_catalog_shape(self, rng):
+        space = AddressSpace(10)
+        catalog = ZipfCatalog(20, 1.0, UniformFileSize(5, 10), space, rng)
+        assert len(catalog) == 20
+        for addresses in catalog.files:
+            assert 5 <= len(addresses) <= 10
+
+    def test_popularity_skew(self, rng):
+        space = AddressSpace(10)
+        catalog = ZipfCatalog(10, 1.5, UniformFileSize(2, 3), space, rng)
+        draws = [catalog.sample_file(rng)[0] for _ in range(3000)]
+        counts = np.bincount(draws, minlength=10)
+        assert counts[0] > counts[-1] * 3
+
+    def test_bad_params_rejected(self, rng):
+        space = AddressSpace(10)
+        with pytest.raises(Exception):
+            ZipfCatalog(0, 1.0, UniformFileSize(2, 3), space, rng)
+        with pytest.raises(Exception):
+            ZipfCatalog(5, 0.0, UniformFileSize(2, 3), space, rng)

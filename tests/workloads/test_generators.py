@@ -1,0 +1,99 @@
+"""Unit tests for workload generation (repro.workloads.generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kademlia.address import AddressSpace
+from repro.workloads.distributions import OriginatorPool, UniformFileSize
+from repro.workloads.generators import (
+    DownloadWorkload,
+    FileDownload,
+    paper_workload,
+)
+
+
+@pytest.fixture()
+def space() -> AddressSpace:
+    return AddressSpace(12)
+
+
+@pytest.fixture()
+def nodes() -> np.ndarray:
+    return np.arange(100, dtype=np.uint64)
+
+
+class TestFileDownload:
+    def test_requires_chunks(self):
+        with pytest.raises(WorkloadError):
+            FileDownload(file_id=0, originator=1,
+                         chunk_addresses=np.array([]))
+
+    def test_n_chunks(self):
+        event = FileDownload(file_id=0, originator=1,
+                             chunk_addresses=np.array([1, 2]))
+        assert event.n_chunks == 2
+
+
+class TestDownloadWorkload:
+    def test_event_count(self, nodes, space):
+        workload = DownloadWorkload(n_files=25,
+                                    file_size=UniformFileSize(2, 5))
+        events = workload.materialize(nodes, space)
+        assert len(events) == 25
+        assert [event.file_id for event in events] == list(range(25))
+
+    def test_reproducible(self, nodes, space):
+        workload = DownloadWorkload(n_files=10, seed=3,
+                                    file_size=UniformFileSize(2, 5))
+        a = workload.materialize(nodes, space)
+        b = workload.materialize(nodes, space)
+        for ea, eb in zip(a, b):
+            assert ea.originator == eb.originator
+            assert np.array_equal(ea.chunk_addresses, eb.chunk_addresses)
+
+    def test_chunk_addresses_in_space(self, nodes, space):
+        workload = DownloadWorkload(n_files=10,
+                                    file_size=UniformFileSize(50, 60))
+        for event in workload.events(nodes, space):
+            assert event.chunk_addresses.max() < space.size
+
+    def test_originators_from_restricted_pool(self, nodes, space):
+        workload = DownloadWorkload(
+            n_files=200, originators=OriginatorPool(share=0.2),
+            file_size=UniformFileSize(1, 2),
+        )
+        originators = {
+            event.originator for event in workload.events(nodes, space)
+        }
+        assert len(originators) <= 20
+
+    def test_catalog_repeats_files(self, nodes, space):
+        workload = DownloadWorkload(
+            n_files=50, catalog_size=3, file_size=UniformFileSize(4, 6),
+        )
+        signatures = {
+            tuple(event.chunk_addresses.tolist())
+            for event in workload.events(nodes, space)
+        }
+        assert len(signatures) <= 3
+
+    def test_total_chunks(self, nodes, space):
+        workload = DownloadWorkload(n_files=5,
+                                    file_size=UniformFileSize(3, 3))
+        assert workload.total_chunks(nodes, space) == 15
+
+    def test_bad_n_files_rejected(self):
+        with pytest.raises(WorkloadError):
+            DownloadWorkload(n_files=0)
+
+
+class TestPaperWorkload:
+    def test_matches_paper_settings(self):
+        workload = paper_workload(n_files=100, originator_share=0.2)
+        assert workload.n_files == 100
+        assert workload.originators.share == 0.2
+        assert workload.file_size.low == 100
+        assert workload.file_size.high == 1000

@@ -1,0 +1,99 @@
+"""Tests for trace replay (TraceWorkload) and the trace CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import WorkloadError
+from repro.experiments.fast import FastSimulation, FastSimulationConfig
+from repro.kademlia.address import AddressSpace
+from repro.workloads.distributions import UniformFileSize
+from repro.workloads.generators import DownloadWorkload
+from repro.workloads.traces import TraceWorkload, WorkloadTrace
+
+
+def make_trace(nodes, space, n_files=10):
+    workload = DownloadWorkload(
+        n_files=n_files, file_size=UniformFileSize(3, 9), seed=2,
+    )
+    return WorkloadTrace(workload.materialize(nodes, space))
+
+
+class TestTraceWorkload:
+    def test_replay_yields_identical_events(self):
+        space = AddressSpace(10)
+        nodes = np.arange(40, dtype=np.uint64)
+        trace = make_trace(nodes, space)
+        replayed = TraceWorkload(trace).materialize(nodes, space)
+        for original, replay in zip(trace, replayed):
+            assert original.originator == replay.originator
+            assert np.array_equal(
+                original.chunk_addresses, replay.chunk_addresses
+            )
+
+    def test_foreign_originator_rejected(self):
+        space = AddressSpace(10)
+        nodes = np.arange(40, dtype=np.uint64)
+        trace = make_trace(nodes, space)
+        other_population = np.arange(100, 140, dtype=np.uint64)
+        with pytest.raises(WorkloadError, match="originator"):
+            TraceWorkload(trace).materialize(other_population, space)
+
+    def test_oversized_chunk_rejected(self):
+        space = AddressSpace(10)
+        nodes = np.arange(40, dtype=np.uint64)
+        trace = make_trace(nodes, space)
+        small_space = AddressSpace(4)
+        with pytest.raises(WorkloadError, match="space"):
+            TraceWorkload(trace).materialize(nodes, small_space)
+
+    def test_replay_through_fast_simulation_is_deterministic(self):
+        config = FastSimulationConfig(
+            n_nodes=80, bits=11, bucket_size=4, n_files=10,
+            overlay_seed=5,
+        )
+        simulation = FastSimulation(config)
+        trace = make_trace(
+            simulation.overlay.address_array(), simulation.space
+        )
+        a = simulation.run(TraceWorkload(trace))
+        b = simulation.run(TraceWorkload(trace))
+        assert np.array_equal(a.forwarded, b.forwarded)
+        assert a.files == 10
+
+
+class TestTraceCli:
+    def test_generate_and_replay_roundtrip(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main([
+            "trace", "generate", str(trace_path),
+            "--files", "5", "--nodes", "100", "--bits", "12",
+        ])
+        assert code == 0
+        assert trace_path.exists()
+        assert "trace written" in capsys.readouterr().out
+
+        code = main([
+            "trace", "replay", str(trace_path),
+            "--nodes", "100", "--bits", "12", "--bucket-size", "4",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "replayed" in output
+        assert "F2 Gini" in output
+
+    def test_replay_against_wrong_overlay_fails(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        main([
+            "trace", "generate", str(trace_path),
+            "--files", "5", "--nodes", "100", "--bits", "12",
+        ])
+        capsys.readouterr()
+        with pytest.raises(WorkloadError):
+            main([
+                "trace", "replay", str(trace_path),
+                "--nodes", "100", "--bits", "12",
+                "--overlay-seed", "999",
+            ])

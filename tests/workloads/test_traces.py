@@ -1,0 +1,61 @@
+"""Unit tests for workload traces (repro.workloads.traces)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kademlia.address import AddressSpace
+from repro.workloads.generators import DownloadWorkload, FileDownload
+from repro.workloads.distributions import UniformFileSize
+from repro.workloads.traces import WorkloadTrace
+
+
+def make_trace() -> WorkloadTrace:
+    workload = DownloadWorkload(n_files=12, seed=4,
+                                file_size=UniformFileSize(2, 6))
+    events = workload.materialize(
+        np.arange(50, dtype=np.uint64), AddressSpace(10)
+    )
+    return WorkloadTrace(events)
+
+
+class TestWorkloadTrace:
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadTrace([])
+
+    def test_len_iter_getitem(self):
+        trace = make_trace()
+        assert len(trace) == 12
+        assert trace[0].file_id == 0
+        assert sum(1 for _ in trace) == 12
+
+    def test_summary(self):
+        trace = make_trace()
+        summary = trace.summary()
+        assert summary.n_files == 12
+        assert 2 <= summary.min_file_chunks <= summary.max_file_chunks <= 6
+        assert summary.total_chunks == sum(
+            event.n_chunks for event in trace
+        )
+        assert "12 files" in str(summary)
+
+    def test_originator_counts(self):
+        trace = make_trace()
+        counts = trace.originator_counts()
+        assert sum(counts.values()) == 12
+
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace()
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = WorkloadTrace.load(path)
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert original.file_id == restored.file_id
+            assert original.originator == restored.originator
+            assert np.array_equal(
+                original.chunk_addresses, restored.chunk_addresses
+            )
