@@ -23,3 +23,24 @@ def test_caching(benchmark):
     assert series["lru"]["cache_hits"] > 0
     assert series["lru"]["forwarded"] < series["none"]["forwarded"]
     assert series["lfu"]["forwarded"] < series["none"]["forwarded"]
+
+
+def test_caching_fast(bench_scale):
+    """The same §V effect on the vectorized backend at harness scale.
+
+    The cached-chunk-mask model must reproduce the cache dividend —
+    fewer forwarded chunks, shorter routes — at volumes the reference
+    simulator cannot reach (paper scale via REPRO_BENCH_FILES/NODES).
+    """
+    from repro.experiments.ablations import run_caching_fast
+
+    report = run_caching_fast(
+        n_files=bench_scale["n_files"], n_nodes=bench_scale["n_nodes"],
+        catalog_size=max(40, bench_scale["n_files"] // 10),
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    assert series["on"]["cache_hits"] > 0
+    assert series["on"]["forwarded"] < series["off"]["forwarded"]
+    assert series["on"]["hops"] < series["off"]["hops"]

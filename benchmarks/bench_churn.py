@@ -25,3 +25,27 @@ def test_churn(benchmark):
     # single-storer placement.
     live = series["churning"]["live_fraction"]
     assert series["churning"]["availability"] < live + 0.25
+
+
+def test_churn_fast(bench_scale):
+    """Churn on the vectorized backend at harness scale.
+
+    Availability must fall roughly with the offline fraction under
+    single-storer placement, and storer recomputation (neighborhood
+    re-replication) must claw most of it back.
+    """
+    from repro.experiments.extensions import run_churn_fast
+
+    report = run_churn_fast(
+        n_files=bench_scale["n_files"], n_nodes=bench_scale["n_nodes"],
+    )
+    print()
+    print(report.render())
+    series = report.data["series"]
+    assert series[0.0]["availability"] == 1.0
+    for fraction in (0.1, 0.3):
+        row = series[fraction]
+        assert row["availability"] < 1.0
+        # Not much better than the live fraction under single storers.
+        assert row["availability"] < (1.0 - fraction) + 0.25
+        assert row["rereplicated_availability"] > row["availability"]

@@ -8,6 +8,11 @@ fairer on both properties under both workloads).
 
 from __future__ import annotations
 
+import time
+
+import numpy as np
+
+from repro.backends import FastSimulation, FastSimulationConfig
 from repro.experiments.paper import run_headline
 
 
@@ -21,3 +26,39 @@ def test_headline(benchmark, bench_scale):
     for prop in ("F1", "F2"):
         for value in reductions[prop]:
             assert value > 0.0, f"{prop} must improve with k=20"
+
+
+def test_backend_throughput(bench_scale):
+    """Before/after: the per-file loop vs the batched engine.
+
+    Reports files/sec for both engines on the headline configuration
+    at the harness scale and asserts they agree exactly on traffic.
+    """
+    config = FastSimulationConfig(
+        n_files=bench_scale["n_files"], n_nodes=bench_scale["n_nodes"],
+    )
+    simulation = FastSimulation(config)
+    _ = simulation.table.transposed  # build outside the timed region
+
+    def best_of(runner, reps=3):
+        times = []
+        for _ in range(reps):
+            started = time.perf_counter()
+            result = runner()
+            times.append(time.perf_counter() - started)
+        return result, min(times)
+
+    per_file, per_file_s = best_of(lambda: simulation.run(batched=False))
+    batched, batched_s = best_of(lambda: simulation.run())
+    print()
+    print(
+        f"per-file loop: {per_file_s:.3f}s "
+        f"({config.n_files / per_file_s:,.0f} files/s)"
+    )
+    print(
+        f"batched engine: {batched_s:.3f}s "
+        f"({config.n_files / batched_s:,.0f} files/s)  "
+        f"speedup {per_file_s / batched_s:.2f}x"
+    )
+    assert np.array_equal(per_file.forwarded, batched.forwarded)
+    assert batched_s < per_file_s, "batched engine must win at bench scale"

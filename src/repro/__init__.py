@@ -12,6 +12,9 @@ provides:
   retrieval, caching);
 * :mod:`repro.engine` — a cadCAD-style simulation engine plus a
   discrete-event scheduler;
+* :mod:`repro.backends` — interchangeable simulation backends behind
+  one protocol (batched numpy, reference network, baselines) with a
+  name registry;
 * :mod:`repro.workloads` — download workload generation;
 * :mod:`repro.baselines` — BitTorrent tit-for-tat, Filecoin-style and
   flat-rate comparison mechanisms;
@@ -66,12 +69,12 @@ def quick_simulation(bucket_size: int = 4, originator_share: float = 1.0,
                      seed: int = 42):
     """Run a small end-to-end Swarm bandwidth-incentive simulation.
 
-    Convenience wrapper over :mod:`repro.experiments` used by the
+    Convenience wrapper over :mod:`repro.backends` used by the
     README quickstart; returns a
-    :class:`~repro.experiments.fast.SimulationResult`.
+    :class:`~repro.backends.result.SimulationResult`.
     """
     # Imported lazily so `import repro` stays cheap.
-    from .experiments.fast import FastSimulation, FastSimulationConfig
+    from .backends import FastSimulation, FastSimulationConfig
 
     config = FastSimulationConfig(
         n_nodes=n_nodes,

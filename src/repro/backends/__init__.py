@@ -1,0 +1,79 @@
+"""Simulation backends behind one protocol (`prepare -> run -> result`).
+
+The registry maps names to interchangeable ways of executing the
+paper's download simulation::
+
+    from repro.backends import get_backend, run_simulation
+
+    result = get_backend("fast").prepare(config).run()
+    result = run_simulation(config, backend="reference")
+
+Backend matrix:
+
+========== ========================================================
+name        engine
+========== ========================================================
+fast        batched numpy: whole-workload lockstep hop waves, with
+            native path-caching and churn scenarios
+fast-perfile legacy vectorized loop (one python iteration per file)
+reference   object-oriented SwarmNetwork, full SWAP observability
+flat        per-chunk flat reward on routed traffic (F1-ideal)
+filecoin    storage-power block rewards + retrieval payments
+freerider   SWAP pricing with never-paying originators (§V)
+tit_for_tat standalone BitTorrent choke-algorithm swarm
+========== ========================================================
+"""
+
+from .base import (
+    SimulationBackend,
+    available_backends,
+    backend_specs,
+    get_backend,
+    register_backend,
+    run_simulation,
+)
+from .config import FastSimulationConfig
+from .result import SimulationResult
+
+# Importing the implementation modules registers their backends.
+from .fast import (  # noqa: E402
+    FastBackend,
+    FastSimulation,
+    NextHopTable,
+    PerFileFastBackend,
+    cached_next_hop_table,
+    cached_overlay,
+    clear_caches,
+    paper_result,
+)
+from .reference import ReferenceBackend  # noqa: E402
+from .baselines import (  # noqa: E402
+    FilecoinBackend,
+    FlatRewardBackend,
+    FreeRiderBackend,
+    TitForTatBackend,
+)
+
+__all__ = [
+    "SimulationBackend",
+    "available_backends",
+    "backend_specs",
+    "get_backend",
+    "register_backend",
+    "run_simulation",
+    "FastSimulationConfig",
+    "SimulationResult",
+    "FastBackend",
+    "FastSimulation",
+    "NextHopTable",
+    "PerFileFastBackend",
+    "cached_next_hop_table",
+    "cached_overlay",
+    "clear_caches",
+    "paper_result",
+    "ReferenceBackend",
+    "FilecoinBackend",
+    "FlatRewardBackend",
+    "FreeRiderBackend",
+    "TitForTatBackend",
+]

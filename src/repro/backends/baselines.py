@@ -1,0 +1,233 @@
+"""Comparison-mechanism backends behind the simulation protocol.
+
+The paper contrasts SWAP with BitTorrent tit-for-tat, Filecoin-style
+storage rewards, idealized flat-rate rewards, and §V free-riders.
+These backends make those comparisons runnable through the same
+``prepare(config).run(workload)`` interface as the fast and reference
+engines, each returning a :class:`SimulationResult` so the F1/F2
+fairness metrics read out uniformly:
+
+* ``flat`` — per-chunk reward on the real routed traffic (the
+  F1-ideal: income exactly proportional to forwarded chunks);
+* ``filecoin`` — retrieval-market payments to the serving storer plus
+  epoch block rewards proportional to storage power;
+* ``freerider`` — SWAP pricing, but a fraction of nodes never pay:
+  their downloads are routed and counted yet earn the first hop
+  nothing;
+* ``tit_for_tat`` — Cohen's choking algorithm in a standalone swarm
+  (BitTorrent has no overlay routing; income is service received).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .._validation import require_fraction, require_non_negative
+from ..baselines.tit_for_tat import TitForTatConfig, TitForTatSwarm
+from ..errors import ConfigurationError
+from .base import SimulationBackend, register_backend
+from .config import FastSimulationConfig
+from .fast import SimulationBoundBackend
+from .result import SimulationResult
+
+__all__ = [
+    "FlatRewardBackend",
+    "FilecoinBackend",
+    "FreeRiderBackend",
+    "TitForTatBackend",
+]
+
+
+class _RoutedBaselineBackend(SimulationBoundBackend):
+    """Shared plumbing: route the workload with the batched engine."""
+
+
+@register_backend
+class FlatRewardBackend(_RoutedBaselineBackend):
+    """Per-chunk reward: every forwarded chunk earns the same amount.
+
+    F1 is zero by construction; F2 equals the inequality of the
+    traffic itself — the proportional bound any real mechanism is
+    measured against.
+    """
+
+    name = "flat"
+    description = "per-chunk flat reward on routed traffic (F1-ideal)"
+
+    def __init__(self, reward_per_chunk: float = 1.0) -> None:
+        require_non_negative(reward_per_chunk, "reward_per_chunk")
+        self.reward_per_chunk = reward_per_chunk
+
+    def run(self, workload=None) -> SimulationResult:
+        self._require_prepared()
+        assert self.simulation is not None
+        result = self.simulation.run(workload)
+        result.income = result.forwarded.astype(np.float64) * self.reward_per_chunk
+        result.expenditure = np.zeros_like(result.income)
+        return result
+
+
+@register_backend
+class FilecoinBackend(_RoutedBaselineBackend):
+    """Filecoin-style rewards: retrieval deals plus storage-power blocks.
+
+    Retrieval payments go to the node that *served* each chunk (the
+    terminal storer); block rewards accrue per epoch to a winner
+    sampled proportionally to storage power (here: the share of the
+    address space a node stores), regardless of traffic — which is
+    exactly why its bandwidth-fairness profile differs from SWAP's.
+    """
+
+    name = "filecoin"
+    description = "storage-power block rewards + retrieval-market payments"
+
+    def __init__(self, block_reward: float = 10.0, epoch_length: int = 100,
+                 retrieval_price: float = 1.0, seed: int = 42) -> None:
+        require_non_negative(block_reward, "block_reward")
+        require_non_negative(retrieval_price, "retrieval_price")
+        self.block_reward = block_reward
+        self.epoch_length = epoch_length
+        self.retrieval_price = retrieval_price
+        self.seed = seed
+
+    def prepare(self, config: FastSimulationConfig) -> "FilecoinBackend":
+        if config.has_scenarios:
+            # Served counts below assume every non-local chunk reaches
+            # its storer; churn drops chunks and caching serves them
+            # at the first hop, so the retrieval-market model would
+            # pay for deliveries that never happened.
+            raise ConfigurationError(
+                "the filecoin baseline does not support the "
+                "caching/churn scenario fields"
+            )
+        super().prepare(config)
+        return self
+
+    def run(self, workload=None) -> SimulationResult:
+        config = self._require_prepared()
+        assert self.simulation is not None
+        simulation = self.simulation
+        if workload is None:
+            workload = config.workload()
+        result = simulation.run(workload)
+
+        # Served counts: terminal arrivals per node (local hits pay
+        # nobody, matching FilecoinMechanism's hops > 0 rule).
+        n = simulation.table.n_nodes
+        file_origins, sizes, targets = simulation._flatten_workload(workload)
+        origins = np.repeat(file_origins, sizes).astype(np.intp)
+        storers = simulation.table.storer_idx[targets]
+        served = np.bincount(storers[storers != origins], minlength=n)
+
+        income = served.astype(np.float64) * self.retrieval_price
+        power = np.bincount(
+            simulation.table.storer, minlength=n
+        ).astype(np.float64)
+        epochs = result.chunks // self.epoch_length
+        if epochs > 0 and self.block_reward > 0 and power.sum() > 0:
+            rng = np.random.default_rng(self.seed)
+            winners = rng.choice(n, size=epochs, p=power / power.sum())
+            income += np.bincount(
+                winners, minlength=n
+            ).astype(np.float64) * self.block_reward
+        result.income = income
+        result.expenditure = np.zeros_like(income)
+        return result
+
+
+@register_backend
+class FreeRiderBackend(_RoutedBaselineBackend):
+    """SWAP traffic where a fraction of nodes never pay (paper §V).
+
+    Free riders are sampled once per prepared overlay; chunks they
+    originate are routed and counted as usual but the paid first hop
+    earns nothing, pushing income inequality (F2) up with the
+    free-riding fraction.
+    """
+
+    name = "freerider"
+    description = "SWAP pricing with a fraction of never-paying originators"
+
+    def __init__(self, fraction: float = 0.3, selection_seed: int = 13) -> None:
+        require_fraction(fraction, "fraction")
+        self.fraction = fraction
+        self.selection_seed = selection_seed
+        self.riders: np.ndarray | None = None
+
+    def prepare(self, config: FastSimulationConfig) -> "FreeRiderBackend":
+        super().prepare(config)
+        n = len(self.overlay)
+        mask = np.zeros(n, dtype=bool)
+        n_riders = round(self.fraction * n)
+        if n_riders:
+            rng = np.random.default_rng(self.selection_seed)
+            mask[rng.choice(n, size=n_riders, replace=False)] = True
+        self.riders = mask
+        return self
+
+    def run(self, workload=None) -> SimulationResult:
+        self._require_prepared()
+        assert self.simulation is not None and self.riders is not None
+        return self.simulation.run(workload, unpaid_origins=self.riders)
+
+
+@register_backend
+class TitForTatBackend(SimulationBackend):
+    """BitTorrent tit-for-tat in its own single-file swarm.
+
+    Tit-for-tat has no overlay routing, so the download workload is
+    not replayed; the swarm size derives from the configuration
+    (capped — the pure-python choke loop is O(peers x view) per
+    round). Income is service received (the only reward TFT pays) and
+    ``forwarded`` is pieces uploaded, which slots into F1/F2.
+    """
+
+    name = "tit_for_tat"
+    description = "standalone BitTorrent swarm with Cohen's choke algorithm"
+    replays_workload = False
+
+    #: Peer-count cap keeping the choke loop tractable.
+    MAX_PEERS = 256
+
+    swarm: TitForTatSwarm | None = None
+
+    def __init__(self, swarm_config: TitForTatConfig | None = None) -> None:
+        self._swarm_config = swarm_config
+
+    def prepare(self, config: FastSimulationConfig) -> "TitForTatBackend":
+        self.config = config
+        swarm_config = self._swarm_config
+        if swarm_config is None:
+            swarm_config = TitForTatConfig(
+                n_peers=min(config.n_nodes, self.MAX_PEERS),
+                n_pieces=min(config.file_max, 200),
+                seed=config.workload_seed,
+            )
+        self.swarm = TitForTatSwarm(swarm_config)
+        return self
+
+    def run(self, workload=None) -> SimulationResult:
+        self._require_prepared()
+        assert self.swarm is not None
+        started = time.perf_counter()
+        swarm = self.swarm
+        swarm.run()
+        uploaded = np.array(swarm.contributions(), dtype=np.int64)
+        downloaded = np.array(swarm.incomes(), dtype=np.float64)
+        n_pieces = swarm.config.n_pieces
+        return SimulationResult(
+            config=self.config,
+            node_addresses=np.arange(len(swarm.peers), dtype=np.int64),
+            forwarded=uploaded,
+            first_hop=uploaded.copy(),
+            income=downloaded,
+            expenditure=np.zeros_like(downloaded),
+            files=sum(
+                1 for peer in swarm.peers if peer.is_seed(n_pieces)
+            ),
+            chunks=int(downloaded.sum()),
+            total_hops=int(uploaded.sum()),
+            elapsed_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,108 @@
+"""The unified simulation configuration all backends consume.
+
+:class:`FastSimulationConfig` (the name predates the backend split and
+is kept for compatibility) describes one paper-style experiment:
+overlay shape, pricing, workload, and the two scenario extensions the
+vectorized backend supports natively — path caching and node churn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require_fraction, require_int
+from ..errors import ConfigurationError
+from ..kademlia.buckets import BucketLimits
+from ..kademlia.overlay import OverlayConfig
+from ..workloads.distributions import OriginatorPool, UniformFileSize
+from ..workloads.generators import DownloadWorkload
+
+__all__ = ["FastSimulationConfig"]
+
+
+@dataclass(frozen=True)
+class FastSimulationConfig:
+    """One paper-style experiment configuration.
+
+    Defaults reproduce the paper's setup; ``bucket_size`` and
+    ``originator_share`` are the two swept parameters, ``bucket_zero``
+    expresses the §V per-bucket ablation.
+
+    Scenario extensions (vectorized backend only):
+
+    * ``caching`` — forwarding caches modelled as a cached-chunk mask:
+      once a chunk has been retrieved, later retrievals are served by
+      the originator's first hop in one hop (paper §V's "reduced
+      number of forwarded requests"); pair with a Zipf ``catalog_size``
+      so repeats exist.
+    * ``churn_offline_fraction`` — per-epoch node-alive masks: each
+      batch of ``batch_files`` files sees a fresh random offline set.
+      Chunks whose single storer is offline count as ``unavailable``
+      (the paper's closest-node placement has no redundancy) unless
+      ``churn_recompute_storers`` re-homes them to the closest *live*
+      node, modelling neighborhood re-replication.
+    """
+
+    n_nodes: int = 1000
+    bits: int = 16
+    bucket_size: int = 4
+    bucket_zero: int | None = None
+    originator_share: float = 1.0
+    n_files: int = 10_000
+    file_min: int = 100
+    file_max: int = 1000
+    overlay_seed: int = 42
+    workload_seed: int = 7
+    pricing: str = "xor"
+    pricing_base: float = 1.0
+    catalog_size: int = 0
+    catalog_exponent: float = 1.0
+    caching: bool = False
+    churn_offline_fraction: float = 0.0
+    churn_seed: int = 99
+    churn_recompute_storers: bool = False
+    batch_files: int = 512
+
+    def __post_init__(self) -> None:
+        require_int(self.n_files, "n_files")
+        require_fraction(self.originator_share, "originator_share")
+        require_fraction(self.churn_offline_fraction,
+                         "churn_offline_fraction")
+        require_int(self.batch_files, "batch_files")
+        if self.n_files < 1:
+            raise ConfigurationError(f"n_files must be >= 1, got {self.n_files}")
+        if self.batch_files < 1:
+            raise ConfigurationError(
+                f"batch_files must be >= 1, got {self.batch_files}"
+            )
+        if self.pricing not in ("xor", "proximity", "flat"):
+            raise ConfigurationError(
+                f"pricing must be 'xor', 'proximity' or 'flat', got "
+                f"{self.pricing!r}"
+            )
+
+    @property
+    def has_scenarios(self) -> bool:
+        """Whether caching or churn dynamics are active."""
+        return self.caching or self.churn_offline_fraction > 0.0
+
+    def overlay_config(self) -> OverlayConfig:
+        """The overlay this experiment runs on."""
+        overrides = {} if self.bucket_zero is None else {0: self.bucket_zero}
+        return OverlayConfig(
+            n_nodes=self.n_nodes,
+            bits=self.bits,
+            limits=BucketLimits(default=self.bucket_size, overrides=overrides),
+            seed=self.overlay_seed,
+        )
+
+    def workload(self) -> DownloadWorkload:
+        """The download workload this experiment replays."""
+        return DownloadWorkload(
+            n_files=self.n_files,
+            originators=OriginatorPool(share=self.originator_share),
+            file_size=UniformFileSize(low=self.file_min, high=self.file_max),
+            seed=self.workload_seed,
+            catalog_size=self.catalog_size,
+            catalog_exponent=self.catalog_exponent,
+        )

@@ -1,0 +1,645 @@
+"""Vectorized whole-network simulator for paper-scale runs.
+
+The paper's headline experiment downloads 10 000 files of 100–1000
+chunks each — about 5.5 million chunk retrievals over a 1000-node
+overlay. The object-oriented reference simulator
+(:class:`~repro.swarm.network.SwarmNetwork`) observes every SWAP
+channel and is deliberately not built for that volume; this module is
+the production backend:
+
+* :class:`NextHopTable` precomputes, for every (node, target address)
+  pair, the greedy forwarding decision as one dense numpy matrix —
+  routing a chunk becomes a table lookup;
+* :class:`FastSimulation` flattens the *whole workload* into per-chunk
+  origin/target/storer columns and routes every in-flight chunk in
+  lockstep hop waves — one ``next_hop`` gather plus one
+  ``np.bincount`` per wave — accumulating exactly the per-node
+  quantities the paper's figures need (chunks forwarded, chunks served
+  as paid first hop, income in accounting units). The legacy per-file
+  loop is kept behind ``run(batched=False)`` for cross-validation and
+  benchmarking.
+
+Two scenarios that previously existed only in the object-oriented
+layer run natively here: **path caching** (a cached-chunk mask
+short-circuits repeat retrievals at the first hop) and **churn**
+(per-epoch node-alive masks, with optional storer recomputation over
+the live population).
+
+Equivalence with the reference implementation is asserted by
+``tests/integration/test_fast_vs_reference.py`` and
+``tests/backends/test_equivalence.py`` on shared overlays. Overlays
+and next-hop tables are cached per configuration, mirroring the
+paper's reuse of one overlay across experiments.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..kademlia.address import bit_length_array
+from ..kademlia.overlay import Overlay, OverlayConfig
+from ..workloads.distributions import OriginatorPool, UniformFileSize
+from ..workloads.generators import DownloadWorkload, FileDownload
+from .base import SimulationBackend, register_backend
+from .config import FastSimulationConfig
+from .result import SimulationResult
+
+__all__ = [
+    "FastSimulationConfig",
+    "NextHopTable",
+    "SimulationResult",
+    "FastSimulation",
+    "FastBackend",
+    "PerFileFastBackend",
+    "clear_caches",
+    "cached_overlay",
+    "cached_next_hop_table",
+    "paper_result",
+    "MAX_FAST_BITS",
+]
+
+#: Maximum address width the vectorized backend supports; wider
+#: spaces would need a sparse storer/next-hop representation.
+MAX_FAST_BITS = 22
+
+_OVERLAY_CACHE: dict[tuple, Overlay] = {}
+_TABLE_CACHE: dict[tuple, "NextHopTable"] = {}
+
+
+def clear_caches() -> None:
+    """Drop cached overlays and next-hop tables (for memory-bound tests)."""
+    _OVERLAY_CACHE.clear()
+    _TABLE_CACHE.clear()
+
+
+def _overlay_key(config: OverlayConfig) -> tuple:
+    """Hashable cache key for an overlay configuration."""
+    return (
+        config.n_nodes,
+        config.bits,
+        config.limits.default,
+        tuple(sorted(config.limits.overrides.items())),
+        config.seed,
+        config.neighborhood_min,
+        config.symmetric_neighborhood,
+    )
+
+
+def cached_overlay(config: OverlayConfig) -> Overlay:
+    """Build (or reuse) the overlay for *config*."""
+    key = _overlay_key(config)
+    overlay = _OVERLAY_CACHE.get(key)
+    if overlay is None:
+        overlay = Overlay.build(config)
+        _OVERLAY_CACHE[key] = overlay
+    return overlay
+
+
+def cached_next_hop_table(overlay: Overlay) -> "NextHopTable":
+    """Build (or reuse) the next-hop table for *overlay*."""
+    key = _overlay_key(overlay.config)
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        table = NextHopTable(overlay)
+        _TABLE_CACHE[key] = table
+    return table
+
+
+class NextHopTable:
+    """Dense greedy-forwarding table for one overlay.
+
+    ``next_hop[i, t]`` is the dense index of the peer node ``i``
+    forwards a request for target address ``t`` to, or ``-1`` when no
+    known peer is XOR-closer than ``i`` itself (greedy terminal).
+    ``storer[t]`` is the dense index of the globally closest node.
+    """
+
+    def __init__(self, overlay: Overlay) -> None:
+        bits = overlay.space.bits
+        if bits > MAX_FAST_BITS:
+            raise ConfigurationError(
+                f"the vectorized backend supports at most {MAX_FAST_BITS}-bit "
+                f"spaces, got {bits}; use the reference SwarmNetwork"
+            )
+        self.overlay = overlay
+        size = overlay.space.size
+        n_nodes = len(overlay)
+        dtype = np.int16 if n_nodes < np.iinfo(np.int16).max else np.int32
+        self.next_hop = np.full((n_nodes, size), -1, dtype=dtype)
+        self.storer = overlay.storer_table().astype(np.int64)
+        targets = np.arange(size, dtype=np.uint64)
+        addresses = overlay.address_array()
+        for index, owner in enumerate(overlay.addresses):
+            table = overlay.table(owner)
+            peers = table.peer_array()
+            if peers.size == 0:
+                continue
+            peer_indices = np.array(
+                [overlay.index_of(int(peer)) for peer in peers],
+                dtype=np.int64,
+            )
+            # Running minimum over the node's peers: O(m) full-space
+            # passes with no (size x m) intermediate.
+            best_distance = targets ^ np.uint64(owner)
+            best_index = np.full(size, -1, dtype=np.int64)
+            for peer, peer_index in zip(peers, peer_indices):
+                distance = targets ^ peer
+                closer = distance < best_distance
+                best_distance = np.where(closer, distance, best_distance)
+                best_index[closer] = peer_index
+            self.next_hop[index] = best_index.astype(dtype)
+        self.addresses = addresses
+        self._transposed: np.ndarray | None = None
+        self._storer_idx: np.ndarray | None = None
+        self._addresses32: np.ndarray | None = None
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the underlying overlay."""
+        return self.next_hop.shape[0]
+
+    @property
+    def transposed(self) -> np.ndarray:
+        """``next_hop`` in [target, node] layout (lazily built, cached).
+
+        The batched engine sorts in-flight chunks by target, so this
+        layout turns every hop wave's table gather into a near
+        sequential walk over 2-KB rows instead of random access across
+        the whole table.
+        """
+        if self._transposed is None:
+            self._transposed = np.ascontiguousarray(self.next_hop.T)
+        return self._transposed
+
+    @property
+    def storer_idx(self) -> np.ndarray:
+        """``storer`` as platform ints, ready for index arithmetic."""
+        if self._storer_idx is None:
+            self._storer_idx = self.storer.astype(np.intp)
+        return self._storer_idx
+
+    @property
+    def addresses32(self) -> np.ndarray:
+        """Node addresses as ``int32`` (valid: spaces are <= 22 bits)."""
+        if self._addresses32 is None:
+            self._addresses32 = self.addresses.astype(np.int32)
+        return self._addresses32
+
+
+class FastSimulation:
+    """Replays a download workload against a precomputed routing table."""
+
+    def __init__(self, config: FastSimulationConfig) -> None:
+        self.config = config
+        self.overlay = cached_overlay(config.overlay_config())
+        self.table = cached_next_hop_table(self.overlay)
+        self.space = self.overlay.space
+
+    # ------------------------------------------------------------------
+    # Pricing (vectorized mirror of repro.core.pricing)
+
+    def _prices(self, server_addresses: np.ndarray,
+                chunk_addresses: np.ndarray) -> np.ndarray:
+        base = self.config.pricing_base
+        if self.config.pricing == "flat":
+            return np.full(len(chunk_addresses), base, dtype=np.float64)
+        if self.config.pricing == "xor":
+            distances = (server_addresses ^ chunk_addresses).astype(np.float64)
+            return base * np.maximum(distances, 1.0) / self.space.size
+        # proximity: base * max(bits - po, 1)
+        diffs = server_addresses ^ chunk_addresses
+        lengths = bit_length_array(diffs)  # == bits - po
+        return base * np.maximum(lengths, 1).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def run(self, workload: DownloadWorkload | None = None, *,
+            batched: bool = True,
+            unpaid_origins: np.ndarray | None = None) -> SimulationResult:
+        """Run the configured (or given) workload; returns the result.
+
+        ``batched=False`` selects the legacy per-file loop (no scenario
+        support) for cross-validation. ``unpaid_origins`` is a boolean
+        mask over dense node indices whose downloads are never paid
+        for (the free-rider model): traffic is routed and counted, but
+        the first hop earns nothing and the originator spends nothing.
+        """
+        started = time.perf_counter()
+        if workload is None:
+            workload = self.config.workload()
+        n = len(self.overlay)
+        result = SimulationResult(
+            config=self.config,
+            node_addresses=self.overlay.address_array().astype(np.int64),
+            forwarded=np.zeros(n, dtype=np.int64),
+            first_hop=np.zeros(n, dtype=np.int64),
+            income=np.zeros(n, dtype=np.float64),
+            expenditure=np.zeros(n, dtype=np.float64),
+        )
+        if batched:
+            self._run_batched(workload, result, unpaid_origins)
+        else:
+            if self.config.has_scenarios:
+                raise ConfigurationError(
+                    "caching/churn scenarios require the batched engine; "
+                    "run with batched=True"
+                )
+            if unpaid_origins is not None:
+                raise ConfigurationError(
+                    "unpaid_origins requires the batched engine"
+                )
+            nodes = self.overlay.address_array()
+            for event in workload.events(nodes, self.space):
+                self._run_file(event, result)
+                result.files += 1
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    # Batched hot path
+
+    def _run_batched(self, workload, result: SimulationResult,
+                     unpaid_origins: np.ndarray | None = None) -> None:
+        """Flatten the whole workload and route all chunks in hop waves."""
+        config = self.config
+        file_origins, sizes, targets = self._flatten_workload(workload)
+        result.files += len(sizes)
+        if targets.size == 0 and len(sizes) == 0:
+            return
+        origins = np.repeat(file_origins, sizes)
+
+        if not config.has_scenarios:
+            result.chunks += int(origins.size)
+            self._route_batch(origins, targets, result,
+                              unpaid_origins=unpaid_origins)
+            return
+
+        # Scenario path: slabs of ``batch_files`` files let the cache
+        # mask and the alive mask evolve over (simulated) time while
+        # each slab still routes fully vectorized.
+        n = self.table.n_nodes
+        cached = (np.zeros(self.space.size, dtype=bool)
+                  if config.caching else None)
+        churn_rng = (np.random.default_rng(config.churn_seed)
+                     if config.churn_offline_fraction > 0.0 else None)
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        for start in range(0, len(sizes), config.batch_files):
+            stop = min(start + config.batch_files, len(sizes))
+            lo, hi = int(offsets[start]), int(offsets[stop])
+            slab_origins = origins[lo:hi].astype(np.intp)
+            slab_targets = targets[lo:hi]
+            result.chunks += int(slab_origins.size)
+            alive = None
+            storers = None
+            if churn_rng is not None:
+                alive = churn_rng.random(n) >= config.churn_offline_fraction
+                if not alive.any():
+                    result.unavailable += int(slab_origins.size)
+                    continue
+                if config.churn_recompute_storers:
+                    storers = self._alive_storer_table(alive)[slab_targets]
+                    dead = ~alive[slab_origins]
+                else:
+                    storers = self.table.storer_idx[slab_targets]
+                    dead = ~alive[slab_origins] | ~alive[storers]
+                if dead.any():
+                    result.unavailable += int(np.count_nonzero(dead))
+                    keep = ~dead
+                    slab_origins = slab_origins[keep]
+                    slab_targets = slab_targets[keep]
+                    storers = storers[keep]
+            self._route_batch(slab_origins, slab_targets, result,
+                              storers=storers, alive=alive, cached=cached,
+                              unpaid_origins=unpaid_origins)
+            if cached is not None:
+                # Every chunk retrieved this slab is now cached on its
+                # delivery path (global mask model of path caching).
+                cached[slab_targets] = True
+
+    def _flatten_workload(self, workload):
+        """(per-file origin indices, file sizes, flat targets) columns.
+
+        For a plain :class:`DownloadWorkload` (uniform chunks, no
+        catalog) the whole workload is sampled in three RNG calls that
+        reproduce the streaming generator's draw stream bit-for-bit —
+        numpy generators yield identical values whether ``integers``
+        is called once for N draws or file-by-file. Anything else
+        (traces, Zipf catalogs, custom workloads) falls back to
+        draining the event stream.
+        """
+        nodes = self.overlay.address_array()
+        if (type(workload) is DownloadWorkload
+                and workload.catalog_size == 0
+                and type(workload.originators) is OriginatorPool
+                and type(workload.file_size) is UniformFileSize):
+            rng = np.random.default_rng(workload.seed)
+            if workload.pool_seed is None:
+                pool = workload.originators.members(np.asarray(nodes), rng)
+            else:
+                pool = workload.originators.members(
+                    np.asarray(nodes),
+                    np.random.default_rng(workload.pool_seed),
+                )
+            chosen = workload.originators.sample(
+                pool, workload.n_files, rng
+            )
+            sizes = workload.file_size.sample(
+                workload.n_files, rng
+            ).astype(np.int64)
+            targets = rng.integers(
+                0, self.space.size, size=int(sizes.sum()), dtype=np.uint64
+            ).astype(np.int32)
+            index_of = self.overlay.index_of
+            file_origins = np.fromiter(
+                (index_of(int(address)) for address in chosen),
+                dtype=np.int32, count=len(chosen),
+            )
+            return file_origins, sizes, targets
+        origin_list: list[int] = []
+        size_list: list[int] = []
+        target_parts: list[np.ndarray] = []
+        for event in workload.events(nodes, self.space):
+            origin_list.append(self.overlay.index_of(int(event.originator)))
+            size_list.append(event.n_chunks)
+            target_parts.append(
+                np.asarray(event.chunk_addresses, dtype=np.int32)
+            )
+        if not target_parts:
+            empty = np.empty(0, dtype=np.int32)
+            return empty, np.empty(0, dtype=np.int64), empty
+        return (
+            np.asarray(origin_list, dtype=np.int32),
+            np.asarray(size_list, dtype=np.int64),
+            np.concatenate(target_parts),
+        )
+
+    def _route_batch(self, origins: np.ndarray, targets: np.ndarray,
+                     result: SimulationResult, *,
+                     storers: np.ndarray | None = None,
+                     alive: np.ndarray | None = None,
+                     cached: np.ndarray | None = None,
+                     unpaid_origins: np.ndarray | None = None) -> None:
+        """Route one flattened batch of chunk retrievals in hop waves.
+
+        Chunks are sorted by target first: the in-flight columns stay
+        target-ordered through every compaction, so the per-wave
+        transposed-table gathers walk memory near sequentially.
+        """
+        if origins.size == 0:
+            return
+        table = self.table
+        # Stable integer argsort is a radix/counting sort; a uint16
+        # key keeps it O(n) for the paper's 16-bit space.
+        key = targets.astype(np.uint16) if self.space.bits <= 16 else targets
+        order = np.argsort(key, kind="stable")
+        tg = np.take(targets, order)
+        current = np.take(origins, order).astype(np.intp)
+        if storers is None:
+            st = np.take(table.storer_idx, tg)
+        else:
+            st = np.take(storers.astype(np.intp), order)
+
+        local = st == current
+        local_count = int(np.count_nonzero(local))
+        if local_count:
+            result.local_hits += local_count
+            result.hop_histogram[0] = (
+                result.hop_histogram.get(0, 0) + local_count
+            )
+            remote = ~local
+            current = current[remote]
+            tg = tg[remote]
+            st = st[remote]
+
+        if cached is not None and current.size:
+            hits = cached[tg]
+            if hits.any():
+                self._serve_from_cache(
+                    current[hits], tg[hits], st[hits],
+                    result, alive=alive, unpaid_origins=unpaid_origins,
+                )
+                misses = ~hits
+                current = current[misses]
+                tg = tg[misses]
+                st = st[misses]
+
+        n = table.n_nodes
+        first_origins = current
+        hop = 0
+        while current.size:
+            hop += 1
+            nxt = self._hop_once(current, tg, st, result, alive)
+            wave_counts = np.bincount(nxt, minlength=n)
+            result.forwarded += wave_counts
+            result.total_hops += int(nxt.size)
+            if hop == 1:
+                result.first_hop += wave_counts
+                self._pay_first_hop(
+                    result, nxt, tg, first_origins, unpaid_origins
+                )
+            keep = nxt != st
+            arrived_count = int(nxt.size - np.count_nonzero(keep))
+            if arrived_count:
+                result.hop_histogram[hop] = (
+                    result.hop_histogram.get(hop, 0) + arrived_count
+                )
+            current = nxt[keep]
+            tg = tg[keep]
+            st = st[keep]
+
+    def _hop_once(self, current: np.ndarray, targets: np.ndarray,
+                  storers: np.ndarray, result: SimulationResult,
+                  alive: np.ndarray | None) -> np.ndarray:
+        """One lockstep forwarding wave with fallback/churn hand-off."""
+        nxt = self.table.transposed[targets, current].astype(np.intp)
+        stalled = nxt < 0
+        if alive is not None:
+            # A dead next hop behaves like a greedy terminal: the
+            # request jumps straight to the (live) storer.
+            valid = ~stalled
+            dead = np.zeros_like(stalled)
+            dead[valid] = ~alive[nxt[valid]]
+            stalled |= dead
+        n_stalled = int(np.count_nonzero(stalled))
+        if n_stalled:
+            # Neighborhood hand-off: jump straight to the storer
+            # (see Router); counted so the effect is visible.
+            result.fallbacks += n_stalled
+            nxt[stalled] = storers[stalled]
+        return nxt
+
+    def _serve_from_cache(self, origins: np.ndarray, targets: np.ndarray,
+                          storers: np.ndarray, result: SimulationResult, *,
+                          alive: np.ndarray | None,
+                          unpaid_origins: np.ndarray | None) -> None:
+        """Cache hits: the originator's first hop serves in one hop."""
+        n = self.table.n_nodes
+        nxt = self._hop_once(origins, targets, storers, result, alive)
+        wave_counts = np.bincount(nxt, minlength=n)
+        result.forwarded += wave_counts
+        result.first_hop += wave_counts
+        result.total_hops += int(nxt.size)
+        self._pay_first_hop(result, nxt, targets, origins, unpaid_origins)
+        result.cache_hits += int(nxt.size)
+        result.hop_histogram[1] = (
+            result.hop_histogram.get(1, 0) + int(nxt.size)
+        )
+
+    def _pay_first_hop(self, result: SimulationResult, servers: np.ndarray,
+                       targets: np.ndarray, origins: np.ndarray,
+                       unpaid_origins: np.ndarray | None) -> None:
+        """First-hop pricing and income/expenditure accounting."""
+        n = len(result.node_addresses)
+        if self.config.pricing == "xor":
+            # Inlined _prices on int32: addresses fit in 22 bits.
+            distances = np.take(self.table.addresses32, servers) ^ targets
+            np.maximum(distances, 1, out=distances)
+            prices = distances.astype(np.float64)
+            prices *= self.config.pricing_base / self.space.size
+        else:
+            prices = self._prices(
+                self.table.addresses[servers].astype(np.uint64),
+                targets.astype(np.uint64),
+            )
+        if unpaid_origins is not None:
+            prices[unpaid_origins[origins]] = 0.0
+        result.income += np.bincount(servers, weights=prices, minlength=n)
+        result.expenditure += np.bincount(origins, weights=prices,
+                                          minlength=n)
+
+    def _alive_storer_table(self, alive: np.ndarray) -> np.ndarray:
+        """Storer table restricted to live nodes (re-replication model)."""
+        alive_idx = np.flatnonzero(alive).astype(np.int64)
+        addresses = self.overlay.address_array()[alive_idx]
+        size = self.space.size
+        out = np.empty(size, dtype=np.int64)
+        targets = np.arange(size, dtype=np.uint64)
+        # Chunked to bound peak memory at ~ chunk * n_alive * 8B.
+        chunk = max(1, (1 << 22) // max(1, alive_idx.size))
+        for start in range(0, size, chunk):
+            block = targets[start:start + chunk]
+            distances = block[:, None] ^ addresses[None, :]
+            out[start:start + chunk] = alive_idx[np.argmin(distances, axis=1)]
+        return out
+
+    # ------------------------------------------------------------------
+    # Legacy per-file loop (kept for cross-validation and benchmarks)
+
+    def _run_file(self, event: FileDownload,
+                  result: SimulationResult) -> None:
+        """Route every chunk of one file and accumulate the counters."""
+        chunks = event.chunk_addresses.astype(np.int64)
+        n = self.table.n_nodes
+        origin_index = self.overlay.index_of(event.originator)
+        storer_index = self.table.storer[chunks]
+        result.chunks += len(chunks)
+
+        local = storer_index == origin_index
+        local_count = int(np.count_nonzero(local))
+        if local_count:
+            result.local_hits += local_count
+            result.hop_histogram[0] = (
+                result.hop_histogram.get(0, 0) + local_count
+            )
+        alive = ~local
+        current = np.full(int(np.count_nonzero(alive)), origin_index,
+                          dtype=np.int64)
+        targets = chunks[alive]
+        storers = storer_index[alive]
+        addresses = result.node_addresses
+        hop = 0
+        while current.size:
+            hop += 1
+            nxt = self.table.next_hop[current, targets].astype(np.int64)
+            stalled = nxt < 0
+            if stalled.any():
+                # Neighborhood hand-off: jump straight to the storer
+                # (see Router); counted so the effect is visible.
+                result.fallbacks += int(np.count_nonzero(stalled))
+                nxt = np.where(stalled, storers, nxt)
+            result.forwarded += np.bincount(nxt, minlength=n)
+            result.total_hops += int(nxt.size)
+            if hop == 1:
+                result.first_hop += np.bincount(nxt, minlength=n)
+                prices = self._prices(
+                    addresses[nxt].astype(np.uint64),
+                    targets.astype(np.uint64),
+                )
+                result.income += np.bincount(
+                    nxt, weights=prices, minlength=n
+                )
+                result.expenditure[origin_index] += float(prices.sum())
+            arrived = nxt == storers
+            arrived_count = int(np.count_nonzero(arrived))
+            if arrived_count:
+                result.hop_histogram[hop] = (
+                    result.hop_histogram.get(hop, 0) + arrived_count
+                )
+            keep = ~arrived
+            current = nxt[keep]
+            targets = targets[keep]
+            storers = storers[keep]
+
+
+# ----------------------------------------------------------------------
+# Backend protocol adapters
+
+
+class SimulationBoundBackend(SimulationBackend):
+    """Shared prepare(): bind a :class:`FastSimulation` to the config."""
+
+    simulation: FastSimulation | None = None
+
+    def prepare(self, config: FastSimulationConfig) -> "SimulationBoundBackend":
+        self.config = config
+        self.simulation = FastSimulation(config)
+        self.overlay = self.simulation.overlay
+        return self
+
+
+@register_backend
+class FastBackend(SimulationBoundBackend):
+    """Batched numpy engine — the production default."""
+
+    name = "fast"
+    description = "batched numpy engine: whole-workload lockstep hop waves"
+
+    def run(self, workload=None) -> SimulationResult:
+        self._require_prepared()
+        return self.simulation.run(workload)
+
+
+@register_backend
+class PerFileFastBackend(SimulationBoundBackend):
+    """The pre-batching vectorized loop: one python iteration per file.
+
+    Kept as a registered backend so equivalence tests and the
+    before/after benchmark can compare it against the batched engine.
+    """
+
+    name = "fast-perfile"
+    description = "legacy vectorized engine, one python iteration per file"
+
+    def run(self, workload=None) -> SimulationResult:
+        self._require_prepared()
+        return self.simulation.run(workload, batched=False)
+
+
+def paper_result(bucket_size: int, originator_share: float,
+                 n_files: int = 10_000, *, n_nodes: int = 1000,
+                 overlay_seed: int = 42,
+                 workload_seed: int = 7) -> SimulationResult:
+    """Run one cell of the paper's 2x2 experiment grid."""
+    config = FastSimulationConfig(
+        n_nodes=n_nodes,
+        bucket_size=bucket_size,
+        originator_share=originator_share,
+        n_files=n_files,
+        overlay_seed=overlay_seed,
+        workload_seed=workload_seed,
+    )
+    return FastSimulation(config).run()

@@ -1,0 +1,157 @@
+"""Per-node outcome vectors shared by every simulation backend."""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.fairness import (
+    FairnessReport,
+    LorenzCurve,
+    evaluate_fairness,
+    gini,
+    lorenz_curve,
+)
+from ..errors import ConfigurationError
+from .config import FastSimulationConfig
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Per-node outcome vectors of one simulation run.
+
+    All arrays are aligned with ``node_addresses`` (the overlay's
+    dense index order). ``income`` is the accounting units received as
+    the paid zero-proximity hop; ``expenditure`` is what originators
+    paid out. ``cache_hits`` and ``unavailable`` are only non-zero
+    when the corresponding scenario (path caching, churn) is active.
+    """
+
+    config: FastSimulationConfig
+    node_addresses: np.ndarray
+    forwarded: np.ndarray
+    first_hop: np.ndarray
+    income: np.ndarray
+    expenditure: np.ndarray
+    files: int = 0
+    chunks: int = 0
+    total_hops: int = 0
+    local_hits: int = 0
+    fallbacks: int = 0
+    cache_hits: int = 0
+    unavailable: int = 0
+    hop_histogram: dict[int, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Paper quantities
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes simulated."""
+        return len(self.node_addresses)
+
+    @property
+    def mean_hops(self) -> float:
+        """Average path length per chunk retrieval."""
+        retrieved = self.chunks - self.unavailable
+        if retrieved <= 0:
+            return 0.0
+        return self.total_hops / retrieved
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requested chunks actually retrieved."""
+        if self.chunks == 0:
+            return 1.0
+        return 1.0 - self.unavailable / self.chunks
+
+    def average_forwarded_chunks(self) -> float:
+        """Table I cell: network mean of per-node forwarded chunks."""
+        return float(self.forwarded.mean())
+
+    def f2_gini(self) -> float:
+        """Fig. 5: Gini of per-node income, all nodes."""
+        return gini(self.income)
+
+    def f2_curve(self) -> LorenzCurve:
+        """Fig. 5: Lorenz curve of per-node income."""
+        return lorenz_curve(self.income)
+
+    def f1_gini(self) -> float:
+        """Fig. 6: Gini of forwarded/first-hop ratios, paid nodes only."""
+        return self.f1_report().f1_gini
+
+    def f1_curve(self) -> LorenzCurve:
+        """Fig. 6: Lorenz curve of the F1 ratios."""
+        return self.f1_report().f1_curve
+
+    def f1_report(self) -> FairnessReport:
+        """Full F1/F2 report in the paper's Fig. 6 formulation."""
+        return evaluate_fairness(
+            self.forwarded.astype(np.float64),
+            self.first_hop.astype(np.float64),
+        )
+
+    def income_report(self) -> FairnessReport:
+        """F1/F2 with income (units) as the reward."""
+        return evaluate_fairness(self.forwarded.astype(np.float64), self.income)
+
+    def summary(self) -> str:
+        """One-paragraph run summary."""
+        extras = ""
+        if self.cache_hits:
+            extras += f", cache hits = {self.cache_hits}"
+        if self.unavailable:
+            extras += f", availability = {self.availability:.1%}"
+        return (
+            f"{self.files} files / {self.chunks} chunks over "
+            f"{self.n_nodes} nodes (k={self.config.bucket_size}, "
+            f"originators={self.config.originator_share:.0%}): "
+            f"mean forwarded = {self.average_forwarded_chunks():.0f}, "
+            f"mean hops = {self.mean_hops:.2f}, "
+            f"F2 Gini = {self.f2_gini():.4f}, "
+            f"F1 Gini = {self.f1_gini():.4f}, "
+            f"fallback hops = {self.fallbacks}{extras}"
+        )
+
+    def merge(self, other: "SimulationResult") -> "SimulationResult":
+        """Combine two runs over the same overlay (multi-machine story).
+
+        Configurations must agree on everything except the workload
+        seed and file count, mirroring the paper's split of one
+        simulation across machines.
+        """
+        ours, theirs = self.config, other.config
+        normalize = lambda c: dataclasses.replace(  # noqa: E731
+            c, n_files=1, workload_seed=0
+        )
+        if normalize(ours) != normalize(theirs):
+            raise ConfigurationError(
+                "cannot merge results whose configurations differ in "
+                "anything but the workload seed and file count"
+            )
+        merged_hist = dict(self.hop_histogram)
+        for hops, count in other.hop_histogram.items():
+            merged_hist[hops] = merged_hist.get(hops, 0) + count
+        return SimulationResult(
+            config=self.config,
+            node_addresses=self.node_addresses,
+            forwarded=self.forwarded + other.forwarded,
+            first_hop=self.first_hop + other.first_hop,
+            income=self.income + other.income,
+            expenditure=self.expenditure + other.expenditure,
+            files=self.files + other.files,
+            chunks=self.chunks + other.chunks,
+            total_hops=self.total_hops + other.total_hops,
+            local_hits=self.local_hits + other.local_hits,
+            fallbacks=self.fallbacks + other.fallbacks,
+            cache_hits=self.cache_hits + other.cache_hits,
+            unavailable=self.unavailable + other.unavailable,
+            hop_histogram=merged_hist,
+            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+        )

@@ -4,10 +4,12 @@
 experiments and the ablations from the terminal::
 
     repro-swarm list                     # available experiments
+    repro-swarm backends                 # available simulation backends
     repro-swarm run table1               # paper scale (10k downloads)
     repro-swarm run fig5 --files 1000    # scaled down
     repro-swarm run all --files 2000     # every experiment
     repro-swarm run table1 --out out.txt # also write the report
+    repro-swarm run table1 --files 200 --backend reference
 
     repro-swarm trace generate t.json --files 100    # freeze a workload
     repro-swarm trace replay t.json --bucket-size 20 # replay it
@@ -25,6 +27,7 @@ import sys
 import time
 from pathlib import Path
 
+from .errors import ExperimentError
 from .experiments.registry import get_experiment, list_experiments
 
 __all__ = ["main", "build_parser"]
@@ -42,6 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list available experiments")
+    subparsers.add_parser("backends", help="list simulation backends")
 
     run = subparsers.add_parser("run", help="run an experiment")
     run.add_argument(
@@ -55,6 +59,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--nodes", type=int, default=None,
         help="number of overlay nodes (default: experiment's own)",
+    )
+    run.add_argument(
+        "--backend", default=None,
+        help=(
+            "simulation backend for experiments that support one "
+            "(see 'backends'; default: fast)"
+        ),
     )
     run.add_argument(
         "--out", type=Path, default=None,
@@ -143,6 +154,28 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
         kwargs["n_files"] = args.files
     if args.nodes is not None:
         kwargs["n_nodes"] = args.nodes
+    if args.backend is not None:
+        from .backends import get_backend
+        from .errors import ConfigurationError
+
+        try:
+            backend = get_backend(args.backend)
+        except ConfigurationError as error:
+            raise ExperimentError(str(error)) from None
+        if not spec.supports_backend:
+            print(
+                f"[{name} runs on its own engine; --backend "
+                f"{args.backend} ignored]"
+            )
+        elif not backend.replays_workload:
+            # Self-contained models (tit_for_tat) don't replay the
+            # overlay workload these runners compare traffic on.
+            raise ExperimentError(
+                f"backend {args.backend!r} does not replay the download "
+                f"workload; run it via run_simulation() directly"
+            )
+        else:
+            kwargs["backend"] = args.backend
     started = time.perf_counter()
     report = spec.runner(**kwargs)
     elapsed = time.perf_counter() - started
@@ -231,6 +264,13 @@ def main(argv: list[str] | None = None) -> int:
         for spec in list_experiments():
             artifact = f" [{spec.paper_artifact}]" if spec.paper_artifact else ""
             print(f"{spec.name:<12} {spec.description}{artifact}")
+        return 0
+
+    if args.command == "backends":
+        from .backends import backend_specs
+
+        for name, description in backend_specs():
+            print(f"{name:<12} {description}")
         return 0
 
     if args.command == "trace":

@@ -1,448 +1,38 @@
-"""Vectorized whole-network simulator for paper-scale runs.
+"""Backward-compatibility shim — the engine lives in :mod:`repro.backends`.
 
-The paper's headline experiment downloads 10 000 files of 100–1000
-chunks each — about 5.5 million chunk retrievals over a 1000-node
-overlay. The object-oriented reference simulator
-(:class:`~repro.swarm.network.SwarmNetwork`) observes every SWAP
-channel and is deliberately not built for that volume; this module is
-the production backend:
-
-* :class:`NextHopTable` precomputes, for every (node, target address)
-  pair, the greedy forwarding decision as one dense numpy matrix —
-  routing a chunk becomes a table lookup;
-* :class:`FastSimulation` replays a whole file download as a handful
-  of array operations per hop level, accumulating exactly the
-  per-node quantities the paper's figures need (chunks forwarded,
-  chunks served as paid first hop, income in accounting units).
-
-Equivalence with the reference implementation is asserted by
-``tests/integration/test_fast_vs_reference.py`` on shared overlays.
-Overlays and next-hop tables are cached per configuration, mirroring
-the paper's reuse of one overlay across experiments.
+Historically the vectorized simulator was ``repro.experiments.fast``;
+it has been promoted to :mod:`repro.backends.fast` behind the
+:class:`~repro.backends.base.SimulationBackend` protocol. Every public
+name is re-exported here so existing imports keep working; new code
+should import from :mod:`repro.backends`.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from .._validation import require_fraction, require_int
-from ..core.fairness import (
-    FairnessReport,
-    LorenzCurve,
-    evaluate_fairness,
-    gini,
-    lorenz_curve,
+from ..backends.fast import (
+    MAX_FAST_BITS,
+    FastBackend,
+    FastSimulation,
+    FastSimulationConfig,
+    NextHopTable,
+    PerFileFastBackend,
+    SimulationResult,
+    cached_next_hop_table,
+    cached_overlay,
+    clear_caches,
+    paper_result,
 )
-from ..errors import ConfigurationError
-from ..kademlia.address import bit_length_array
-from ..kademlia.buckets import BucketLimits
-from ..kademlia.overlay import Overlay, OverlayConfig
-from ..workloads.distributions import OriginatorPool, UniformFileSize
-from ..workloads.generators import DownloadWorkload, FileDownload
 
 __all__ = [
     "FastSimulationConfig",
     "NextHopTable",
     "SimulationResult",
     "FastSimulation",
+    "FastBackend",
+    "PerFileFastBackend",
     "clear_caches",
+    "cached_overlay",
+    "cached_next_hop_table",
+    "paper_result",
+    "MAX_FAST_BITS",
 ]
-
-#: Maximum address width the vectorized backend supports; wider
-#: spaces would need a sparse storer/next-hop representation.
-MAX_FAST_BITS = 22
-
-_OVERLAY_CACHE: dict[tuple, Overlay] = {}
-_TABLE_CACHE: dict[tuple, "NextHopTable"] = {}
-
-
-def clear_caches() -> None:
-    """Drop cached overlays and next-hop tables (for memory-bound tests)."""
-    _OVERLAY_CACHE.clear()
-    _TABLE_CACHE.clear()
-
-
-def _overlay_key(config: OverlayConfig) -> tuple:
-    """Hashable cache key for an overlay configuration."""
-    return (
-        config.n_nodes,
-        config.bits,
-        config.limits.default,
-        tuple(sorted(config.limits.overrides.items())),
-        config.seed,
-        config.neighborhood_min,
-        config.symmetric_neighborhood,
-    )
-
-
-def cached_overlay(config: OverlayConfig) -> Overlay:
-    """Build (or reuse) the overlay for *config*."""
-    key = _overlay_key(config)
-    overlay = _OVERLAY_CACHE.get(key)
-    if overlay is None:
-        overlay = Overlay.build(config)
-        _OVERLAY_CACHE[key] = overlay
-    return overlay
-
-
-def cached_next_hop_table(overlay: Overlay) -> "NextHopTable":
-    """Build (or reuse) the next-hop table for *overlay*."""
-    key = _overlay_key(overlay.config)
-    table = _TABLE_CACHE.get(key)
-    if table is None:
-        table = NextHopTable(overlay)
-        _TABLE_CACHE[key] = table
-    return table
-
-
-class NextHopTable:
-    """Dense greedy-forwarding table for one overlay.
-
-    ``next_hop[i, t]`` is the dense index of the peer node ``i``
-    forwards a request for target address ``t`` to, or ``-1`` when no
-    known peer is XOR-closer than ``i`` itself (greedy terminal).
-    ``storer[t]`` is the dense index of the globally closest node.
-    """
-
-    def __init__(self, overlay: Overlay) -> None:
-        bits = overlay.space.bits
-        if bits > MAX_FAST_BITS:
-            raise ConfigurationError(
-                f"the vectorized backend supports at most {MAX_FAST_BITS}-bit "
-                f"spaces, got {bits}; use the reference SwarmNetwork"
-            )
-        self.overlay = overlay
-        size = overlay.space.size
-        n_nodes = len(overlay)
-        dtype = np.int16 if n_nodes < np.iinfo(np.int16).max else np.int32
-        self.next_hop = np.full((n_nodes, size), -1, dtype=dtype)
-        self.storer = overlay.storer_table().astype(np.int64)
-        targets = np.arange(size, dtype=np.uint64)
-        addresses = overlay.address_array()
-        for index, owner in enumerate(overlay.addresses):
-            table = overlay.table(owner)
-            peers = table.peer_array()
-            if peers.size == 0:
-                continue
-            peer_indices = np.array(
-                [overlay.index_of(int(peer)) for peer in peers],
-                dtype=np.int64,
-            )
-            # Running minimum over the node's peers: O(m) full-space
-            # passes with no (size x m) intermediate.
-            best_distance = targets ^ np.uint64(owner)
-            best_index = np.full(size, -1, dtype=np.int64)
-            for peer, peer_index in zip(peers, peer_indices):
-                distance = targets ^ peer
-                closer = distance < best_distance
-                best_distance = np.where(closer, distance, best_distance)
-                best_index[closer] = peer_index
-            self.next_hop[index] = best_index.astype(dtype)
-        self.addresses = addresses
-
-    @property
-    def n_nodes(self) -> int:
-        """Number of nodes in the underlying overlay."""
-        return self.next_hop.shape[0]
-
-
-@dataclass(frozen=True)
-class FastSimulationConfig:
-    """One paper-style experiment configuration.
-
-    Defaults reproduce the paper's setup; ``bucket_size`` and
-    ``originator_share`` are the two swept parameters, ``bucket_zero``
-    expresses the §V per-bucket ablation.
-    """
-
-    n_nodes: int = 1000
-    bits: int = 16
-    bucket_size: int = 4
-    bucket_zero: int | None = None
-    originator_share: float = 1.0
-    n_files: int = 10_000
-    file_min: int = 100
-    file_max: int = 1000
-    overlay_seed: int = 42
-    workload_seed: int = 7
-    pricing: str = "xor"
-    pricing_base: float = 1.0
-    catalog_size: int = 0
-    catalog_exponent: float = 1.0
-
-    def __post_init__(self) -> None:
-        require_int(self.n_files, "n_files")
-        require_fraction(self.originator_share, "originator_share")
-        if self.n_files < 1:
-            raise ConfigurationError(f"n_files must be >= 1, got {self.n_files}")
-        if self.pricing not in ("xor", "proximity", "flat"):
-            raise ConfigurationError(
-                f"pricing must be 'xor', 'proximity' or 'flat', got "
-                f"{self.pricing!r}"
-            )
-
-    def overlay_config(self) -> OverlayConfig:
-        """The overlay this experiment runs on."""
-        overrides = {} if self.bucket_zero is None else {0: self.bucket_zero}
-        return OverlayConfig(
-            n_nodes=self.n_nodes,
-            bits=self.bits,
-            limits=BucketLimits(default=self.bucket_size, overrides=overrides),
-            seed=self.overlay_seed,
-        )
-
-    def workload(self) -> DownloadWorkload:
-        """The download workload this experiment replays."""
-        return DownloadWorkload(
-            n_files=self.n_files,
-            originators=OriginatorPool(share=self.originator_share),
-            file_size=UniformFileSize(low=self.file_min, high=self.file_max),
-            seed=self.workload_seed,
-            catalog_size=self.catalog_size,
-            catalog_exponent=self.catalog_exponent,
-        )
-
-
-@dataclass
-class SimulationResult:
-    """Per-node outcome vectors of one simulation run.
-
-    All arrays are aligned with ``node_addresses`` (the overlay's
-    dense index order). ``income`` is the accounting units received as
-    the paid zero-proximity hop; ``expenditure`` is what originators
-    paid out.
-    """
-
-    config: FastSimulationConfig
-    node_addresses: np.ndarray
-    forwarded: np.ndarray
-    first_hop: np.ndarray
-    income: np.ndarray
-    expenditure: np.ndarray
-    files: int = 0
-    chunks: int = 0
-    total_hops: int = 0
-    local_hits: int = 0
-    fallbacks: int = 0
-    hop_histogram: dict[int, int] = field(default_factory=dict)
-    elapsed_seconds: float = 0.0
-
-    # ------------------------------------------------------------------
-    # Paper quantities
-
-    @property
-    def n_nodes(self) -> int:
-        """Number of nodes simulated."""
-        return len(self.node_addresses)
-
-    @property
-    def mean_hops(self) -> float:
-        """Average path length per chunk retrieval."""
-        if self.chunks == 0:
-            return 0.0
-        return self.total_hops / self.chunks
-
-    def average_forwarded_chunks(self) -> float:
-        """Table I cell: network mean of per-node forwarded chunks."""
-        return float(self.forwarded.mean())
-
-    def f2_gini(self) -> float:
-        """Fig. 5: Gini of per-node income, all nodes."""
-        return gini(self.income)
-
-    def f2_curve(self) -> LorenzCurve:
-        """Fig. 5: Lorenz curve of per-node income."""
-        return lorenz_curve(self.income)
-
-    def f1_gini(self) -> float:
-        """Fig. 6: Gini of forwarded/first-hop ratios, paid nodes only."""
-        return self.f1_report().f1_gini
-
-    def f1_curve(self) -> LorenzCurve:
-        """Fig. 6: Lorenz curve of the F1 ratios."""
-        return self.f1_report().f1_curve
-
-    def f1_report(self) -> FairnessReport:
-        """Full F1/F2 report in the paper's Fig. 6 formulation."""
-        return evaluate_fairness(
-            self.forwarded.astype(np.float64),
-            self.first_hop.astype(np.float64),
-        )
-
-    def income_report(self) -> FairnessReport:
-        """F1/F2 with income (units) as the reward."""
-        return evaluate_fairness(self.forwarded.astype(np.float64), self.income)
-
-    def summary(self) -> str:
-        """One-paragraph run summary."""
-        return (
-            f"{self.files} files / {self.chunks} chunks over "
-            f"{self.n_nodes} nodes (k={self.config.bucket_size}, "
-            f"originators={self.config.originator_share:.0%}): "
-            f"mean forwarded = {self.average_forwarded_chunks():.0f}, "
-            f"mean hops = {self.mean_hops:.2f}, "
-            f"F2 Gini = {self.f2_gini():.4f}, "
-            f"F1 Gini = {self.f1_gini():.4f}, "
-            f"fallback hops = {self.fallbacks}"
-        )
-
-    def merge(self, other: "SimulationResult") -> "SimulationResult":
-        """Combine two runs over the same overlay (multi-machine story).
-
-        Configurations must agree on everything except the workload
-        seed and file count, mirroring the paper's split of one
-        simulation across machines.
-        """
-        ours, theirs = self.config, other.config
-        same_overlay = (
-            ours.overlay_config() == theirs.overlay_config()
-            and ours.pricing == theirs.pricing
-            and ours.originator_share == theirs.originator_share
-        )
-        if not same_overlay:
-            raise ConfigurationError(
-                "cannot merge results from different overlay or pricing "
-                "configurations"
-            )
-        merged_hist = dict(self.hop_histogram)
-        for hops, count in other.hop_histogram.items():
-            merged_hist[hops] = merged_hist.get(hops, 0) + count
-        return SimulationResult(
-            config=self.config,
-            node_addresses=self.node_addresses,
-            forwarded=self.forwarded + other.forwarded,
-            first_hop=self.first_hop + other.first_hop,
-            income=self.income + other.income,
-            expenditure=self.expenditure + other.expenditure,
-            files=self.files + other.files,
-            chunks=self.chunks + other.chunks,
-            total_hops=self.total_hops + other.total_hops,
-            local_hits=self.local_hits + other.local_hits,
-            fallbacks=self.fallbacks + other.fallbacks,
-            hop_histogram=merged_hist,
-            elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
-        )
-
-
-class FastSimulation:
-    """Replays a download workload against a precomputed routing table."""
-
-    def __init__(self, config: FastSimulationConfig) -> None:
-        self.config = config
-        self.overlay = cached_overlay(config.overlay_config())
-        self.table = cached_next_hop_table(self.overlay)
-        self.space = self.overlay.space
-
-    # ------------------------------------------------------------------
-    # Pricing (vectorized mirror of repro.core.pricing)
-
-    def _prices(self, server_addresses: np.ndarray,
-                chunk_addresses: np.ndarray) -> np.ndarray:
-        base = self.config.pricing_base
-        if self.config.pricing == "flat":
-            return np.full(len(chunk_addresses), base, dtype=np.float64)
-        if self.config.pricing == "xor":
-            distances = (server_addresses ^ chunk_addresses).astype(np.float64)
-            return base * np.maximum(distances, 1.0) / self.space.size
-        # proximity: base * max(bits - po, 1)
-        diffs = server_addresses ^ chunk_addresses
-        lengths = bit_length_array(diffs)  # == bits - po
-        return base * np.maximum(lengths, 1).astype(np.float64)
-
-    # ------------------------------------------------------------------
-    # Execution
-
-    def run(self, workload: DownloadWorkload | None = None) -> SimulationResult:
-        """Run the configured (or given) workload; returns the result."""
-        started = time.perf_counter()
-        if workload is None:
-            workload = self.config.workload()
-        n = len(self.overlay)
-        result = SimulationResult(
-            config=self.config,
-            node_addresses=self.overlay.address_array().astype(np.int64),
-            forwarded=np.zeros(n, dtype=np.int64),
-            first_hop=np.zeros(n, dtype=np.int64),
-            income=np.zeros(n, dtype=np.float64),
-            expenditure=np.zeros(n, dtype=np.float64),
-        )
-        nodes = self.overlay.address_array()
-        for event in workload.events(nodes, self.space):
-            self._run_file(event, result)
-            result.files += 1
-        result.elapsed_seconds = time.perf_counter() - started
-        return result
-
-    def _run_file(self, event: FileDownload,
-                  result: SimulationResult) -> None:
-        """Route every chunk of one file and accumulate the counters."""
-        chunks = event.chunk_addresses.astype(np.int64)
-        n = self.table.n_nodes
-        origin_index = self.overlay.index_of(event.originator)
-        storer_index = self.table.storer[chunks]
-        result.chunks += len(chunks)
-
-        local = storer_index == origin_index
-        local_count = int(np.count_nonzero(local))
-        if local_count:
-            result.local_hits += local_count
-            result.hop_histogram[0] = (
-                result.hop_histogram.get(0, 0) + local_count
-            )
-        alive = ~local
-        current = np.full(int(np.count_nonzero(alive)), origin_index,
-                          dtype=np.int64)
-        targets = chunks[alive]
-        storers = storer_index[alive]
-        addresses = result.node_addresses
-        hop = 0
-        while current.size:
-            hop += 1
-            nxt = self.table.next_hop[current, targets].astype(np.int64)
-            stalled = nxt < 0
-            if stalled.any():
-                # Neighborhood hand-off: jump straight to the storer
-                # (see Router); counted so the effect is visible.
-                result.fallbacks += int(np.count_nonzero(stalled))
-                nxt = np.where(stalled, storers, nxt)
-            result.forwarded += np.bincount(nxt, minlength=n)
-            result.total_hops += int(nxt.size)
-            if hop == 1:
-                result.first_hop += np.bincount(nxt, minlength=n)
-                prices = self._prices(
-                    addresses[nxt].astype(np.uint64),
-                    targets.astype(np.uint64),
-                )
-                result.income += np.bincount(
-                    nxt, weights=prices, minlength=n
-                )
-                result.expenditure[origin_index] += float(prices.sum())
-            arrived = nxt == storers
-            arrived_count = int(np.count_nonzero(arrived))
-            if arrived_count:
-                result.hop_histogram[hop] = (
-                    result.hop_histogram.get(hop, 0) + arrived_count
-                )
-            keep = ~arrived
-            current = nxt[keep]
-            targets = targets[keep]
-            storers = storers[keep]
-
-
-def paper_result(bucket_size: int, originator_share: float,
-                 n_files: int = 10_000, *, n_nodes: int = 1000,
-                 overlay_seed: int = 42,
-                 workload_seed: int = 7) -> SimulationResult:
-    """Run one cell of the paper's 2x2 experiment grid."""
-    config = FastSimulationConfig(
-        n_nodes=n_nodes,
-        bucket_size=bucket_size,
-        originator_share=originator_share,
-        n_files=n_files,
-        overlay_seed=overlay_seed,
-        workload_seed=workload_seed,
-    )
-    return FastSimulation(config).run()

@@ -22,7 +22,8 @@ from __future__ import annotations
 from ..analysis.histogram import area_ratio, histogram
 from ..analysis.plots import ascii_histogram, ascii_lorenz
 from ..analysis.reports import Table
-from .fast import FastSimulationConfig, FastSimulation, SimulationResult
+from ..backends import run_simulation
+from .fast import FastSimulationConfig, SimulationResult
 from .report import ExperimentReport
 
 __all__ = [
@@ -50,13 +51,14 @@ def _share_label(share: float) -> str:
 
 def run_grid(n_files: int = 10_000, n_nodes: int = 1000,
              *, overlay_seed: int = 42, workload_seed: int = 7,
-             bits: int = 16) -> dict[tuple[int, float], SimulationResult]:
+             bits: int = 16,
+             backend: str = "fast") -> dict[tuple[int, float], SimulationResult]:
     """Simulate the 2x2 grid; cells are cached per process."""
     results: dict[tuple[int, float], SimulationResult] = {}
     for bucket_size in GRID_BUCKET_SIZES:
         for share in GRID_ORIGINATOR_SHARES:
             key = (bucket_size, share, n_files, n_nodes, overlay_seed,
-                   workload_seed, bits)
+                   workload_seed, bits, backend)
             cached = _GRID_CACHE.get(key)
             if cached is None:
                 config = FastSimulationConfig(
@@ -68,7 +70,7 @@ def run_grid(n_files: int = 10_000, n_nodes: int = 1000,
                     overlay_seed=overlay_seed,
                     workload_seed=workload_seed,
                 )
-                cached = FastSimulation(config).run()
+                cached = run_simulation(config, backend=backend)
                 _GRID_CACHE[key] = cached
             results[(bucket_size, share)] = cached
     return results

@@ -20,12 +20,18 @@ __all__ = ["ExperimentSpec", "REGISTRY", "get_experiment", "list_experiments"]
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One registered experiment."""
+    """One registered experiment.
+
+    ``supports_backend`` marks runners that accept a ``backend``
+    keyword (a :mod:`repro.backends` registry name) to select the
+    simulation engine; the CLI only forwards ``--backend`` to those.
+    """
 
     name: str
     description: str
     runner: Callable[..., ExperimentReport]
     paper_artifact: str | None = None
+    supports_backend: bool = False
 
 
 REGISTRY: dict[str, ExperimentSpec] = {
@@ -36,6 +42,7 @@ REGISTRY: dict[str, ExperimentSpec] = {
             description="Average forwarded chunks per configuration",
             runner=paper.run_table1,
             paper_artifact="Table I",
+            supports_backend=True,
         ),
         ExperimentSpec(
             name="fig3",
@@ -48,49 +55,62 @@ REGISTRY: dict[str, ExperimentSpec] = {
             description="Per-node forwarded-chunk distributions",
             runner=paper.run_fig4,
             paper_artifact="Figure 4",
+            supports_backend=True,
         ),
         ExperimentSpec(
             name="fig5",
             description="F2 (income) Lorenz curves and Gini",
             runner=paper.run_fig5,
             paper_artifact="Figure 5",
+            supports_backend=True,
         ),
         ExperimentSpec(
             name="fig6",
             description="F1 (forwarded vs first-hop) Lorenz curves and Gini",
             runner=paper.run_fig6,
             paper_artifact="Figure 6",
+            supports_backend=True,
         ),
         ExperimentSpec(
             name="headline",
             description="Gini reduction k=4 -> k=20 (paper: F2 -7%, F1 -6%)",
             runner=paper.run_headline,
             paper_artifact="Section VI",
+            supports_backend=True,
         ),
         ExperimentSpec(
             name="k_sweep",
             description="Fairness/bandwidth across bucket sizes",
             runner=ablations.run_k_sweep,
+            supports_backend=True,
         ),
         ExperimentSpec(
             name="bucket0",
             description="Widen only bucket zero (paper §V idea)",
             runner=ablations.run_bucket0,
+            supports_backend=True,
         ),
         ExperimentSpec(
             name="pricing",
             description="Pricing-strategy ablation",
             runner=ablations.run_pricing,
+            supports_backend=True,
         ),
         ExperimentSpec(
             name="popularity",
             description="Zipf content popularity extension",
             runner=ablations.run_popularity,
+            supports_backend=True,
         ),
         ExperimentSpec(
             name="caching",
             description="Forwarding-cache extension (reference simulator)",
             runner=ablations.run_caching,
+        ),
+        ExperimentSpec(
+            name="caching_fast",
+            description="Path caching at paper scale (vectorized backend)",
+            runner=ablations.run_caching_fast,
         ),
         ExperimentSpec(
             name="freeriders",
@@ -106,11 +126,17 @@ REGISTRY: dict[str, ExperimentSpec] = {
             name="overhead",
             description="Net earnings after maintenance overhead (§V)",
             runner=extensions.run_overhead,
+            supports_backend=True,
         ),
         ExperimentSpec(
             name="churn",
             description="Availability under node churn (§II motivation)",
             runner=extensions.run_churn,
+        ),
+        ExperimentSpec(
+            name="churn_fast",
+            description="Churn at paper scale (vectorized backend)",
+            runner=extensions.run_churn_fast,
         ),
         ExperimentSpec(
             name="privacy",
@@ -131,6 +157,7 @@ REGISTRY: dict[str, ExperimentSpec] = {
             name="latency",
             description="Retrieval latency vs bucket size (hop model)",
             runner=extensions.run_latency,
+            supports_backend=True,
         ),
     )
 }

@@ -1,0 +1,165 @@
+"""Fast-backend scenarios (path caching, churn) and baseline backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import FastSimulationConfig, get_backend, run_simulation
+from repro.errors import ConfigurationError
+
+
+BASE = dict(
+    n_nodes=120, bits=12, bucket_size=4, originator_share=0.5,
+    n_files=200, file_min=5, file_max=20, overlay_seed=1, workload_seed=2,
+)
+
+
+class TestCachingScenario:
+    def test_cache_hits_reduce_traffic(self):
+        plain = run_simulation(FastSimulationConfig(
+            **BASE, catalog_size=30, batch_files=25,
+        ))
+        cached = run_simulation(FastSimulationConfig(
+            **BASE, catalog_size=30, caching=True, batch_files=25,
+        ))
+        assert cached.cache_hits > 0
+        assert cached.forwarded.sum() < plain.forwarded.sum()
+        assert cached.mean_hops < plain.mean_hops
+
+    def test_accounting_identities_hold_with_caching(self):
+        result = run_simulation(FastSimulationConfig(
+            **BASE, catalog_size=30, caching=True, batch_files=25,
+        ))
+        assert sum(result.hop_histogram.values()) == result.chunks
+        assert result.first_hop.sum() == result.chunks - result.local_hits
+        assert result.income.sum() == pytest.approx(
+            result.expenditure.sum()
+        )
+
+    def test_uniform_workload_rarely_hits(self):
+        # Without popularity the 12-bit space still repeats addresses,
+        # but hits must be far rarer than under a 30-file catalog.
+        uniform = run_simulation(FastSimulationConfig(
+            **BASE, caching=True, batch_files=25,
+        ))
+        catalog = run_simulation(FastSimulationConfig(
+            **BASE, catalog_size=30, caching=True, batch_files=25,
+        ))
+        assert uniform.cache_hits < catalog.cache_hits
+
+    def test_caching_requires_batched_engine(self):
+        config = FastSimulationConfig(**BASE, caching=True)
+        backend = get_backend("fast-perfile").prepare(config)
+        with pytest.raises(ConfigurationError, match="batched"):
+            backend.run()
+
+
+class TestChurnScenario:
+    def test_offline_storers_cost_availability(self):
+        result = run_simulation(FastSimulationConfig(
+            **BASE, churn_offline_fraction=0.2, batch_files=25,
+        ))
+        assert 0 < result.unavailable < result.chunks
+        assert 0.0 < result.availability < 1.0
+        # Retrieved chunks are fully accounted.
+        assert (sum(result.hop_histogram.values())
+                == result.chunks - result.unavailable)
+
+    def test_zero_fraction_matches_static_run(self):
+        static = run_simulation(FastSimulationConfig(**BASE))
+        churnless = run_simulation(FastSimulationConfig(
+            **BASE, churn_offline_fraction=0.0,
+        ))
+        assert np.array_equal(static.forwarded, churnless.forwarded)
+        assert static.unavailable == churnless.unavailable == 0
+
+    def test_storer_recomputation_recovers_availability(self):
+        dropped = run_simulation(FastSimulationConfig(
+            **BASE, churn_offline_fraction=0.3, batch_files=25,
+        ))
+        rereplicated = run_simulation(FastSimulationConfig(
+            **BASE, churn_offline_fraction=0.3, batch_files=25,
+            churn_recompute_storers=True,
+        ))
+        assert rereplicated.availability > dropped.availability
+
+    def test_deterministic_under_churn(self):
+        config = FastSimulationConfig(
+            **BASE, churn_offline_fraction=0.2, batch_files=25,
+        )
+        first = run_simulation(config)
+        second = run_simulation(config)
+        assert np.array_equal(first.forwarded, second.forwarded)
+        assert first.unavailable == second.unavailable
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FastSimulationConfig(**BASE, churn_offline_fraction=1.5)
+
+
+class TestBaselineBackends:
+    def test_flat_reward_is_proportional(self):
+        result = run_simulation(FastSimulationConfig(**BASE), backend="flat")
+        assert np.allclose(
+            result.income, result.forwarded.astype(np.float64)
+        )
+        # Proportional reward: F1 on (contribution, income) is zero.
+        assert result.income_report().f1_gini == pytest.approx(0.0, abs=1e-9)
+
+    def test_filecoin_rewards_storers_and_power(self):
+        config = FastSimulationConfig(**BASE)
+        retrieval_only = run_simulation(
+            config, backend="filecoin", block_reward=0.0
+        )
+        with_blocks = run_simulation(
+            config, backend="filecoin", block_reward=10.0
+        )
+        # Retrieval payments: one unit per served (non-local) chunk.
+        assert retrieval_only.income.sum() == pytest.approx(
+            float(retrieval_only.chunks - retrieval_only.local_hits)
+        )
+        assert with_blocks.income.sum() > retrieval_only.income.sum()
+
+    def test_freerider_fraction_raises_inequality(self):
+        config = FastSimulationConfig(**BASE)
+        fair = run_simulation(config, backend="freerider", fraction=0.0)
+        unfair = run_simulation(config, backend="freerider", fraction=0.5)
+        assert unfair.income.sum() < fair.income.sum()
+        assert unfair.f2_gini() > fair.f2_gini()
+
+    def test_tit_for_tat_runs_own_swarm(self):
+        result = run_simulation(FastSimulationConfig(**BASE),
+                                backend="tit_for_tat")
+        assert result.n_nodes <= BASE["n_nodes"]
+        assert result.income.sum() > 0
+        # Service received equals service given, swarm-wide.
+        assert result.income.sum() == result.forwarded.sum()
+
+
+class TestScenarioGuards:
+    def test_reference_backend_rejects_scenario_fields(self):
+        for fields in ({"caching": True},
+                       {"churn_offline_fraction": 0.2}):
+            config = FastSimulationConfig(**BASE, **fields)
+            with pytest.raises(ConfigurationError, match="vectorized"):
+                get_backend("reference").prepare(config)
+
+    def test_tit_for_tat_marked_non_replaying(self):
+        from repro.backends import TitForTatBackend
+
+        assert not TitForTatBackend.replays_workload
+        assert get_backend("fast").replays_workload
+
+    def test_filecoin_rejects_scenario_fields(self):
+        config = FastSimulationConfig(**BASE, churn_offline_fraction=0.2)
+        with pytest.raises(ConfigurationError, match="filecoin"):
+            get_backend("filecoin").prepare(config)
+
+    def test_merge_rejects_mixed_scenarios(self):
+        churned = run_simulation(FastSimulationConfig(
+            **BASE, churn_offline_fraction=0.2, batch_files=25,
+        ))
+        static = run_simulation(FastSimulationConfig(**BASE))
+        with pytest.raises(ConfigurationError, match="workload seed"):
+            churned.merge(static)

@@ -114,3 +114,41 @@ class TestOverlayCli:
                      "--node", str(node)])
         assert code == 0
         assert f"(={node})" in capsys.readouterr().out
+
+
+class TestBackendOption:
+    def test_backends_command_lists_registry(self, capsys):
+        assert main(["backends"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fast", "reference", "tit_for_tat"):
+            assert name in output
+
+    def test_run_with_backend(self, capsys):
+        code = main([
+            "run", "table1", "--files", "40", "--nodes", "90",
+            "--backend", "reference",
+        ])
+        assert code == 0
+        assert "Average forwarded chunks" in capsys.readouterr().out
+
+    def test_unsupported_backend_is_ignored_with_note(self, capsys):
+        code = main([
+            "run", "fig3", "--backend", "reference",
+        ])
+        assert code == 0
+        assert "ignored" in capsys.readouterr().out
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ExperimentError, match="unknown backend"):
+            main(["run", "table1", "--files", "40", "--nodes", "90",
+                  "--backend", "bogus"])
+
+    def test_backend_flags_marked_in_registry(self):
+        assert get_experiment("table1").supports_backend
+        assert get_experiment("k_sweep").supports_backend
+        assert not get_experiment("fig3").supports_backend
+
+    def test_non_replaying_backend_rejected(self):
+        with pytest.raises(ExperimentError, match="does not replay"):
+            main(["run", "k_sweep", "--files", "40", "--nodes", "90",
+                  "--backend", "tit_for_tat"])

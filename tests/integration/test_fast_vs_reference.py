@@ -1,9 +1,10 @@
-"""Integration: the vectorized and reference simulators agree exactly.
+"""Integration: every vectorized backend agrees with the reference.
 
-This is the central cross-validation promised in DESIGN.md §4: on a
-shared overlay and workload, the numpy backend and the object-oriented
-SwarmNetwork must produce identical forwarded counts, first-hop
-counts, and (up to float summation order) incomes.
+This is the central cross-validation promised in DESIGN.md §4, now
+expressed through the backend protocol: on a shared overlay and
+workload, each fast engine (batched and legacy per-file) and the
+object-oriented SwarmNetwork adapter must produce identical forwarded
+counts, first-hop counts, and (up to float summation order) incomes.
 """
 
 from __future__ import annotations
@@ -11,26 +12,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments.fast import FastSimulation, FastSimulationConfig
-from repro.swarm.chunk import FileManifest
-from repro.swarm.network import SwarmNetwork, SwarmNetworkConfig
-
-
-def reference_run(config: FastSimulationConfig) -> SwarmNetwork:
-    """Replay the fast config's workload on the reference simulator."""
-    network = SwarmNetwork(SwarmNetworkConfig(
-        overlay=config.overlay_config(),
-        pricing=config.pricing,
-    ))
-    workload = config.workload()
-    nodes = network.overlay.address_array()
-    for event in workload.events(nodes, network.overlay.space):
-        manifest = FileManifest(
-            file_id=event.file_id,
-            chunk_addresses=tuple(int(a) for a in event.chunk_addresses),
-        )
-        network.download_file(int(event.originator), manifest)
-    return network
+from repro.backends import FastSimulationConfig, get_backend
 
 
 CONFIGS = [
@@ -51,35 +33,60 @@ CONFIGS = [
     ),
 ]
 
+CONFIG_IDS = ["k4-skew", "k20-uniform", "bucket0-proximity"]
 
-@pytest.mark.parametrize("config", CONFIGS,
-                         ids=["k4-skew", "k20-uniform", "bucket0-proximity"])
+FAST_BACKENDS = ["fast", "fast-perfile"]
+
+
+@pytest.fixture(scope="module")
+def reference_results():
+    cache: dict[int, object] = {}
+
+    def result_for(config):
+        key = id(config)
+        if key not in cache:
+            cache[key] = get_backend("reference").prepare(config).run()
+        return cache[key]
+
+    return result_for
+
+
+@pytest.mark.parametrize("backend", FAST_BACKENDS)
+@pytest.mark.parametrize("config", CONFIGS, ids=CONFIG_IDS)
 class TestBackendsAgree:
-    def test_forwarded_counts_identical(self, config):
-        fast = FastSimulation(config).run()
-        reference = reference_run(config)
-        assert np.array_equal(
-            fast.forwarded, reference.forwarded_per_node()
-        )
+    def test_forwarded_counts_identical(self, config, backend,
+                                        reference_results):
+        fast = get_backend(backend).prepare(config).run()
+        reference = reference_results(config)
+        assert np.array_equal(fast.forwarded, reference.forwarded)
 
-    def test_first_hop_counts_identical(self, config):
-        fast = FastSimulation(config).run()
-        reference = reference_run(config)
-        assert np.array_equal(
-            fast.first_hop, reference.first_hop_per_node()
-        )
+    def test_first_hop_counts_identical(self, config, backend,
+                                        reference_results):
+        fast = get_backend(backend).prepare(config).run()
+        reference = reference_results(config)
+        assert np.array_equal(fast.first_hop, reference.first_hop)
 
-    def test_incomes_match(self, config):
-        fast = FastSimulation(config).run()
-        reference = reference_run(config)
-        assert np.allclose(fast.income, reference.income_per_node())
+    def test_incomes_match(self, config, backend, reference_results):
+        fast = get_backend(backend).prepare(config).run()
+        reference = reference_results(config)
+        assert np.allclose(fast.income, reference.income)
 
-    def test_fairness_metrics_match(self, config):
-        fast = FastSimulation(config).run()
-        reference = reference_run(config)
+    def test_traffic_counters_identical(self, config, backend,
+                                        reference_results):
+        fast = get_backend(backend).prepare(config).run()
+        reference = reference_results(config)
+        assert fast.chunks == reference.chunks
+        assert fast.total_hops == reference.total_hops
+        assert fast.local_hits == reference.local_hits
+        assert fast.hop_histogram == reference.hop_histogram
+
+    def test_fairness_metrics_match(self, config, backend,
+                                    reference_results):
+        fast = get_backend(backend).prepare(config).run()
+        reference = reference_results(config)
         assert fast.f2_gini() == pytest.approx(
-            reference.fairness().f2_gini, abs=1e-9
+            reference.f2_gini(), abs=1e-9
         )
         assert fast.f1_gini() == pytest.approx(
-            reference.paper_f1().f1_gini, abs=1e-9
+            reference.f1_gini(), abs=1e-9
         )
