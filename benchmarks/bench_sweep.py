@@ -1,0 +1,64 @@
+"""Benchmark: sweep throughput, serial vs process-pool parallel.
+
+Runs the same bucket-size x seed-replica sweep through the serial
+executor and a ``--jobs``-style process pool and reports points/sec
+for each plus the speedup. On a multi-core runner the parallel pass
+should approach ``min(jobs, cores)``x once per-worker overlay builds
+amortize; on a single core it mostly measures spawn overhead. Either
+way the asserted *correctness* property holds: both passes produce
+identical per-point metrics.
+
+Scale knobs follow the harness convention::
+
+    REPRO_BENCH_FILES=2000 REPRO_BENCH_JOBS=8 pytest benchmarks/bench_sweep.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.backends.config import FastSimulationConfig
+from repro.sweeps import SweepSpec, run_sweep
+
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+
+def test_sweep_serial_vs_parallel(bench_scale):
+    spec = SweepSpec(
+        base=FastSimulationConfig(
+            n_nodes=bench_scale["n_nodes"],
+            n_files=bench_scale["n_files"],
+        ),
+        grid={"bucket_size": (4, 8, 16)},
+        backends=("fast",),
+        seeds=4,
+    )
+
+    started = time.perf_counter()
+    serial = run_sweep(spec, jobs=1)
+    serial_elapsed = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_sweep(spec, jobs=BENCH_JOBS)
+    parallel_elapsed = time.perf_counter() - started
+
+    print()
+    print(
+        f"sweep of {len(spec)} points "
+        f"({bench_scale['n_files']} files x {bench_scale['n_nodes']} "
+        f"nodes per point)"
+    )
+    print(
+        f"  serial:          {serial_elapsed:6.2f}s "
+        f"({len(spec) / serial_elapsed:6.2f} points/s)"
+    )
+    print(
+        f"  parallel (x{BENCH_JOBS}): {parallel_elapsed:6.2f}s "
+        f"({len(spec) / parallel_elapsed:6.2f} points/s)"
+    )
+    print(f"  speedup:         {serial_elapsed / parallel_elapsed:5.2f}x")
+
+    assert serial.executed == parallel.executed == len(spec)
+    assert serial.records == parallel.records
+    assert serial.summaries == parallel.summaries

@@ -20,7 +20,9 @@ provides:
   flat-rate comparison mechanisms;
 * :mod:`repro.analysis` — Lorenz/histogram/report rendering;
 * :mod:`repro.experiments` — one runner per paper table/figure and a
-  vectorized simulator for paper-scale runs.
+  vectorized simulator for paper-scale runs;
+* :mod:`repro.sweeps` — parameter-grid x seed-replica sweep engine
+  (serial or multiprocess, with 95% CIs and a resumable JSON store).
 
 Quickstart::
 
@@ -45,7 +47,7 @@ from .errors import (
     WorkloadError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AccountingError",

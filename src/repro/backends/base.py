@@ -15,7 +15,10 @@ reusing the overlay, routing tables, reference nodes, ...);
 :class:`~repro.backends.result.SimulationResult` whose per-node
 vectors every experiment runner, benchmark, and fairness metric
 consumes. Backends register themselves with :func:`register_backend`
-so runners and the CLI can select them by name.
+so runners and the CLI can select them by name — including the
+multi-seed sweep engine in :mod:`repro.sweeps`, which fans any
+``(config grid x backend x seed replica)`` expansion out over worker
+processes through this same interface.
 """
 
 from __future__ import annotations

@@ -14,6 +14,15 @@ experiments and the ablations from the terminal::
     repro-swarm trace generate t.json --files 100    # freeze a workload
     repro-swarm trace replay t.json --bucket-size 20 # replay it
 
+    repro-swarm sweep --grid bucket_size=4,8,16 --seeds 10 \
+        --backend fast,reference --jobs 4 --store sweep.json
+
+The ``sweep`` subcommand expands a parameter grid over the simulation
+configuration, replicates every cell across derived workload seeds,
+and reports each quantity as mean [95% CI] (see :mod:`repro.sweeps`;
+``--jobs`` fans points out over worker processes with results
+identical to a serial run).
+
 Reports render as plain text; ``--markdown`` switches the tables to
 Markdown for pasting into documents. Traces freeze a workload into a
 file so the exact same requests can be replayed against different
@@ -72,6 +81,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the rendered report to this file",
     )
     run.add_argument(
+        "--markdown", action="store_true",
+        help="render tables as Markdown",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a parameter-grid x seed-replica sweep"
+    )
+    sweep.add_argument(
+        "--grid", action="append", default=[], metavar="FIELD=V1,V2",
+        help=(
+            "sweep a config field over comma-separated values "
+            "(repeatable; fields are FastSimulationConfig's)"
+        ),
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=3,
+        help="workload-seed replicas per grid cell (default: 3)",
+    )
+    sweep.add_argument(
+        "--backend", default="fast",
+        help="comma-separated backend names (see 'backends')",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (1 = serial; results are identical)",
+    )
+    sweep.add_argument(
+        "--files", type=int, default=1000,
+        help="downloads per point (default: 1000)",
+    )
+    sweep.add_argument(
+        "--nodes", type=int, default=1000,
+        help="overlay nodes (default: 1000)",
+    )
+    sweep.add_argument(
+        "--entropy", type=int, default=2022,
+        help="root entropy for replica seed derivation",
+    )
+    sweep.add_argument(
+        "--store", type=Path, default=None,
+        help="JSON result store (resumable and diffable)",
+    )
+    sweep.add_argument(
+        "--no-resume", action="store_true",
+        help="overwrite an existing store instead of resuming it",
+    )
+    sweep.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the rendered report to this file",
+    )
+    sweep.add_argument(
         "--markdown", action="store_true",
         help="render tables as Markdown",
     )
@@ -183,6 +243,48 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
     return f"{rendered}\n\n[{name} completed in {elapsed:.1f}s]"
 
 
+def _sweep_run(args: argparse.Namespace) -> int:
+    from .backends import get_backend
+    from .backends.config import FastSimulationConfig
+    from .experiments.sweeps import sweep_report
+    from .sweeps import SweepSpec, parse_grid_arguments, run_sweep
+
+    grid = parse_grid_arguments(args.grid)
+    backends = tuple(
+        name.strip() for name in args.backend.split(",") if name.strip()
+    )
+    for name in backends:
+        get_backend(name)  # fail early with the known-backend list
+    spec = SweepSpec(
+        base=FastSimulationConfig(n_nodes=args.nodes, n_files=args.files),
+        grid=grid,
+        backends=backends,
+        seeds=args.seeds,
+        seed_entropy=args.entropy,
+    )
+    print(
+        f"sweep: {len(spec)} points ({len(spec.cells())} cell(s) x "
+        f"{len(backends)} backend(s) x {args.seeds} seed(s)), "
+        f"jobs={args.jobs}"
+    )
+    sweep = run_sweep(
+        spec, jobs=args.jobs, store_path=args.store,
+        resume=not args.no_resume,
+    )
+    report = sweep_report(
+        sweep, name="sweep",
+        title=f"Sweep over {', '.join(name for name, _ in spec.grid) or 'base config'}",
+    )
+    rendered = _render(report, args.markdown)
+    print(rendered)
+    if args.store is not None:
+        print(f"results stored in {args.store}")
+    if args.out is not None:
+        args.out.write_text(rendered + "\n")
+        print(f"report written to {args.out}")
+    return 0
+
+
 def _trace_generate(args: argparse.Namespace) -> int:
     from .experiments.fast import cached_overlay
     from .kademlia.buckets import BucketLimits
@@ -272,6 +374,9 @@ def main(argv: list[str] | None = None) -> int:
         for name, description in backend_specs():
             print(f"{name:<12} {description}")
         return 0
+
+    if args.command == "sweep":
+        return _sweep_run(args)
 
     if args.command == "trace":
         if args.trace_command == "generate":

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import ExperimentError
-from . import ablations, extensions, fig3, paper, storage
+from . import ablations, extensions, fig3, paper, storage, sweeps
 from .report import ExperimentReport
 
 __all__ = ["ExperimentSpec", "REGISTRY", "get_experiment", "list_experiments"]
@@ -157,6 +157,24 @@ REGISTRY: dict[str, ExperimentSpec] = {
             name="latency",
             description="Retrieval latency vs bucket size (hop model)",
             runner=extensions.run_latency,
+            supports_backend=True,
+        ),
+        ExperimentSpec(
+            name="table1_sweep",
+            description="Table I with 95% CIs across workload-seed replicas",
+            runner=sweeps.run_table1_sweep,
+            supports_backend=True,
+        ),
+        ExperimentSpec(
+            name="fig5_sweep",
+            description="Fig. 5 F2 Gini with 95% CIs across seed replicas",
+            runner=sweeps.run_fig5_sweep,
+            supports_backend=True,
+        ),
+        ExperimentSpec(
+            name="k_sweep_ci",
+            description="Bucket-size ablation with per-k error bars",
+            runner=sweeps.run_k_sweep_ci,
             supports_backend=True,
         ),
     )

@@ -1,0 +1,63 @@
+"""Parallel multi-seed sweep engine.
+
+The paper reports single-seed point estimates; this package turns any
+:class:`~repro.backends.config.FastSimulationConfig` experiment into a
+replicated, parallelizable sweep:
+
+* :mod:`~repro.sweeps.spec` — declarative :class:`SweepSpec` (field
+  grid x :mod:`~repro.backends` registry names x seed replicas, with
+  :class:`numpy.random.SeedSequence`-derived replica seeds);
+* :mod:`~repro.sweeps.executors` — serial and spawn-safe
+  process-pool execution with identical results;
+* :mod:`~repro.sweeps.aggregate` — per-cell mean / std / 95% CI
+  across replicas (forwarded chunks, Gini fairness, net balance);
+* :mod:`~repro.sweeps.store` — deterministic, resumable, diffable
+  JSON result store with git/seed provenance;
+* :mod:`~repro.sweeps.engine` — :func:`run_sweep`, the entry point
+  behind ``repro-swarm sweep`` and the replicated registry
+  experiments in :mod:`repro.experiments.sweeps`.
+"""
+
+from .aggregate import CellSummary, MetricSummary, aggregate_records
+from .engine import SweepResult, outcome_record, run_sweep
+from .executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    make_executor,
+)
+from .spec import (
+    SweepPoint,
+    SweepSpec,
+    parse_grid_arguments,
+    parse_grid_value,
+    replica_seed,
+    replica_seeds,
+    sweepable_fields,
+)
+from .store import SweepStore
+from .worker import PointOutcome, execute_point, result_metrics
+
+__all__ = [
+    "SweepSpec",
+    "SweepPoint",
+    "SweepResult",
+    "SweepStore",
+    "SweepExecutor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "PointOutcome",
+    "CellSummary",
+    "MetricSummary",
+    "aggregate_records",
+    "execute_point",
+    "make_executor",
+    "outcome_record",
+    "parse_grid_arguments",
+    "parse_grid_value",
+    "replica_seed",
+    "replica_seeds",
+    "result_metrics",
+    "run_sweep",
+    "sweepable_fields",
+]

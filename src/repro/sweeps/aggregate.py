@@ -1,0 +1,131 @@
+"""Replica aggregation: per-cell mean / std / 95% confidence intervals.
+
+Each sweep cell (one backend x one grid assignment) runs ``seeds``
+workload replicas; this module collapses their per-point metrics into
+a :class:`CellSummary` of :class:`MetricSummary` statistics — the
+error bars the replicated ``table1``/``fig5`` experiment runners and
+the ``repro-swarm sweep`` CLI report.
+
+Aggregation is **replica-order invariant**: inputs are sorted by
+replica index before any floating-point reduction, so summaries come
+out bit-identical no matter how the executor interleaved the points
+(pinned by ``tests/property/test_property_sweeps.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..analysis.stats import mean_confidence_interval
+from ..errors import ConfigurationError
+from .spec import SweepSpec
+
+__all__ = ["MetricSummary", "CellSummary", "summarize_metric",
+           "aggregate_records"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Replica statistics for one scalar metric."""
+
+    n: int
+    mean: float
+    std: float
+    low: float
+    high: float
+
+    def __str__(self) -> str:
+        if self.n < 2:
+            return f"{self.mean:.4g}"
+        return f"{self.mean:.4g} [{self.low:.4g}, {self.high:.4g}]"
+
+    def to_json(self) -> dict:
+        """Plain-data form for the result store."""
+        return {"n": self.n, "mean": self.mean, "std": self.std,
+                "low": self.low, "high": self.high}
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """All metric summaries for one (backend, grid cell)."""
+
+    backend: str
+    overrides: tuple[tuple[str, Any], ...]
+    replicas: int
+    metrics: dict[str, MetricSummary]
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell name for report tables."""
+        cell = ", ".join(f"{k}={v}" for k, v in self.overrides)
+        return cell if cell else "base"
+
+
+def summarize_metric(values: Sequence[float],
+                     confidence: float = 0.95) -> MetricSummary:
+    """Mean / sample std / two-sided CI of replica values.
+
+    With a single replica there is no variance estimate: std is zero
+    and the interval collapses to the point estimate, which keeps
+    single-seed sweeps (the paper's original methodology) flowing
+    through the same code path.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ConfigurationError("cannot summarize a metric with no values")
+    if array.size == 1:
+        value = float(array[0])
+        return MetricSummary(n=1, mean=value, std=0.0, low=value, high=value)
+    mean, low, high = mean_confidence_interval(array, confidence)
+    return MetricSummary(
+        n=int(array.size),
+        mean=mean,
+        std=float(array.std(ddof=1)),
+        low=low,
+        high=high,
+    )
+
+
+def aggregate_records(spec: SweepSpec,
+                      records: Iterable[Mapping],
+                      confidence: float = 0.95) -> list[CellSummary]:
+    """Group per-point records by cell and summarize across replicas.
+
+    *records* are point dicts with ``backend`` / ``overrides`` /
+    ``replica`` / ``metrics`` keys (the store's persisted form, which
+    :class:`~repro.sweeps.worker.PointOutcome` also satisfies via
+    :func:`~repro.sweeps.engine.outcome_record`). Cells appear in the
+    spec's canonical order; replicas are sorted before reducing so the
+    result is independent of record order.
+    """
+    by_cell: dict[tuple, dict[int, Mapping]] = {}
+    for record in records:
+        key = (record["backend"],
+               tuple(sorted(record["overrides"].items())))
+        replicas = by_cell.setdefault(key, {})
+        replicas[int(record["replica"])] = record["metrics"]
+
+    summaries = []
+    for backend in spec.backends:
+        for cell in spec.cells():
+            key = (backend, tuple(sorted(cell)))
+            replicas = by_cell.get(key)
+            if not replicas:
+                continue
+            ordered = [replicas[r] for r in sorted(replicas)]
+            metric_names = list(ordered[0])
+            summaries.append(CellSummary(
+                backend=backend,
+                overrides=cell,
+                replicas=len(ordered),
+                metrics={
+                    name: summarize_metric(
+                        [m[name] for m in ordered], confidence
+                    )
+                    for name in metric_names
+                },
+            ))
+    return summaries

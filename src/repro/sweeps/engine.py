@@ -1,0 +1,135 @@
+"""Sweep orchestration: expand, execute, persist, aggregate.
+
+:func:`run_sweep` is the one entry point the CLI, the registry-level
+replicated experiments, and the benchmarks share::
+
+    spec = SweepSpec(grid={"bucket_size": (4, 8, 16)}, seeds=10,
+                     backends=("fast", "reference"))
+    sweep = run_sweep(spec, jobs=4, store_path=Path("sweep.json"))
+    for cell in sweep.summaries:
+        print(cell.label, cell.metrics["mean_forwarded"])
+
+Execution goes through :mod:`repro.sweeps.executors` (serial or a
+spawn-safe process pool); completed points stream into the
+:class:`~repro.sweeps.store.SweepStore` as they finish, so an
+interrupted sweep resumes where it stopped. ``points_per_second``
+counts only freshly executed points — the number
+``benchmarks/bench_sweep.py`` compares serial vs parallel.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .aggregate import CellSummary, aggregate_records
+from .executors import make_executor
+from .spec import SweepSpec
+from .store import SweepStore
+from .worker import PointOutcome
+
+__all__ = ["SweepResult", "run_sweep", "outcome_record"]
+
+
+def outcome_record(outcome: PointOutcome) -> dict:
+    """The persistable (scalar) record of one executed point.
+
+    Deliberately carries no expansion ``index``: the canonical order
+    is a property of the *current* spec (it shifts when a store is
+    seed-extended), so records identify points by ``point_id`` alone
+    and stay byte-comparable against a fresh run of the same spec.
+    """
+    return {
+        "point_id": outcome.point_id,
+        "backend": outcome.backend,
+        "overrides": dict(outcome.overrides),
+        "replica": outcome.replica,
+        "workload_seed": outcome.workload_seed,
+        "metrics": dict(outcome.metrics),
+    }
+
+
+@dataclass
+class SweepResult:
+    """One sweep run: canonical point records plus cell summaries.
+
+    ``records`` covers every point of the spec in canonical order
+    (freshly executed or resumed from the store — resumed points carry
+    metrics only, never vectors). ``executed``/``resumed`` split the
+    two; ``elapsed`` and ``points_per_second`` time only the executed
+    portion.
+    """
+
+    spec: SweepSpec
+    records: list[dict]
+    summaries: list[CellSummary]
+    executed: int
+    resumed: int
+    elapsed: float
+
+    @property
+    def points_per_second(self) -> float:
+        """Executed-point throughput of this run."""
+        if self.executed == 0 or self.elapsed <= 0.0:
+            return 0.0
+        return self.executed / self.elapsed
+
+
+def run_sweep(spec: SweepSpec, *, jobs: int = 1,
+              store_path: Path | None = None,
+              resume: bool = True,
+              confidence: float = 0.95) -> SweepResult:
+    """Execute *spec*, optionally persisting/resuming a JSON store.
+
+    ``jobs <= 1`` runs serially in-process; larger values fan points
+    out over a spawn process pool. Results are identical either way
+    (see :mod:`repro.sweeps.executors`). With ``store_path``, points
+    already recorded there are skipped and the store is re-saved as
+    each new point completes.
+    """
+    points = spec.points()
+    store = None
+    completed: set[str] = set()
+    if store_path is not None:
+        store = SweepStore.open(store_path, spec, resume=resume)
+        completed = store.completed_ids()
+
+    pending = [point for point in points if point.point_id not in completed]
+    on_result = None
+    if store is not None:
+        def on_result(outcome: PointOutcome) -> None:
+            # Full rewrite per point: O(points^2) serialization, but
+            # an interrupted sweep never loses a completed point and
+            # the final file is identical however far the run got.
+            store.add(outcome_record(outcome))
+            store.save()
+
+    started = time.perf_counter()
+    outcomes = make_executor(jobs).run(spec.base, pending, on_result)
+    elapsed = time.perf_counter() - started
+    if store is not None and not outcomes:
+        # Nothing executed (fully resumed, or a points-free store):
+        # still materialize spec/provenance on disk.
+        store.save()
+
+    fresh = {outcome.point_id: outcome_record(outcome)
+             for outcome in outcomes}
+    records = []
+    for point in points:
+        record = fresh.get(point.point_id)
+        if record is None and store is not None:
+            stored = store.points.get(point.point_id)
+            if stored is not None:
+                record = {"point_id": point.point_id, **stored}
+        if record is not None:
+            records.append(record)
+
+    return SweepResult(
+        spec=spec,
+        records=records,
+        summaries=aggregate_records(spec, records, confidence),
+        executed=len(outcomes),
+        resumed=len(records) - len(outcomes),
+        elapsed=elapsed,
+    )

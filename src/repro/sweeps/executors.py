@@ -1,0 +1,108 @@
+"""Sweep executors: serial for determinism, process pool for speed.
+
+Both executors run :func:`repro.sweeps.worker.execute_point` over the
+same plain-data payloads and return outcomes re-sorted into the
+spec's canonical point order, so::
+
+    SerialExecutor().run(base, points)
+    == ProcessExecutor(jobs=4).run(base, points)
+
+holds exactly (identical floats, identical per-node vectors) — the
+invariant ``tests/sweeps/test_determinism.py`` pins for every backend
+in the registry. :class:`ProcessExecutor` always uses the ``spawn``
+start method: workers import :mod:`repro` fresh instead of inheriting
+forked state, which keeps results independent of whatever the parent
+process cached and behaves identically on Linux, macOS, and Windows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from multiprocessing import get_context
+from typing import Callable, Sequence
+
+from ..backends.config import FastSimulationConfig
+from ..errors import ConfigurationError
+from .spec import SweepPoint
+from .worker import PointOutcome, execute_point, point_payload
+
+__all__ = ["SweepExecutor", "SerialExecutor", "ProcessExecutor",
+           "make_executor"]
+
+#: Callback invoked as each point completes (store persistence hook).
+OnResult = Callable[[PointOutcome], None]
+
+
+class SweepExecutor:
+    """Runs sweep points; subclasses choose the execution strategy."""
+
+    def run(self, base: FastSimulationConfig,
+            points: Sequence[SweepPoint],
+            on_result: OnResult | None = None) -> list[PointOutcome]:
+        """Execute *points* against *base*; canonical-order outcomes."""
+        raise NotImplementedError
+
+
+class SerialExecutor(SweepExecutor):
+    """In-process, one point at a time — the determinism reference."""
+
+    def run(self, base: FastSimulationConfig,
+            points: Sequence[SweepPoint],
+            on_result: OnResult | None = None) -> list[PointOutcome]:
+        base_payload = dataclasses.asdict(base)
+        outcomes = []
+        for point in points:
+            outcome = execute_point(base_payload, point_payload(point))
+            if on_result is not None:
+                on_result(outcome)
+            outcomes.append(outcome)
+        outcomes.sort(key=lambda o: o.index)
+        return outcomes
+
+
+class ProcessExecutor(SweepExecutor):
+    """Fan points out over a spawn-based process pool.
+
+    Results are collected as they complete (so the store can persist
+    incrementally) and re-sorted into canonical point order before
+    returning; scheduling order never leaks into the output.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, base: FastSimulationConfig,
+            points: Sequence[SweepPoint],
+            on_result: OnResult | None = None) -> list[PointOutcome]:
+        if not points:
+            return []
+        base_payload = dataclasses.asdict(base)
+        workers = min(self.jobs, len(points))
+        outcomes: list[PointOutcome] = []
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context("spawn")
+        ) as pool:
+            pending = {
+                pool.submit(execute_point, base_payload,
+                            point_payload(point))
+                for point in points
+            }
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcome = future.result()
+                    if on_result is not None:
+                        on_result(outcome)
+                    outcomes.append(outcome)
+        outcomes.sort(key=lambda o: o.index)
+        return outcomes
+
+
+def make_executor(jobs: int) -> SweepExecutor:
+    """Serial for ``jobs == 1``, a spawn process pool otherwise."""
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)

@@ -1,0 +1,192 @@
+"""Deterministic JSON persistence for sweep runs.
+
+A :class:`SweepStore` file records the full :class:`SweepSpec`, run
+provenance (git commit, library versions, the derived replica seed
+table), and one scalar-metrics record per completed point, keyed by
+the point's stable ``point_id``. The layout is deliberately
+deterministic — sorted keys, no timestamps, no timings — so that:
+
+* re-running the same spec serially or with ``--jobs N`` produces a
+  **byte-identical** file (the acceptance check for parallel
+  correctness), and
+* two sweeps at different configurations ``diff`` cleanly.
+
+Stores are resumable: reopening an existing file with the same spec
+skips completed points, while a different spec is refused rather than
+silently mixed (pass ``resume=False`` to overwrite).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import subprocess
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .spec import SweepSpec
+
+__all__ = ["SweepStore", "git_provenance"]
+
+FORMAT = "repro-swarm-sweep/1"
+
+
+def _resumable(stored: SweepSpec, current: SweepSpec) -> bool:
+    """Whether a store built for *stored* may serve *current*.
+
+    Identical specs resume, and so does the same spec with a *raised*
+    seed count — replica seeds are prefix-stable, so the recorded
+    points are exactly the first replicas of the bigger sweep. A
+    lowered count is refused: it would leave orphaned points in the
+    store and break its byte-determinism.
+    """
+    if stored == current:
+        return True
+    return (current.seeds >= stored.seeds
+            and dataclasses.replace(stored, seeds=current.seeds) == current)
+
+
+def git_provenance(repo_dir: Path | None = None) -> dict:
+    """Best-effort git commit/dirty state of the code that ran.
+
+    Dirtiness considers tracked files only: result stores and other
+    run artifacts written into the repository must not make two
+    otherwise-identical sweeps disagree about provenance.
+    """
+    cwd = Path(repo_dir) if repo_dir is not None else Path(__file__).parent
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=True,
+        ).stdout.strip()
+        dirty = bool(subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+            check=True,
+        ).stdout.strip())
+        return {"git_commit": commit, "git_dirty": dirty}
+    except (OSError, subprocess.SubprocessError):
+        return {"git_commit": None, "git_dirty": None}
+
+
+class SweepStore:
+    """Spec + per-point metric records, persisted as diffable JSON."""
+
+    def __init__(self, path: Path, spec: SweepSpec,
+                 points: dict[str, dict] | None = None,
+                 provenance: dict | None = None) -> None:
+        self.path = Path(path)
+        self.spec = spec
+        self.points: dict[str, dict] = dict(points or {})
+        self._provenance = provenance
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    @classmethod
+    def open(cls, path: Path, spec: SweepSpec, *,
+             resume: bool = True) -> "SweepStore":
+        """Open (resuming) or create the store for *spec* at *path*.
+
+        An existing file is resumed only when its spec matches
+        exactly; a mismatch raises so results from different sweeps
+        never mix. With ``resume=False`` an existing file is replaced.
+        """
+        path = Path(path)
+        if path.exists() and resume:
+            loaded = cls.load(path)
+            if not _resumable(loaded.spec, spec):
+                raise ConfigurationError(
+                    f"sweep store {path} holds a different spec; delete "
+                    f"it or pass resume=False to overwrite"
+                )
+            # A raised seed count is a valid extension: replica seeds
+            # are prefix-stable (see repro.sweeps.spec.replica_seed),
+            # so every recorded point stays valid under the new spec.
+            loaded.spec = spec
+            return loaded
+        return cls(path, spec)
+
+    @classmethod
+    def load(cls, path: Path) -> "SweepStore":
+        """Read a store file back (inverse of :meth:`save`)."""
+        path = Path(path)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ConfigurationError(
+                f"cannot read sweep store {path}: {error}"
+            ) from None
+        if document.get("format") != FORMAT:
+            raise ConfigurationError(
+                f"{path} is not a {FORMAT} sweep store"
+            )
+        provenance = {
+            key: value
+            for key, value in document.get("provenance", {}).items()
+            if key != "seed_table"
+        }
+        return cls(
+            path,
+            SweepSpec.from_json(document["spec"]),
+            points=document.get("points", {}),
+            # Keep the provenance the points were actually computed
+            # under; a resume in a newer environment must not rewrite
+            # the recorded origin of old results.
+            provenance=provenance or None,
+        )
+
+    def save(self) -> None:
+        """Write the store atomically (temp file + rename)."""
+        document = self.to_json()
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        tmp.replace(self.path)
+
+    def to_json(self) -> dict:
+        """The full document (deterministic; no timestamps/timings)."""
+        if self._provenance is None:
+            # Computed once per store: incremental per-point saves
+            # must not shell out to git for every completed point.
+            self._provenance = {
+                **git_provenance(),
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+            }
+        return {
+            "format": FORMAT,
+            "spec": self.spec.to_json(),
+            "provenance": {
+                **self._provenance,
+                # Always derived from the *current* spec: prefix-stable
+                # under a raised seed count, byte-stable otherwise.
+                "seed_table": {
+                    str(replica): seed
+                    for replica, seed in
+                    enumerate(self.spec.workload_seeds())
+                },
+            },
+            "points": self.points,
+        }
+
+    # ------------------------------------------------------------------
+    # Records
+
+    def completed_ids(self) -> set[str]:
+        """Point ids already recorded (skipped on resume)."""
+        return set(self.points)
+
+    def add(self, record: Mapping) -> None:
+        """Record one completed point (keyed by its ``point_id``)."""
+        record = dict(record)
+        point_id = record.pop("point_id")
+        self.points[point_id] = record
+
+    def __len__(self) -> int:
+        return len(self.points)

@@ -1,0 +1,153 @@
+"""Spawn-safe point execution shared by every executor.
+
+:func:`execute_point` is a module-level function taking only
+plain-data payloads, so :class:`concurrent.futures.ProcessPoolExecutor`
+can ship it to freshly spawned interpreters (no fork-inherited state,
+importable by qualified name on any platform). The serial executor
+calls the very same function, which is what makes parallel sweeps
+byte-identical to serial ones: every point runs the same arithmetic on
+the same derived seed regardless of process layout.
+
+Each worker process keeps the :mod:`repro.backends.fast` overlay and
+next-hop-table caches of its own interpreter, so a worker that runs
+many points of the same cell pays the overlay build once — the same
+amortization the single-process runners enjoy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..backends import get_backend
+from ..backends.config import FastSimulationConfig
+from ..backends.result import SimulationResult
+from .spec import SweepPoint
+
+__all__ = [
+    "PointOutcome",
+    "point_payload",
+    "config_from_payload",
+    "result_metrics",
+    "execute_point",
+    "METRIC_NAMES",
+]
+
+#: Scalar metrics recorded per point, in stable store order.
+METRIC_NAMES = (
+    "files",
+    "chunks",
+    "total_hops",
+    "mean_hops",
+    "fallbacks",
+    "local_hits",
+    "cache_hits",
+    "unavailable",
+    "availability",
+    "mean_forwarded",
+    "f2_gini",
+    "f1_gini",
+    "total_income",
+    "net_mean",
+    "net_std",
+    "net_min",
+    "net_max",
+)
+
+
+@dataclass
+class PointOutcome:
+    """Everything one executed sweep point produced.
+
+    ``metrics`` holds the scalar summary persisted by the JSON store;
+    ``vectors`` the exact per-node :class:`SimulationResult` arrays
+    (kept in memory for aggregation and determinism checks, never
+    persisted). ``elapsed`` stays out of ``metrics`` so stores diff
+    cleanly across machines and serial/parallel runs.
+    """
+
+    point_id: str
+    index: int
+    backend: str
+    overrides: dict[str, Any]
+    replica: int
+    workload_seed: int
+    metrics: dict[str, Any]
+    vectors: dict[str, np.ndarray]
+    elapsed: float
+
+
+def point_payload(point: SweepPoint) -> dict:
+    """The plain-data form of a point shipped to worker processes."""
+    return {
+        "point_id": point.point_id,
+        "index": point.index,
+        "backend": point.backend,
+        "overrides": dict(point.overrides),
+        "replica": point.replica,
+        "workload_seed": point.workload_seed,
+    }
+
+
+def config_from_payload(base: Mapping, payload: Mapping
+                        ) -> FastSimulationConfig:
+    """Rebuild the point's configuration from plain data."""
+    merged = dict(base)
+    merged.update(payload["overrides"])
+    merged["workload_seed"] = payload["workload_seed"]
+    return FastSimulationConfig(**merged)
+
+
+def result_metrics(result: SimulationResult) -> dict[str, Any]:
+    """The scalar per-point summary of one simulation result.
+
+    Covers the paper's forwarded-chunk and Gini-fairness quantities
+    plus net-balance dispersion (income minus expenditure per node),
+    which separates closed-loop SWAP accounting from the one-sided
+    baseline mechanisms.
+    """
+    net = result.income - result.expenditure
+    return {
+        "files": int(result.files),
+        "chunks": int(result.chunks),
+        "total_hops": int(result.total_hops),
+        "mean_hops": float(result.mean_hops),
+        "fallbacks": int(result.fallbacks),
+        "local_hits": int(result.local_hits),
+        "cache_hits": int(result.cache_hits),
+        "unavailable": int(result.unavailable),
+        "availability": float(result.availability),
+        "mean_forwarded": float(result.average_forwarded_chunks()),
+        "f2_gini": float(result.f2_gini()),
+        "f1_gini": float(result.f1_gini()),
+        "total_income": float(result.income.sum()),
+        "net_mean": float(net.mean()),
+        "net_std": float(net.std()),
+        "net_min": float(net.min()),
+        "net_max": float(net.max()),
+    }
+
+
+def execute_point(base: Mapping, payload: Mapping) -> PointOutcome:
+    """Run one sweep point and summarize it (the executor work unit)."""
+    config = config_from_payload(base, payload)
+    backend = get_backend(payload["backend"])
+    result = backend.prepare(config).run()
+    return PointOutcome(
+        point_id=payload["point_id"],
+        index=payload["index"],
+        backend=payload["backend"],
+        overrides=dict(payload["overrides"]),
+        replica=payload["replica"],
+        workload_seed=payload["workload_seed"],
+        metrics=result_metrics(result),
+        vectors={
+            "forwarded": result.forwarded.copy(),
+            "first_hop": result.first_hop.copy(),
+            "income": result.income.copy(),
+            "expenditure": result.expenditure.copy(),
+        },
+        elapsed=float(result.elapsed_seconds),
+    )

@@ -12,6 +12,22 @@ import pytest
 from repro.kademlia import AddressSpace, BucketLimits, Overlay, OverlayConfig
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help=(
+            "rewrite the tests/golden/ regression fixtures from current "
+            "simulation behavior instead of comparing against them"
+        ),
+    )
+
+
+@pytest.fixture()
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """Whether this run should refresh the golden fixtures."""
+    return bool(request.config.getoption("--update-golden"))
+
+
 @pytest.fixture(scope="session")
 def space12() -> AddressSpace:
     """A 12-bit address space (4096 addresses)."""

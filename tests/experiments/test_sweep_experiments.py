@@ -1,0 +1,69 @@
+"""Tests for the replicated (error-bar) registry experiments."""
+
+from __future__ import annotations
+
+from repro.experiments.registry import get_experiment
+from repro.experiments.sweeps import (
+    run_fig5_sweep,
+    run_k_sweep_ci,
+    run_table1_sweep,
+)
+from repro.sweeps import MetricSummary, SweepResult
+
+SMALL = dict(n_files=40, n_nodes=60)
+
+
+class TestTable1Sweep:
+    def test_error_bars_per_cell(self):
+        report = run_table1_sweep(**SMALL, seeds=3)
+        forwarded = report.data["forwarded"]
+        assert set(forwarded) == {
+            (4, 0.2), (4, 1.0), (20, 0.2), (20, 1.0)
+        }
+        for summary in forwarded.values():
+            assert isinstance(summary, MetricSummary)
+            assert summary.n == 3
+            assert summary.low <= summary.mean <= summary.high
+            assert summary.std > 0.0  # replicas genuinely vary
+
+    def test_bandwidth_ordering_survives_replication(self):
+        report = run_table1_sweep(**SMALL, seeds=3)
+        forwarded = report.data["forwarded"]
+        for share in (0.2, 1.0):
+            assert forwarded[(20, share)].mean < forwarded[(4, share)].mean
+
+    def test_registered_with_backend_support(self):
+        spec = get_experiment("table1_sweep")
+        assert spec.supports_backend
+        assert spec.runner is run_table1_sweep
+
+
+class TestFig5Sweep:
+    def test_gini_intervals_and_headline_note(self):
+        report = run_fig5_sweep(**SMALL, seeds=3)
+        gini = report.data["gini"]
+        assert set(gini) == {(4, 0.2), (4, 1.0), (20, 0.2), (20, 1.0)}
+        for summary in gini.values():
+            assert 0.0 <= summary.mean <= 1.0
+        assert any("Gini reduction" in note for note in report.notes)
+
+
+class TestKSweepCi:
+    def test_one_row_per_bucket_size(self):
+        report = run_k_sweep_ci(
+            **SMALL, bucket_sizes=(4, 8), seeds=2
+        )
+        sweep = report.data["sweep"]
+        assert isinstance(sweep, SweepResult)
+        assert [dict(c.overrides)["bucket_size"]
+                for c in sweep.summaries] == [4, 8]
+        table = report.tables[0]
+        assert len(table.rows) == 2
+
+    def test_single_seed_collapses_to_point_estimates(self):
+        report = run_k_sweep_ci(**SMALL, bucket_sizes=(4,), seeds=1)
+        cell = report.data["sweep"].summaries[0]
+        forwarded = cell.metrics["mean_forwarded"]
+        assert forwarded.n == 1
+        assert forwarded.std == 0.0
+        assert forwarded.low == forwarded.mean == forwarded.high

@@ -29,7 +29,8 @@ class TestQuickSimulation:
         assert "F2 Gini" in result.summary()
 
     def test_version_exposed(self):
-        assert repro.__version__ == "1.0.0"
+        # Keep in sync with [project] version in pyproject.toml.
+        assert repro.__version__ == "1.2.0"
 
 
 class TestContentRoundTrip:

@@ -1,0 +1,114 @@
+"""CLI tests for ``repro-swarm sweep`` and the registry smoke run."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.sweeps import SweepStore
+
+SMALL = ["--files", "40", "--nodes", "60", "--seeds", "2"]
+
+
+class TestSweepParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.grid == []
+        assert args.seeds == 3
+        assert args.backend == "fast"
+        assert args.jobs == 1
+        assert args.store is None
+
+    def test_grid_repeatable_and_jobs(self):
+        args = build_parser().parse_args([
+            "sweep", "--grid", "bucket_size=4,8",
+            "--grid", "originator_share=0.2,1.0",
+            "--jobs", "4", "--seeds", "10",
+            "--backend", "fast,reference",
+        ])
+        assert args.grid == [
+            "bucket_size=4,8", "originator_share=0.2,1.0"
+        ]
+        assert args.jobs == 4
+        assert args.seeds == 10
+        assert args.backend == "fast,reference"
+
+
+class TestSweepCommand:
+    def test_runs_grid_and_reports_cis(self, capsys):
+        code = main([
+            "sweep", "--grid", "bucket_size=4,8", *SMALL,
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "4 points" in output  # 2 cells x 1 backend x 2 seeds
+        assert "bucket_size=4" in output
+        assert "bucket_size=8" in output
+        assert "points/s" in output
+
+    def test_bad_grid_field_raises_with_fields(self):
+        with pytest.raises(ConfigurationError, match="sweepable fields"):
+            main(["sweep", "--grid", "bogus=1", *SMALL])
+
+    def test_bad_backend_raises_with_known_names(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            main([
+                "sweep", "--grid", "bucket_size=4",
+                "--backend", "bogus", *SMALL,
+            ])
+
+    def test_store_round_trip_and_resume(self, tmp_path, capsys):
+        store = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--grid", "bucket_size=4,8", *SMALL,
+            "--store", str(store),
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        loaded = SweepStore.load(store)
+        assert len(loaded) == 4
+        document = json.loads(store.read_text())
+        assert document["format"].startswith("repro-swarm-sweep")
+
+        # Second invocation resumes every point from the store.
+        code = main([
+            "sweep", "--grid", "bucket_size=4,8", *SMALL,
+            "--store", str(store),
+        ])
+        assert code == 0
+        assert "resumed from store" in capsys.readouterr().out
+
+    def test_jobs_flag_runs_multiprocess(self, capsys):
+        # Tiny but real: exercises the spawn pool end to end.
+        code = main([
+            "sweep", "--grid", "bucket_size=4", "--jobs", "2",
+            "--files", "10", "--nodes", "40", "--seeds", "2",
+        ])
+        assert code == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_markdown_and_out_file(self, tmp_path, capsys):
+        out = tmp_path / "sweep.md"
+        code = main([
+            "sweep", "--grid", "bucket_size=4", *SMALL,
+            "--markdown", "--out", str(out),
+        ])
+        assert code == 0
+        assert "| backend |" in out.read_text()
+        assert f"report written to {out}" in capsys.readouterr().out
+
+
+class TestRegistrySmoke:
+    def test_run_all_scaled_down_passes_through_registry(self, capsys):
+        """Every registered experiment — including the replicated
+        sweep runners — still executes end to end at smoke scale."""
+        code = main(["run", "all", "--files", "50", "--nodes", "120"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for name in ("table1", "table1_sweep", "fig5_sweep",
+                     "k_sweep_ci", "baselines", "storage"):
+            assert f"[{name} completed in" in output

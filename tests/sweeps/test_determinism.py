@@ -1,0 +1,121 @@
+"""Sweep determinism: serial == parallel == shuffled, exact vectors.
+
+The load-bearing guarantee of the sweep engine: however points are
+scheduled — in-process, across spawn workers, or in a shuffled order —
+every backend in the registry produces bit-identical per-node result
+vectors for every point. One process pool serves all backends at tiny
+scale so the (slow, single-core CI) spawn path is exercised exactly
+once.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.backends import available_backends
+from repro.backends.config import FastSimulationConfig
+from repro.errors import ConfigurationError
+from repro.sweeps import (
+    ProcessExecutor,
+    SerialExecutor,
+    SweepSpec,
+    make_executor,
+    run_sweep,
+)
+
+#: Small enough for the pure-python reference simulator and the
+#: tit-for-tat choke loop, non-trivial enough for multi-hop routes.
+TINY = FastSimulationConfig(
+    n_nodes=60, bits=10, n_files=8, file_min=3, file_max=6
+)
+
+VECTOR_KEYS = ("forwarded", "first_hop", "income", "expenditure")
+
+
+def all_backend_spec(seeds: int = 2) -> SweepSpec:
+    return SweepSpec(
+        base=TINY,
+        grid={"bucket_size": (4,)},
+        backends=tuple(available_backends()),
+        seeds=seeds,
+    )
+
+
+def assert_outcomes_identical(lhs, rhs):
+    assert [o.point_id for o in lhs] == [o.point_id for o in rhs]
+    for a, b in zip(lhs, rhs):
+        assert a.metrics == b.metrics, a.point_id
+        for key in VECTOR_KEYS:
+            assert np.array_equal(a.vectors[key], b.vectors[key]), (
+                f"{a.point_id}: {key} vectors differ"
+            )
+
+
+@pytest.fixture(scope="module")
+def serial_outcomes():
+    spec = all_backend_spec()
+    return spec, SerialExecutor().run(spec.base, spec.points())
+
+
+class TestDeterminism:
+    def test_every_registry_backend_is_covered(self, serial_outcomes):
+        spec, outcomes = serial_outcomes
+        assert set(available_backends()) == {o.backend for o in outcomes}
+
+    def test_serial_rerun_is_identical(self, serial_outcomes):
+        spec, outcomes = serial_outcomes
+        again = SerialExecutor().run(spec.base, spec.points())
+        assert_outcomes_identical(outcomes, again)
+
+    def test_shuffled_point_order_is_identical(self, serial_outcomes):
+        spec, outcomes = serial_outcomes
+        shuffled = list(spec.points())
+        random.Random(13).shuffle(shuffled)
+        assert [p.index for p in shuffled] != sorted(
+            p.index for p in shuffled
+        )
+        reordered = SerialExecutor().run(spec.base, shuffled)
+        assert_outcomes_identical(outcomes, reordered)
+
+    def test_parallel_executor_is_identical(self, serial_outcomes):
+        spec, outcomes = serial_outcomes
+        parallel = ProcessExecutor(jobs=2).run(spec.base, spec.points())
+        assert_outcomes_identical(outcomes, parallel)
+
+    def test_replicas_actually_differ(self, serial_outcomes):
+        # Distinct derived seeds must produce distinct workloads —
+        # otherwise the "replication" is 2x the same point.
+        spec, outcomes = serial_outcomes
+        by_backend: dict[str, list] = {}
+        for outcome in outcomes:
+            by_backend.setdefault(outcome.backend, []).append(outcome)
+        for backend, pair in by_backend.items():
+            r0, r1 = pair
+            assert r0.workload_seed != r1.workload_seed
+            assert not np.array_equal(
+                r0.vectors["forwarded"], r1.vectors["forwarded"]
+            ), f"{backend}: replicas produced identical traffic"
+
+
+def test_make_executor_selection_and_validation():
+    assert isinstance(make_executor(1), SerialExecutor)
+    assert isinstance(make_executor(2), ProcessExecutor)
+    for bad in (0, -1):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            make_executor(bad)
+
+
+def test_parallel_store_bytes_match_serial(tmp_path):
+    """The acceptance check: stores diff empty across job counts."""
+    spec = SweepSpec(
+        base=TINY, grid={"bucket_size": (4, 8)}, backends=("fast",),
+        seeds=2,
+    )
+    serial_path = tmp_path / "serial.json"
+    parallel_path = tmp_path / "parallel.json"
+    run_sweep(spec, jobs=1, store_path=serial_path)
+    run_sweep(spec, jobs=2, store_path=parallel_path)
+    assert serial_path.read_bytes() == parallel_path.read_bytes()
