@@ -38,7 +38,7 @@ def test_backend_throughput(bench_scale):
         n_files=bench_scale["n_files"], n_nodes=bench_scale["n_nodes"],
     )
     simulation = FastSimulation(config)
-    _ = simulation.table.transposed  # build outside the timed region
+    _ = simulation.table.flat_coded  # build outside the timed region
 
     def best_of(runner, reps=3):
         times = []

@@ -29,6 +29,7 @@ from .base import (
     available_backends,
     backend_specs,
     get_backend,
+    get_backend_class,
     register_backend,
     run_simulation,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "available_backends",
     "backend_specs",
     "get_backend",
+    "get_backend_class",
     "register_backend",
     "run_simulation",
     "FastSimulationConfig",

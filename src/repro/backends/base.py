@@ -37,6 +37,7 @@ __all__ = [
     "SimulationBackend",
     "register_backend",
     "get_backend",
+    "get_backend_class",
     "available_backends",
     "run_simulation",
 ]
@@ -59,6 +60,11 @@ class SimulationBackend(abc.ABC):
     #: tit-for-tat swarm), which experiment runners that compare
     #: traffic or read ``overlay`` must not be pointed at.
     replays_workload: ClassVar[bool] = True
+    #: Whether prepare() resolves a dense
+    #: :class:`~repro.backends.fast.NextHopTable` for its overlay.
+    #: The sweep executor publishes shared-memory tables only for
+    #: backends that would otherwise rebuild one per worker.
+    uses_next_hop_table: ClassVar[bool] = False
 
     config: "FastSimulationConfig | None" = None
     overlay: "Overlay | None" = None
@@ -93,19 +99,23 @@ def register_backend(cls: type[SimulationBackend]) -> type[SimulationBackend]:
     return cls
 
 
+def get_backend_class(name: str) -> type[SimulationBackend]:
+    """The registered backend class for *name* (no instantiation)."""
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
 def get_backend(name: str, **kwargs) -> SimulationBackend:
     """A fresh backend instance for *name*; raises with the known names.
 
     Keyword arguments are forwarded to the backend constructor (e.g.
     ``get_backend("freerider", fraction=0.5)``).
     """
-    try:
-        cls = _BACKENDS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown backend {name!r}; available: {available_backends()}"
-        ) from None
-    return cls(**kwargs)
+    return get_backend_class(name)(**kwargs)
 
 
 def available_backends() -> list[str]:

@@ -12,28 +12,56 @@ the production backend:
   routing a chunk becomes a table lookup;
 * :class:`FastSimulation` flattens the *whole workload* into per-chunk
   origin/target/storer columns and routes every in-flight chunk in
-  lockstep hop waves — one ``next_hop`` gather plus one
-  ``np.bincount`` per wave — accumulating exactly the per-node
-  quantities the paper's figures need (chunks forwarded, chunks served
-  as paid first hop, income in accounting units). The legacy per-file
-  loop is kept behind ``run(batched=False)`` for cross-validation and
+  lockstep hop waves, accumulating exactly the per-node quantities
+  the paper's figures need (chunks forwarded, chunks served as paid
+  first hop, income in accounting units). The legacy per-file loop is
+  kept behind ``run(batched=False)`` for cross-validation and
   benchmarking.
+
+The hop-wave loop is memory-bandwidth-bound (tens of millions of
+random table gathers), so the kernel is built around a compact
+**terminal-coded** table: entries live in the smallest sufficient
+unsigned dtype (:func:`table_entry_dtype`, ``uint16`` for overlays up
+to 16 383 nodes), and each coded value folds the forwarding decision
+and its terminal classification into one number —
+
+========================= =========================================
+coded value ``v``         meaning
+========================= =========================================
+``v < n``                 forward to node ``v`` (still in flight)
+``n <= v < 2n``           arrive: next hop ``v - n`` is the storer
+``2n <= v < 3n``          greedy stall: fall back to storer ``v-2n``
+========================= =========================================
+
+A hop wave is then one vector add, one ``np.take`` into a reused
+buffer, and one ``np.bincount(minlength=3n)`` whose three bands give
+the wave's forwarded counts, arrivals, and fallback count in a single
+fused pass — no sentinel scan, no storer column in the wave state, no
+per-wave ``astype`` widening. In-flight state (current node + table
+row offset) ping-pongs between two preallocated buffer sets, so
+steady-state waves allocate almost nothing; compared to the original
+int64-state kernel this roughly halves the bytes moved per hop.
 
 Two scenarios that previously existed only in the object-oriented
 layer run natively here: **path caching** (a cached-chunk mask
 short-circuits repeat retrievals at the first hop) and **churn**
 (per-epoch node-alive masks, with optional storer recomputation over
-the live population).
+the live population; churn decodes the same table back to raw
+next-hop semantics, trading a little wave speed for the alive/dead
+bookkeeping).
 
 Equivalence with the reference implementation is asserted by
 ``tests/integration/test_fast_vs_reference.py`` and
 ``tests/backends/test_equivalence.py`` on shared overlays. Overlays
-and next-hop tables are cached per configuration, mirroring the
-paper's reuse of one overlay across experiments.
+are cached per configuration; next-hop tables are memoized by overlay
+fingerprint in :mod:`repro.perf.table_cache`, which also attaches
+tables published over shared memory instead of rebuilding them (the
+sweep-worker path).
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -57,26 +85,76 @@ __all__ = [
     "clear_caches",
     "cached_overlay",
     "cached_next_hop_table",
+    "overlay_key",
     "paper_result",
+    "table_entry_dtype",
+    "target_dtype",
     "MAX_FAST_BITS",
+    "TABLE_BUILD_LOG_ENV",
 ]
 
 #: Maximum address width the vectorized backend supports; wider
 #: spaces would need a sparse storer/next-hop representation.
 MAX_FAST_BITS = 22
 
+#: When set, every cold :class:`NextHopTable` build appends one
+#: ``"<fingerprint> <pid>"`` line to the named file. The instrumented
+#: sweep tests use this to prove a multi-worker sweep builds each
+#: topology's table exactly once, independent of machine speed.
+TABLE_BUILD_LOG_ENV = "REPRO_TABLE_BUILD_LOG"
+
 _OVERLAY_CACHE: dict[tuple, Overlay] = {}
-_TABLE_CACHE: dict[tuple, "NextHopTable"] = {}
+
+
+def table_entry_dtype(n_nodes: int) -> np.dtype:
+    """Smallest unsigned dtype for the terminal-coded table.
+
+    Stored coded values reach ``3 * n_nodes - 1`` (the fallback band),
+    the wave kernel's transient local-hit band reaches ``4 * n_nodes
+    - 1``, and the dtype's maximum is reserved as the raw-table
+    sentinel — so ``4 * n_nodes`` must stay strictly below it;
+    exceeding every candidate dtype raises instead of silently
+    wrapping.
+    """
+    for candidate in (np.uint16, np.uint32):
+        if 0 < 4 * n_nodes < np.iinfo(candidate).max:
+            return np.dtype(candidate)
+    raise ConfigurationError(
+        f"n_nodes={n_nodes} exceeds the widest supported table dtype: the "
+        f"terminal-coded table needs values up to 4*n_nodes in uint32 "
+        f"with the maximum reserved as the raw-table sentinel"
+    )
+
+
+def target_dtype(bits: int) -> np.dtype:
+    """Smallest unsigned dtype holding every address of a *bits* space."""
+    if bits < 1:
+        raise ConfigurationError(f"bits must be >= 1, got {bits}")
+    for candidate in (np.uint16, np.uint32):
+        if (1 << bits) - 1 <= np.iinfo(candidate).max:
+            return np.dtype(candidate)
+    raise ConfigurationError(
+        f"a {bits}-bit address space exceeds the 32-bit capacity of the "
+        f"widest supported target dtype"
+    )
 
 
 def clear_caches() -> None:
     """Drop cached overlays and next-hop tables (for memory-bound tests)."""
+    from ..perf.table_cache import global_table_cache
+
     _OVERLAY_CACHE.clear()
-    _TABLE_CACHE.clear()
+    global_table_cache().clear()
 
 
-def _overlay_key(config: OverlayConfig) -> tuple:
-    """Hashable cache key for an overlay configuration."""
+def overlay_key(config: OverlayConfig) -> tuple:
+    """Hashable cache key covering every overlay-shaping config field.
+
+    The single source of truth for "same topology config": the
+    in-process overlay cache and the sweep executor's published-table
+    deduplication both key on it, so adding a field to
+    :class:`OverlayConfig` only needs updating here.
+    """
     return (
         config.n_nodes,
         config.bits,
@@ -90,7 +168,7 @@ def _overlay_key(config: OverlayConfig) -> tuple:
 
 def cached_overlay(config: OverlayConfig) -> Overlay:
     """Build (or reuse) the overlay for *config*."""
-    key = _overlay_key(config)
+    key = overlay_key(config)
     overlay = _OVERLAY_CACHE.get(key)
     if overlay is None:
         overlay = Overlay.build(config)
@@ -99,22 +177,45 @@ def cached_overlay(config: OverlayConfig) -> Overlay:
 
 
 def cached_next_hop_table(overlay: Overlay) -> "NextHopTable":
-    """Build (or reuse) the next-hop table for *overlay*."""
-    key = _overlay_key(overlay.config)
-    table = _TABLE_CACHE.get(key)
-    if table is None:
-        table = NextHopTable(overlay)
-        _TABLE_CACHE[key] = table
-    return table
+    """Build (or reuse) the next-hop table for *overlay*.
+
+    Delegates to the process-global content-addressed
+    :class:`repro.perf.table_cache.TableCache`: repeated calls for the
+    same topology return one shared instance, and sweep workers that
+    registered a shared-memory handle attach instead of building.
+    """
+    from ..perf.table_cache import global_table_cache
+
+    return global_table_cache().get(overlay)
+
+
+def _log_table_build(fingerprint: str) -> None:
+    """Append a build event to the instrumentation log, when enabled."""
+    path = os.environ.get(TABLE_BUILD_LOG_ENV)
+    if not path:
+        return
+    # O_APPEND keeps concurrent single-line writes from interleaving
+    # when several worker processes build (which the instrumented
+    # tests exist to prove does NOT happen with the cache on).
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"{fingerprint} {os.getpid()}\n")
 
 
 class NextHopTable:
     """Dense greedy-forwarding table for one overlay.
 
     ``next_hop[i, t]`` is the dense index of the peer node ``i``
-    forwards a request for target address ``t`` to, or ``-1`` when no
-    known peer is XOR-closer than ``i`` itself (greedy terminal).
-    ``storer[t]`` is the dense index of the globally closest node.
+    forwards a request for target address ``t`` to, or :attr:`sentinel`
+    (the entry dtype's maximum value) when no known peer is XOR-closer
+    than ``i`` itself (greedy terminal). ``storer[t]`` is the dense
+    index of the globally closest node.
+
+    The batched kernel routes through :attr:`coded_transposed` — the
+    ``[target, node]`` layout with terminals folded in (see the module
+    docstring's coding table) — while the raw ``next_hop`` matrix
+    serves the legacy per-file loop and exhaustive routing tests. Both
+    use :func:`table_entry_dtype`; capacity is validated (never
+    silently wrapped) at construction.
     """
 
     def __init__(self, overlay: Overlay) -> None:
@@ -127,9 +228,14 @@ class NextHopTable:
         self.overlay = overlay
         size = overlay.space.size
         n_nodes = len(overlay)
-        dtype = np.int16 if n_nodes < np.iinfo(np.int16).max else np.int32
-        self.next_hop = np.full((n_nodes, size), -1, dtype=dtype)
-        self.storer = overlay.storer_table().astype(np.int64)
+        dtype = table_entry_dtype(n_nodes)
+        self.entry_dtype = dtype
+        self.sentinel = int(np.iinfo(dtype).max)
+        self._n_nodes = n_nodes
+        self._next_hop: np.ndarray | None = np.full(
+            (n_nodes, size), self.sentinel, dtype=dtype
+        )
+        self.storer = overlay.storer_table().astype(dtype)
         targets = np.arange(size, dtype=np.uint64)
         addresses = overlay.address_array()
         for index, owner in enumerate(overlay.addresses):
@@ -150,35 +256,123 @@ class NextHopTable:
                 closer = distance < best_distance
                 best_distance = np.where(closer, distance, best_distance)
                 best_index[closer] = peer_index
-            self.next_hop[index] = best_index.astype(dtype)
+            # -1 wraps to the dtype's maximum — exactly the sentinel.
+            self._next_hop[index] = best_index.astype(dtype)
         self.addresses = addresses
-        self._transposed: np.ndarray | None = None
+        self._coded: np.ndarray | None = None
+        self._flat: np.ndarray | None = None
         self._storer_idx: np.ndarray | None = None
         self._addresses32: np.ndarray | None = None
+        self._shm_segments: tuple = ()
+        _log_table_build(overlay.fingerprint())
+
+    @classmethod
+    def from_arrays(cls, overlay: Overlay, *, coded: np.ndarray,
+                    storer: np.ndarray, segments: tuple = ()
+                    ) -> "NextHopTable":
+        """Wrap a prebuilt (possibly shared-memory) coded table.
+
+        *coded* is the C-contiguous terminal-coded ``[target, node]``
+        matrix and *storer* the per-address storer index, both in the
+        table's compact entry dtype; the raw ``next_hop`` matrix is
+        decoded lazily if anything (the per-file loop, tests) asks for
+        it. *segments* keeps whatever owns the backing buffers
+        (shared-memory attachments) alive for the table's lifetime.
+        Used by :mod:`repro.perf.shared` to attach published tables in
+        sweep workers.
+        """
+        n_nodes = len(overlay)
+        expected = table_entry_dtype(n_nodes)
+        if coded.dtype != expected or storer.dtype != expected:
+            raise ConfigurationError(
+                f"prebuilt table arrays must use {expected} for "
+                f"{n_nodes} nodes, got {coded.dtype}/{storer.dtype}"
+            )
+        if coded.shape != (overlay.space.size, n_nodes):
+            raise ConfigurationError(
+                f"prebuilt coded table has shape {coded.shape}, "
+                f"expected {(overlay.space.size, n_nodes)}"
+            )
+        table = cls.__new__(cls)
+        table.overlay = overlay
+        table.entry_dtype = expected
+        table.sentinel = int(np.iinfo(expected).max)
+        table._n_nodes = n_nodes
+        table._next_hop = None
+        table.storer = storer
+        table.addresses = overlay.address_array()
+        table._coded = coded
+        table._flat = None
+        table._storer_idx = None
+        table._addresses32 = None
+        table._shm_segments = tuple(segments)
+        return table
 
     @property
     def n_nodes(self) -> int:
         """Number of nodes in the underlying overlay."""
-        return self.next_hop.shape[0]
+        return self._n_nodes
 
     @property
-    def transposed(self) -> np.ndarray:
-        """``next_hop`` in [target, node] layout (lazily built, cached).
+    def next_hop(self) -> np.ndarray:
+        """Raw ``[node, target]`` matrix (decoded lazily if attached)."""
+        if self._next_hop is None:
+            n = self._n_nodes
+            raw = np.ascontiguousarray(self._coded.T)
+            stalled = raw >= n * 2
+            arrived = (raw >= n) & ~stalled
+            np.subtract(raw, self.entry_dtype.type(n), out=raw,
+                        where=arrived)
+            np.copyto(raw, self.entry_dtype.type(self.sentinel),
+                      where=stalled)
+            self._next_hop = raw
+        return self._next_hop
+
+    @property
+    def coded_transposed(self) -> np.ndarray:
+        """Terminal-coded ``[target, node]`` matrix (built lazily).
 
         The batched engine sorts in-flight chunks by target, so this
         layout turns every hop wave's table gather into a near
-        sequential walk over 2-KB rows instead of random access across
-        the whole table.
+        sequential walk over compact rows; the terminal coding (see
+        the module docstring) lets one bincount classify every hop.
         """
-        if self._transposed is None:
-            self._transposed = np.ascontiguousarray(self.next_hop.T)
-        return self._transposed
+        if self._coded is None:
+            n = self._n_nodes
+            dtype = self.entry_dtype
+            coded = np.ascontiguousarray(self._next_hop.T)
+            # Chunked over target rows to bound the mask temporaries.
+            rows = max(1, (1 << 22) // max(1, n))
+            for start in range(0, coded.shape[0], rows):
+                block = coded[start:start + rows]
+                storer_col = self.storer[start:start + rows, None]
+                arrived = block == storer_col
+                stalled = block == dtype.type(self.sentinel)
+                np.add(block, dtype.type(n), out=block, where=arrived)
+                np.copyto(block, storer_col + dtype.type(2 * n),
+                          where=stalled)
+            self._coded = coded
+        return self._coded
+
+    @property
+    def flat_coded(self) -> np.ndarray:
+        """:attr:`coded_transposed` raveled to 1-D (zero-copy, cached).
+
+        The hop kernel gathers through precomputed flat indices
+        (``target * n_nodes + node``) with ``np.take(..., out=...)``,
+        which — unlike 2-D fancy indexing — writes straight into a
+        preallocated compact buffer.
+        """
+        if self._flat is None:
+            self._flat = self.coded_transposed.reshape(-1)
+        return self._flat
 
     @property
     def storer_idx(self) -> np.ndarray:
-        """``storer`` as platform ints, ready for index arithmetic."""
+        """``storer`` in the compact entry dtype (kept for callers
+        that predate the dtype rework; now an alias, not a copy)."""
         if self._storer_idx is None:
-            self._storer_idx = self.storer.astype(np.intp)
+            self._storer_idx = self.storer
         return self._storer_idx
 
     @property
@@ -290,7 +484,7 @@ class FastSimulation:
         for start in range(0, len(sizes), config.batch_files):
             stop = min(start + config.batch_files, len(sizes))
             lo, hi = int(offsets[start]), int(offsets[stop])
-            slab_origins = origins[lo:hi].astype(np.intp)
+            slab_origins = origins[lo:hi]
             slab_targets = targets[lo:hi]
             result.chunks += int(slab_origins.size)
             alive = None
@@ -304,7 +498,7 @@ class FastSimulation:
                     storers = self._alive_storer_table(alive)[slab_targets]
                     dead = ~alive[slab_origins]
                 else:
-                    storers = self.table.storer_idx[slab_targets]
+                    storers = self.table.storer[slab_targets]
                     dead = ~alive[slab_origins] | ~alive[storers]
                 if dead.any():
                     result.unavailable += int(np.count_nonzero(dead))
@@ -329,9 +523,13 @@ class FastSimulation:
         numpy generators yield identical values whether ``integers``
         is called once for N draws or file-by-file. Anything else
         (traces, Zipf catalogs, custom workloads) falls back to
-        draining the event stream.
+        draining the event stream. Origins come out in the table's
+        compact entry dtype and targets in the space's compact target
+        dtype, so the routing kernel never widens them.
         """
         nodes = self.overlay.address_array()
+        entry_dt = self.table.entry_dtype
+        target_dt = target_dtype(self.space.bits)
         if (type(workload) is DownloadWorkload
                 and workload.catalog_size == 0
                 and type(workload.originators) is OriginatorPool
@@ -352,11 +550,11 @@ class FastSimulation:
             ).astype(np.int64)
             targets = rng.integers(
                 0, self.space.size, size=int(sizes.sum()), dtype=np.uint64
-            ).astype(np.int32)
+            ).astype(target_dt)
             index_of = self.overlay.index_of
             file_origins = np.fromiter(
                 (index_of(int(address)) for address in chosen),
-                dtype=np.int32, count=len(chosen),
+                dtype=entry_dt, count=len(chosen),
             )
             return file_origins, sizes, targets
         origin_list: list[int] = []
@@ -366,13 +564,14 @@ class FastSimulation:
             origin_list.append(self.overlay.index_of(int(event.originator)))
             size_list.append(event.n_chunks)
             target_parts.append(
-                np.asarray(event.chunk_addresses, dtype=np.int32)
+                np.asarray(event.chunk_addresses).astype(target_dt)
             )
         if not target_parts:
-            empty = np.empty(0, dtype=np.int32)
-            return empty, np.empty(0, dtype=np.int64), empty
+            return (np.empty(0, dtype=entry_dt),
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=target_dt))
         return (
-            np.asarray(origin_list, dtype=np.int32),
+            np.asarray(origin_list, dtype=entry_dt),
             np.asarray(size_list, dtype=np.int64),
             np.concatenate(target_parts),
         )
@@ -386,88 +585,270 @@ class FastSimulation:
         """Route one flattened batch of chunk retrievals in hop waves.
 
         Chunks are sorted by target first: the in-flight columns stay
-        target-ordered through every compaction, so the per-wave
-        transposed-table gathers walk memory near sequentially.
+        target-ordered through every compaction, so the per-wave flat-
+        index gathers walk the table near sequentially.
         """
         if origins.size == 0:
             return
         table = self.table
-        # Stable integer argsort is a radix/counting sort; a uint16
-        # key keeps it O(n) for the paper's 16-bit space.
-        key = targets.astype(np.uint16) if self.space.bits <= 16 else targets
-        order = np.argsort(key, kind="stable")
+        dtype = table.entry_dtype
+        n = table.n_nodes
+        # Stable integer argsort on a compact unsigned key is a
+        # radix/counting sort: O(n) for the paper's 16-bit space.
+        order = np.argsort(targets, kind="stable")
         tg = np.take(targets, order)
-        current = np.take(origins, order).astype(np.intp)
-        if storers is None:
-            st = np.take(table.storer_idx, tg)
-        else:
-            st = np.take(storers.astype(np.intp), order)
+        cur = np.take(origins, order)
+        if cur.dtype != dtype:
+            cur = cur.astype(dtype)
+        # Per-chunk table row offset, widened to intp exactly once
+        # (dtype=intp forces the multiply loop out of the compact
+        # dtype, which would silently wrap).
+        row = np.multiply(tg, n, dtype=np.intp)
 
-        local = st == current
-        local_count = int(np.count_nonzero(local))
+        if cached is None and alive is None and storers is None:
+            # Headline path: no storer column, no local-hit prefilter —
+            # wave 1 detects local hits in-band (see _route_waves).
+            self._route_waves(cur, tg, row, result, unpaid_origins)
+            return
+
+        if storers is None:
+            st = np.take(table.storer, tg)
+        else:
+            st = np.take(storers, order)
+            if st.dtype != dtype:
+                st = st.astype(dtype)
+
+        keep_mask = st != cur
+        local_count = int(tg.size - np.count_nonzero(keep_mask))
         if local_count:
             result.local_hits += local_count
             result.hop_histogram[0] = (
                 result.hop_histogram.get(0, 0) + local_count
             )
-            remote = ~local
-            current = current[remote]
-            tg = tg[remote]
-            st = st[remote]
 
-        if cached is not None and current.size:
-            hits = cached[tg]
+        if cached is not None:
+            hits = keep_mask & cached[tg]
             if hits.any():
                 self._serve_from_cache(
-                    current[hits], tg[hits], st[hits],
+                    cur[hits], tg[hits], st[hits],
                     result, alive=alive, unpaid_origins=unpaid_origins,
                 )
-                misses = ~hits
-                current = current[misses]
-                tg = tg[misses]
-                st = st[misses]
+                keep_mask &= ~hits
 
+        n_start = int(np.count_nonzero(keep_mask))
+        if not n_start:
+            return
+        index = np.flatnonzero(keep_mask)
+        cur = np.take(cur, index)
+        tg = np.take(tg, index)
+        row = np.take(row, index)
+        if alive is None and storers is None:
+            # Caching only: locals are already filtered, so the banded
+            # wave loop simply finds none.
+            self._route_waves(cur, tg, row, result, unpaid_origins)
+        else:
+            st = np.take(st, index)
+            self._route_waves_churn(cur, st, tg, row, result, alive,
+                                    unpaid_origins)
+
+    def _route_waves(self, cur: np.ndarray, tg: np.ndarray,
+                     row: np.ndarray, result: SimulationResult,
+                     unpaid_origins: np.ndarray | None) -> None:
+        """The terminal-coded wave loop (no churn dynamics).
+
+        All wave state lives in the table's compact entry dtype and
+        ping-pongs between two buffer sets, seeded by taking ownership
+        of the freshly built *cur*/*row* columns (no copy-in); each
+        wave is one vector add, one ``np.take`` into a reused buffer,
+        and one banded bincount that fuses the forwarded counts, the
+        arrival count, and the fallback counter — with no int64
+        widening and no storer column anywhere.
+
+        Local hits (the origin already stores the chunk) are detected
+        *in-band* at wave 1 instead of being prefiltered: the origin
+        is the storer iff the coded wave-1 value is exactly
+        ``2n + origin`` (storers always greedy-stall onto themselves),
+        and such chunks are shunted into a transient fourth band
+        (``3n..4n``) so the same bincount also counts them — that is
+        why :func:`table_entry_dtype` reserves headroom up to ``4n``.
+        """
+        table = self.table
+        dtype = table.entry_dtype
         n = table.n_nodes
-        first_origins = current
+        flat_table = table.flat_coded
+        n_start = int(cur.size)
+        src = (cur, row)
+        dst = (np.empty(n_start, dtype), np.empty(n_start, np.intp))
+        first_tg = tg
+        flat_buf = np.empty(n_start, np.intp)
+        nxt_buf = np.empty(n_start, dtype)
+        keep_buf = np.empty(n_start, bool)
+        size = n_start
         hop = 0
-        while current.size:
+        while size:
             hop += 1
-            nxt = self._hop_once(current, tg, st, result, alive)
-            wave_counts = np.bincount(nxt, minlength=n)
+            cur_w = src[0][:size]
+            row_w = src[1][:size]
+            flat = flat_buf[:size]
+            np.add(row_w, cur_w, out=flat)
+            nxt = nxt_buf[:size]
+            # mode="clip" skips the bounds check; row + cur is in
+            # range by construction (row <= (space-1)*n, cur < n).
+            np.take(flat_table, flat, out=nxt, mode="clip")
+            local_count = 0
+            local_mask = None
+            if hop == 1:
+                local_mask = nxt == cur_w + dtype.type(2 * n)
+                local_count = int(np.count_nonzero(local_mask))
+                if local_count:
+                    nxt[local_mask] += dtype.type(n)
+                    result.local_hits += local_count
+                    result.hop_histogram[0] = (
+                        result.hop_histogram.get(0, 0) + local_count
+                    )
+                else:
+                    local_mask = None
+            # The gather indices are spent: recycle the intp buffer as
+            # bincount input so bincount sees contiguous intp and
+            # skips an internal widening copy of a fresh allocation.
+            np.copyto(flat, nxt)
+            bands = np.bincount(flat, minlength=4 * n)
+            wave_counts = bands[:n] + bands[n:2 * n] + bands[2 * n:3 * n]
             result.forwarded += wave_counts
-            result.total_hops += int(nxt.size)
+            result.total_hops += size - local_count
+            fallbacks = int(bands[2 * n:3 * n].sum())
+            if fallbacks:
+                # Neighborhood hand-off: jump straight to the storer
+                # (see Router); counted so the effect is visible.
+                result.fallbacks += fallbacks
+            if hop == 1:
+                result.first_hop += wave_counts
+                servers = self._decode_servers(nxt, n)
+                np.copyto(flat, servers)
+                self._pay_first_hop(
+                    result, servers, first_tg, cur_w, unpaid_origins,
+                    servers_intp=flat, suppressed=local_mask,
+                )
+            keep = keep_buf[:size]
+            np.less(nxt, dtype.type(n), out=keep)
+            survivors = int(np.count_nonzero(keep))
+            arrived = size - survivors - local_count
+            if arrived:
+                result.hop_histogram[hop] = (
+                    result.hop_histogram.get(hop, 0) + arrived
+                )
+            if survivors:
+                index = np.flatnonzero(keep)
+                np.take(nxt, index, out=dst[0][:survivors])
+                np.take(row_w, index, out=dst[1][:survivors])
+            src, dst = dst, src
+            size = survivors
+
+    @staticmethod
+    def _decode_servers(coded: np.ndarray, n: int) -> np.ndarray:
+        """Coded hop values -> actual next-hop node indices (a copy)."""
+        servers = coded.copy()
+        dtype = servers.dtype
+        high = servers >= dtype.type(2 * n)
+        np.subtract(servers, dtype.type(2 * n), out=servers, where=high)
+        mid = servers >= dtype.type(n)
+        np.subtract(servers, dtype.type(n), out=servers, where=mid)
+        return servers
+
+    def _route_waves_churn(self, cur: np.ndarray, st: np.ndarray,
+                           tg: np.ndarray, row: np.ndarray,
+                           result: SimulationResult,
+                           alive: np.ndarray | None,
+                           unpaid_origins: np.ndarray | None) -> None:
+        """Wave loop with churn dynamics (alive masks, storer override).
+
+        Decodes each coded gather back to raw next-hop semantics: the
+        storer column must be carried because churn may re-home chunks
+        to the closest *live* node, which the statically coded table
+        cannot know. Runs per 512-file slab on prefiltered columns, so
+        the extra bookkeeping is off the headline path.
+        """
+        table = self.table
+        dtype = table.entry_dtype
+        n = table.n_nodes
+        flat_table = table.flat_coded
+        n_start = int(cur.size)
+        src = (cur, st, row)
+        dst = (np.empty(n_start, dtype), np.empty(n_start, dtype),
+               np.empty(n_start, np.intp))
+        first_tg = tg
+        flat_buf = np.empty(n_start, np.intp)
+        size = n_start
+        hop = 0
+        while size:
+            hop += 1
+            cur_w = src[0][:size]
+            st_w = src[1][:size]
+            row_w = src[2][:size]
+            flat = flat_buf[:size]
+            np.add(row_w, cur_w, out=flat)
+            coded = np.take(flat_table, flat, mode="clip")
+            stalled = coded >= dtype.type(2 * n)
+            nxt = coded
+            arrived_band = (nxt >= dtype.type(n)) & ~stalled
+            np.subtract(nxt, dtype.type(n), out=nxt, where=arrived_band)
+            if alive is not None:
+                # A dead next hop behaves like a greedy terminal: the
+                # request jumps straight to the (live) storer.
+                valid = ~stalled
+                dead = np.zeros_like(stalled)
+                dead[valid] = ~alive[nxt[valid]]
+                stalled |= dead
+            n_stalled = int(np.count_nonzero(stalled))
+            if n_stalled:
+                result.fallbacks += n_stalled
+                nxt[stalled] = st_w[stalled]
+            np.copyto(flat, nxt)
+            wave_counts = np.bincount(flat, minlength=n)
+            result.forwarded += wave_counts
+            result.total_hops += size
             if hop == 1:
                 result.first_hop += wave_counts
                 self._pay_first_hop(
-                    result, nxt, tg, first_origins, unpaid_origins
+                    result, nxt, first_tg, cur_w, unpaid_origins,
+                    servers_intp=flat,
                 )
-            keep = nxt != st
-            arrived_count = int(nxt.size - np.count_nonzero(keep))
-            if arrived_count:
+            keep = nxt != st_w
+            survivors = int(np.count_nonzero(keep))
+            arrived = size - survivors
+            if arrived:
                 result.hop_histogram[hop] = (
-                    result.hop_histogram.get(hop, 0) + arrived_count
+                    result.hop_histogram.get(hop, 0) + arrived
                 )
-            current = nxt[keep]
-            tg = tg[keep]
-            st = st[keep]
+            if survivors:
+                index = np.flatnonzero(keep)
+                np.take(nxt, index, out=dst[0][:survivors])
+                np.take(st_w, index, out=dst[1][:survivors])
+                np.take(row_w, index, out=dst[2][:survivors])
+            src, dst = dst, src
+            size = survivors
 
     def _hop_once(self, current: np.ndarray, targets: np.ndarray,
                   storers: np.ndarray, result: SimulationResult,
                   alive: np.ndarray | None) -> np.ndarray:
-        """One lockstep forwarding wave with fallback/churn hand-off."""
-        nxt = self.table.transposed[targets, current].astype(np.intp)
-        stalled = nxt < 0
+        """One standalone forwarding wave (cache-hit service path)."""
+        table = self.table
+        n = table.n_nodes
+        dtype = table.entry_dtype
+        flat = targets.astype(np.intp)
+        flat *= n
+        flat += current
+        nxt = np.take(table.flat_coded, flat)
+        stalled = nxt >= dtype.type(2 * n)
+        arrived_band = (nxt >= dtype.type(n)) & ~stalled
+        np.subtract(nxt, dtype.type(n), out=nxt, where=arrived_band)
         if alive is not None:
-            # A dead next hop behaves like a greedy terminal: the
-            # request jumps straight to the (live) storer.
             valid = ~stalled
             dead = np.zeros_like(stalled)
             dead[valid] = ~alive[nxt[valid]]
             stalled |= dead
         n_stalled = int(np.count_nonzero(stalled))
         if n_stalled:
-            # Neighborhood hand-off: jump straight to the storer
-            # (see Router); counted so the effect is visible.
             result.fallbacks += n_stalled
             nxt[stalled] = storers[stalled]
         return nxt
@@ -491,12 +872,25 @@ class FastSimulation:
 
     def _pay_first_hop(self, result: SimulationResult, servers: np.ndarray,
                        targets: np.ndarray, origins: np.ndarray,
-                       unpaid_origins: np.ndarray | None) -> None:
-        """First-hop pricing and income/expenditure accounting."""
+                       unpaid_origins: np.ndarray | None,
+                       servers_intp: np.ndarray | None = None,
+                       suppressed: np.ndarray | None = None) -> None:
+        """First-hop pricing and income/expenditure accounting.
+
+        ``servers_intp``, when given, is the same index vector as
+        *servers* already widened to contiguous intp (the hop kernel
+        has one lying around), letting the weighted bincount skip an
+        internal conversion copy. ``suppressed`` marks chunks that
+        must not be paid at all (in-band local hits: nothing was
+        served over the network).
+        """
         n = len(result.node_addresses)
+        index = servers if servers_intp is None else servers_intp
         if self.config.pricing == "xor":
             # Inlined _prices on int32: addresses fit in 22 bits.
-            distances = np.take(self.table.addresses32, servers) ^ targets
+            distances = np.take(self.table.addresses32, index)
+            np.bitwise_xor(distances, targets, out=distances,
+                           casting="unsafe")
             np.maximum(distances, 1, out=distances)
             prices = distances.astype(np.float64)
             prices *= self.config.pricing_base / self.space.size
@@ -507,7 +901,9 @@ class FastSimulation:
             )
         if unpaid_origins is not None:
             prices[unpaid_origins[origins]] = 0.0
-        result.income += np.bincount(servers, weights=prices, minlength=n)
+        if suppressed is not None:
+            prices[suppressed] = 0.0
+        result.income += np.bincount(index, weights=prices, minlength=n)
         result.expenditure += np.bincount(origins, weights=prices,
                                           minlength=n)
 
@@ -516,7 +912,7 @@ class FastSimulation:
         alive_idx = np.flatnonzero(alive).astype(np.int64)
         addresses = self.overlay.address_array()[alive_idx]
         size = self.space.size
-        out = np.empty(size, dtype=np.int64)
+        out = np.empty(size, dtype=self.table.entry_dtype)
         targets = np.arange(size, dtype=np.uint64)
         # Chunked to bound peak memory at ~ chunk * n_alive * 8B.
         chunk = max(1, (1 << 22) // max(1, alive_idx.size))
@@ -534,8 +930,9 @@ class FastSimulation:
         """Route every chunk of one file and accumulate the counters."""
         chunks = event.chunk_addresses.astype(np.int64)
         n = self.table.n_nodes
+        sentinel = self.table.sentinel
         origin_index = self.overlay.index_of(event.originator)
-        storer_index = self.table.storer[chunks]
+        storer_index = self.table.storer[chunks].astype(np.int64)
         result.chunks += len(chunks)
 
         local = storer_index == origin_index
@@ -555,16 +952,17 @@ class FastSimulation:
         while current.size:
             hop += 1
             nxt = self.table.next_hop[current, targets].astype(np.int64)
-            stalled = nxt < 0
+            stalled = nxt == sentinel
             if stalled.any():
                 # Neighborhood hand-off: jump straight to the storer
                 # (see Router); counted so the effect is visible.
                 result.fallbacks += int(np.count_nonzero(stalled))
                 nxt = np.where(stalled, storers, nxt)
-            result.forwarded += np.bincount(nxt, minlength=n)
+            wave_counts = np.bincount(nxt, minlength=n)
+            result.forwarded += wave_counts
             result.total_hops += int(nxt.size)
             if hop == 1:
-                result.first_hop += np.bincount(nxt, minlength=n)
+                result.first_hop += wave_counts
                 prices = self._prices(
                     addresses[nxt].astype(np.uint64),
                     targets.astype(np.uint64),
@@ -591,6 +989,8 @@ class FastSimulation:
 
 class SimulationBoundBackend(SimulationBackend):
     """Shared prepare(): bind a :class:`FastSimulation` to the config."""
+
+    uses_next_hop_table = True
 
     simulation: FastSimulation | None = None
 

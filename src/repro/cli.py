@@ -17,6 +17,8 @@ experiments and the ablations from the terminal::
     repro-swarm sweep --grid bucket_size=4,8,16 --seeds 10 \
         --backend fast,reference --jobs 4 --store sweep.json
 
+    repro-swarm bench --quick --baseline benchmarks/BENCH_quick.json
+
 The ``sweep`` subcommand expands a parameter grid over the simulation
 configuration, replicates every cell across derived workload seeds,
 and reports each quantity as mean [95% CI] (see :mod:`repro.sweeps`;
@@ -108,6 +110,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial; results are identical)",
     )
     sweep.add_argument(
+        "--cap-jobs", action="store_true",
+        help=(
+            "clamp --jobs to os.cpu_count(); points are CPU-bound, so "
+            "oversubscribing inverts the parallel speedup (without this "
+            "flag an excessive --jobs only warns)"
+        ),
+    )
+    sweep.add_argument(
+        "--table-cache", action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "build each unique topology's next-hop table once and share "
+            "it with workers via shared memory (--no-table-cache: every "
+            "worker rebuilds, the pre-PR-3 behavior)"
+        ),
+    )
+    sweep.add_argument(
         "--files", type=int, default=1000,
         help="downloads per point (default: 1000)",
     )
@@ -134,6 +153,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--markdown", action="store_true",
         help="render tables as Markdown",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="headline perf benchmark -> BENCH_headline.json"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI scale (300 nodes / 2000 files) instead of paper scale",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="simulation repetitions; the best time is reported",
+    )
+    bench.add_argument(
+        "--out", type=Path, default=Path("BENCH_headline.json"),
+        help="where to write the JSON record",
+    )
+    bench.add_argument(
+        "--baseline", type=Path, default=None,
+        help="committed baseline record to compare against",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help=(
+            "fail (exit 1) when chunks/s drops more than this factor "
+            "below the baseline (default: 2.0 — loose, for noisy "
+            "shared runners)"
+        ),
     )
 
     trace = subparsers.add_parser(
@@ -269,7 +316,8 @@ def _sweep_run(args: argparse.Namespace) -> int:
     )
     sweep = run_sweep(
         spec, jobs=args.jobs, store_path=args.store,
-        resume=not args.no_resume,
+        resume=not args.no_resume, table_cache=args.table_cache,
+        cap_jobs=args.cap_jobs,
     )
     report = sweep_report(
         sweep, name="sweep",
@@ -282,6 +330,47 @@ def _sweep_run(args: argparse.Namespace) -> int:
     if args.out is not None:
         args.out.write_text(rendered + "\n")
         print(f"report written to {args.out}")
+    return 0
+
+
+def _bench_run(args: argparse.Namespace) -> int:
+    import json
+
+    from .perf.bench import check_regression, headline_bench
+
+    label = "quick" if args.quick else "paper"
+    print(f"bench: {label} scale, best of {args.repeats} run(s)")
+    record = headline_bench(quick=args.quick, repeats=args.repeats)
+    args.out.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n"
+    )
+    metrics = record["metrics"]
+    print(
+        f"table build {metrics['table_build_seconds']:.2f}s | publish "
+        f"{metrics['table_publish_seconds']:.2f}s | attach "
+        f"{metrics['table_attach_seconds']:.4f}s "
+        f"({metrics['attach_vs_build_speedup']:,.0f}x faster than build)"
+    )
+    print(
+        f"simulation {metrics['run_seconds']:.2f}s: "
+        f"{metrics['files_per_second']:,.0f} files/s, "
+        f"{metrics['chunks_per_second']:,.0f} chunks/s"
+    )
+    print(f"record written to {args.out}")
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        problems = check_regression(
+            record, baseline, args.max_regression
+        )
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"within {args.max_regression:.1f}x of baseline "
+            f"{args.baseline} "
+            f"({baseline['metrics']['chunks_per_second']:,.0f} chunks/s)"
+        )
     return 0
 
 
@@ -377,6 +466,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _sweep_run(args)
+
+    if args.command == "bench":
+        return _bench_run(args)
 
     if args.command == "trace":
         if args.trace_command == "generate":

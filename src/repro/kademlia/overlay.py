@@ -25,6 +25,7 @@ Construction follows the paper:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -119,6 +120,7 @@ class Overlay:
             address: index for index, address in enumerate(self.addresses)
         }
         self._storer_cache: np.ndarray | None = None
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -232,6 +234,47 @@ class Overlay:
     def address_array(self) -> np.ndarray:
         """All node addresses as a ``uint64`` array (dense-index order)."""
         return self._address_array
+
+    def fingerprint(self) -> str:
+        """Content address of this topology (stable across processes).
+
+        A SHA-256 digest over every :class:`OverlayConfig` parameter
+        that determines construction (node count, address bits, bucket
+        capacities, build seed, neighborhood rule) *and* the realized
+        structure itself — the node addresses and every routing-table
+        edge. Two overlays with equal fingerprints route identically,
+        which is what lets the :mod:`repro.perf` table cache hand one
+        next-hop table to every sweep worker that needs this topology;
+        hashing the edges (not just the config) keeps hand-crafted
+        :meth:`from_tables` overlays from colliding with built ones.
+        """
+        if self._fingerprint is None:
+            config = self.config
+            digest = hashlib.sha256()
+            header = json.dumps(
+                {
+                    "n_nodes": config.n_nodes,
+                    "bits": config.bits,
+                    "bucket_default": config.limits.default,
+                    "bucket_overrides": sorted(
+                        (int(k), int(v))
+                        for k, v in config.limits.overrides.items()
+                    ),
+                    "seed": config.seed,
+                    "neighborhood_min": config.neighborhood_min,
+                    "symmetric_neighborhood": config.symmetric_neighborhood,
+                },
+                sort_keys=True,
+            )
+            digest.update(header.encode())
+            digest.update(self._address_array.tobytes())
+            for address in self.addresses:
+                peers = np.asarray(
+                    sorted(self._tables[address].peers()), dtype=np.uint64
+                )
+                digest.update(peers.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def closest_node(self, target: int) -> int:
         """The node address XOR-closest to *target* (the storer).

@@ -1,0 +1,47 @@
+"""Performance subsystem: table caching, sharing, and benchmarking.
+
+PR 2 measured ``sweep --jobs 4`` running *slower* than serial because
+every worker process rebuilt the dense
+:class:`~repro.backends.fast.NextHopTable` (about 5 s and 131 MB at
+paper scale) for every sweep point. This package removes that
+redundancy and tracks the repository's performance trajectory:
+
+* :mod:`~repro.perf.table_cache` — a process-global, content-addressed
+  :class:`TableCache` keyed by
+  :meth:`~repro.kademlia.overlay.Overlay.fingerprint`; every consumer
+  of :func:`repro.backends.fast.cached_next_hop_table` goes through
+  it, so one topology is built at most once per process;
+* :mod:`~repro.perf.shared` — publishes built tables into
+  :mod:`multiprocessing.shared_memory` (refcounted, unlinked when the
+  last sweep releases them) and attaches them read-only in worker
+  processes, so a K-seed x M-parameter sweep over one topology builds
+  its table exactly once machine-wide;
+* :mod:`~repro.perf.bench` — the ``repro-swarm bench`` headline
+  benchmark, which emits ``BENCH_headline.json`` with git/seed
+  provenance and compares against a committed baseline (the CI perf
+  smoke gate).
+"""
+
+from .bench import BENCH_FORMAT, check_regression, headline_bench
+from .shared import (
+    SharedArraySpec,
+    SharedTableHandle,
+    SharedTableRegistry,
+    attach_table,
+    shared_table_registry,
+)
+from .table_cache import CacheStats, TableCache, global_table_cache
+
+__all__ = [
+    "BENCH_FORMAT",
+    "CacheStats",
+    "SharedArraySpec",
+    "SharedTableHandle",
+    "SharedTableRegistry",
+    "TableCache",
+    "attach_table",
+    "check_regression",
+    "global_table_cache",
+    "headline_bench",
+    "shared_table_registry",
+]

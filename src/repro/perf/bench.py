@@ -1,0 +1,171 @@
+"""The ``repro-swarm bench`` headline benchmark and its JSON format.
+
+One benchmark record captures the three numbers this repository's
+performance story is built on:
+
+* ``table_build_seconds`` — cold :class:`NextHopTable` construction
+  (what every sweep worker used to pay per topology);
+* ``table_publish_seconds`` / ``table_attach_seconds`` — the shared-
+  memory path that replaces those rebuilds;
+* ``run_seconds`` / ``chunks_per_second`` — the batched hop-wave
+  kernel's end-to-end throughput (best of ``repeats``).
+
+Records carry git/seed/config provenance and are written to
+``BENCH_headline.json``; committing one per machine-visible change
+builds the perf trajectory, and :func:`check_regression` is the CI
+smoke gate — it fails when throughput drops by more than the given
+factor against the committed baseline (loose by design: shared CI
+runners are noisy; the gate exists to catch order-of-magnitude
+regressions, not percent-level drift).
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Mapping
+
+import numpy as np
+
+from ..backends.config import FastSimulationConfig
+from ..backends.fast import FastSimulation, NextHopTable, cached_overlay
+from ..errors import ConfigurationError
+from ..sweeps.store import git_provenance
+from .shared import attach_table, shared_table_registry
+from .table_cache import global_table_cache
+
+__all__ = ["BENCH_FORMAT", "QUICK_SCALE", "PAPER_SCALE",
+           "headline_bench", "check_regression"]
+
+BENCH_FORMAT = "repro-swarm-bench/1"
+
+#: CI-friendly scale: the benchmark harness's 300-node overlay, with
+#: enough files (~1.1M chunks) that the timed region is not noise.
+QUICK_SCALE = {"n_nodes": 300, "n_files": 2000}
+
+#: The paper's §VI headline scale: ~5.5M chunk retrievals.
+PAPER_SCALE = {"n_nodes": 1000, "n_files": 10_000}
+
+
+def headline_bench(*, quick: bool = False, repeats: int = 3) -> dict:
+    """Measure build/attach/run at one scale; returns the JSON record."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    scale = QUICK_SCALE if quick else PAPER_SCALE
+    config = FastSimulationConfig(**scale)
+    overlay = cached_overlay(config.overlay_config())
+
+    started = time.perf_counter()
+    table = NextHopTable(overlay)
+    build_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    _ = table.flat_coded
+    encode_seconds = time.perf_counter() - started
+
+    registry = shared_table_registry()
+    fingerprint = overlay.fingerprint()
+    started = time.perf_counter()
+    handle = registry.acquire(table)
+    publish_seconds = time.perf_counter() - started
+    try:
+        started = time.perf_counter()
+        attached = attach_table(handle, overlay)
+        attach_seconds = time.perf_counter() - started
+        # Run the workload against the attached table — the exact
+        # object sweep workers use — so the throughput number covers
+        # the shared path, not a privileged local one.
+        global_table_cache().install(fingerprint, attached)
+        simulation = FastSimulation(config)
+        run_times = []
+        result = None
+        for _ in range(repeats):
+            run_started = time.perf_counter()
+            result = simulation.run()
+            run_times.append(time.perf_counter() - run_started)
+        run_seconds = min(run_times)
+    finally:
+        global_table_cache().discard(fingerprint)
+        registry.release(fingerprint)
+
+    assert result is not None
+    return {
+        "format": BENCH_FORMAT,
+        "label": "quick" if quick else "paper",
+        "config": {
+            "n_nodes": config.n_nodes,
+            "n_files": config.n_files,
+            "bits": config.bits,
+            "bucket_size": config.bucket_size,
+            "overlay_seed": config.overlay_seed,
+            "workload_seed": config.workload_seed,
+        },
+        "provenance": {
+            **git_provenance(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "workload": {
+            "files": int(result.files),
+            "chunks": int(result.chunks),
+            "total_hops": int(result.total_hops),
+        },
+        "metrics": {
+            "table_build_seconds": round(build_seconds, 4),
+            "table_encode_seconds": round(encode_seconds, 4),
+            "table_publish_seconds": round(publish_seconds, 4),
+            "table_attach_seconds": round(attach_seconds, 4),
+            "run_seconds": round(run_seconds, 4),
+            "files_per_second": round(result.files / run_seconds, 1),
+            "chunks_per_second": round(result.chunks / run_seconds, 1),
+            "attach_vs_build_speedup": round(
+                build_seconds / max(attach_seconds, 1e-9), 1
+            ),
+        },
+    }
+
+
+def check_regression(current: Mapping, baseline: Mapping,
+                     max_regression: float = 2.0) -> list[str]:
+    """Compare a fresh record against a committed baseline.
+
+    Returns a list of human-readable problems (empty = pass). Records
+    must describe the same benchmark (format, label, simulated
+    workload); throughput may not drop by more than *max_regression*.
+    Absolute times are not compared — they are machine properties —
+    only the ratio gate on throughput, which a >2x kernel regression
+    trips even on a slower shared runner.
+    """
+    if max_regression < 1.0:
+        raise ConfigurationError(
+            f"max_regression must be >= 1.0, got {max_regression}"
+        )
+    problems: list[str] = []
+    for record, who in ((current, "current"), (baseline, "baseline")):
+        if record.get("format") != BENCH_FORMAT:
+            problems.append(
+                f"{who} record is not a {BENCH_FORMAT} benchmark record"
+            )
+    if problems:
+        return problems
+    if current.get("label") != baseline.get("label"):
+        problems.append(
+            f"benchmark scales differ: current={current.get('label')!r} "
+            f"vs baseline={baseline.get('label')!r}"
+        )
+    if current.get("workload") != baseline.get("workload"):
+        problems.append(
+            "simulated workloads differ; the throughput comparison "
+            "would be meaningless (did the config or seeds change?)"
+        )
+    if problems:
+        return problems
+    current_rate = float(current["metrics"]["chunks_per_second"])
+    baseline_rate = float(baseline["metrics"]["chunks_per_second"])
+    if current_rate * max_regression < baseline_rate:
+        problems.append(
+            f"throughput regression: {current_rate:,.0f} chunks/s is more "
+            f"than {max_regression:.1f}x below the baseline "
+            f"{baseline_rate:,.0f} chunks/s"
+        )
+    return problems

@@ -1,0 +1,261 @@
+"""Shared-memory publication of next-hop tables.
+
+The sweep executor's parent process builds (or reuses) each unique
+topology's :class:`~repro.backends.fast.NextHopTable` once, copies its
+two dense arrays — the terminal-coded ``[target, node]`` matrix and
+the per-address storer vector, both already in the compact entry
+dtype —
+into :class:`multiprocessing.shared_memory.SharedMemory` segments, and
+ships a small plain-data :class:`SharedTableHandle` to every worker.
+Workers attach the segments **read-only** and wrap them in a
+:class:`~repro.backends.fast.NextHopTable` via
+:meth:`~repro.backends.fast.NextHopTable.from_arrays` — zero copies,
+zero rebuilds, and (on Linux) one physical copy of the ~131 MB
+paper-scale table shared by every worker.
+
+Cleanup is refcounted in the publishing process: each sweep run
+acquires the handles it needs from the :class:`SharedTableRegistry`
+and releases them when done; a segment is closed and unlinked when its
+last acquirer releases it. Workers deliberately *detach without
+unlinking* (the publisher owns the segment), which requires opting
+out of :mod:`multiprocessing.resource_tracker` bookkeeping — Python
+3.13 has ``track=False`` for exactly this, and :func:`_open_segment`
+falls back to unregistering manually on older interpreters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..backends.fast import NextHopTable
+    from ..kademlia.overlay import Overlay
+
+__all__ = [
+    "SharedArraySpec",
+    "SharedTableHandle",
+    "SharedTableRegistry",
+    "attach_table",
+    "shared_table_registry",
+]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Everything needed to re-map one array from shared memory."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def to_payload(self) -> dict:
+        """Plain-data form safe to pickle into spawn workers."""
+        return {
+            "name": self.name,
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SharedArraySpec":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            name=str(payload["name"]),
+            shape=tuple(int(v) for v in payload["shape"]),
+            dtype=str(payload["dtype"]),
+        )
+
+
+@dataclass(frozen=True)
+class SharedTableHandle:
+    """A published table: fingerprint plus its two array segments."""
+
+    fingerprint: str
+    coded: SharedArraySpec
+    storer: SharedArraySpec
+
+    def to_payload(self) -> dict:
+        """Plain-data form safe to pickle into spawn workers."""
+        return {
+            "fingerprint": self.fingerprint,
+            "coded": self.coded.to_payload(),
+            "storer": self.storer.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "SharedTableHandle":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            coded=SharedArraySpec.from_payload(payload["coded"]),
+            storer=SharedArraySpec.from_payload(payload["storer"]),
+        )
+
+
+def _create_segment(array: np.ndarray
+                    ) -> tuple[shared_memory.SharedMemory, SharedArraySpec]:
+    """Copy *array* into a fresh shared-memory segment."""
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[:] = array
+    spec = SharedArraySpec(
+        name=segment.name, shape=tuple(array.shape), dtype=array.dtype.str
+    )
+    return segment, spec
+
+
+def _open_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment without adopting its lifetime.
+
+    The publisher owns unlinking. On Python 3.13+ ``track=False``
+    keeps the attach out of :mod:`multiprocessing.resource_tracker`
+    entirely. Older interpreters register every attach — but our
+    attachers are always spawn children of the publisher and therefore
+    *share its tracker process*, where registration is a per-name set:
+    the duplicate add is a no-op, and the publisher's own ``unlink``
+    clears the single entry. Manually unregistering here would instead
+    delete the publisher's registration out from under it (observed as
+    ``KeyError`` noise in the tracker), so the fallback deliberately
+    leaves the bookkeeping alone.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _attach_array(spec: SharedArraySpec
+                  ) -> tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Map one published array read-only."""
+    segment = _open_segment(spec.name)
+    array = np.ndarray(
+        spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
+    )
+    array.flags.writeable = False
+    return segment, array
+
+
+def attach_table(handle: SharedTableHandle,
+                 overlay: "Overlay") -> "NextHopTable":
+    """Wrap a published table for *overlay* (read-only, zero-copy).
+
+    *overlay* must be the topology the table was built from; the
+    fingerprint is checked so a stale handle can never silently route
+    a different network.
+    """
+    if overlay.fingerprint() != handle.fingerprint:
+        raise ConfigurationError(
+            f"shared table {handle.fingerprint[:12]}... does not match "
+            f"overlay {overlay.fingerprint()[:12]}...; refusing to attach"
+        )
+    from ..backends.fast import NextHopTable
+
+    segments = []
+    try:
+        coded_segment, coded = _attach_array(handle.coded)
+        segments.append(coded_segment)
+        storer_segment, storer = _attach_array(handle.storer)
+        segments.append(storer_segment)
+        return NextHopTable.from_arrays(
+            overlay,
+            coded=coded,
+            storer=storer,
+            segments=tuple(segments),
+        )
+    except BaseException:
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - close best effort
+                pass
+        raise
+
+
+class SharedTableRegistry:
+    """Publisher-side refcounted registry of shared table segments.
+
+    ``acquire`` publishes a table (or bumps the refcount of an already
+    published one) and returns its handle; ``release`` drops one
+    reference and unlinks the segments when the last holder lets go.
+    Overlapping sweeps in one process therefore share one published
+    copy per topology, and nothing leaks into ``/dev/shm`` after the
+    last sweep finishes.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict] = {}
+
+    def acquire(self, table: "NextHopTable") -> SharedTableHandle:
+        """Publish *table* (idempotent) and take a reference."""
+        fingerprint = table.overlay.fingerprint()
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            segments = []
+            try:
+                coded_segment, coded_spec = _create_segment(
+                    table.coded_transposed
+                )
+                segments.append(coded_segment)
+                storer_segment, storer_spec = _create_segment(table.storer)
+                segments.append(storer_segment)
+            except BaseException:
+                for segment in segments:
+                    try:
+                        segment.close()
+                        segment.unlink()
+                    except OSError:  # pragma: no cover
+                        pass
+                raise
+            entry = {
+                "handle": SharedTableHandle(
+                    fingerprint=fingerprint,
+                    coded=coded_spec,
+                    storer=storer_spec,
+                ),
+                "segments": tuple(segments),
+                "references": 0,
+            }
+            self._entries[fingerprint] = entry
+        entry["references"] += 1
+        return entry["handle"]
+
+    def release(self, fingerprint: str) -> None:
+        """Drop one reference; unlink the segments on the last one."""
+        entry = self._entries.get(fingerprint)
+        if entry is None:
+            return
+        entry["references"] -= 1
+        if entry["references"] <= 0:
+            del self._entries[fingerprint]
+            for segment in entry["segments"]:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except OSError:  # pragma: no cover - cleanup best effort
+                    pass
+
+    def references(self, fingerprint: str) -> int:
+        """Current reference count for a published topology (0 if none)."""
+        entry = self._entries.get(fingerprint)
+        return 0 if entry is None else int(entry["references"])
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_GLOBAL_REGISTRY: SharedTableRegistry | None = None
+
+
+def shared_table_registry() -> SharedTableRegistry:
+    """The process-wide publisher registry used by sweep executors."""
+    global _GLOBAL_REGISTRY
+    if _GLOBAL_REGISTRY is None:
+        _GLOBAL_REGISTRY = SharedTableRegistry()
+    return _GLOBAL_REGISTRY

@@ -1,0 +1,127 @@
+"""Content-addressed, process-global next-hop-table cache.
+
+Every consumer of a :class:`~repro.backends.fast.NextHopTable` —
+:class:`~repro.backends.fast.FastSimulation`, the baselines wrapping
+it, and the sweep workers — resolves tables through one
+:class:`TableCache` keyed by
+:meth:`Overlay.fingerprint() <repro.kademlia.overlay.Overlay.fingerprint>`.
+The cache has three sources, tried in order:
+
+1. **memo** — a table already resolved in this process (hit);
+2. **shared memory** — a :class:`~repro.perf.shared.SharedTableHandle`
+   registered by the sweep executor: the table is attached read-only
+   from the publishing process instead of being rebuilt (attach);
+3. **build** — a cold :class:`~repro.backends.fast.NextHopTable`
+   construction (build).
+
+:attr:`TableCache.stats` counts each source, which is how the
+instrumented sweep tests assert "exactly one build per topology"
+without depending on machine speed. The cache is intentionally
+unbounded: a process touches at most a handful of topologies, and the
+paper-scale table is ~131 MB — far below the cost of rebuilding it
+per sweep point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..backends.fast import NextHopTable
+    from ..kademlia.overlay import Overlay
+    from .shared import SharedTableHandle
+
+__all__ = ["CacheStats", "TableCache", "global_table_cache"]
+
+
+@dataclass
+class CacheStats:
+    """How many tables this cache built, attached, and re-served."""
+
+    builds: int = 0
+    attaches: int = 0
+    hits: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-data copy (for logs and assertions)."""
+        return {
+            "builds": self.builds,
+            "attaches": self.attaches,
+            "hits": self.hits,
+        }
+
+
+class TableCache:
+    """Memoizes :class:`NextHopTable` instances by overlay fingerprint.
+
+    Not thread-safe; the simulation stack is process-parallel, never
+    thread-parallel, and each process owns its cache.
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, "NextHopTable"] = {}
+        self._handles: dict[str, "SharedTableHandle"] = {}
+        self.stats = CacheStats()
+
+    def get(self, overlay: "Overlay") -> "NextHopTable":
+        """The table for *overlay*: memoized, attached, or built."""
+        fingerprint = overlay.fingerprint()
+        table = self._tables.get(fingerprint)
+        if table is not None:
+            self.stats.hits += 1
+            return table
+        handle = self._handles.get(fingerprint)
+        if handle is not None:
+            from .shared import attach_table
+
+            table = attach_table(handle, overlay)
+            self.stats.attaches += 1
+        else:
+            from ..backends.fast import NextHopTable
+
+            table = NextHopTable(overlay)
+            self.stats.builds += 1
+        self._tables[fingerprint] = table
+        return table
+
+    def register_handle(self, handle: "SharedTableHandle") -> None:
+        """Offer a shared-memory table for future :meth:`get` calls.
+
+        Registration is lazy and idempotent: nothing is attached until
+        a simulation actually asks for that topology, and re-offering
+        the same fingerprint simply replaces the handle.
+        """
+        self._handles[handle.fingerprint] = handle
+
+    def install(self, fingerprint: str, table: "NextHopTable") -> None:
+        """Memoize an externally built table under *fingerprint*."""
+        self._tables[fingerprint] = table
+
+    def discard(self, fingerprint: str) -> None:
+        """Drop one memoized table and any registered handle for it."""
+        self._tables.pop(fingerprint, None)
+        self._handles.pop(fingerprint, None)
+
+    def clear(self) -> None:
+        """Drop every table, handle, and counter (for tests)."""
+        self._tables.clear()
+        self._handles.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return fingerprint in self._tables
+
+
+_GLOBAL_CACHE: TableCache | None = None
+
+
+def global_table_cache() -> TableCache:
+    """The process-wide cache behind ``cached_next_hop_table``."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = TableCache()
+    return _GLOBAL_CACHE

@@ -25,6 +25,8 @@ from .executors import (
     SerialExecutor,
     SweepExecutor,
     make_executor,
+    resolve_jobs,
+    table_topologies,
 )
 from .spec import (
     SweepPoint,
@@ -57,7 +59,9 @@ __all__ = [
     "parse_grid_value",
     "replica_seed",
     "replica_seeds",
+    "resolve_jobs",
     "result_metrics",
     "run_sweep",
     "sweepable_fields",
+    "table_topologies",
 ]

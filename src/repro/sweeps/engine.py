@@ -79,14 +79,20 @@ class SweepResult:
 def run_sweep(spec: SweepSpec, *, jobs: int = 1,
               store_path: Path | None = None,
               resume: bool = True,
-              confidence: float = 0.95) -> SweepResult:
+              confidence: float = 0.95,
+              table_cache: bool = True,
+              cap_jobs: bool = False) -> SweepResult:
     """Execute *spec*, optionally persisting/resuming a JSON store.
 
     ``jobs <= 1`` runs serially in-process; larger values fan points
     out over a spawn process pool. Results are identical either way
     (see :mod:`repro.sweeps.executors`). With ``store_path``, points
     already recorded there are skipped and the store is re-saved as
-    each new point completes.
+    each new point completes. ``table_cache`` (default on) has the
+    parent publish each unique topology's next-hop table to shared
+    memory so workers attach instead of rebuilding; ``cap_jobs``
+    clamps ``jobs`` to ``os.cpu_count()`` instead of merely warning
+    about oversubscription.
     """
     points = spec.points()
     store = None
@@ -106,7 +112,9 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
             store.save()
 
     started = time.perf_counter()
-    outcomes = make_executor(jobs).run(spec.base, pending, on_result)
+    executor = make_executor(jobs, share_tables=table_cache,
+                             cap_jobs=cap_jobs)
+    outcomes = executor.run(spec.base, pending, on_result)
     elapsed = time.perf_counter() - started
     if store is not None and not outcomes:
         # Nothing executed (fully resumed, or a points-free store):

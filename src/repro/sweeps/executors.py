@@ -13,25 +13,97 @@ in the registry. :class:`ProcessExecutor` always uses the ``spawn``
 start method: workers import :mod:`repro` fresh instead of inheriting
 forked state, which keeps results independent of whatever the parent
 process cached and behaves identically on Linux, macOS, and Windows.
+
+Spawned workers share built routing tables instead of rebuilding
+them: before fanning out, the parent resolves each unique topology's
+:class:`~repro.backends.fast.NextHopTable` once through the global
+:class:`~repro.perf.table_cache.TableCache`, publishes it to shared
+memory via the :class:`~repro.perf.shared.SharedTableRegistry`
+(refcounted; unlinked when the run ends), and ships the handles with
+every work item — the fix for PR 2's finding that ``--jobs 4`` lost
+to serial because each worker rebuilt every table. ``share_tables=
+False`` restores the rebuild-per-worker behavior for comparison.
+
+Requesting more workers than the machine has CPUs is allowed but
+warned about (PR 2 also measured oversubscribed sweeps running
+*slower* than serial: the points are CPU-bound, so extra workers only
+add contention); ``cap_jobs=True`` clamps to ``os.cpu_count()``
+instead.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from multiprocessing import get_context
 from typing import Callable, Sequence
 
+from ..backends.base import get_backend_class
 from ..backends.config import FastSimulationConfig
 from ..errors import ConfigurationError
+from ..kademlia.overlay import OverlayConfig
 from .spec import SweepPoint
 from .worker import PointOutcome, execute_point, point_payload
 
 __all__ = ["SweepExecutor", "SerialExecutor", "ProcessExecutor",
-           "make_executor"]
+           "make_executor", "resolve_jobs", "table_topologies"]
 
 #: Callback invoked as each point completes (store persistence hook).
 OnResult = Callable[[PointOutcome], None]
+
+
+def resolve_jobs(jobs: int, *, cap_jobs: bool = False) -> int:
+    """Validate a worker count against the machine's CPUs.
+
+    Warns when *jobs* exceeds ``os.cpu_count()`` — PR 2's sweep
+    measurements showed oversubscription *inverting* the parallel
+    speedup (4 workers on 1 core: 169 s vs 82 s serial) — and clamps
+    to the CPU count when ``cap_jobs`` is set.
+    """
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    available = os.cpu_count() or 1
+    if jobs > available:
+        if cap_jobs:
+            warnings.warn(
+                f"--jobs {jobs} exceeds the {available} available CPU(s); "
+                f"capping to {available}. Sweep points are CPU-bound, so "
+                f"oversubscription only adds contention (PR 2 measured it "
+                f"running slower than serial).",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return available
+        warnings.warn(
+            f"--jobs {jobs} exceeds the {available} available CPU(s); "
+            f"expect the parallel sweep to run no faster (and possibly "
+            f"slower) than --jobs {available}. Pass cap_jobs/--cap-jobs "
+            f"to clamp automatically.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return jobs
+
+
+def table_topologies(base: FastSimulationConfig,
+                     points: Sequence[SweepPoint]) -> list[OverlayConfig]:
+    """Unique overlay configs whose points need a next-hop table.
+
+    Only backends that declare ``uses_next_hop_table`` count — the
+    reference network and the standalone tit-for-tat swarm never build
+    one, so publishing tables for them would be pure overhead.
+    """
+    from ..backends.fast import overlay_key
+
+    unique: dict[tuple, OverlayConfig] = {}
+    for point in points:
+        if not get_backend_class(point.backend).uses_next_hop_table:
+            continue
+        config = point.config(base).overlay_config()
+        unique.setdefault(overlay_key(config), config)
+    return list(unique.values())
 
 
 class SweepExecutor:
@@ -45,7 +117,13 @@ class SweepExecutor:
 
 
 class SerialExecutor(SweepExecutor):
-    """In-process, one point at a time — the determinism reference."""
+    """In-process, one point at a time — the determinism reference.
+
+    The process-global table cache already deduplicates builds within
+    one process, so the serial path needs no shared memory: a K-seed x
+    M-parameter sweep over one topology builds its table once here
+    too.
+    """
 
     def run(self, base: FastSimulationConfig,
             points: Sequence[SweepPoint],
@@ -69,10 +147,46 @@ class ProcessExecutor(SweepExecutor):
     returning; scheduling order never leaks into the output.
     """
 
-    def __init__(self, jobs: int) -> None:
-        if jobs < 1:
-            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-        self.jobs = jobs
+    def __init__(self, jobs: int, *, share_tables: bool = True,
+                 cap_jobs: bool = False) -> None:
+        self.jobs = resolve_jobs(jobs, cap_jobs=cap_jobs)
+        self.share_tables = share_tables
+
+    def _publish_tables(self, base: FastSimulationConfig,
+                        points: Sequence[SweepPoint]
+                        ) -> tuple[dict[str, dict], list[str]]:
+        """Build each unique topology once and publish it to workers.
+
+        Returns (handle payloads keyed by fingerprint, acquired
+        fingerprints to release). Falls back to unshared execution —
+        workers rebuild, exactly the pre-cache behavior — when shared
+        memory is unavailable on this platform.
+        """
+        from ..backends.fast import cached_overlay
+        from ..perf.shared import shared_table_registry
+        from ..perf.table_cache import global_table_cache
+
+        payloads: dict[str, dict] = {}
+        acquired: list[str] = []
+        registry = shared_table_registry()
+        try:
+            for overlay_config in table_topologies(base, points):
+                table = global_table_cache().get(
+                    cached_overlay(overlay_config)
+                )
+                handle = registry.acquire(table)
+                acquired.append(handle.fingerprint)
+                payloads[handle.fingerprint] = handle.to_payload()
+        except (ImportError, OSError) as error:
+            for fingerprint in acquired:
+                registry.release(fingerprint)
+            warnings.warn(
+                f"shared-memory table publication unavailable "
+                f"({error}); sweep workers will rebuild next-hop tables",
+                RuntimeWarning,
+            )
+            return {}, []
+        return payloads, acquired
 
     def run(self, base: FastSimulationConfig,
             points: Sequence[SweepPoint],
@@ -81,28 +195,44 @@ class ProcessExecutor(SweepExecutor):
             return []
         base_payload = dataclasses.asdict(base)
         workers = min(self.jobs, len(points))
+        handles: dict[str, dict] = {}
+        acquired: list[str] = []
+        if self.share_tables:
+            handles, acquired = self._publish_tables(base, points)
         outcomes: list[PointOutcome] = []
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=get_context("spawn")
-        ) as pool:
-            pending = {
-                pool.submit(execute_point, base_payload,
-                            point_payload(point))
-                for point in points
-            }
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    outcome = future.result()
-                    if on_result is not None:
-                        on_result(outcome)
-                    outcomes.append(outcome)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=get_context("spawn")
+            ) as pool:
+                pending = {
+                    pool.submit(execute_point, base_payload,
+                                point_payload(point), handles or None)
+                    for point in points
+                }
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        outcome = future.result()
+                        if on_result is not None:
+                            on_result(outcome)
+                        outcomes.append(outcome)
+        finally:
+            if acquired:
+                from ..perf.shared import shared_table_registry
+
+                registry = shared_table_registry()
+                for fingerprint in acquired:
+                    registry.release(fingerprint)
         outcomes.sort(key=lambda o: o.index)
         return outcomes
 
 
-def make_executor(jobs: int) -> SweepExecutor:
+def make_executor(jobs: int, *, share_tables: bool = True,
+                  cap_jobs: bool = False) -> SweepExecutor:
     """Serial for ``jobs == 1``, a spawn process pool otherwise."""
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    return SerialExecutor() if jobs == 1 else ProcessExecutor(jobs)
+    if jobs == 1:
+        return SerialExecutor()
+    return ProcessExecutor(jobs, share_tables=share_tables,
+                           cap_jobs=cap_jobs)

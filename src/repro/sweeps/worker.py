@@ -8,10 +8,16 @@ calls the very same function, which is what makes parallel sweeps
 byte-identical to serial ones: every point runs the same arithmetic on
 the same derived seed regardless of process layout.
 
-Each worker process keeps the :mod:`repro.backends.fast` overlay and
-next-hop-table caches of its own interpreter, so a worker that runs
-many points of the same cell pays the overlay build once — the same
-amortization the single-process runners enjoy.
+Each worker process keeps the :mod:`repro.backends.fast` overlay
+cache and the :mod:`repro.perf.table_cache` of its own interpreter,
+so a worker that runs many points of the same cell pays the overlay
+build once — the same amortization the single-process runners enjoy.
+On top of that, :func:`execute_point` accepts the shared-memory table
+handles published by :class:`~repro.sweeps.executors.ProcessExecutor`
+and registers them with the worker's table cache *before* running, so
+the expensive dense next-hop table is attached from the parent's
+segments instead of being rebuilt — the cross-process half of the
+"build each topology exactly once" guarantee.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ __all__ = [
     "PointOutcome",
     "point_payload",
     "config_from_payload",
+    "register_table_handles",
     "result_metrics",
     "execute_point",
     "METRIC_NAMES",
@@ -130,8 +137,29 @@ def result_metrics(result: SimulationResult) -> dict[str, Any]:
     }
 
 
-def execute_point(base: Mapping, payload: Mapping) -> PointOutcome:
+def register_table_handles(table_handles: Mapping | None) -> None:
+    """Make published shared-memory tables visible to this process.
+
+    *table_handles* maps overlay fingerprints to
+    :class:`~repro.perf.shared.SharedTableHandle` payloads. Handles
+    are registered lazily — nothing attaches until a backend actually
+    prepares that topology — and idempotently, so re-sending the same
+    handles with every work item is free.
+    """
+    if not table_handles:
+        return
+    from ..perf.shared import SharedTableHandle
+    from ..perf.table_cache import global_table_cache
+
+    cache = global_table_cache()
+    for handle_payload in table_handles.values():
+        cache.register_handle(SharedTableHandle.from_payload(handle_payload))
+
+
+def execute_point(base: Mapping, payload: Mapping,
+                  table_handles: Mapping | None = None) -> PointOutcome:
     """Run one sweep point and summarize it (the executor work unit)."""
+    register_table_handles(table_handles)
     config = config_from_payload(base, payload)
     backend = get_backend(payload["backend"])
     result = backend.prepare(config).run()

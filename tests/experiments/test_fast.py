@@ -58,7 +58,9 @@ class TestNextHopTable:
                 if (closest ^ target) < (origin ^ target):
                     assert addresses[hop] == closest
                 else:
-                    assert hop == -1
+                    # Greedy terminal: the compact unsigned table
+                    # stores its dtype's max value, not -1.
+                    assert hop == table.sentinel
 
     def test_storer_matches_overlay(self, small_overlay):
         table = NextHopTable(small_overlay)

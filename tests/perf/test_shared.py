@@ -1,0 +1,120 @@
+"""Shared-memory table publication: attach equivalence + refcounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends.fast import NextHopTable, clear_caches
+from repro.errors import ConfigurationError
+from repro.kademlia.buckets import BucketLimits
+from repro.kademlia.overlay import Overlay, OverlayConfig
+from repro.perf.shared import SharedTableHandle, SharedTableRegistry, attach_table
+
+CONFIG = OverlayConfig(
+    n_nodes=60, bits=10, limits=BucketLimits.uniform(4), seed=5
+)
+OTHER = OverlayConfig(
+    n_nodes=60, bits=10, limits=BucketLimits.uniform(4), seed=6
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture()
+def registry():
+    return SharedTableRegistry()
+
+
+class TestPublishAttach:
+    def test_attached_table_is_bit_identical(self, registry):
+        overlay = Overlay.build(CONFIG)
+        built = NextHopTable(overlay)
+        handle = registry.acquire(built)
+        try:
+            attached = attach_table(handle, overlay)
+            assert np.array_equal(
+                attached.coded_transposed, built.coded_transposed
+            )
+            assert np.array_equal(attached.next_hop, built.next_hop)
+            assert np.array_equal(attached.storer, built.storer)
+            assert attached.sentinel == built.sentinel
+            assert attached.entry_dtype == built.entry_dtype
+        finally:
+            registry.release(handle.fingerprint)
+
+    def test_attached_arrays_are_read_only(self, registry):
+        overlay = Overlay.build(CONFIG)
+        handle = registry.acquire(NextHopTable(overlay))
+        try:
+            attached = attach_table(handle, overlay)
+            with pytest.raises(ValueError):
+                attached.coded_transposed[0, 0] = 1
+            with pytest.raises(ValueError):
+                attached.storer[0] = 1
+        finally:
+            registry.release(handle.fingerprint)
+
+    def test_attach_refuses_mismatched_overlay(self, registry):
+        overlay = Overlay.build(CONFIG)
+        other = Overlay.build(OTHER)
+        handle = registry.acquire(NextHopTable(overlay))
+        try:
+            with pytest.raises(ConfigurationError, match="does not match"):
+                attach_table(handle, other)
+        finally:
+            registry.release(handle.fingerprint)
+
+    def test_handle_payload_round_trip(self, registry):
+        overlay = Overlay.build(CONFIG)
+        handle = registry.acquire(NextHopTable(overlay))
+        try:
+            clone = SharedTableHandle.from_payload(handle.to_payload())
+            assert clone == handle
+            attached = attach_table(clone, overlay)
+            assert attached.n_nodes == len(overlay)
+        finally:
+            registry.release(handle.fingerprint)
+
+
+class TestRefcounting:
+    def test_acquire_is_idempotent_per_topology(self, registry):
+        overlay = Overlay.build(CONFIG)
+        table = NextHopTable(overlay)
+        first = registry.acquire(table)
+        second = registry.acquire(table)
+        assert first == second
+        assert registry.references(first.fingerprint) == 2
+        assert len(registry) == 1
+        registry.release(first.fingerprint)
+        # Still published: one holder left.
+        assert registry.references(first.fingerprint) == 1
+        attach_table(first, overlay)
+        registry.release(first.fingerprint)
+        assert registry.references(first.fingerprint) == 0
+        assert len(registry) == 0
+
+    def test_last_release_unlinks_segments(self, registry):
+        overlay = Overlay.build(CONFIG)
+        handle = registry.acquire(NextHopTable(overlay))
+        registry.release(handle.fingerprint)
+        with pytest.raises(FileNotFoundError):
+            attach_table(handle, overlay)
+
+    def test_release_of_unknown_fingerprint_is_noop(self, registry):
+        registry.release("not-a-fingerprint")  # must not raise
+
+    def test_distinct_topologies_get_distinct_entries(self, registry):
+        handle_a = registry.acquire(NextHopTable(Overlay.build(CONFIG)))
+        handle_b = registry.acquire(NextHopTable(Overlay.build(OTHER)))
+        try:
+            assert handle_a.fingerprint != handle_b.fingerprint
+            assert len(registry) == 2
+        finally:
+            registry.release(handle_a.fingerprint)
+            registry.release(handle_b.fingerprint)

@@ -1,0 +1,193 @@
+"""Unit tests for the content-addressed table cache and fingerprints."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.backends.fast import (
+    NextHopTable,
+    TABLE_BUILD_LOG_ENV,
+    cached_next_hop_table,
+    cached_overlay,
+    clear_caches,
+)
+from repro.errors import ConfigurationError
+from repro.kademlia.buckets import BucketLimits
+from repro.kademlia.overlay import Overlay, OverlayConfig
+from repro.perf.table_cache import TableCache, global_table_cache
+
+CONFIG = OverlayConfig(
+    n_nodes=60, bits=10, limits=BucketLimits.uniform(4), seed=5
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestFingerprint:
+    def test_deterministic_across_builds(self):
+        a = Overlay.build(CONFIG)
+        b = Overlay.build(CONFIG)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_every_topology_parameter(self):
+        base = Overlay.build(CONFIG).fingerprint()
+        for change in (
+            {"n_nodes": 61},
+            {"bits": 11},
+            {"limits": BucketLimits.uniform(8)},
+            {"limits": BucketLimits(default=4, overrides={0: 20})},
+            {"seed": 6},
+            {"neighborhood_min": 2},
+            {"symmetric_neighborhood": False},
+        ):
+            changed = OverlayConfig(**{
+                "n_nodes": CONFIG.n_nodes,
+                "bits": CONFIG.bits,
+                "limits": CONFIG.limits,
+                "seed": CONFIG.seed,
+                "neighborhood_min": CONFIG.neighborhood_min,
+                "symmetric_neighborhood": CONFIG.symmetric_neighborhood,
+                **change,
+            })
+            assert Overlay.build(changed).fingerprint() != base, change
+
+    def test_covers_table_contents_not_just_config(self):
+        built = Overlay.build(CONFIG)
+        # A hand-crafted overlay claiming the same config must not
+        # collide with the genuinely built topology.
+        tables = {
+            address: built.table(address) for address in built.addresses
+        }
+        victim = sorted(tables)[0]
+        stripped = {k: v for k, v in tables.items()}
+        rebuilt = Overlay(CONFIG, built.addresses, stripped)
+        assert rebuilt.fingerprint() == built.fingerprint()
+        # Remove one edge: fingerprint must move.
+        peers = tables[victim].peers()
+        from repro.kademlia.table import RoutingTable
+
+        replacement = RoutingTable(victim, built.space, CONFIG.limits)
+        for peer in peers[:-1]:
+            replacement.add_unbounded(int(peer))
+        stripped[victim] = replacement
+        modified = Overlay(CONFIG, built.addresses, stripped)
+        assert modified.fingerprint() != built.fingerprint()
+
+    def test_cached_on_instance(self):
+        overlay = Overlay.build(CONFIG)
+        assert overlay.fingerprint() is overlay.fingerprint()
+
+
+class TestTableCache:
+    def test_build_then_hit(self):
+        cache = TableCache()
+        overlay = Overlay.build(CONFIG)
+        first = cache.get(overlay)
+        second = cache.get(overlay)
+        assert first is second
+        assert cache.stats.builds == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.attaches == 0
+
+    def test_equal_topologies_share_one_table(self):
+        cache = TableCache()
+        first = cache.get(Overlay.build(CONFIG))
+        second = cache.get(Overlay.build(CONFIG))
+        assert first is second
+        assert cache.stats.builds == 1
+
+    def test_install_and_discard(self):
+        cache = TableCache()
+        overlay = Overlay.build(CONFIG)
+        table = NextHopTable(overlay)
+        cache.install(overlay.fingerprint(), table)
+        assert cache.get(overlay) is table
+        assert cache.stats.builds == 0
+        cache.discard(overlay.fingerprint())
+        assert overlay.fingerprint() not in cache
+
+    def test_clear_resets_stats(self):
+        cache = TableCache()
+        cache.get(Overlay.build(CONFIG))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.snapshot() == {
+            "builds": 0, "attaches": 0, "hits": 0,
+        }
+
+    def test_cached_next_hop_table_goes_through_global_cache(self):
+        overlay = cached_overlay(CONFIG)
+        table = cached_next_hop_table(overlay)
+        assert cached_next_hop_table(overlay) is table
+        assert global_table_cache().stats.builds == 1
+
+
+class TestBuildLog:
+    def test_cold_build_appends_fingerprint_and_pid(self, tmp_path,
+                                                    monkeypatch):
+        log = tmp_path / "builds.log"
+        monkeypatch.setenv(TABLE_BUILD_LOG_ENV, str(log))
+        overlay = Overlay.build(CONFIG)
+        NextHopTable(overlay)
+        lines = log.read_text().splitlines()
+        assert len(lines) == 1
+        fingerprint, pid = lines[0].split()
+        assert fingerprint == overlay.fingerprint()
+        assert int(pid) == os.getpid()
+
+    def test_cache_hit_does_not_log(self, tmp_path, monkeypatch):
+        log = tmp_path / "builds.log"
+        monkeypatch.setenv(TABLE_BUILD_LOG_ENV, str(log))
+        overlay = cached_overlay(CONFIG)
+        cached_next_hop_table(overlay)
+        cached_next_hop_table(overlay)
+        assert len(log.read_text().splitlines()) == 1
+
+    def test_silent_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TABLE_BUILD_LOG_ENV, raising=False)
+        NextHopTable(Overlay.build(CONFIG))  # must not raise or write
+
+
+class TestFromArrays:
+    def test_round_trips_built_arrays(self):
+        overlay = Overlay.build(CONFIG)
+        built = NextHopTable(overlay)
+        wrapped = NextHopTable.from_arrays(
+            overlay,
+            coded=np.ascontiguousarray(built.coded_transposed),
+            storer=built.storer.copy(),
+        )
+        # The raw matrix is decoded lazily from the coded one; decode
+        # must be the exact inverse of the build-time encoding.
+        assert np.array_equal(wrapped.next_hop, built.next_hop)
+        assert np.array_equal(wrapped.storer, built.storer)
+        assert wrapped.sentinel == built.sentinel
+        assert wrapped.n_nodes == built.n_nodes
+
+    def test_rejects_wrong_dtype(self):
+        overlay = Overlay.build(CONFIG)
+        built = NextHopTable(overlay)
+        with pytest.raises(ConfigurationError, match="dtype|must use"):
+            NextHopTable.from_arrays(
+                overlay,
+                coded=built.coded_transposed.astype(np.int64),
+                storer=built.storer.copy(),
+            )
+
+    def test_rejects_wrong_shape(self):
+        overlay = Overlay.build(CONFIG)
+        built = NextHopTable(overlay)
+        with pytest.raises(ConfigurationError, match="shape"):
+            NextHopTable.from_arrays(
+                overlay,
+                coded=np.ascontiguousarray(built.coded_transposed[:-1]),
+                storer=built.storer.copy(),
+            )
