@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core.fairness import gini, lorenz_curve
-from repro.experiments.fast import FastSimulation, FastSimulationConfig
+from repro.backends.fast import FastSimulation, FastSimulationConfig
 from repro.kademlia.buckets import BucketLimits
 from repro.kademlia.overlay import Overlay, OverlayConfig
 from repro.kademlia.routing import Router
@@ -74,7 +74,7 @@ def test_fast_simulation_chunk_throughput(benchmark):
 
 
 def test_next_hop_table_build(benchmark):
-    from repro.experiments.fast import NextHopTable
+    from repro.backends.fast import NextHopTable
 
     overlay = Overlay.build(
         OverlayConfig(n_nodes=200, bits=12,

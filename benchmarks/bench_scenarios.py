@@ -1,0 +1,207 @@
+"""Scenario-layer benchmark: delta-patched epoch tables vs rebuilds.
+
+Two claims are measured (and asserted, loosely enough for shared CI
+runners):
+
+1. **Delta beats rebuild** — re-homing storers after a churn epoch via
+   :func:`~repro.kademlia.table.patch_storer_table` must beat the
+   from-scratch :func:`~repro.kademlia.table.alive_storer_table`
+   rebuild, while producing the identical table. The patch touches
+   only the addresses whose storer actually left (plus one improvement
+   pass per join), so the win grows as the churn rate shrinks.
+2. **The epoch cache amortizes replicas** — replaying the same
+   scenario schedule (what every extra sweep seed does) resolves all
+   epoch tables from the :class:`~repro.perf.table_cache
+   .EpochTableCache` without a single new patch or rebuild.
+
+Runs as a pytest module (``pytest benchmarks/bench_scenarios.py``)
+and as a script for the CI perf-smoke job::
+
+    python benchmarks/bench_scenarios.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+
+import numpy as np
+
+from repro.backends import run_simulation
+from repro.backends.config import FastSimulationConfig
+from repro.backends.fast import cached_overlay, clear_caches
+from repro.kademlia.table import alive_storer_table, patch_storer_table
+from repro.perf.table_cache import global_epoch_table_cache
+
+
+def _measure_patch_vs_rebuild(n_nodes: int, bits: int, rate: float,
+                              epochs: int, repeats: int = 3) -> dict:
+    """Best-of-N timings for one churn schedule, both strategies."""
+    config = FastSimulationConfig(n_nodes=n_nodes, bits=bits)
+    overlay = cached_overlay(config.overlay_config())
+    addresses = overlay.address_array()
+    size = overlay.space.size
+    dtype = np.uint16 if n_nodes < (1 << 14) else np.uint32
+    base = alive_storer_table(
+        addresses, np.ones(n_nodes, bool), np.dtype(dtype), size
+    )
+
+    rng = np.random.default_rng(2022)
+    masks = [rng.random(n_nodes) >= rate for _ in range(epochs)]
+
+    best_rebuild = best_patch = float("inf")
+    patched_tables = rebuilt_tables = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        rebuilt_tables = [
+            alive_storer_table(addresses, mask, np.dtype(dtype), size)
+            for mask in masks
+        ]
+        best_rebuild = min(best_rebuild, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        patched_tables = []
+        previous_mask = np.ones(n_nodes, bool)
+        previous = base
+        for mask in masks:
+            leaves = np.flatnonzero(previous_mask & ~mask)
+            joins = np.flatnonzero(~previous_mask & mask)
+            previous = patch_storer_table(
+                previous, addresses, mask, leaves, joins
+            )
+            patched_tables.append(previous)
+            previous_mask = mask
+        best_patch = min(best_patch, time.perf_counter() - started)
+
+    for patched, rebuilt in zip(patched_tables, rebuilt_tables):
+        assert np.array_equal(patched, rebuilt), (
+            "delta patch diverged from the full rebuild"
+        )
+    return {
+        "rebuild_seconds": best_rebuild,
+        "patch_seconds": best_patch,
+        "speedup": best_rebuild / max(best_patch, 1e-9),
+    }
+
+
+def _measure_replica_amortization(n_nodes: int, n_files: int,
+                                  replicas: int = 3) -> dict:
+    """Epoch-cache stats across repeated scenario replays."""
+    clear_caches()
+    spec = "churn:rate=0.1,recompute=true+caching:size=256"
+    base = FastSimulationConfig(
+        n_nodes=n_nodes, n_files=n_files, batch_files=64,
+        catalog_size=200, originator_share=0.5, scenario=spec,
+    )
+    cache = global_epoch_table_cache()
+    started = time.perf_counter()
+    run_simulation(base)
+    cold = time.perf_counter() - started
+    cold_stats = cache.stats.snapshot()
+
+    started = time.perf_counter()
+    for replica in range(1, replicas):
+        run_simulation(
+            dataclasses.replace(base, workload_seed=7 + replica)
+        )
+    warm = (time.perf_counter() - started) / max(1, replicas - 1)
+    warm_stats = cache.stats.snapshot()
+    return {
+        "scenario": spec,
+        "cold_seconds": cold,
+        "warm_seconds_per_replica": warm,
+        "cold_stats": cold_stats,
+        "warm_stats": warm_stats,
+    }
+
+
+def test_patch_beats_rebuild(bench_scale):
+    report = _measure_patch_vs_rebuild(
+        n_nodes=bench_scale["n_nodes"], bits=16, rate=0.1, epochs=6,
+    )
+    print()
+    print(
+        f"storer tables, 6 epochs @ 10% churn: rebuild "
+        f"{report['rebuild_seconds'] * 1e3:.1f}ms, patch "
+        f"{report['patch_seconds'] * 1e3:.1f}ms "
+        f"({report['speedup']:.1f}x)"
+    )
+    # Loose bound for shared runners; locally the win is ~3-10x.
+    assert report["patch_seconds"] < report["rebuild_seconds"], (
+        "the delta patch must beat the full per-epoch rebuild"
+    )
+
+
+def test_epoch_cache_amortizes_replicas(bench_scale):
+    report = _measure_replica_amortization(
+        n_nodes=bench_scale["n_nodes"],
+        n_files=min(bench_scale["n_files"], 512),
+    )
+    cold, warm = report["cold_stats"], report["warm_stats"]
+    print()
+    print(
+        f"{report['scenario']}: cold run {report['cold_seconds']:.2f}s "
+        f"({cold['patches']} patches, {cold['rebuilds']} rebuilds), "
+        f"warm replica {report['warm_seconds_per_replica']:.2f}s "
+        f"(+{warm['hits'] - cold['hits']} hits)"
+    )
+    assert cold["patches"] + cold["rebuilds"] > 0
+    assert warm["patches"] == cold["patches"], (
+        "extra replicas must not patch any epoch table again"
+    )
+    assert warm["rebuilds"] == cold["rebuilds"]
+    assert warm["hits"] > cold["hits"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scenario-layer benchmark (delta vs rebuild)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI scale (300 nodes, 14-bit space) instead of paper scale",
+    )
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--rate", type=float, default=0.1)
+    args = parser.parse_args(argv)
+
+    n_nodes = 300 if args.quick else 1000
+    bits = 14 if args.quick else 16
+    n_files = 256 if args.quick else 2000
+
+    report = _measure_patch_vs_rebuild(
+        n_nodes=n_nodes, bits=bits, rate=args.rate, epochs=args.epochs,
+    )
+    print(
+        f"epoch storer tables ({n_nodes} nodes, {bits}-bit space, "
+        f"{args.epochs} epochs @ {args.rate:.0%} churn): rebuild "
+        f"{report['rebuild_seconds'] * 1e3:.1f}ms, delta patch "
+        f"{report['patch_seconds'] * 1e3:.1f}ms -> "
+        f"{report['speedup']:.1f}x"
+    )
+    if report["patch_seconds"] >= report["rebuild_seconds"]:
+        print("FAIL: delta patch did not beat the full rebuild",
+              file=sys.stderr)
+        return 1
+
+    amortized = _measure_replica_amortization(
+        n_nodes=n_nodes, n_files=n_files
+    )
+    cold, warm = amortized["cold_stats"], amortized["warm_stats"]
+    print(
+        f"{amortized['scenario']}: cold {amortized['cold_seconds']:.2f}s "
+        f"({cold['patches']} patches), warm replica "
+        f"{amortized['warm_seconds_per_replica']:.2f}s "
+        f"(+{warm['hits'] - cold['hits']} cache hits, 0 new patches)"
+    )
+    if warm["patches"] != cold["patches"] or warm["rebuilds"] != cold["rebuilds"]:
+        print("FAIL: replica replay recomputed epoch tables",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

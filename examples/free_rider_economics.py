@@ -18,7 +18,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.baselines import FreeRiderPlan, apply_free_riders
 from repro.engine import EventScheduler

@@ -8,7 +8,7 @@ relative to the equality diagonal, with the Gini printed per series.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

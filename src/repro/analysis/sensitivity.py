@@ -17,7 +17,7 @@ from ..errors import ConfigurationError
 from .stats import mean_confidence_interval
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..experiments.fast import FastSimulationConfig, SimulationResult
+    from ..backends.fast import FastSimulationConfig, SimulationResult
 
 __all__ = ["MetricEstimate", "replicate", "compare_configs"]
 
@@ -28,7 +28,7 @@ Metric = Callable[["SimulationResult"], float]
 def _fast_simulation():
     """Late import: repro.experiments imports repro.analysis, so the
     reverse dependency must resolve at call time, not import time."""
-    from ..experiments.fast import FastSimulation
+    from ..backends.fast import FastSimulation
 
     return FastSimulation
 

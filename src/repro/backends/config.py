@@ -2,13 +2,25 @@
 
 :class:`FastSimulationConfig` (the name predates the backend split and
 is kept for compatibility) describes one paper-style experiment:
-overlay shape, pricing, workload, and the two scenario extensions the
-vectorized backend supports natively — path caching and node churn.
+overlay shape, pricing, workload, and the network dynamics it runs
+under. Dynamics come in two forms that compose freely:
+
+* the legacy convenience fields ``caching`` / ``churn_*`` (kept so
+  every pre-scenario experiment and sweep spec keeps meaning exactly
+  what it did), and
+* the ``scenario`` composition string — the grammar of
+  :func:`repro.scenarios.parse.parse_scenario`, e.g.
+  ``"churn:rate=0.1,recompute=true+caching:size=64"``.
+
+:meth:`FastSimulationConfig.scenario_stack` folds both into one
+composed :class:`~repro.scenarios.base.Scenario` the vectorized
+engine's epoch loop consumes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from .._validation import require_fraction, require_int
 from ..errors import ConfigurationError
@@ -16,6 +28,9 @@ from ..kademlia.buckets import BucketLimits
 from ..kademlia.overlay import OverlayConfig
 from ..workloads.distributions import OriginatorPool, UniformFileSize
 from ..workloads.generators import DownloadWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.base import Scenario
 
 __all__ = ["FastSimulationConfig"]
 
@@ -41,6 +56,9 @@ class FastSimulationConfig:
       (the paper's closest-node placement has no redundancy) unless
       ``churn_recompute_storers`` re-homes them to the closest *live*
       node, modelling neighborhood re-replication.
+    * ``scenario`` — a composition string over the full scenario
+      library (churn, caching, freeriding, join, demand), combined
+      with ``+``; composes on top of the two legacy fields above.
     """
 
     n_nodes: int = 1000
@@ -61,6 +79,7 @@ class FastSimulationConfig:
     churn_offline_fraction: float = 0.0
     churn_seed: int = 99
     churn_recompute_storers: bool = False
+    scenario: str = ""
     batch_files: int = 512
 
     def __post_init__(self) -> None:
@@ -80,11 +99,52 @@ class FastSimulationConfig:
                 f"pricing must be 'xor', 'proximity' or 'flat', got "
                 f"{self.pricing!r}"
             )
+        if not isinstance(self.scenario, str):
+            raise ConfigurationError(
+                f"scenario must be a composition string, got "
+                f"{type(self.scenario).__name__}"
+            )
+        if self.scenario.strip():
+            # Fail at configuration time (spec build, CLI parse) with
+            # the grammar in the message, never inside a worker.
+            from ..scenarios.parse import parse_scenario
+
+            parse_scenario(self.scenario)
 
     @property
     def has_scenarios(self) -> bool:
-        """Whether caching or churn dynamics are active."""
-        return self.caching or self.churn_offline_fraction > 0.0
+        """Whether any network dynamics (scenarios) are active."""
+        return (self.caching or self.churn_offline_fraction > 0.0
+                or bool(self.scenario.strip()))
+
+    def scenario_stack(self) -> "Scenario | None":
+        """The composed scenario this configuration runs under.
+
+        Folds the legacy convenience fields and the ``scenario``
+        composition string into one scenario — legacy churn first,
+        then legacy caching, then the parsed string components, in
+        written order. Returns ``None`` when the run is fully static.
+        """
+        from ..scenarios.compose import Compose
+        from ..scenarios.library import Churn, PathCaching
+        from ..scenarios.parse import parse_scenario
+
+        parts: list = []
+        if self.churn_offline_fraction > 0.0:
+            parts.append(Churn(
+                rate=self.churn_offline_fraction,
+                seed=self.churn_seed,
+                recompute=self.churn_recompute_storers,
+            ))
+        if self.caching:
+            parts.append(PathCaching())
+        if self.scenario.strip():
+            parts.append(parse_scenario(self.scenario))
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        return Compose(*parts)
 
     def overlay_config(self) -> OverlayConfig:
         """The overlay this experiment runs on."""

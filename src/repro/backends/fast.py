@@ -42,13 +42,16 @@ row offset) ping-pongs between two preallocated buffer sets, so
 steady-state waves allocate almost nothing; compared to the original
 int64-state kernel this roughly halves the bytes moved per hop.
 
-Two scenarios that previously existed only in the object-oriented
-layer run natively here: **path caching** (a cached-chunk mask
-short-circuits repeat retrievals at the first hop) and **churn**
-(per-epoch node-alive masks, with optional storer recomputation over
-the live population; churn decodes the same table back to raw
-next-hop semantics, trading a little wave speed for the alive/dead
-bookkeeping).
+Network dynamics run through the same kernel, epoch by epoch: the
+workload is segmented into ``batch_files`` slabs, and a composed
+:mod:`repro.scenarios` plan supplies each epoch's alive mask, storer
+table (incrementally delta-patched and cached by chained fingerprint
+in :mod:`repro.perf.table_cache`), cache mask, and policy overrides.
+With a storer column present the kernel decodes each gather back to
+raw next-hop semantics — the epoch's alive mask may re-home chunks to
+the closest *live* node, which the statically coded table cannot know
+— trading a little wave speed for the bookkeeping; the static
+headline path pays none of it.
 
 Equivalence with the reference implementation is asserted by
 ``tests/integration/test_fast_vs_reference.py`` and
@@ -140,11 +143,21 @@ def target_dtype(bits: int) -> np.dtype:
 
 
 def clear_caches() -> None:
-    """Drop cached overlays and next-hop tables (for memory-bound tests)."""
-    from ..perf.table_cache import global_table_cache
+    """Drop every process-global simulation cache.
+
+    Covers the overlay cache, the :mod:`repro.perf` dense-table cache
+    (memoized and shared-memory-registered :class:`NextHopTable`\\ s),
+    and the delta-fingerprinted epoch storer-table cache — so tests
+    cannot leak state across modules through any of them.
+    """
+    from ..perf.table_cache import (
+        global_epoch_table_cache,
+        global_table_cache,
+    )
 
     _OVERLAY_CACHE.clear()
     global_table_cache().clear()
+    global_epoch_table_cache().clear()
 
 
 def overlay_key(config: OverlayConfig) -> tuple:
@@ -466,53 +479,77 @@ class FastSimulation:
             return
         origins = np.repeat(file_origins, sizes)
 
-        if not config.has_scenarios:
+        scenario = config.scenario_stack()
+        if scenario is None:
             result.chunks += int(origins.size)
             self._route_batch(origins, targets, result,
                               unpaid_origins=unpaid_origins)
             return
 
-        # Scenario path: slabs of ``batch_files`` files let the cache
-        # mask and the alive mask evolve over (simulated) time while
-        # each slab still routes fully vectorized.
-        n = self.table.n_nodes
-        cached = (np.zeros(self.space.size, dtype=bool)
-                  if config.caching else None)
-        churn_rng = (np.random.default_rng(config.churn_seed)
-                     if config.churn_offline_fraction > 0.0 else None)
+        # Scenario path: slabs of ``batch_files`` files are the
+        # epochs. The plan folds the composed scenario's schedule into
+        # per-epoch alive masks, storer tables (delta-patched through
+        # the epoch cache), cache state, and policy overrides; each
+        # slab still routes fully vectorized through the one kernel.
+        from ..scenarios.base import ScenarioContext
+        from ..scenarios.plan import EpochPlan
+
+        entry_dt = self.table.entry_dtype
+        starts = range(0, len(sizes), config.batch_files)
+        plan = EpochPlan(
+            scenario,
+            ScenarioContext(
+                n_nodes=self.table.n_nodes,
+                n_epochs=len(starts),
+                space_size=self.space.size,
+            ),
+            table_fingerprint=self.overlay.fingerprint(),
+            base_storers=self.table.storer,
+            addresses=self.overlay.address_array(),
+        )
         offsets = np.concatenate(([0], np.cumsum(sizes)))
-        for start in range(0, len(sizes), config.batch_files):
+        for epoch, start in enumerate(starts):
             stop = min(start + config.batch_files, len(sizes))
             lo, hi = int(offsets[start]), int(offsets[stop])
+            state = plan.epoch(epoch)
             slab_origins = origins[lo:hi]
             slab_targets = targets[lo:hi]
             result.chunks += int(slab_origins.size)
-            alive = None
+            if state.origin_map is not None:
+                slab_origins = state.origin_map[slab_origins].astype(
+                    entry_dt
+                )
+            unpaid = unpaid_origins
+            if state.unpaid is not None:
+                unpaid = (state.unpaid if unpaid is None
+                          else state.unpaid | unpaid)
+            alive = state.alive
             storers = None
-            if churn_rng is not None:
-                alive = churn_rng.random(n) >= config.churn_offline_fraction
+            if alive is not None:
                 if not alive.any():
                     result.unavailable += int(slab_origins.size)
                     continue
-                if config.churn_recompute_storers:
-                    storers = self._alive_storer_table(alive)[slab_targets]
-                    dead = ~alive[slab_origins]
-                else:
-                    storers = self.table.storer[slab_targets]
-                    dead = ~alive[slab_origins] | ~alive[storers]
+                storer_table = (state.storers if state.storers is not None
+                                else self.table.storer)
+                storers = storer_table[slab_targets]
+                # Under re-homing every epoch storer is alive, so the
+                # second clause only bites for static placement.
+                dead = ~alive[slab_origins] | ~alive[storers]
                 if dead.any():
                     result.unavailable += int(np.count_nonzero(dead))
                     keep = ~dead
                     slab_origins = slab_origins[keep]
                     slab_targets = slab_targets[keep]
                     storers = storers[keep]
+            cache = state.cache
             self._route_batch(slab_origins, slab_targets, result,
-                              storers=storers, alive=alive, cached=cached,
-                              unpaid_origins=unpaid_origins)
-            if cached is not None:
+                              storers=storers, alive=alive,
+                              cached=None if cache is None else cache.mask,
+                              unpaid_origins=unpaid)
+            if cache is not None:
                 # Every chunk retrieved this slab is now cached on its
-                # delivery path (global mask model of path caching).
-                cached[slab_targets] = True
+                # delivery path (mask model of path caching).
+                cache.insert(slab_targets)
 
     def _flatten_workload(self, workload):
         """(per-file origin indices, file sizes, flat targets) columns.
@@ -629,9 +666,14 @@ class FastSimulation:
         if cached is not None:
             hits = keep_mask & cached[tg]
             if hits.any():
-                self._serve_from_cache(
-                    cur[hits], tg[hits], st[hits],
-                    result, alive=alive, unpaid_origins=unpaid_origins,
+                # Cache hits are the same kernel asked to stop after
+                # the (serving) first hop.
+                hit_index = np.flatnonzero(hits)
+                self._route_waves(
+                    np.take(cur, hit_index), np.take(tg, hit_index),
+                    np.take(row, hit_index), result, unpaid_origins,
+                    st=np.take(st, hit_index), alive=alive,
+                    first_hop_serves=True,
                 )
                 keep_mask &= ~hits
 
@@ -648,89 +690,154 @@ class FastSimulation:
             self._route_waves(cur, tg, row, result, unpaid_origins)
         else:
             st = np.take(st, index)
-            self._route_waves_churn(cur, st, tg, row, result, alive,
-                                    unpaid_origins)
+            self._route_waves(cur, tg, row, result, unpaid_origins,
+                              st=st, alive=alive)
 
     def _route_waves(self, cur: np.ndarray, tg: np.ndarray,
                      row: np.ndarray, result: SimulationResult,
-                     unpaid_origins: np.ndarray | None) -> None:
-        """The terminal-coded wave loop (no churn dynamics).
+                     unpaid_origins: np.ndarray | None, *,
+                     st: np.ndarray | None = None,
+                     alive: np.ndarray | None = None,
+                     first_hop_serves: bool = False) -> None:
+        """The one epoch-segmented terminal-coded wave kernel.
 
-        All wave state lives in the table's compact entry dtype and
-        ping-pongs between two buffer sets, seeded by taking ownership
-        of the freshly built *cur*/*row* columns (no copy-in); each
-        wave is one vector add, one ``np.take`` into a reused buffer,
-        and one banded bincount that fuses the forwarded counts, the
-        arrival count, and the fallback counter — with no int64
-        widening and no storer column anywhere.
+        Every scenario — static, churn, caching, free-riding, and any
+        composition — routes through this single loop; what used to be
+        three forked kernels is now the three optional inputs:
 
-        Local hits (the origin already stores the chunk) are detected
-        *in-band* at wave 1 instead of being prefiltered: the origin
-        is the storer iff the coded wave-1 value is exactly
-        ``2n + origin`` (storers always greedy-stall onto themselves),
-        and such chunks are shunted into a transient fourth band
-        (``3n..4n``) so the same bincount also counts them — that is
-        why :func:`table_entry_dtype` reserves headroom up to ``4n``.
+        * ``st is None`` (the headline path): all wave state lives in
+          the table's compact entry dtype and ping-pongs between two
+          buffer sets, seeded by taking ownership of the freshly built
+          *cur*/*row* columns (no copy-in); each wave is one vector
+          add, one ``np.take`` into a reused buffer, and one banded
+          bincount that fuses the forwarded counts, the arrival count,
+          and the fallback counter — with no int64 widening and no
+          storer column anywhere. Local hits (the origin already
+          stores the chunk) are detected *in-band* at wave 1 instead
+          of being prefiltered: the origin is the storer iff the coded
+          wave-1 value is exactly ``2n + origin`` (storers always
+          greedy-stall onto themselves), and such chunks are shunted
+          into a transient fourth band (``3n..4n``) so the same
+          bincount also counts them — that is why
+          :func:`table_entry_dtype` reserves headroom up to ``4n``.
+        * ``st``/``alive`` (epoch dynamics): a per-chunk storer column
+          is carried because the epoch's alive mask may re-home chunks
+          to the closest *live* node, which the statically coded table
+          cannot know; each coded gather is decoded back to raw
+          next-hop semantics, dead next hops fall back to the storer,
+          and termination is ``next == storer``. Locals arrive
+          prefiltered by :meth:`_route_batch` on this path.
+        * ``first_hop_serves`` (cache hits): wave 1 runs with full
+          payment/accounting, then every chunk terminates — the
+          cached copy on the originator's first hop served it.
         """
         table = self.table
         dtype = table.entry_dtype
         n = table.n_nodes
         flat_table = table.flat_coded
         n_start = int(cur.size)
-        src = (cur, row)
-        dst = (np.empty(n_start, dtype), np.empty(n_start, np.intp))
+        dynamic = st is not None
+        if dynamic:
+            src = (cur, st, row)
+            dst = (np.empty(n_start, dtype), np.empty(n_start, dtype),
+                   np.empty(n_start, np.intp))
+            nxt_buf = keep_buf = None
+        else:
+            src = (cur, row)
+            dst = (np.empty(n_start, dtype), np.empty(n_start, np.intp))
+            nxt_buf = np.empty(n_start, dtype)
+            keep_buf = np.empty(n_start, bool)
         first_tg = tg
         flat_buf = np.empty(n_start, np.intp)
-        nxt_buf = np.empty(n_start, dtype)
-        keep_buf = np.empty(n_start, bool)
         size = n_start
         hop = 0
         while size:
             hop += 1
             cur_w = src[0][:size]
-            row_w = src[1][:size]
+            row_w = src[-1][:size]
+            st_w = src[1][:size] if dynamic else None
             flat = flat_buf[:size]
             np.add(row_w, cur_w, out=flat)
-            nxt = nxt_buf[:size]
-            # mode="clip" skips the bounds check; row + cur is in
-            # range by construction (row <= (space-1)*n, cur < n).
-            np.take(flat_table, flat, out=nxt, mode="clip")
             local_count = 0
             local_mask = None
-            if hop == 1:
-                local_mask = nxt == cur_w + dtype.type(2 * n)
-                local_count = int(np.count_nonzero(local_mask))
-                if local_count:
-                    nxt[local_mask] += dtype.type(n)
-                    result.local_hits += local_count
-                    result.hop_histogram[0] = (
-                        result.hop_histogram.get(0, 0) + local_count
-                    )
-                else:
-                    local_mask = None
-            # The gather indices are spent: recycle the intp buffer as
-            # bincount input so bincount sees contiguous intp and
-            # skips an internal widening copy of a fresh allocation.
-            np.copyto(flat, nxt)
-            bands = np.bincount(flat, minlength=4 * n)
-            wave_counts = bands[:n] + bands[n:2 * n] + bands[2 * n:3 * n]
+            if dynamic:
+                coded = np.take(flat_table, flat, mode="clip")
+                stalled = coded >= dtype.type(2 * n)
+                nxt = coded
+                arrived_band = (nxt >= dtype.type(n)) & ~stalled
+                np.subtract(nxt, dtype.type(n), out=nxt,
+                            where=arrived_band)
+                if alive is not None:
+                    # A dead next hop behaves like a greedy terminal:
+                    # the request jumps straight to the (live) storer.
+                    valid = ~stalled
+                    dead = np.zeros_like(stalled)
+                    dead[valid] = ~alive[nxt[valid]]
+                    stalled |= dead
+                n_stalled = int(np.count_nonzero(stalled))
+                if n_stalled:
+                    result.fallbacks += n_stalled
+                    nxt[stalled] = st_w[stalled]
+                np.copyto(flat, nxt)
+                wave_counts = np.bincount(flat, minlength=n)
+            else:
+                nxt = nxt_buf[:size]
+                # mode="clip" skips the bounds check; row + cur is in
+                # range by construction (row <= (space-1)*n, cur < n).
+                np.take(flat_table, flat, out=nxt, mode="clip")
+                if hop == 1:
+                    local_mask = nxt == cur_w + dtype.type(2 * n)
+                    local_count = int(np.count_nonzero(local_mask))
+                    if local_count:
+                        nxt[local_mask] += dtype.type(n)
+                        result.local_hits += local_count
+                        result.hop_histogram[0] = (
+                            result.hop_histogram.get(0, 0) + local_count
+                        )
+                    else:
+                        local_mask = None
+                # The gather indices are spent: recycle the intp
+                # buffer as bincount input so bincount sees contiguous
+                # intp and skips an internal widening copy of a fresh
+                # allocation.
+                np.copyto(flat, nxt)
+                bands = np.bincount(flat, minlength=4 * n)
+                wave_counts = (bands[:n] + bands[n:2 * n]
+                               + bands[2 * n:3 * n])
+                fallbacks = int(bands[2 * n:3 * n].sum())
+                if fallbacks:
+                    # Neighborhood hand-off: jump straight to the
+                    # storer (see Router); counted so the effect is
+                    # visible.
+                    result.fallbacks += fallbacks
             result.forwarded += wave_counts
             result.total_hops += size - local_count
-            fallbacks = int(bands[2 * n:3 * n].sum())
-            if fallbacks:
-                # Neighborhood hand-off: jump straight to the storer
-                # (see Router); counted so the effect is visible.
-                result.fallbacks += fallbacks
             if hop == 1:
                 result.first_hop += wave_counts
-                servers = self._decode_servers(nxt, n)
-                np.copyto(flat, servers)
-                self._pay_first_hop(
-                    result, servers, first_tg, cur_w, unpaid_origins,
-                    servers_intp=flat, suppressed=local_mask,
-                )
-            keep = keep_buf[:size]
-            np.less(nxt, dtype.type(n), out=keep)
+                if dynamic:
+                    self._pay_first_hop(
+                        result, nxt, first_tg, cur_w, unpaid_origins,
+                        servers_intp=flat,
+                    )
+                else:
+                    servers = self._decode_servers(nxt, n)
+                    np.copyto(flat, servers)
+                    self._pay_first_hop(
+                        result, servers, first_tg, cur_w, unpaid_origins,
+                        servers_intp=flat, suppressed=local_mask,
+                    )
+                if first_hop_serves:
+                    served = size - local_count
+                    result.cache_hits += served
+                    result.hop_histogram[1] = (
+                        result.hop_histogram.get(1, 0) + served
+                    )
+                    return
+            if dynamic:
+                keep = nxt != st_w
+            else:
+                keep = keep_buf[:size]
+                np.less(nxt, dtype.type(n), out=keep)
             survivors = int(np.count_nonzero(keep))
             arrived = size - survivors - local_count
             if arrived:
@@ -740,7 +847,9 @@ class FastSimulation:
             if survivors:
                 index = np.flatnonzero(keep)
                 np.take(nxt, index, out=dst[0][:survivors])
-                np.take(row_w, index, out=dst[1][:survivors])
+                if dynamic:
+                    np.take(st_w, index, out=dst[1][:survivors])
+                np.take(row_w, index, out=dst[-1][:survivors])
             src, dst = dst, src
             size = survivors
 
@@ -754,121 +863,6 @@ class FastSimulation:
         mid = servers >= dtype.type(n)
         np.subtract(servers, dtype.type(n), out=servers, where=mid)
         return servers
-
-    def _route_waves_churn(self, cur: np.ndarray, st: np.ndarray,
-                           tg: np.ndarray, row: np.ndarray,
-                           result: SimulationResult,
-                           alive: np.ndarray | None,
-                           unpaid_origins: np.ndarray | None) -> None:
-        """Wave loop with churn dynamics (alive masks, storer override).
-
-        Decodes each coded gather back to raw next-hop semantics: the
-        storer column must be carried because churn may re-home chunks
-        to the closest *live* node, which the statically coded table
-        cannot know. Runs per 512-file slab on prefiltered columns, so
-        the extra bookkeeping is off the headline path.
-        """
-        table = self.table
-        dtype = table.entry_dtype
-        n = table.n_nodes
-        flat_table = table.flat_coded
-        n_start = int(cur.size)
-        src = (cur, st, row)
-        dst = (np.empty(n_start, dtype), np.empty(n_start, dtype),
-               np.empty(n_start, np.intp))
-        first_tg = tg
-        flat_buf = np.empty(n_start, np.intp)
-        size = n_start
-        hop = 0
-        while size:
-            hop += 1
-            cur_w = src[0][:size]
-            st_w = src[1][:size]
-            row_w = src[2][:size]
-            flat = flat_buf[:size]
-            np.add(row_w, cur_w, out=flat)
-            coded = np.take(flat_table, flat, mode="clip")
-            stalled = coded >= dtype.type(2 * n)
-            nxt = coded
-            arrived_band = (nxt >= dtype.type(n)) & ~stalled
-            np.subtract(nxt, dtype.type(n), out=nxt, where=arrived_band)
-            if alive is not None:
-                # A dead next hop behaves like a greedy terminal: the
-                # request jumps straight to the (live) storer.
-                valid = ~stalled
-                dead = np.zeros_like(stalled)
-                dead[valid] = ~alive[nxt[valid]]
-                stalled |= dead
-            n_stalled = int(np.count_nonzero(stalled))
-            if n_stalled:
-                result.fallbacks += n_stalled
-                nxt[stalled] = st_w[stalled]
-            np.copyto(flat, nxt)
-            wave_counts = np.bincount(flat, minlength=n)
-            result.forwarded += wave_counts
-            result.total_hops += size
-            if hop == 1:
-                result.first_hop += wave_counts
-                self._pay_first_hop(
-                    result, nxt, first_tg, cur_w, unpaid_origins,
-                    servers_intp=flat,
-                )
-            keep = nxt != st_w
-            survivors = int(np.count_nonzero(keep))
-            arrived = size - survivors
-            if arrived:
-                result.hop_histogram[hop] = (
-                    result.hop_histogram.get(hop, 0) + arrived
-                )
-            if survivors:
-                index = np.flatnonzero(keep)
-                np.take(nxt, index, out=dst[0][:survivors])
-                np.take(st_w, index, out=dst[1][:survivors])
-                np.take(row_w, index, out=dst[2][:survivors])
-            src, dst = dst, src
-            size = survivors
-
-    def _hop_once(self, current: np.ndarray, targets: np.ndarray,
-                  storers: np.ndarray, result: SimulationResult,
-                  alive: np.ndarray | None) -> np.ndarray:
-        """One standalone forwarding wave (cache-hit service path)."""
-        table = self.table
-        n = table.n_nodes
-        dtype = table.entry_dtype
-        flat = targets.astype(np.intp)
-        flat *= n
-        flat += current
-        nxt = np.take(table.flat_coded, flat)
-        stalled = nxt >= dtype.type(2 * n)
-        arrived_band = (nxt >= dtype.type(n)) & ~stalled
-        np.subtract(nxt, dtype.type(n), out=nxt, where=arrived_band)
-        if alive is not None:
-            valid = ~stalled
-            dead = np.zeros_like(stalled)
-            dead[valid] = ~alive[nxt[valid]]
-            stalled |= dead
-        n_stalled = int(np.count_nonzero(stalled))
-        if n_stalled:
-            result.fallbacks += n_stalled
-            nxt[stalled] = storers[stalled]
-        return nxt
-
-    def _serve_from_cache(self, origins: np.ndarray, targets: np.ndarray,
-                          storers: np.ndarray, result: SimulationResult, *,
-                          alive: np.ndarray | None,
-                          unpaid_origins: np.ndarray | None) -> None:
-        """Cache hits: the originator's first hop serves in one hop."""
-        n = self.table.n_nodes
-        nxt = self._hop_once(origins, targets, storers, result, alive)
-        wave_counts = np.bincount(nxt, minlength=n)
-        result.forwarded += wave_counts
-        result.first_hop += wave_counts
-        result.total_hops += int(nxt.size)
-        self._pay_first_hop(result, nxt, targets, origins, unpaid_origins)
-        result.cache_hits += int(nxt.size)
-        result.hop_histogram[1] = (
-            result.hop_histogram.get(1, 0) + int(nxt.size)
-        )
 
     def _pay_first_hop(self, result: SimulationResult, servers: np.ndarray,
                        targets: np.ndarray, origins: np.ndarray,
@@ -906,21 +900,6 @@ class FastSimulation:
         result.income += np.bincount(index, weights=prices, minlength=n)
         result.expenditure += np.bincount(origins, weights=prices,
                                           minlength=n)
-
-    def _alive_storer_table(self, alive: np.ndarray) -> np.ndarray:
-        """Storer table restricted to live nodes (re-replication model)."""
-        alive_idx = np.flatnonzero(alive).astype(np.int64)
-        addresses = self.overlay.address_array()[alive_idx]
-        size = self.space.size
-        out = np.empty(size, dtype=self.table.entry_dtype)
-        targets = np.arange(size, dtype=np.uint64)
-        # Chunked to bound peak memory at ~ chunk * n_alive * 8B.
-        chunk = max(1, (1 << 22) // max(1, alive_idx.size))
-        for start in range(0, size, chunk):
-            block = targets[start:start + chunk]
-            distances = block[:, None] ^ addresses[None, :]
-            out[start:start + chunk] = alive_idx[np.argmin(distances, axis=1)]
-        return out
 
     # ------------------------------------------------------------------
     # Legacy per-file loop (kept for cross-validation and benchmarks)

@@ -98,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sweep.add_argument(
+        "--scenario", action="append", default=[], metavar="SPEC",
+        help=(
+            "scenario axis crossed with the grid (repeatable): a "
+            "composition like 'churn:rate=0.1,recompute=true+"
+            "caching:size=64'; kinds: churn, caching, freeriding, "
+            "join, demand"
+        ),
+    )
+    sweep.add_argument(
         "--seeds", type=int, default=3,
         help="workload-seed replicas per grid cell (default: 3)",
     )
@@ -308,11 +317,17 @@ def _sweep_run(args: argparse.Namespace) -> int:
         backends=backends,
         seeds=args.seeds,
         seed_entropy=args.entropy,
+        scenarios=tuple(args.scenario),
     )
+    # cells() already crosses in the scenario axis; print the grid
+    # factor separately so the breakdown multiplies to the point count.
+    n_grid_cells = len(spec.cells()) // (len(spec.scenarios) or 1)
+    breakdown = f"{n_grid_cells} cell(s)"
+    if spec.scenarios:
+        breakdown += f" x {len(spec.scenarios)} scenario(s)"
     print(
-        f"sweep: {len(spec)} points ({len(spec.cells())} cell(s) x "
-        f"{len(backends)} backend(s) x {args.seeds} seed(s)), "
-        f"jobs={args.jobs}"
+        f"sweep: {len(spec)} points ({breakdown} x {len(backends)} "
+        f"backend(s) x {args.seeds} seed(s)), jobs={args.jobs}"
     )
     sweep = run_sweep(
         spec, jobs=args.jobs, store_path=args.store,
@@ -375,7 +390,7 @@ def _bench_run(args: argparse.Namespace) -> int:
 
 
 def _trace_generate(args: argparse.Namespace) -> int:
-    from .experiments.fast import cached_overlay
+    from .backends.fast import cached_overlay
     from .kademlia.buckets import BucketLimits
     from .kademlia.overlay import OverlayConfig
     from .workloads.distributions import OriginatorPool
@@ -399,7 +414,7 @@ def _trace_generate(args: argparse.Namespace) -> int:
 
 
 def _trace_replay(args: argparse.Namespace) -> int:
-    from .experiments.fast import FastSimulation, FastSimulationConfig
+    from .backends.fast import FastSimulation, FastSimulationConfig
     from .workloads.traces import TraceWorkload, WorkloadTrace
 
     trace = WorkloadTrace.load(args.path)

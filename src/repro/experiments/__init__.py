@@ -1,10 +1,12 @@
 """Experiment runners: one per paper table/figure, plus ablations.
 
-:mod:`repro.experiments.fast` is the vectorized simulation backend;
+The vectorized simulation engine lives in :mod:`repro.backends`
+(:mod:`repro.experiments.fast` is only a deprecation stub over it);
 :mod:`repro.experiments.paper` reproduces Table I and Figures 4-6;
 :mod:`repro.experiments.ablations` covers the §V future-work
-extensions; :mod:`repro.experiments.registry` indexes everything for
-the CLI and benchmarks.
+extensions; :mod:`repro.experiments.scenarios` runs the composed
+network dynamics; :mod:`repro.experiments.registry` indexes
+everything for the CLI and benchmarks.
 """
 
 from .ablations import (
@@ -23,7 +25,7 @@ from .extensions import (
     run_privacy,
     run_sensitivity,
 )
-from .fast import (
+from ..backends.fast import (
     FastSimulation,
     FastSimulationConfig,
     NextHopTable,

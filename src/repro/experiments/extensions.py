@@ -29,7 +29,7 @@ from ..kademlia.iterative import IterativeLookup
 from ..kademlia.overlay import OverlayConfig
 from ..kademlia.routing import Router
 from ..swarm.churn import ChurnModel
-from .fast import FastSimulationConfig
+from ..backends.fast import FastSimulationConfig
 from .report import ExperimentReport
 
 __all__ = [
@@ -254,14 +254,17 @@ def run_churn_fast(n_files: int = 2000, n_nodes: int = 1000,
     )
     series: dict[float, dict[str, float]] = {}
     for fraction in offline_fractions:
+        # A thin scenario config — the same composition grammar any
+        # other dynamic uses (bit-identical to the legacy
+        # churn_offline_fraction field, per the golden fixtures).
         base = FastSimulationConfig(
             n_nodes=n_nodes, bucket_size=4, n_files=n_files,
-            churn_offline_fraction=fraction, batch_files=batch_files,
+            scenario=f"churn:rate={fraction}", batch_files=batch_files,
         )
         result = run_simulation(base)
-        rereplicated = run_simulation(
-            dataclasses.replace(base, churn_recompute_storers=True)
-        )
+        rereplicated = run_simulation(dataclasses.replace(
+            base, scenario=f"churn:rate={fraction},recompute=true"
+        ))
         table.add_row(
             f"{fraction:.0%}", f"{result.availability:.1%}",
             result.unavailable, f"{rereplicated.availability:.1%}",

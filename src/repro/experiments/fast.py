@@ -1,13 +1,16 @@
-"""Backward-compatibility shim — the engine lives in :mod:`repro.backends`.
+"""Deprecated location — the engine lives in :mod:`repro.backends`.
 
 Historically the vectorized simulator was ``repro.experiments.fast``;
 it has been promoted to :mod:`repro.backends.fast` behind the
-:class:`~repro.backends.base.SimulationBackend` protocol. Every public
-name is re-exported here so existing imports keep working; new code
-should import from :mod:`repro.backends`.
+:class:`~repro.backends.base.SimulationBackend` protocol, and every
+in-tree import now targets :mod:`repro.backends` directly. This stub
+re-exports the public names for any remaining third-party imports and
+warns on import; it will be removed outright in a future change.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..backends.fast import (
     MAX_FAST_BITS,
@@ -36,3 +39,10 @@ __all__ = [
     "paper_result",
     "MAX_FAST_BITS",
 ]
+
+warnings.warn(
+    "repro.experiments.fast is deprecated; import from repro.backends "
+    "(the engine moved behind the SimulationBackend protocol)",
+    DeprecationWarning,
+    stacklevel=2,
+)

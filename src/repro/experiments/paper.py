@@ -23,7 +23,7 @@ from ..analysis.histogram import area_ratio, histogram
 from ..analysis.plots import ascii_histogram, ascii_lorenz
 from ..analysis.reports import Table
 from ..backends import run_simulation
-from .fast import FastSimulationConfig, SimulationResult
+from ..backends.fast import FastSimulationConfig, SimulationResult
 from .report import ExperimentReport
 
 __all__ = [

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import ExperimentError
-from . import ablations, extensions, fig3, paper, storage, sweeps
+from . import ablations, extensions, fig3, paper, scenarios, storage, sweeps
 from .report import ExperimentReport
 
 __all__ = ["ExperimentSpec", "REGISTRY", "get_experiment", "list_experiments"]
@@ -137,6 +137,21 @@ REGISTRY: dict[str, ExperimentSpec] = {
             name="churn_fast",
             description="Churn at paper scale (vectorized backend)",
             runner=extensions.run_churn_fast,
+        ),
+        ExperimentSpec(
+            name="churn_under_caching",
+            description="Path caching under churn (composed scenarios)",
+            runner=scenarios.run_churn_under_caching,
+        ),
+        ExperimentSpec(
+            name="join_storm",
+            description="Cold-start join waves with re-homing (composed)",
+            runner=scenarios.run_join_storm,
+        ),
+        ExperimentSpec(
+            name="freerider_churn",
+            description="Free-riders under churn (composed scenarios)",
+            runner=scenarios.run_freerider_churn,
         ),
         ExperimentSpec(
             name="privacy",

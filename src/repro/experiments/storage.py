@@ -25,7 +25,7 @@ from ..swarm.caching import NoCache
 from ..swarm.node import SwarmNode
 from ..swarm.postage import PostageOffice
 from ..swarm.redistribution import RedistributionGame, StakeRegistry
-from .fast import FastSimulation, FastSimulationConfig
+from ..backends.fast import FastSimulation, FastSimulationConfig
 from .report import ExperimentReport
 
 __all__ = ["run_storage"]

@@ -11,11 +11,23 @@ shallowest proximity order ``d`` such that the node knows at least
 ``>= d``. Peers at or beyond the depth form the neighborhood; overlay
 builders keep the neighborhood uncapped and symmetric so greedy
 routing converges to the globally closest node (DESIGN.md §2).
+
+Besides the per-node object model, this module owns the vectorized
+**incremental storer-table maintenance** the epoch-driven scenario
+layer runs on: :func:`alive_storer_table` builds the
+closest-*live*-node table from scratch, :func:`patch_storer_table`
+produces the identical table from the previous epoch's by touching
+only the addresses a leave/join delta actually affects, and
+:func:`chain_fingerprint` derives the content address of the patched
+table (``parent_fp + delta``) that lets epoch tables hit the
+:class:`~repro.perf.table_cache.EpochTableCache` instead of being
+recomputed.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import hashlib
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -23,7 +35,126 @@ from ..errors import ConfigurationError, OverlayError
 from .address import AddressSpace
 from .buckets import BucketLimits, KBucket, NEIGHBORHOOD_MIN
 
-__all__ = ["RoutingTable"]
+__all__ = [
+    "RoutingTable",
+    "alive_storer_table",
+    "patch_storer_table",
+    "chain_fingerprint",
+]
+
+#: Element budget for the chunked distance scans below (bounds the
+#: ``chunk x n_alive``/``chunk x n_joins`` uint64 temporaries).
+_SCAN_BUDGET = 1 << 22
+
+
+def _scatter_closest_live(out: np.ndarray, rows: np.ndarray,
+                          addresses: np.ndarray,
+                          alive: np.ndarray) -> None:
+    """``out[rows] = closest live node to each row's address``.
+
+    The one budget-chunked XOR-argmin scan both the full rebuild and
+    the delta patch resolve storers through — keeping them sharing
+    one implementation is what makes "patch equals rebuild, exactly"
+    a structural property rather than a coincidence of two loops.
+    """
+    alive_idx = np.flatnonzero(alive).astype(np.int64)
+    if alive_idx.size == 0:
+        raise ConfigurationError(
+            "cannot resolve storers with every node offline"
+        )
+    live_addresses = addresses[alive_idx]
+    row_addresses = rows.astype(np.uint64)
+    chunk = max(1, _SCAN_BUDGET // max(1, alive_idx.size))
+    for start in range(0, rows.size, chunk):
+        block = row_addresses[start:start + chunk]
+        distances = block[:, None] ^ live_addresses[None, :]
+        out[rows[start:start + chunk]] = (
+            alive_idx[np.argmin(distances, axis=1)]
+        )
+
+
+def alive_storer_table(addresses: np.ndarray, alive: np.ndarray,
+                       dtype: np.dtype, space_size: int) -> np.ndarray:
+    """Closest-live-node index for every address (full rebuild).
+
+    *addresses* are the dense-index node addresses (``uint64``),
+    *alive* the boolean liveness mask. XOR distances between distinct
+    addresses are distinct, so the result is unique — no tie-break
+    rule to preserve. This is the from-scratch reference the delta
+    patch below must (and is tested to) reproduce exactly.
+    """
+    out = np.empty(space_size, dtype=dtype)
+    _scatter_closest_live(
+        out, np.arange(space_size, dtype=np.int64), addresses, alive
+    )
+    return out
+
+
+def patch_storer_table(parent: np.ndarray, addresses: np.ndarray,
+                       alive: np.ndarray,
+                       leaves: np.ndarray | Sequence[int],
+                       joins: np.ndarray | Sequence[int]) -> np.ndarray:
+    """The storer table after a leave/join delta, as a delta patch.
+
+    *parent* must be the table for the alive set *before* the delta;
+    *alive* is the mask *after* it. Only two slices of the address
+    space are touched:
+
+    * addresses whose parent storer left — re-resolved over the new
+      live population (which already includes the joiners);
+    * addresses a joiner is now strictly closer to than their current
+      storer — overwritten with the closest joiner.
+
+    The join pass cannot disturb the re-resolved addresses (their
+    entry is already optimal over the new population), so the result
+    equals :func:`alive_storer_table` on the new mask exactly, at a
+    cost proportional to the delta instead of the population.
+    """
+    leaves = np.asarray(leaves, dtype=np.int64)
+    joins = np.asarray(joins, dtype=np.int64)
+    out = parent.copy()
+    space_size = parent.size
+
+    if leaves.size:
+        affected = np.flatnonzero(np.isin(parent, leaves))
+        if affected.size:
+            _scatter_closest_live(out, affected, addresses, alive)
+
+    if joins.size:
+        join_addresses = addresses[joins]
+        targets = np.arange(space_size, dtype=np.uint64)
+        current_distance = targets ^ addresses[out.astype(np.int64)]
+        chunk = max(1, _SCAN_BUDGET // max(1, joins.size))
+        for start in range(0, space_size, chunk):
+            block = targets[start:start + chunk]
+            distances = block[:, None] ^ join_addresses[None, :]
+            best = np.argmin(distances, axis=1)
+            best_distance = distances[np.arange(block.size), best]
+            improved = best_distance < current_distance[start:start + chunk]
+            if improved.any():
+                rows = start + np.flatnonzero(improved)
+                out[rows] = joins[best[improved]]
+    return out
+
+
+def chain_fingerprint(parent: str,
+                      leaves: np.ndarray | Sequence[int],
+                      joins: np.ndarray | Sequence[int]) -> str:
+    """Content address of ``parent`` patched by a leave/join delta.
+
+    Chaining means an epoch table's identity encodes its entire delta
+    history from the base table — replayed schedules (sweep replicas,
+    resumed runs) re-derive the same fingerprints and hit the epoch
+    cache, while any divergence in the path yields a fresh one.
+    Deltas are canonicalized to sorted ``uint32``.
+    """
+    digest = hashlib.sha256()
+    digest.update(parent.encode("ascii"))
+    digest.update(b"L")
+    digest.update(np.sort(np.asarray(leaves, dtype=np.uint32)).tobytes())
+    digest.update(b"J")
+    digest.update(np.sort(np.asarray(joins, dtype=np.uint32)).tobytes())
+    return digest.hexdigest()
 
 
 class RoutingTable:

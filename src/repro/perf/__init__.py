@@ -20,6 +20,14 @@ redundancy and tracks the repository's performance trajectory:
   benchmark, which emits ``BENCH_headline.json`` with git/seed
   provenance and compares against a committed baseline (the CI perf
   smoke gate).
+
+The epoch-driven scenario layer adds :class:`EpochTableCache` beside
+the dense-table cache: per-epoch storer tables under topology change
+are content-addressed by chained delta fingerprints and satisfied by
+incremental patches of the parent epoch's table (see
+:mod:`repro.kademlia.table` and :mod:`repro.scenarios.plan`), so
+replayed scenario schedules — sweep seed replicas in particular —
+never recompute an epoch's table twice in one process.
 """
 
 from .bench import BENCH_FORMAT, check_regression, headline_bench
@@ -30,17 +38,29 @@ from .shared import (
     attach_table,
     shared_table_registry,
 )
-from .table_cache import CacheStats, TableCache, global_table_cache
+from .table_cache import (
+    EPOCH_TABLE_LOG_ENV,
+    CacheStats,
+    EpochCacheStats,
+    EpochTableCache,
+    TableCache,
+    global_epoch_table_cache,
+    global_table_cache,
+)
 
 __all__ = [
     "BENCH_FORMAT",
     "CacheStats",
+    "EPOCH_TABLE_LOG_ENV",
+    "EpochCacheStats",
+    "EpochTableCache",
     "SharedArraySpec",
     "SharedTableHandle",
     "SharedTableRegistry",
     "TableCache",
     "attach_table",
     "check_regression",
+    "global_epoch_table_cache",
     "global_table_cache",
     "headline_bench",
     "shared_table_registry",

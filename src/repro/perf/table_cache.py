@@ -20,19 +20,50 @@ without depending on machine speed. The cache is intentionally
 unbounded: a process touches at most a handful of topologies, and the
 paper-scale table is ~131 MB — far below the cost of rebuilding it
 per sweep point.
+
+The epoch-driven scenario layer adds a second, lighter cache:
+:class:`EpochTableCache` memoizes the per-epoch *storer* tables that
+topology dynamics (churn with re-replication, join storms) would
+otherwise recompute every epoch of every run. Keys are the chained
+fingerprints of :func:`~repro.kademlia.table.chain_fingerprint`
+(``parent_fp + delta``), so any two runs replaying the same scenario
+schedule over the same overlay — sweep seed replicas above all —
+resolve each epoch's table once per process; misses are satisfied by
+a delta *patch* of the parent epoch's table rather than a full
+rebuild whenever the plan still holds a valid parent. Set the
+:data:`EPOCH_TABLE_LOG_ENV` environment variable to a file path to
+record one ``"<fingerprint> <pid> <patch|rebuild|hit>"`` line per
+resolution — the instrumented scenario-sweep tests use it to prove
+the delta cache beats rebuild-per-epoch without timing anything.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..backends.fast import NextHopTable
     from ..kademlia.overlay import Overlay
     from .shared import SharedTableHandle
 
-__all__ = ["CacheStats", "TableCache", "global_table_cache"]
+__all__ = [
+    "CacheStats",
+    "TableCache",
+    "global_table_cache",
+    "EpochCacheStats",
+    "EpochTableCache",
+    "global_epoch_table_cache",
+    "EPOCH_TABLE_LOG_ENV",
+]
+
+#: When set, every epoch-table resolution appends one
+#: ``"<fingerprint> <pid> <event>"`` line to the named file.
+EPOCH_TABLE_LOG_ENV = "REPRO_EPOCH_TABLE_LOG"
 
 
 @dataclass
@@ -116,7 +147,104 @@ class TableCache:
         return fingerprint in self._tables
 
 
+@dataclass
+class EpochCacheStats:
+    """How many epoch tables were patched, rebuilt, and re-served."""
+
+    patches: int = 0
+    rebuilds: int = 0
+    hits: int = 0
+
+    @property
+    def resolutions(self) -> int:
+        """Total epoch-table requests served."""
+        return self.patches + self.rebuilds + self.hits
+
+    def snapshot(self) -> dict[str, int]:
+        """Plain-data copy (for logs and assertions)."""
+        return {
+            "patches": self.patches,
+            "rebuilds": self.rebuilds,
+            "hits": self.hits,
+        }
+
+
+def _log_epoch_event(fingerprint: str, event: str) -> None:
+    path = os.environ.get(EPOCH_TABLE_LOG_ENV)
+    if not path:
+        return
+    # O_APPEND single-line writes don't interleave across the sweep
+    # worker processes the instrumented tests fan out over.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"{fingerprint} {os.getpid()} {event}\n")
+
+
+class EpochTableCache:
+    """Memoizes per-epoch storer tables by chained fingerprint.
+
+    Values are the compact per-address storer arrays the epoch plans
+    resolve (a few hundred KB at paper scale). Unlike the dense
+    :class:`TableCache`, every churn epoch has a distinct alive set —
+    a long run inserts one table per epoch forever — so this cache is
+    **LRU-bounded** (``max_tables``). Eviction is always safe: a live
+    :class:`~repro.scenarios.plan.EpochPlan` patches from its own
+    chain-tip reference, never from the cache, so dropping an old
+    epoch only costs a replayed schedule a recompute. Process-global
+    and not thread-safe, like :class:`TableCache`.
+    """
+
+    #: Default LRU bound: at the paper's 16-bit space (131 KB per
+    #: table) this caps resident epoch tables at ~34 MB.
+    DEFAULT_MAX_TABLES = 256
+
+    def __init__(self, max_tables: int = DEFAULT_MAX_TABLES) -> None:
+        if max_tables < 1:
+            raise ValueError(f"max_tables must be >= 1, got {max_tables}")
+        self._tables: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.max_tables = max_tables
+        self.stats = EpochCacheStats()
+
+    def get(self, fingerprint: str,
+            build: Callable[[], np.ndarray], *,
+            patched: bool = True) -> np.ndarray:
+        """The table for *fingerprint*, building via *build* on a miss.
+
+        ``patched`` records how a miss was satisfied — a delta patch
+        of the parent epoch's table or a from-scratch rebuild — so the
+        benchmark and the instrumented tests can tell the two apart.
+        """
+        table = self._tables.get(fingerprint)
+        if table is not None:
+            self.stats.hits += 1
+            self._tables.move_to_end(fingerprint)
+            _log_epoch_event(fingerprint, "hit")
+            return table
+        table = build()
+        if patched:
+            self.stats.patches += 1
+            _log_epoch_event(fingerprint, "patch")
+        else:
+            self.stats.rebuilds += 1
+            _log_epoch_event(fingerprint, "rebuild")
+        self._tables[fingerprint] = table
+        while len(self._tables) > self.max_tables:
+            self._tables.popitem(last=False)
+        return table
+
+    def clear(self) -> None:
+        """Drop every epoch table and counter (for tests)."""
+        self._tables.clear()
+        self.stats = EpochCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, fingerprint: object) -> bool:
+        return fingerprint in self._tables
+
+
 _GLOBAL_CACHE: TableCache | None = None
+_GLOBAL_EPOCH_CACHE: EpochTableCache | None = None
 
 
 def global_table_cache() -> TableCache:
@@ -125,3 +253,11 @@ def global_table_cache() -> TableCache:
     if _GLOBAL_CACHE is None:
         _GLOBAL_CACHE = TableCache()
     return _GLOBAL_CACHE
+
+
+def global_epoch_table_cache() -> EpochTableCache:
+    """The process-wide cache epoch plans resolve storer tables through."""
+    global _GLOBAL_EPOCH_CACHE
+    if _GLOBAL_EPOCH_CACHE is None:
+        _GLOBAL_EPOCH_CACHE = EpochTableCache()
+    return _GLOBAL_EPOCH_CACHE

@@ -1,0 +1,52 @@
+"""Composable epoch-driven network dynamics.
+
+The scenario layer decouples *what changes over time* (churn, path
+caching, free-riding, join storms, demand shifts) from *how the
+engine routes* (the single epoch-segmented hop kernel in
+:mod:`repro.backends.fast`). A scenario deterministically produces a
+per-epoch schedule of :mod:`~repro.scenarios.events`; scenarios
+compose with :class:`Compose` or the ``+`` grammar of
+:func:`parse_scenario`; an :class:`EpochPlan` folds the composed
+schedule into per-epoch engine state, resolving storer tables under
+topology change through the delta-patched epoch-table cache::
+
+    from repro.scenarios import Churn, PathCaching, Compose
+
+    scenario = Compose(Churn(rate=0.1, recompute=True),
+                       PathCaching(size=64))
+    # equivalently: parse_scenario("churn:rate=0.1,recompute=true"
+    #                              "+caching:size=64")
+
+Every backend consumes scenarios through the ``scenario`` field of
+:class:`~repro.backends.config.FastSimulationConfig`, and sweeps
+treat the spec string as a first-class axis
+(``repro-swarm sweep --scenario ...``).
+"""
+
+from .base import Scenario, ScenarioContext, Schedule
+from .compose import Compose
+from .events import CacheState, PolicyOverride, TopologyDelta
+from .library import Churn, DemandShift, FreeRiding, NodeJoin, PathCaching
+from .parse import SCENARIO_KINDS, parse_scenario, scenario_help
+from .plan import CacheRuntime, EpochPlan, EpochState
+
+__all__ = [
+    "Scenario",
+    "ScenarioContext",
+    "Schedule",
+    "Compose",
+    "TopologyDelta",
+    "CacheState",
+    "PolicyOverride",
+    "Churn",
+    "PathCaching",
+    "FreeRiding",
+    "NodeJoin",
+    "DemandShift",
+    "SCENARIO_KINDS",
+    "parse_scenario",
+    "scenario_help",
+    "CacheRuntime",
+    "EpochPlan",
+    "EpochState",
+]

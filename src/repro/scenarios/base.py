@@ -1,0 +1,113 @@
+"""The :class:`Scenario` protocol and epoch-schedule plumbing.
+
+A scenario is a *pure description* of network dynamics: given a
+:class:`ScenarioContext` (how many nodes, how many epochs, how large
+the address space), it deterministically produces an **epoch
+schedule** — one tuple of :mod:`~repro.scenarios.events` per epoch.
+Scenarios never see the simulation state; the
+:class:`~repro.scenarios.plan.EpochPlan` interprets the schedule into
+per-epoch alive masks, cache policy, and policy overrides for the
+unified hop kernel, and the same schedule drives the incremental
+table maintenance in :mod:`repro.perf.table_cache`.
+
+Determinism contract: ``schedule(ctx)`` depends only on the scenario's
+own frozen parameters and *ctx* — never on wall clock, process, or
+call order — so composed sweeps replayed across worker processes see
+identical dynamics (the property suite pins this).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar
+
+from ..errors import ConfigurationError
+from .events import Event
+
+__all__ = ["ScenarioContext", "Scenario", "Schedule"]
+
+#: One tuple of events per epoch, indexed by epoch number.
+Schedule = tuple[tuple[Event, ...], ...]
+
+
+@dataclass(frozen=True)
+class ScenarioContext:
+    """Everything a scenario may condition its schedule on.
+
+    ``n_epochs`` is derived from the *actual* workload (number of
+    files over ``batch_files``), so custom workloads and trace replays
+    get correctly sized schedules.
+    """
+
+    n_nodes: int
+    n_epochs: int
+    space_size: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(
+                f"n_nodes must be >= 1, got {self.n_nodes}"
+            )
+        if self.n_epochs < 0:
+            raise ConfigurationError(
+                f"n_epochs must be >= 0, got {self.n_epochs}"
+            )
+        if self.space_size < 1:
+            raise ConfigurationError(
+                f"space_size must be >= 1, got {self.space_size}"
+            )
+
+
+class Scenario:
+    """One composable source of per-epoch dynamics.
+
+    Concrete scenarios are frozen dataclasses (hashable, reprable,
+    and parseable from the CLI grammar in
+    :mod:`repro.scenarios.parse`). Subclasses set ``kind`` — the
+    grammar name — and implement :meth:`schedule`.
+
+    ``recompute_storers`` declares that content is re-homed to the
+    closest *live* node whenever the alive set changes (Swarm's
+    neighborhood re-replication); the plan resolves the per-epoch
+    storer tables through the delta-patching epoch cache. When it is
+    ``False``, chunks whose static storer is offline simply count as
+    unavailable.
+    """
+
+    kind: ClassVar[str] = ""
+    recompute_storers: ClassVar[bool] = False
+
+    def schedule(self, ctx: ScenarioContext) -> Schedule:
+        """The per-epoch event schedule, ``len == ctx.n_epochs``."""
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        """Canonical ``kind:key=value,...`` form (inverse of parsing).
+
+        Fields equal to their defaults are omitted, so specs stay
+        short and two equal scenarios always render identically.
+        """
+        parts = []
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            default = field.default
+            if default is not dataclasses.MISSING and value == default:
+                continue
+            parts.append(f"{field.name}={value}")
+        if not parts:
+            return self.kind
+        return f"{self.kind}:{','.join(parts)}"
+
+    def flattened(self) -> tuple["Scenario", ...]:
+        """The scenario as a flat composition (overridden by Compose)."""
+        return (self,)
+
+    def _check_schedule(self, ctx: ScenarioContext,
+                        schedule: Schedule) -> Schedule:
+        if len(schedule) != ctx.n_epochs:
+            raise ConfigurationError(
+                f"scenario {self.kind!r} produced {len(schedule)} epochs "
+                f"for a {ctx.n_epochs}-epoch context"
+            )
+        return schedule

@@ -1,0 +1,75 @@
+"""Scenario composition.
+
+``Compose(churn, caching, ...)`` runs several scenarios over the same
+epochs. The merge rule is deliberately trivial — and therefore
+deterministic and associative: epoch ``e`` of the composition is the
+concatenation of epoch ``e`` of every child, in child order, and the
+:class:`~repro.scenarios.plan.EpochPlan` folds events into state
+strictly in that order. Nested compositions flatten, so
+``Compose(Compose(a, b), c)`` and ``Compose(a, b, c)`` are equal and
+produce equal schedules, and a single-child ``Compose(a)`` schedules
+exactly like the bare ``a`` (the property suite pins both laws).
+
+Topology events are the one place concatenation alone would be wrong:
+each child computes its deltas against its *own* history, so the plan
+keeps one alive stream per child and ANDs them — composing ``churn``
+with a ``join`` storm cannot resurrect the storm's offline cohort
+(see :class:`~repro.scenarios.plan.EpochPlan`).
+"""
+
+from __future__ import annotations
+
+from .base import Scenario, ScenarioContext, Schedule
+
+__all__ = ["Compose"]
+
+
+class Compose(Scenario):
+    """Run several scenarios over the same epoch sequence.
+
+    Children keep their own seeds and parameters; composition never
+    rewires them. Storer recomputation is on when any child requests
+    it (re-homing is a property of the network, not of one dynamic).
+    """
+
+    kind = "compose"
+
+    def __init__(self, *scenarios: Scenario) -> None:
+        flat: list[Scenario] = []
+        for scenario in scenarios:
+            flat.extend(scenario.flattened())
+        self.scenarios: tuple[Scenario, ...] = tuple(flat)
+
+    @property
+    def recompute_storers(self) -> bool:  # type: ignore[override]
+        return any(s.recompute_storers for s in self.scenarios)
+
+    def flattened(self) -> tuple[Scenario, ...]:
+        return self.scenarios
+
+    def schedule(self, ctx: ScenarioContext) -> Schedule:
+        child_schedules = [s.schedule(ctx) for s in self.scenarios]
+        merged = tuple(
+            tuple(
+                event
+                for child in child_schedules
+                for event in child[epoch]
+            )
+            for epoch in range(ctx.n_epochs)
+        )
+        return self._check_schedule(ctx, merged)
+
+    def spec(self) -> str:
+        return "+".join(s.spec() for s in self.scenarios)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Compose):
+            return NotImplemented
+        return self.scenarios == other.scenarios
+
+    def __hash__(self) -> int:
+        return hash((Compose, self.scenarios))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(s) for s in self.scenarios)
+        return f"Compose({inner})"

@@ -1,0 +1,115 @@
+"""Epoch events: the vocabulary scenarios speak to the engine in.
+
+A scenario never touches the simulation engine directly; it emits a
+per-epoch schedule of three event kinds, which the
+:class:`~repro.scenarios.plan.EpochPlan` folds into the running
+dynamic state the unified hop kernel consumes:
+
+* :class:`TopologyDelta` — node departures and (re)joins, expressed as
+  dense node indices. Deltas are incremental by design: the plan
+  maintains one alive mask across epochs, and the same delta feeds the
+  chained table fingerprint that lets per-epoch storer tables hit the
+  :class:`~repro.perf.table_cache.EpochTableCache` instead of being
+  rebuilt.
+* :class:`CacheState` — switch the path-cache model on (optionally
+  with a FIFO capacity bound) or off. The cache mask itself persists
+  across epochs; the event only changes the policy.
+* :class:`PolicyOverride` — incentive/demand policy: a set of
+  originators whose downloads are never paid for (free-riding), or an
+  origin focus set that concentrates this epoch's demand on a hot
+  subset of nodes (demand shift).
+
+Events are frozen dataclasses with tuple payloads, so schedules are
+hashable, comparable, and deterministic — properties the composition
+tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["TopologyDelta", "CacheState", "PolicyOverride", "Event"]
+
+
+def _index_tuple(values, name: str) -> tuple[int, ...]:
+    """Normalize an index sequence to a tuple of plain non-negative ints."""
+    out = tuple(int(v) for v in values)
+    if any(v < 0 for v in out):
+        raise ConfigurationError(f"{name} indices must be >= 0, got {out}")
+    return out
+
+
+@dataclass(frozen=True)
+class TopologyDelta:
+    """Nodes leaving and joining the overlay at an epoch boundary.
+
+    Indices are dense overlay indices. A node may appear in ``joins``
+    without ever having left (initial warm-up populations start fully
+    alive); leaving an already-dead node is a no-op. The plan applies
+    leaves before joins, event by event, in schedule order.
+    """
+
+    leaves: tuple[int, ...] = ()
+    joins: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "leaves", _index_tuple(self.leaves, "leaves")
+        )
+        object.__setattr__(self, "joins", _index_tuple(self.joins, "joins"))
+
+    def __bool__(self) -> bool:
+        return bool(self.leaves or self.joins)
+
+
+@dataclass(frozen=True)
+class CacheState:
+    """Path-cache policy from this epoch on.
+
+    ``capacity`` bounds the number of distinct cached chunk addresses
+    (FIFO eviction in insertion order); ``0`` means unbounded — the
+    paper-extension model where every delivered chunk stays cached on
+    its path.
+    """
+
+    enabled: bool = True
+    capacity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ConfigurationError(
+                f"cache capacity must be >= 0, got {self.capacity}"
+            )
+
+
+@dataclass(frozen=True)
+class PolicyOverride:
+    """Incentive/demand policy from this epoch on.
+
+    ``unpaid_origins`` replaces the set of free-riding originators
+    (dense indices; ``None`` leaves the current set unchanged, an
+    empty tuple clears it). ``origin_focus`` concentrates demand: each
+    download origin ``o`` is remapped to ``focus[o % len(focus)]``
+    for the epochs the focus is in force (``None`` unchanged, empty
+    tuple restores the workload's own origins).
+    """
+
+    unpaid_origins: tuple[int, ...] | None = None
+    origin_focus: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.unpaid_origins is not None:
+            object.__setattr__(
+                self, "unpaid_origins",
+                _index_tuple(self.unpaid_origins, "unpaid_origins"),
+            )
+        if self.origin_focus is not None:
+            object.__setattr__(
+                self, "origin_focus",
+                _index_tuple(self.origin_focus, "origin_focus"),
+            )
+
+
+Event = TopologyDelta | CacheState | PolicyOverride

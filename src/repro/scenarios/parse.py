@@ -1,0 +1,139 @@
+"""The scenario composition grammar.
+
+One line of text describes a composed scenario stack — the form the
+CLI, sweep specs, and the ``scenario`` configuration field speak::
+
+    churn:rate=0.1
+    caching:size=64
+    churn:rate=0.1,recompute=true+caching:size=64
+    join:fraction=0.4,waves=3+freeriding:fraction=0.2
+
+Grammar::
+
+    spec   ::= item ("+" item)*
+    item   ::= kind [":" params]
+    params ::= key "=" value ("," key "=" value)*
+
+``kind`` is a name from :data:`SCENARIO_KINDS`; parameters are typed
+by the scenario dataclass's own fields (ints, floats, bools), so a
+bad key or value fails with the field list in the message — at config
+construction time, never inside a sweep worker. A single item parses
+to the bare scenario; multiple items parse to a
+:class:`~repro.scenarios.compose.Compose` in written order.
+:func:`parse_scenario` and :meth:`Scenario.spec()
+<repro.scenarios.base.Scenario.spec>` are inverses up to omitted
+defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from ..errors import ConfigurationError
+from .base import Scenario
+from .compose import Compose
+from .library import Churn, DemandShift, FreeRiding, NodeJoin, PathCaching
+
+__all__ = ["SCENARIO_KINDS", "parse_scenario", "scenario_help"]
+
+#: Grammar name -> scenario class; the single registry the parser,
+#: the CLI help, and the error messages share.
+SCENARIO_KINDS: dict[str, type[Scenario]] = {
+    cls.kind: cls
+    for cls in (Churn, PathCaching, FreeRiding, NodeJoin, DemandShift)
+}
+
+
+def scenario_help() -> str:
+    """One line per kind with its parameters — for CLI help and errors."""
+    lines = []
+    for kind in sorted(SCENARIO_KINDS):
+        fields = ", ".join(
+            f"{f.name}={f.default}"
+            if f.default is not dataclasses.MISSING
+            else f"{f.name}=<required>"
+            for f in dataclasses.fields(SCENARIO_KINDS[kind])
+        )
+        lines.append(f"{kind}:{fields}" if fields else kind)
+    return "; ".join(lines)
+
+
+def _parse_value(cls: type[Scenario], key: str, text: str):
+    hints = typing.get_type_hints(cls)
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    if key not in fields:
+        raise ConfigurationError(
+            f"unknown parameter {key!r} for scenario {cls.kind!r}; "
+            f"known: {sorted(fields)}"
+        )
+    target = hints[key]
+    try:
+        if target is bool:
+            lowered = text.lower()
+            if lowered in ("true", "1", "yes", "on"):
+                return True
+            if lowered in ("false", "0", "no", "off"):
+                return False
+            raise ValueError(text)
+        return target(text)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"cannot parse {text!r} as {target.__name__} for scenario "
+            f"parameter {cls.kind}:{key}"
+        ) from None
+
+
+def _parse_item(item: str) -> Scenario:
+    kind, separator, params_text = item.partition(":")
+    kind = kind.strip()
+    if kind not in SCENARIO_KINDS:
+        raise ConfigurationError(
+            f"unknown scenario kind {kind!r}; available: {scenario_help()}"
+        )
+    cls = SCENARIO_KINDS[kind]
+    params = {}
+    if separator and params_text.strip():
+        for part in params_text.split(","):
+            key, eq, value = part.partition("=")
+            key = key.strip()
+            if not eq or not key or not value.strip():
+                raise ConfigurationError(
+                    f"malformed scenario parameter {part!r} in {item!r}; "
+                    f"expected key=value"
+                )
+            if key in params:
+                raise ConfigurationError(
+                    f"scenario parameter {key!r} given twice in {item!r}"
+                )
+            params[key] = _parse_value(cls, key, value.strip())
+    try:
+        return cls(**params)
+    except TypeError:
+        required = [
+            f.name for f in dataclasses.fields(cls)
+            if f.default is dataclasses.MISSING and f.name not in params
+        ]
+        raise ConfigurationError(
+            f"scenario {kind!r} is missing required parameter(s) "
+            f"{required}; write e.g. "
+            f"{kind}:{','.join(f'{name}=...' for name in required)}"
+        ) from None
+
+
+def parse_scenario(text: str) -> Scenario:
+    """Parse a composition spec; ``a+b`` composes in written order."""
+    stripped = text.strip()
+    if not stripped:
+        raise ConfigurationError(
+            f"empty scenario spec; available kinds: {scenario_help()}"
+        )
+    items = [part.strip() for part in stripped.split("+")]
+    if any(not part for part in items):
+        raise ConfigurationError(
+            f"malformed scenario spec {text!r}: empty item between '+'"
+        )
+    scenarios = [_parse_item(part) for part in items]
+    if len(scenarios) == 1:
+        return scenarios[0]
+    return Compose(*scenarios)

@@ -1,0 +1,324 @@
+"""Epoch plans: folding scenario schedules into engine-ready state.
+
+:class:`EpochPlan` is the interpreter between the declarative world
+(:class:`~repro.scenarios.base.Scenario` schedules of
+:mod:`~repro.scenarios.events`) and the vectorized engine: consumed
+strictly in epoch order, it maintains the running alive mask, the
+path-cache runtime, the free-rider mask, and the demand focus, and
+hands the unified hop kernel one :class:`EpochState` per epoch.
+
+Storer tables under topology change are resolved through the
+process-global :class:`~repro.perf.table_cache.EpochTableCache`:
+every epoch whose alive set changed chains a fingerprint
+(``parent_fp + delta``) and, on a miss, *patches* the parent epoch's
+table with :func:`~repro.kademlia.table.patch_storer_table` instead
+of rebuilding from scratch — so sweep replicas that share a scenario
+schedule compute each epoch's table once per process, and even cold
+epochs pay only for the addresses the delta actually touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..kademlia.table import (
+    alive_storer_table,
+    chain_fingerprint,
+    patch_storer_table,
+)
+from .base import Scenario, ScenarioContext
+from .events import CacheState, PolicyOverride, TopologyDelta
+
+__all__ = ["CacheRuntime", "EpochState", "EpochPlan"]
+
+
+class CacheRuntime:
+    """Mutable path-cache state shared across epochs.
+
+    ``mask`` flags cached chunk addresses; a non-zero ``capacity``
+    bounds the number of distinct cached addresses with FIFO eviction
+    in first-insertion order. ``capacity == 0`` reproduces the legacy
+    unbounded mask bit-for-bit (insertion is a plain mask write).
+    """
+
+    def __init__(self, space_size: int, capacity: int = 0) -> None:
+        self.mask = np.zeros(space_size, dtype=bool)
+        self.capacity = int(capacity)
+        self.enabled = True
+        self._ring = np.empty(0, dtype=np.int64)
+
+    @property
+    def cached_count(self) -> int:
+        """Number of distinct addresses currently cached."""
+        return int(np.count_nonzero(self.mask))
+
+    def set_capacity(self, capacity: int) -> None:
+        """Change the FIFO bound, reconciling already-cached addresses.
+
+        Raising or introducing a bound after addresses were cached
+        under an unbounded policy adopts address order as their
+        insertion order (the only deterministic choice — the original
+        order was never tracked); lowering the bound evicts the
+        overflow immediately, oldest first.
+        """
+        capacity = int(capacity)
+        if capacity == self.capacity:
+            return
+        if capacity == 0:
+            self.capacity = 0
+            self._ring = np.empty(0, dtype=np.int64)
+            return
+        cached = np.flatnonzero(self.mask)
+        if self._ring.size != cached.size:
+            self._ring = cached.astype(np.int64)
+        self.capacity = capacity
+        overflow = self._ring.size - capacity
+        if overflow > 0:
+            evicted, self._ring = (
+                self._ring[:overflow], self._ring[overflow:].copy()
+            )
+            self.mask[evicted] = False
+
+    def insert(self, targets: np.ndarray) -> None:
+        """Cache every address in *targets* (deduped, FIFO-evicting)."""
+        if targets.size == 0:
+            return
+        if self.capacity == 0:
+            self.mask[targets] = True
+            return
+        unique, first_seen = np.unique(targets, return_index=True)
+        fresh = ~self.mask[unique]
+        # Ring order is first-occurrence order within the batch, not
+        # np.unique's sorted order — FIFO means insertion time.
+        arrivals = unique[fresh][np.argsort(first_seen[fresh],
+                                            kind="stable")]
+        if arrivals.size == 0:
+            return
+        self.mask[arrivals] = True
+        self._ring = np.concatenate(
+            (self._ring, arrivals.astype(np.int64))
+        )
+        overflow = self._ring.size - self.capacity
+        if overflow > 0:
+            evicted, self._ring = (
+                self._ring[:overflow], self._ring[overflow:].copy()
+            )
+            self.mask[evicted] = False
+
+
+@dataclass
+class EpochState:
+    """Everything dynamic the engine needs to route one epoch's slab.
+
+    ``alive`` is ``None`` until the first topology event materializes
+    a mask (the static fast path). ``storers`` is the full per-address
+    storer table for the current alive set when re-homing is active,
+    else ``None`` (use the static table). ``cache`` is the live
+    :class:`CacheRuntime` when caching is enabled this epoch.
+    ``unpaid`` and ``origin_map`` carry the policy overrides.
+    """
+
+    index: int
+    alive: np.ndarray | None
+    storers: np.ndarray | None
+    cache: CacheRuntime | None
+    unpaid: np.ndarray | None
+    origin_map: np.ndarray | None
+
+
+class EpochPlan:
+    """Sequential interpreter of one (possibly composed) scenario.
+
+    Topology composition semantics: every composed child owns a
+    **private alive stream** — its :class:`TopologyDelta` events fold
+    into its own mask, because each scenario computes deltas against
+    its own history (churn against its previous random draw, a join
+    storm against its cohort). The engine's alive mask for an epoch is
+    the AND of the child masks: a node is alive iff *every* dynamic
+    keeps it alive. Folding all deltas into one shared mask instead
+    would let one scenario's joins resurrect another's offline cohort.
+    With a single topology-emitting child the AND is the identity, so
+    single-scenario runs (and the legacy churn fields) are unaffected.
+
+    Parameters
+    ----------
+    scenario, ctx:
+        The composed scenario and the context its schedule was sized
+        for.
+    table_fingerprint:
+        The base overlay/table fingerprint the epoch-table chain
+        starts from.
+    base_storers:
+        The static per-address storer table (compact entry dtype).
+    addresses:
+        Dense-index node addresses (``uint64``).
+    epoch_tables:
+        The cache epoch storer tables resolve through; defaults to
+        the process-global one.
+    """
+
+    def __init__(self, scenario: Scenario, ctx: ScenarioContext, *,
+                 table_fingerprint: str, base_storers: np.ndarray,
+                 addresses: np.ndarray, epoch_tables=None) -> None:
+        if epoch_tables is None:
+            from ..perf.table_cache import global_epoch_table_cache
+
+            epoch_tables = global_epoch_table_cache()
+        self.scenario = scenario
+        self.ctx = ctx
+        self._children = scenario.flattened()
+        self._child_schedules = []
+        for child in self._children:
+            schedule = child.schedule(ctx)
+            if len(schedule) != ctx.n_epochs:
+                raise ConfigurationError(
+                    f"scenario {child.spec()!r} produced "
+                    f"{len(schedule)} epochs for a {ctx.n_epochs}-epoch "
+                    f"plan"
+                )
+            self._child_schedules.append(schedule)
+        self.recompute_storers = scenario.recompute_storers
+        self._epoch_tables = epoch_tables
+        self._base_storers = base_storers
+        self._addresses = addresses
+        self._fingerprint = table_fingerprint
+        self._alive: np.ndarray | None = None
+        self._child_alive: dict[int, np.ndarray] = {}
+        self._storers: np.ndarray | None = None
+        # Whether _storers (or, when None, _base_storers) matches the
+        # current alive set — lost when every node goes offline.
+        self._parent_valid = True
+        self._cache: CacheRuntime | None = None
+        self._unpaid: np.ndarray | None = None
+        self._origin_map: np.ndarray | None = None
+        self._next = 0
+
+    @property
+    def n_epochs(self) -> int:
+        return self.ctx.n_epochs
+
+    def epoch(self, index: int) -> EpochState:
+        """Fold epoch *index*'s events and return its engine state.
+
+        Epochs must be consumed in order — the plan's state (alive
+        masks, cache contents, fingerprint chain) is cumulative.
+        """
+        if index != self._next:
+            raise ConfigurationError(
+                f"epochs must be consumed in order: expected "
+                f"{self._next}, got {index}"
+            )
+        self._next += 1
+        touched = False
+        for child_index, schedule in enumerate(self._child_schedules):
+            for event in schedule[index]:
+                if isinstance(event, TopologyDelta):
+                    mask = self._child_alive.get(child_index)
+                    if mask is None:
+                        mask = np.ones(self.ctx.n_nodes, dtype=bool)
+                        self._child_alive[child_index] = mask
+                    touched = True
+                    if event.leaves:
+                        mask[list(event.leaves)] = False
+                    if event.joins:
+                        mask[list(event.joins)] = True
+                elif isinstance(event, CacheState):
+                    if self._cache is None:
+                        self._cache = CacheRuntime(
+                            self.ctx.space_size, event.capacity
+                        )
+                    else:
+                        self._cache.set_capacity(event.capacity)
+                    self._cache.enabled = event.enabled
+                elif isinstance(event, PolicyOverride):
+                    self._apply_policy(event)
+                else:  # pragma: no cover - new event kinds fail loudly
+                    raise ConfigurationError(
+                        f"unknown scenario event {event!r}"
+                    )
+        if touched:
+            before = (
+                self._alive if self._alive is not None
+                else np.ones(self.ctx.n_nodes, dtype=bool)
+            )
+            combined = np.ones(self.ctx.n_nodes, dtype=bool)
+            for mask in self._child_alive.values():
+                combined &= mask
+            self._alive = combined
+            if self.recompute_storers:
+                self._advance_storers(before)
+        cache = (
+            self._cache
+            if self._cache is not None and self._cache.enabled
+            else None
+        )
+        return EpochState(
+            index=index,
+            alive=self._alive,
+            storers=self._storers if self.recompute_storers else None,
+            cache=cache,
+            unpaid=self._unpaid,
+            origin_map=self._origin_map,
+        )
+
+    # ------------------------------------------------------------------
+    # Event folding
+
+    def _apply_policy(self, event: PolicyOverride) -> None:
+        if event.unpaid_origins is not None:
+            if event.unpaid_origins:
+                mask = np.zeros(self.ctx.n_nodes, dtype=bool)
+                mask[list(event.unpaid_origins)] = True
+                self._unpaid = mask
+            else:
+                self._unpaid = None
+        if event.origin_focus is not None:
+            if event.origin_focus:
+                focus = np.asarray(event.origin_focus, dtype=np.int64)
+                self._origin_map = focus[
+                    np.arange(self.ctx.n_nodes) % focus.size
+                ]
+            else:
+                self._origin_map = None
+
+    def _advance_storers(self, before: np.ndarray) -> None:
+        """Chain the table fingerprint and resolve the epoch's storers."""
+        alive = self._alive
+        assert alive is not None
+        leaves = np.flatnonzero(before & ~alive)
+        joins = np.flatnonzero(~before & alive)
+        if leaves.size == 0 and joins.size == 0:
+            return
+        self._fingerprint = chain_fingerprint(
+            self._fingerprint, leaves, joins
+        )
+        if not alive.any():
+            # Extinct epoch: the engine skips it entirely; the next
+            # populated epoch cannot patch from here.
+            self._storers = None
+            self._parent_valid = False
+            return
+        parent = (
+            self._storers if self._storers is not None
+            else self._base_storers
+        )
+        parent_valid = self._parent_valid
+        addresses = self._addresses
+        alive_now = alive.copy()
+
+        def build() -> np.ndarray:
+            if parent_valid:
+                return patch_storer_table(
+                    parent, addresses, alive_now, leaves, joins
+                )
+            return alive_storer_table(
+                addresses, alive_now, parent.dtype, self.ctx.space_size
+            )
+
+        self._storers = self._epoch_tables.get(
+            self._fingerprint, build, patched=parent_valid
+        )
+        self._parent_valid = True

@@ -9,7 +9,7 @@ the evaluation reads out.
 
 It favours observability over speed: every chunk movement updates the
 full SWAP ledger. For paper-scale runs (millions of chunks) use the
-vectorized :mod:`repro.experiments.fast` backend, which is
+vectorized :mod:`repro.backends.fast` backend, which is
 cross-validated against this class.
 """
 

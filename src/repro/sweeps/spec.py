@@ -113,15 +113,20 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SweepSpec:
-    """A parameter grid x backends x seed replicas experiment plan.
+    """A parameter grid x scenarios x backends x seed replicas plan.
 
     ``grid`` maps :class:`FastSimulationConfig` field names to the
     values to sweep (normalized to an ordered tuple of pairs so the
-    spec stays hashable); ``seeds`` is the number of workload-seed
-    replicas per cell, each derived from ``seed_entropy`` (see
+    spec stays hashable); ``scenarios`` is a first-class axis of
+    scenario composition strings (the
+    :func:`~repro.scenarios.parse.parse_scenario` grammar) crossed
+    with the grid — each expands to a ``scenario`` field override, so
+    workers, the store, and aggregation treat it like any other cell
+    dimension; ``seeds`` is the number of workload-seed replicas per
+    cell, each derived from ``seed_entropy`` (see
     :func:`replica_seed`). Validation constructs every grid cell's
-    configuration once, so bad fields or values fail at spec-build
-    time, not inside a worker process.
+    configuration once, so bad fields, values, or scenario specs fail
+    at spec-build time, not inside a worker process.
     """
 
     base: FastSimulationConfig = FastSimulationConfig()
@@ -129,11 +134,15 @@ class SweepSpec:
     backends: tuple[str, ...] = ("fast",)
     seeds: int = 1
     seed_entropy: int = 2022
+    scenarios: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         normalized = self._normalize_grid(self.grid)
         object.__setattr__(self, "grid", normalized)
         object.__setattr__(self, "backends", tuple(self.backends))
+        object.__setattr__(
+            self, "scenarios", tuple(str(s) for s in self.scenarios)
+        )
         if not self.backends:
             raise ConfigurationError("a sweep needs at least one backend")
         if self.seeds < 1:
@@ -151,8 +160,16 @@ class SweepSpec:
                 raise ConfigurationError(
                     f"sweep field {name!r} has no values"
                 )
+        if self.scenarios and any(
+            name == "scenario" for name, _ in normalized
+        ):
+            raise ConfigurationError(
+                "the scenario axis is given twice: drop the "
+                "--grid scenario=... entry or the scenarios= axis"
+            )
         for cell in self.cells():
-            # Surfaces type/range errors via the config's own checks.
+            # Surfaces type/range/scenario-grammar errors via the
+            # config's own checks.
             dataclasses.replace(self.base, **dict(cell))
 
     @staticmethod
@@ -174,13 +191,26 @@ class SweepSpec:
     # Expansion
 
     def cells(self) -> list[tuple[tuple[str, Any], ...]]:
-        """Grid cells (override assignments) in canonical order."""
+        """Grid x scenario cells (override assignments) in canonical order.
+
+        The scenario axis expands innermost, as a trailing
+        ``("scenario", spec)`` override on every grid cell — one more
+        config field as far as workers and stores are concerned.
+        """
         if not self.grid:
-            return [()]
-        names = [name for name, _ in self.grid]
-        value_lists = [values for _, values in self.grid]
+            grid_cells: list[tuple] = [()]
+        else:
+            names = [name for name, _ in self.grid]
+            value_lists = [values for _, values in self.grid]
+            grid_cells = [
+                tuple(zip(names, combo)) for combo in product(*value_lists)
+            ]
+        if not self.scenarios:
+            return grid_cells
         return [
-            tuple(zip(names, combo)) for combo in product(*value_lists)
+            cell + (("scenario", scenario),)
+            for cell in grid_cells
+            for scenario in self.scenarios
         ]
 
     def workload_seeds(self) -> tuple[int, ...]:
@@ -209,20 +239,30 @@ class SweepSpec:
         n_cells = 1
         for _, values in self.grid:
             n_cells *= len(values)
+        if self.scenarios:
+            n_cells *= len(self.scenarios)
         return len(self.backends) * n_cells * self.seeds
 
     # ------------------------------------------------------------------
     # JSON round-trip (the store persists specs for resume/diff)
 
     def to_json(self) -> dict:
-        """Plain-data form, stable under JSON round-trips."""
-        return {
+        """Plain-data form, stable under JSON round-trips.
+
+        ``scenarios`` is omitted when empty, so scenario-free stores
+        stay byte-identical with those written before the axis
+        existed.
+        """
+        payload = {
             "base": dataclasses.asdict(self.base),
             "grid": [[name, list(values)] for name, values in self.grid],
             "backends": list(self.backends),
             "seeds": self.seeds,
             "seed_entropy": self.seed_entropy,
         }
+        if self.scenarios:
+            payload["scenarios"] = list(self.scenarios)
+        return payload
 
     @classmethod
     def from_json(cls, payload: Mapping) -> "SweepSpec":
@@ -235,6 +275,7 @@ class SweepSpec:
             backends=tuple(payload["backends"]),
             seeds=int(payload["seeds"]),
             seed_entropy=int(payload["seed_entropy"]),
+            scenarios=tuple(payload.get("scenarios", ())),
         )
 
 

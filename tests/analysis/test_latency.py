@@ -4,11 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.latency import (
-    LatencyDistribution,
-    LatencyModel,
-    latency_distribution,
-)
+from repro.analysis.latency import LatencyModel, latency_distribution
 from repro.errors import ConfigurationError
 
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.analysis.sensitivity import compare_configs, replicate
 from repro.errors import ConfigurationError
-from repro.experiments.fast import FastSimulationConfig
+from repro.backends.fast import FastSimulationConfig
 
 CONFIG = FastSimulationConfig(
     n_nodes=100, bits=12, bucket_size=4, originator_share=0.5,

@@ -137,6 +137,91 @@ class TestBaselineBackends:
         assert result.income.sum() == result.forwarded.sum()
 
 
+class TestScenarioStrings:
+    """The ``scenario`` composition field drives the same epoch kernel."""
+
+    def test_string_churn_is_bit_identical_to_legacy_fields(self):
+        legacy = run_simulation(FastSimulationConfig(
+            **BASE, churn_offline_fraction=0.2, batch_files=25,
+        ))
+        string = run_simulation(FastSimulationConfig(
+            **BASE, scenario="churn:rate=0.2", batch_files=25,
+        ))
+        assert np.array_equal(legacy.forwarded, string.forwarded)
+        assert np.array_equal(legacy.first_hop, string.first_hop)
+        assert legacy.unavailable == string.unavailable
+        assert legacy.hop_histogram == string.hop_histogram
+        assert np.array_equal(legacy.income, string.income)
+
+    def test_string_caching_is_bit_identical_to_legacy_fields(self):
+        legacy = run_simulation(FastSimulationConfig(
+            **BASE, catalog_size=30, caching=True, batch_files=25,
+        ))
+        string = run_simulation(FastSimulationConfig(
+            **BASE, catalog_size=30, scenario="caching", batch_files=25,
+        ))
+        assert np.array_equal(legacy.forwarded, string.forwarded)
+        assert legacy.cache_hits == string.cache_hits > 0
+
+    def test_legacy_fields_compose_with_string_scenarios(self):
+        # Both spellings of churn+caching must agree exactly.
+        fields = run_simulation(FastSimulationConfig(
+            **BASE, catalog_size=30, caching=True,
+            churn_offline_fraction=0.2, batch_files=25,
+        ))
+        string = run_simulation(FastSimulationConfig(
+            **BASE, catalog_size=30, scenario="churn:rate=0.2+caching",
+            batch_files=25,
+        ))
+        assert np.array_equal(fields.forwarded, string.forwarded)
+        assert fields.cache_hits == string.cache_hits
+        assert fields.unavailable == string.unavailable
+
+    def test_bounded_cache_evicts_and_still_accounts(self):
+        unbounded = run_simulation(FastSimulationConfig(
+            **BASE, catalog_size=30, scenario="caching", batch_files=25,
+        ))
+        bounded = run_simulation(FastSimulationConfig(
+            **BASE, catalog_size=30, scenario="caching:size=8",
+            batch_files=25,
+        ))
+        assert 0 < bounded.cache_hits < unbounded.cache_hits
+        assert bounded.income.sum() == pytest.approx(
+            bounded.expenditure.sum()
+        )
+
+    def test_join_storm_recovers_availability_over_time(self):
+        storm = run_simulation(FastSimulationConfig(
+            **BASE, scenario="join:fraction=0.5,waves=3", batch_files=25,
+        ))
+        assert 0 < storm.unavailable < storm.chunks
+        # Re-homing keeps fallback traffic flowing to live storers.
+        assert storm.availability > 0.4
+
+    def test_demand_shift_concentrates_expenditure(self):
+        uniform = run_simulation(FastSimulationConfig(
+            **BASE, batch_files=25,
+        ))
+        shifted = run_simulation(FastSimulationConfig(
+            **BASE, scenario="demand:share=0.05", batch_files=25,
+        ))
+        assert (np.count_nonzero(shifted.expenditure)
+                < np.count_nonzero(uniform.expenditure))
+        assert shifted.income.sum() == pytest.approx(
+            shifted.expenditure.sum()
+        )
+
+    def test_invalid_scenario_rejected_at_config_time(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            FastSimulationConfig(**BASE, scenario="warp:factor=9")
+
+    def test_scenario_string_requires_batched_engine(self):
+        config = FastSimulationConfig(**BASE, scenario="churn:rate=0.1")
+        backend = get_backend("fast-perfile").prepare(config)
+        with pytest.raises(ConfigurationError, match="batched"):
+            backend.run()
+
+
 class TestScenarioGuards:
     def test_reference_backend_rejects_scenario_fields(self):
         for fields in ({"caching": True},

@@ -1,19 +1,31 @@
-"""Unit tests for the vectorized simulator (repro.experiments.fast)."""
+"""Unit tests for the vectorized simulator (repro.backends.fast)."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
-from repro.experiments.fast import (
+from repro.backends.fast import (
     FastSimulation,
     FastSimulationConfig,
     NextHopTable,
     cached_next_hop_table,
     cached_overlay,
 )
+from repro.errors import ConfigurationError
 from repro.kademlia.routing import Router
+
+
+def test_legacy_shim_warns_and_reexports():
+    """repro.experiments.fast is a deprecation stub over the backends."""
+    import importlib
+    import sys
+
+    sys.modules.pop("repro.experiments.fast", None)
+    with pytest.warns(DeprecationWarning, match="repro.backends"):
+        shim = importlib.import_module("repro.experiments.fast")
+    assert shim.FastSimulation is FastSimulation
+    assert shim.FastSimulationConfig is FastSimulationConfig
 
 
 SMALL = FastSimulationConfig(

@@ -8,7 +8,6 @@ collection when their postage batch expires.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.engine.des import EventScheduler

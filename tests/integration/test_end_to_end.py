@@ -13,7 +13,7 @@ from repro.engine import (
     SimulationConfig,
     Simulator,
 )
-from repro.experiments.fast import FastSimulation, FastSimulationConfig
+from repro.backends.fast import FastSimulation, FastSimulationConfig
 from repro.kademlia.overlay import OverlayConfig
 from repro.swarm.chunk import split_content
 from repro.swarm.network import SwarmNetwork, SwarmNetworkConfig

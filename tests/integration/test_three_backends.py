@@ -13,7 +13,7 @@ import numpy as np
 import pytest
 
 from repro.experiments.cadcad import run_paper_model
-from repro.experiments.fast import FastSimulation, FastSimulationConfig
+from repro.backends.fast import FastSimulation, FastSimulationConfig
 from repro.swarm.network import SwarmNetwork, SwarmNetworkConfig
 
 

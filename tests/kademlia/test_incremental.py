@@ -1,0 +1,137 @@
+"""Incremental storer-table maintenance: patch == rebuild, exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kademlia.table import (
+    alive_storer_table,
+    chain_fingerprint,
+    patch_storer_table,
+)
+
+N_NODES = 48
+SPACE = 512
+
+
+@pytest.fixture(scope="module")
+def addresses() -> np.ndarray:
+    return np.sort(np.random.default_rng(7).choice(
+        SPACE, size=N_NODES, replace=False
+    )).astype(np.uint64)
+
+
+@pytest.fixture(scope="module")
+def base(addresses) -> np.ndarray:
+    return alive_storer_table(
+        addresses, np.ones(N_NODES, bool), np.dtype(np.uint16), SPACE
+    )
+
+
+def test_full_rebuild_is_closest_live_node(addresses, base):
+    alive = np.ones(N_NODES, bool)
+    alive[[0, 5, 9]] = False
+    table = alive_storer_table(addresses, alive, np.dtype(np.uint16), SPACE)
+    for target in (0, 17, 255, SPACE - 1):
+        live = np.flatnonzero(alive)
+        distances = np.uint64(target) ^ addresses[live]
+        assert table[target] == live[np.argmin(distances)]
+
+
+def test_all_offline_rejected(addresses):
+    with pytest.raises(ConfigurationError, match="offline"):
+        alive_storer_table(
+            addresses, np.zeros(N_NODES, bool), np.dtype(np.uint16), SPACE
+        )
+
+
+def test_leave_patch_equals_rebuild(addresses, base):
+    alive = np.ones(N_NODES, bool)
+    leaves = np.array([2, 11, 30])
+    alive[leaves] = False
+    patched = patch_storer_table(base, addresses, alive, leaves, [])
+    rebuilt = alive_storer_table(
+        addresses, alive, np.dtype(np.uint16), SPACE
+    )
+    assert np.array_equal(patched, rebuilt)
+    assert patched.dtype == base.dtype
+
+
+def test_join_patch_equals_rebuild(addresses, base):
+    # Leave, then rejoin one node: the join pass must win back every
+    # address it is closest to.
+    alive = np.ones(N_NODES, bool)
+    alive[[2, 11, 30]] = False
+    parent = patch_storer_table(base, addresses, alive, [2, 11, 30], [])
+    alive2 = alive.copy()
+    alive2[11] = True
+    patched = patch_storer_table(parent, addresses, alive2, [], [11])
+    rebuilt = alive_storer_table(
+        addresses, alive2, np.dtype(np.uint16), SPACE
+    )
+    assert np.array_equal(patched, rebuilt)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_patch_chain_equals_rebuild_along_any_history(data):
+    """Arbitrary leave/join sequences stay exact, epoch after epoch."""
+    rng_seed = data.draw(st.integers(0, 2**16), label="address_seed")
+    addresses = np.sort(np.random.default_rng(rng_seed).choice(
+        SPACE, size=N_NODES, replace=False
+    )).astype(np.uint64)
+    alive = np.ones(N_NODES, bool)
+    table = alive_storer_table(
+        addresses, alive, np.dtype(np.uint16), SPACE
+    )
+    for _ in range(data.draw(st.integers(1, 4), label="epochs")):
+        mask = np.array(
+            data.draw(
+                st.lists(st.booleans(), min_size=N_NODES,
+                         max_size=N_NODES),
+                label="alive",
+            )
+        )
+        if not mask.any():
+            mask[data.draw(st.integers(0, N_NODES - 1),
+                           label="survivor")] = True
+        leaves = np.flatnonzero(alive & ~mask)
+        joins = np.flatnonzero(~alive & mask)
+        table = patch_storer_table(table, addresses, mask, leaves, joins)
+        alive = mask
+        assert np.array_equal(
+            table,
+            alive_storer_table(addresses, alive, np.dtype(np.uint16),
+                               SPACE),
+        )
+
+
+def test_empty_delta_is_identity(addresses, base):
+    patched = patch_storer_table(
+        base, addresses, np.ones(N_NODES, bool), [], []
+    )
+    assert np.array_equal(patched, base)
+    assert patched is not base
+
+
+class TestChainFingerprint:
+    def test_deterministic_and_canonical(self):
+        assert chain_fingerprint("a", [3, 1], [2]) == chain_fingerprint(
+            "a", np.array([1, 3]), np.array([2])
+        )
+
+    def test_sensitive_to_parent_and_delta(self):
+        base = chain_fingerprint("a", [1], [2])
+        assert base != chain_fingerprint("b", [1], [2])
+        assert base != chain_fingerprint("a", [2], [1])
+        assert base != chain_fingerprint("a", [1, 2], [])
+        assert base != chain_fingerprint("a", [], [1, 2])
+
+    def test_chains_encode_history(self):
+        one = chain_fingerprint(chain_fingerprint("a", [1], []), [2], [])
+        flat = chain_fingerprint("a", [1, 2], [])
+        assert one != flat

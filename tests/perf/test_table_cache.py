@@ -191,3 +191,70 @@ class TestFromArrays:
                 coded=np.ascontiguousarray(built.coded_transposed[:-1]),
                 storer=built.storer.copy(),
             )
+
+
+class TestEpochTableCache:
+    def test_miss_then_hit_with_event_kinds(self, tmp_path, monkeypatch):
+        from repro.perf.table_cache import (
+            EPOCH_TABLE_LOG_ENV,
+            EpochTableCache,
+        )
+
+        log = tmp_path / "epochs.log"
+        monkeypatch.setenv(EPOCH_TABLE_LOG_ENV, str(log))
+        cache = EpochTableCache()
+        table = np.arange(8, dtype=np.uint16)
+        built = cache.get("fp-1", lambda: table, patched=True)
+        assert built is table
+        assert cache.get("fp-1", lambda: 1 / 0) is table
+        cache.get("fp-2", lambda: table.copy(), patched=False)
+        assert cache.stats.snapshot() == {
+            "patches": 1, "rebuilds": 1, "hits": 1,
+        }
+        assert cache.stats.resolutions == 3
+        events = [line.split()[2] for line in log.read_text().splitlines()]
+        assert events == ["patch", "hit", "rebuild"]
+        assert "fp-1" in cache and len(cache) == 2
+
+    def test_clear_resets_tables_and_stats(self):
+        from repro.perf.table_cache import EpochTableCache
+
+        cache = EpochTableCache()
+        cache.get("fp", lambda: np.zeros(4, dtype=np.uint16))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.resolutions == 0
+
+    def test_clear_caches_covers_every_perf_cache(self):
+        """The backends-level clear_caches drops all three caches."""
+        from repro.backends import run_simulation
+        from repro.backends.config import FastSimulationConfig
+        from repro.perf.table_cache import (
+            global_epoch_table_cache,
+            global_table_cache,
+        )
+
+        run_simulation(FastSimulationConfig(
+            n_nodes=60, bits=10, n_files=16, batch_files=4,
+            scenario="churn:rate=0.2,recompute=true",
+        ))
+        assert len(global_table_cache()) > 0
+        assert len(global_epoch_table_cache()) > 0
+        clear_caches()
+        assert len(global_table_cache()) == 0
+        assert len(global_epoch_table_cache()) == 0
+        assert global_epoch_table_cache().stats.resolutions == 0
+
+    def test_lru_bound_evicts_oldest(self):
+        from repro.perf.table_cache import EpochTableCache
+
+        cache = EpochTableCache(max_tables=2)
+        cache.get("a", lambda: np.zeros(2, dtype=np.uint16))
+        cache.get("b", lambda: np.ones(2, dtype=np.uint16))
+        cache.get("a", lambda: 1 / 0)  # hit refreshes recency
+        cache.get("c", lambda: np.full(2, 2, dtype=np.uint16))
+        assert "b" not in cache  # least recently used
+        assert "a" in cache and "c" in cache
+        assert len(cache) == 2
+        with pytest.raises(ValueError):
+            EpochTableCache(max_tables=0)

@@ -6,11 +6,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.kademlia.address import (
-    AddressSpace,
-    bit_length_array,
-    common_prefix_length,
-)
+from repro.kademlia.address import bit_length_array, common_prefix_length
 from repro.kademlia.overlay import Overlay, OverlayConfig
 from repro.kademlia.routing import Router
 

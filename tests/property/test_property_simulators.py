@@ -6,7 +6,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.experiments.fast import FastSimulation, FastSimulationConfig
+from repro.backends.fast import FastSimulation, FastSimulationConfig
 from repro.kademlia.overlay import Overlay, OverlayConfig
 from repro.kademlia.routing import Router
 from repro.swarm.node import SwarmNode

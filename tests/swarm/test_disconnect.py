@@ -9,7 +9,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.policies import NoPaymentPolicy
 from repro.errors import RoutingError
 from repro.kademlia.overlay import OverlayConfig
 from repro.swarm.chunk import FileManifest

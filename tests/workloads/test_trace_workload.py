@@ -7,7 +7,7 @@ import pytest
 
 from repro.cli import main
 from repro.errors import WorkloadError
-from repro.experiments.fast import FastSimulation, FastSimulationConfig
+from repro.backends.fast import FastSimulation, FastSimulationConfig
 from repro.kademlia.address import AddressSpace
 from repro.workloads.distributions import UniformFileSize
 from repro.workloads.generators import DownloadWorkload

@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.kademlia.address import AddressSpace
-from repro.workloads.generators import DownloadWorkload, FileDownload
+from repro.workloads.generators import DownloadWorkload
 from repro.workloads.distributions import UniformFileSize
 from repro.workloads.traces import WorkloadTrace
 
