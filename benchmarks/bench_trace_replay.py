@@ -1,0 +1,137 @@
+"""Dynamics-trace replay benchmark: recording must be (nearly) free.
+
+Two claims:
+
+1. **Replay costs what the direct run costs** — a replayed
+   :class:`~repro.scenarios.trace.DynamicsTrace` feeds the identical
+   per-epoch events into the identical kernel, so the simulation time
+   must stay within noise of running the source scenario string
+   directly (the replay swaps schedule *generation* for a JSON load).
+2. **The round trip is exact** — per-node forwarded/first-hop vectors
+   and hop histograms are bit-identical (also golden-pinned in
+   ``tests/backends/test_golden_trace_replay.py``; asserted here too
+   so the benchmark never reports the speed of a wrong answer).
+
+Runs as a pytest module (``pytest benchmarks/bench_trace_replay.py``)
+and as a script::
+
+    python benchmarks/bench_trace_replay.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backends import run_simulation
+from repro.backends.config import FastSimulationConfig
+from repro.backends.fast import clear_caches
+from repro.scenarios.trace import record_dynamics
+
+SPEC = "churn:rate=0.1,recompute=true+caching:size=256"
+
+
+def _measure_round_trip(n_nodes: int, n_files: int,
+                        repeats: int = 3) -> dict:
+    config = FastSimulationConfig(
+        n_nodes=n_nodes, n_files=n_files, batch_files=64,
+        catalog_size=200, originator_share=0.5, scenario=SPEC,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "dynamics.json"
+
+        started = time.perf_counter()
+        record_dynamics(
+            config.scenario_stack(), config.scenario_context()
+        ).save(path)
+        record_seconds = time.perf_counter() - started
+
+        replay_config = dataclasses.replace(
+            config, scenario=f"trace:path={path}"
+        )
+        best_direct = best_replay = float("inf")
+        direct = replay = None
+        for _ in range(repeats):
+            clear_caches()
+            started = time.perf_counter()
+            direct = run_simulation(config)
+            best_direct = min(best_direct,
+                              time.perf_counter() - started)
+            clear_caches()
+            started = time.perf_counter()
+            replay = run_simulation(replay_config)
+            best_replay = min(best_replay,
+                              time.perf_counter() - started)
+
+    assert direct is not None and replay is not None
+    identical = (
+        np.array_equal(direct.forwarded, replay.forwarded)
+        and np.array_equal(direct.first_hop, replay.first_hop)
+        and direct.hop_histogram == replay.hop_histogram
+    )
+    return {
+        "scenario": SPEC,
+        "record_seconds": record_seconds,
+        "direct_seconds": best_direct,
+        "replay_seconds": best_replay,
+        "overhead": best_replay / max(best_direct, 1e-9),
+        "identical": identical,
+    }
+
+
+def test_replay_within_noise_of_direct(bench_scale):
+    report = _measure_round_trip(
+        n_nodes=bench_scale["n_nodes"],
+        n_files=min(bench_scale["n_files"], 512),
+    )
+    print()
+    print(
+        f"{report['scenario']}: direct {report['direct_seconds']:.2f}s, "
+        f"replay {report['replay_seconds']:.2f}s "
+        f"({report['overhead']:.2f}x), record "
+        f"{report['record_seconds'] * 1e3:.0f}ms"
+    )
+    assert report["identical"], "replay diverged from the direct run"
+    # Very loose bound for shared runners: replay must never turn the
+    # event serialization into a kernel-scale cost.
+    assert report["overhead"] < 2.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="dynamics-trace replay benchmark"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI scale (300 nodes, 256 files) instead of paper scale",
+    )
+    args = parser.parse_args(argv)
+
+    n_nodes = 300 if args.quick else 1000
+    n_files = 256 if args.quick else 2000
+    report = _measure_round_trip(n_nodes=n_nodes, n_files=n_files)
+    print(
+        f"{report['scenario']} @ {n_nodes} nodes / {n_files} files: "
+        f"direct {report['direct_seconds']:.2f}s, replay "
+        f"{report['replay_seconds']:.2f}s ({report['overhead']:.2f}x), "
+        f"record+save {report['record_seconds'] * 1e3:.0f}ms"
+    )
+    if not report["identical"]:
+        print("FAIL: replay diverged from the direct run",
+              file=sys.stderr)
+        return 1
+    if report["overhead"] >= 2.0:
+        print("FAIL: replay overhead exceeded 2x the direct run",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,7 +52,12 @@ def main() -> None:
     )
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "trace.json"
-        WorkloadTrace(events).save(path)
+        # Provenance in the header lets any later replay verify it
+        # runs on the overlay the trace was captured for.
+        WorkloadTrace(
+            events, bits=base_config.bits, n_nodes=N_NODES,
+            overlay_seed=base_config.overlay_seed,
+        ).save(path)
         trace = WorkloadTrace.load(path)
         print(f"frozen trace: {trace.summary()}\n")
 

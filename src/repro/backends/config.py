@@ -30,7 +30,7 @@ from ..workloads.distributions import OriginatorPool, UniformFileSize
 from ..workloads.generators import DownloadWorkload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..scenarios.base import Scenario
+    from ..scenarios.base import Scenario, ScenarioContext
 
 __all__ = ["FastSimulationConfig"]
 
@@ -145,6 +145,27 @@ class FastSimulationConfig:
         if len(parts) == 1:
             return parts[0]
         return Compose(*parts)
+
+    def n_epochs(self) -> int:
+        """Epochs the batched engine segments this workload into.
+
+        One epoch per ``batch_files`` slab of the configured
+        ``n_files`` — the schedule length scenarios are sized for,
+        and the epoch count a dynamics trace recorded at this
+        configuration carries in its header.
+        """
+        return -(-self.n_files // self.batch_files)
+
+    def scenario_context(self) -> "ScenarioContext":
+        """The scenario context this configuration runs schedules in."""
+        from ..scenarios.base import ScenarioContext
+
+        return ScenarioContext(
+            n_nodes=self.n_nodes,
+            n_epochs=self.n_epochs(),
+            space_size=1 << self.bits,
+            overlay_seed=self.overlay_seed,
+        )
 
     def overlay_config(self) -> OverlayConfig:
         """The overlay this experiment runs on."""

@@ -70,7 +70,7 @@ import time
 import numpy as np
 
 from ..errors import ConfigurationError
-from ..kademlia.address import bit_length_array
+from ..kademlia.address import bit_length_array, target_dtype
 from ..kademlia.overlay import Overlay, OverlayConfig
 from ..workloads.distributions import OriginatorPool, UniformFileSize
 from ..workloads.generators import DownloadWorkload, FileDownload
@@ -126,19 +126,6 @@ def table_entry_dtype(n_nodes: int) -> np.dtype:
         f"n_nodes={n_nodes} exceeds the widest supported table dtype: the "
         f"terminal-coded table needs values up to 4*n_nodes in uint32 "
         f"with the maximum reserved as the raw-table sentinel"
-    )
-
-
-def target_dtype(bits: int) -> np.dtype:
-    """Smallest unsigned dtype holding every address of a *bits* space."""
-    if bits < 1:
-        raise ConfigurationError(f"bits must be >= 1, got {bits}")
-    for candidate in (np.uint16, np.uint32):
-        if (1 << bits) - 1 <= np.iinfo(candidate).max:
-            return np.dtype(candidate)
-    raise ConfigurationError(
-        f"a {bits}-bit address space exceeds the 32-bit capacity of the "
-        f"widest supported target dtype"
     )
 
 
@@ -502,6 +489,7 @@ class FastSimulation:
                 n_nodes=self.table.n_nodes,
                 n_epochs=len(starts),
                 space_size=self.space.size,
+                overlay_seed=config.overlay_seed,
             ),
             table_fingerprint=self.overlay.fingerprint(),
             base_storers=self.table.storer,

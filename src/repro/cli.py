@@ -14,6 +14,12 @@ experiments and the ablations from the terminal::
     repro-swarm trace generate t.json --files 100    # freeze a workload
     repro-swarm trace replay t.json --bucket-size 20 # replay it
 
+    # record a scenario's dynamics (join/leave logs, cache shifts)...
+    repro-swarm trace record-dynamics d.json \
+        --scenario churn:rate=0.1,recompute=true+caching:size=64
+    # ...and replay them later, bit-identical to the direct run
+    repro-swarm trace replay-dynamics d.json
+
     repro-swarm sweep --grid bucket_size=4,8,16 --seeds 10 \
         --backend fast,reference --jobs 4 --store sweep.json
 
@@ -103,7 +109,8 @@ def build_parser() -> argparse.ArgumentParser:
             "scenario axis crossed with the grid (repeatable): a "
             "composition like 'churn:rate=0.1,recompute=true+"
             "caching:size=64'; kinds: churn, caching, freeriding, "
-            "join, demand"
+            "join, demand, trace (trace:path=... replays a recorded "
+            "dynamics trace)"
         ),
     )
     sweep.add_argument(
@@ -133,6 +140,14 @@ def build_parser() -> argparse.ArgumentParser:
             "build each unique topology's next-hop table once and share "
             "it with workers via shared memory (--no-table-cache: every "
             "worker rebuilds, the pre-PR-3 behavior)"
+        ),
+    )
+    sweep.add_argument(
+        "--epoch-cache-tables", type=int, default=None, metavar="N",
+        help=(
+            "bound the per-process epoch storer-table cache to N tables "
+            "(default: a bytes budget sized by address width; see "
+            "repro.perf.table_cache.EpochTableCache)"
         ),
     )
     sweep.add_argument(
@@ -191,6 +206,14 @@ def build_parser() -> argparse.ArgumentParser:
             "shared runners)"
         ),
     )
+    bench.add_argument(
+        "--strict-provenance", action="store_true",
+        help=(
+            "refuse to write a benchmark record from a dirty git tree "
+            "(without this flag a dirty tree only warns loudly); use "
+            "when regenerating a committed baseline"
+        ),
+    )
 
     trace = subparsers.add_parser(
         "trace", help="generate or replay workload traces"
@@ -213,10 +236,58 @@ def build_parser() -> argparse.ArgumentParser:
         "replay", help="replay a trace against a configuration"
     )
     replay.add_argument("path", type=Path, help="trace file to replay")
-    replay.add_argument("--nodes", type=int, default=1000)
-    replay.add_argument("--bits", type=int, default=16)
+    replay.add_argument(
+        "--nodes", type=int, default=None,
+        help="overlay nodes (default: the trace header's, else 1000)",
+    )
+    replay.add_argument(
+        "--bits", type=int, default=None,
+        help="address bits (default: the trace header's, else 16)",
+    )
     replay.add_argument("--bucket-size", type=int, default=4)
-    replay.add_argument("--overlay-seed", type=int, default=42)
+    replay.add_argument(
+        "--overlay-seed", type=int, default=None,
+        help="overlay seed (default: the trace header's, else 42)",
+    )
+
+    record_dynamics = trace_sub.add_parser(
+        "record-dynamics",
+        help="record a scenario's epoch schedule as a dynamics trace",
+    )
+    record_dynamics.add_argument(
+        "path", type=Path, help="output dynamics-trace file"
+    )
+    record_dynamics.add_argument(
+        "--scenario", required=True, metavar="SPEC",
+        help=(
+            "scenario composition to record, e.g. "
+            "'churn:rate=0.1,recompute=true+caching:size=64'"
+        ),
+    )
+    record_dynamics.add_argument("--files", type=int, default=1000)
+    record_dynamics.add_argument("--nodes", type=int, default=1000)
+    record_dynamics.add_argument("--bits", type=int, default=16)
+    record_dynamics.add_argument("--batch-files", type=int, default=512)
+    record_dynamics.add_argument("--overlay-seed", type=int, default=42)
+
+    replay_dynamics = trace_sub.add_parser(
+        "replay-dynamics",
+        help="replay a recorded dynamics trace through the engine",
+    )
+    replay_dynamics.add_argument(
+        "path", type=Path, help="dynamics-trace file to replay"
+    )
+    replay_dynamics.add_argument(
+        "--compose", default=None, metavar="SPEC",
+        help=(
+            "extra scenario composed on top of the replayed trace "
+            "(appended with '+'), e.g. 'caching:size=64'"
+        ),
+    )
+    replay_dynamics.add_argument("--files", type=int, default=1000)
+    replay_dynamics.add_argument("--batch-files", type=int, default=512)
+    replay_dynamics.add_argument("--bucket-size", type=int, default=4)
+    replay_dynamics.add_argument("--workload-seed", type=int, default=7)
 
     overlay = subparsers.add_parser(
         "overlay", help="build or inspect overlay networks"
@@ -333,6 +404,7 @@ def _sweep_run(args: argparse.Namespace) -> int:
         spec, jobs=args.jobs, store_path=args.store,
         resume=not args.no_resume, table_cache=args.table_cache,
         cap_jobs=args.cap_jobs,
+        epoch_cache_tables=args.epoch_cache_tables,
     )
     report = sweep_report(
         sweep, name="sweep",
@@ -356,6 +428,26 @@ def _bench_run(args: argparse.Namespace) -> int:
     label = "quick" if args.quick else "paper"
     print(f"bench: {label} scale, best of {args.repeats} run(s)")
     record = headline_bench(quick=args.quick, repeats=args.repeats)
+    if record["provenance"].get("git_dirty"):
+        # A baseline that says "git_dirty": true cannot be reproduced
+        # from its recorded commit — it measured code nobody can check
+        # out again.
+        if args.strict_provenance:
+            print(
+                "REFUSING to write a benchmark record from a dirty git "
+                "tree (--strict-provenance): commit or stash your "
+                "changes so the record's git_commit actually describes "
+                "the measured code.",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "WARNING: recording a benchmark from a DIRTY git tree — the "
+            "record's git_commit does not describe the measured code. "
+            "Do not commit this as a baseline; rerun from a clean tree "
+            "(or pass --strict-provenance to make this an error).",
+            file=sys.stderr,
+        )
     args.out.write_text(
         json.dumps(record, indent=2, sort_keys=True) + "\n"
     )
@@ -407,7 +499,10 @@ def _trace_generate(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     events = workload.materialize(overlay.address_array(), overlay.space)
-    trace = WorkloadTrace(events)
+    trace = WorkloadTrace(
+        events, bits=args.bits, n_nodes=args.nodes,
+        overlay_seed=args.overlay_seed,
+    )
     trace.save(args.path)
     print(f"trace written to {args.path}: {trace.summary()}")
     return 0
@@ -418,13 +513,82 @@ def _trace_replay(args: argparse.Namespace) -> int:
     from .workloads.traces import TraceWorkload, WorkloadTrace
 
     trace = WorkloadTrace.load(args.path)
+    # The versioned header carries the overlay the trace was captured
+    # for; flags default to it (legacy headerless traces fall back to
+    # the historical defaults) and explicit mismatching flags are
+    # rejected inside TraceWorkload/overlay validation below.
+    nodes = args.nodes if args.nodes is not None else (
+        trace.n_nodes if trace.n_nodes is not None else 1000
+    )
+    bits = args.bits if args.bits is not None else (
+        trace.bits if trace.bits is not None else 16
+    )
+    overlay_seed = args.overlay_seed if args.overlay_seed is not None else (
+        trace.overlay_seed if trace.overlay_seed is not None else 42
+    )
+    if (trace.overlay_seed is not None
+            and overlay_seed != trace.overlay_seed):
+        from .errors import WorkloadError
+
+        raise WorkloadError(
+            f"trace {args.path} was recorded on overlay seed "
+            f"{trace.overlay_seed} but --overlay-seed {overlay_seed} "
+            f"was given; replay traces against the overlay they were "
+            f"generated for"
+        )
     config = FastSimulationConfig(
-        n_nodes=args.nodes, bits=args.bits,
-        bucket_size=args.bucket_size, overlay_seed=args.overlay_seed,
+        n_nodes=nodes, bits=bits,
+        bucket_size=args.bucket_size, overlay_seed=overlay_seed,
         n_files=len(trace),
     )
     result = FastSimulation(config).run(TraceWorkload(trace))
     print(f"replayed {args.path}: {trace.summary()}")
+    print(result.summary())
+    return 0
+
+
+def _trace_record_dynamics(args: argparse.Namespace) -> int:
+    from .backends.config import FastSimulationConfig
+    from .scenarios.trace import record_dynamics
+
+    config = FastSimulationConfig(
+        n_nodes=args.nodes, bits=args.bits, n_files=args.files,
+        batch_files=args.batch_files, overlay_seed=args.overlay_seed,
+        scenario=args.scenario,
+    )
+    stack = config.scenario_stack()
+    assert stack is not None  # --scenario is required
+    trace = record_dynamics(stack, config.scenario_context())
+    trace.save(args.path)
+    print(f"dynamics trace written to {args.path}: {trace.describe()}")
+    return 0
+
+
+def _trace_replay_dynamics(args: argparse.Namespace) -> int:
+    from .backends.fast import FastSimulation, FastSimulationConfig
+    from .scenarios.trace import DynamicsTrace
+
+    path = str(args.path)
+    # '=' is fine: the grammar splits key=value on the first '=' only.
+    reserved = [c for c in "+," if c in path]
+    if reserved:
+        raise ExperimentError(
+            f"trace path {path!r} contains the scenario-grammar "
+            f"character(s) {reserved}; rename the file or construct "
+            f"repro.scenarios.TraceReplay directly"
+        )
+    header = DynamicsTrace.load(args.path)
+    spec = f"trace:path={path}"
+    if args.compose:
+        spec = f"{spec}+{args.compose}"
+    config = FastSimulationConfig(
+        n_nodes=header.n_nodes, bits=header.bits,
+        overlay_seed=header.overlay_seed, n_files=args.files,
+        batch_files=args.batch_files, bucket_size=args.bucket_size,
+        workload_seed=args.workload_seed, scenario=spec,
+    )
+    result = FastSimulation(config).run()
+    print(f"replaying dynamics from {args.path}: {header.describe()}")
     print(result.summary())
     return 0
 
@@ -488,6 +652,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "trace":
         if args.trace_command == "generate":
             return _trace_generate(args)
+        if args.trace_command == "record-dynamics":
+            return _trace_record_dynamics(args)
+        if args.trace_command == "replay-dynamics":
+            return _trace_replay_dynamics(args)
         return _trace_replay(args)
 
     if args.command == "overlay":

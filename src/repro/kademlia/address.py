@@ -36,6 +36,7 @@ __all__ = [
     "common_prefix_length",
     "bit_length_array",
     "proximity_array",
+    "target_dtype",
 ]
 
 #: Maximum supported address width in bits. 64 keeps every address a
@@ -79,6 +80,25 @@ def bit_length_array(values: np.ndarray) -> np.ndarray:
         work[mask] >>= np.uint64(shift)
     result[values != 0] += 1
     return result
+
+
+def target_dtype(bits: int) -> np.dtype:
+    """Smallest unsigned dtype holding every address of a *bits* space.
+
+    The compact-dtype discipline of the vectorized backend: chunk
+    target columns (and persisted trace addresses) stay in this dtype
+    so the hop kernel never widens them. Spaces beyond 32 bits exceed
+    every supported compact dtype and raise.
+    """
+    if bits < 1:
+        raise ConfigurationError(f"bits must be >= 1, got {bits}")
+    for candidate in (np.uint16, np.uint32):
+        if (1 << bits) - 1 <= np.iinfo(candidate).max:
+            return np.dtype(candidate)
+    raise ConfigurationError(
+        f"a {bits}-bit address space exceeds the 32-bit capacity of the "
+        f"widest supported target dtype"
+    )
 
 
 def proximity_array(owner: int, others: np.ndarray, bits: int) -> np.ndarray:

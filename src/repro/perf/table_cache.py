@@ -58,6 +58,7 @@ __all__ = [
     "EpochCacheStats",
     "EpochTableCache",
     "global_epoch_table_cache",
+    "configure_epoch_table_cache",
     "EPOCH_TABLE_LOG_ENV",
 ]
 
@@ -186,23 +187,47 @@ class EpochTableCache:
     resolve (a few hundred KB at paper scale). Unlike the dense
     :class:`TableCache`, every churn epoch has a distinct alive set —
     a long run inserts one table per epoch forever — so this cache is
-    **LRU-bounded** (``max_tables``). Eviction is always safe: a live
-    :class:`~repro.scenarios.plan.EpochPlan` patches from its own
-    chain-tip reference, never from the cache, so dropping an old
-    epoch only costs a replayed schedule a recompute. Process-global
-    and not thread-safe, like :class:`TableCache`.
+    **LRU-bounded**. The default bound is a *bytes* budget
+    (:data:`DEFAULT_MAX_BYTES`), measured against each table's actual
+    ``nbytes``, so the resident-memory ceiling is the same whether the
+    address space is 12 bits (tiny tables, thousands cached) or 22
+    bits (8 MB tables, a handful cached) — bounding a table *count*
+    instead would scale memory 64x across that range. ``max_tables``
+    overrides the budget with an explicit count (exposed as
+    ``repro-swarm sweep --epoch-cache-tables``). Eviction is always
+    safe: a live :class:`~repro.scenarios.plan.EpochPlan` patches
+    from its own chain-tip reference, never from the cache, so
+    dropping an old epoch only costs a replayed schedule a recompute.
+    Process-global and not thread-safe, like :class:`TableCache`.
     """
 
-    #: Default LRU bound: at the paper's 16-bit space (131 KB per
-    #: table) this caps resident epoch tables at ~34 MB.
+    #: Default bytes budget, equivalent to the historical 256-table
+    #: bound at the paper's 16-bit space (131 KB per uint16 table,
+    #: ~34 MB resident).
+    DEFAULT_MAX_BYTES = 256 * (1 << 16) * 2
+
+    #: The historical count bound the bytes budget replaced; kept as
+    #: the reference point for sizing and the CLI help text.
     DEFAULT_MAX_TABLES = 256
 
-    def __init__(self, max_tables: int = DEFAULT_MAX_TABLES) -> None:
-        if max_tables < 1:
+    def __init__(self, max_tables: int | None = None,
+                 max_bytes: int | None = None) -> None:
+        if max_tables is not None and max_tables < 1:
             raise ValueError(f"max_tables must be >= 1, got {max_tables}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if max_tables is None and max_bytes is None:
+            max_bytes = self.DEFAULT_MAX_BYTES
         self._tables: "OrderedDict[str, np.ndarray]" = OrderedDict()
         self.max_tables = max_tables
+        self.max_bytes = max_bytes
+        self._bytes = 0
         self.stats = EpochCacheStats()
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes currently held by cached epoch tables."""
+        return self._bytes
 
     def get(self, fingerprint: str,
             build: Callable[[], np.ndarray], *,
@@ -227,13 +252,25 @@ class EpochTableCache:
             self.stats.rebuilds += 1
             _log_epoch_event(fingerprint, "rebuild")
         self._tables[fingerprint] = table
-        while len(self._tables) > self.max_tables:
-            self._tables.popitem(last=False)
+        self._bytes += int(table.nbytes)
+        self._evict()
         return table
+
+    def _evict(self) -> None:
+        """Drop LRU entries until within bounds (keeping the newest)."""
+        while len(self._tables) > 1 and (
+            (self.max_tables is not None
+             and len(self._tables) > self.max_tables)
+            or (self.max_bytes is not None
+                and self._bytes > self.max_bytes)
+        ):
+            _, evicted = self._tables.popitem(last=False)
+            self._bytes -= int(evicted.nbytes)
 
     def clear(self) -> None:
         """Drop every epoch table and counter (for tests)."""
         self._tables.clear()
+        self._bytes = 0
         self.stats = EpochCacheStats()
 
     def __len__(self) -> int:
@@ -261,3 +298,26 @@ def global_epoch_table_cache() -> EpochTableCache:
     if _GLOBAL_EPOCH_CACHE is None:
         _GLOBAL_EPOCH_CACHE = EpochTableCache()
     return _GLOBAL_EPOCH_CACHE
+
+
+def configure_epoch_table_cache(max_tables: int | None = None,
+                                max_bytes: int | None = None
+                                ) -> EpochTableCache:
+    """Re-bound the process-global epoch cache, keeping its contents.
+
+    Called by sweep workers with the ``--epoch-cache-tables`` value
+    before executing a point. Idempotent — re-applying the same bounds
+    is free, and contents survive a bound change (only the overflow,
+    if any, is evicted), so per-point calls never flush the
+    cross-replica amortization the cache exists for.
+    """
+    if max_tables is not None and max_tables < 1:
+        raise ValueError(f"max_tables must be >= 1, got {max_tables}")
+    if max_tables is None and max_bytes is None:
+        max_bytes = EpochTableCache.DEFAULT_MAX_BYTES
+    cache = global_epoch_table_cache()
+    if cache.max_tables != max_tables or cache.max_bytes != max_bytes:
+        cache.max_tables = max_tables
+        cache.max_bytes = max_bytes
+        cache._evict()
+    return cache

@@ -21,14 +21,35 @@ Every backend consumes scenarios through the ``scenario`` field of
 :class:`~repro.backends.config.FastSimulationConfig`, and sweeps
 treat the spec string as a first-class axis
 (``repro-swarm sweep --scenario ...``).
+
+Dynamics are also **recordable**: :func:`record_dynamics` captures
+any scenario's emitted schedule into a versioned
+:class:`DynamicsTrace` file, and the ``trace:path=...`` kind
+(:class:`TraceReplay`) replays it bit-identically — see
+:mod:`repro.scenarios.trace` and ``repro-swarm trace
+record-dynamics`` / ``replay-dynamics``.
 """
 
 from .base import Scenario, ScenarioContext, Schedule
 from .compose import Compose
-from .events import CacheState, PolicyOverride, TopologyDelta
-from .library import Churn, DemandShift, FreeRiding, NodeJoin, PathCaching
+from .events import (
+    CacheState,
+    PolicyOverride,
+    TopologyDelta,
+    event_from_json,
+    event_to_json,
+)
+from .library import (
+    Churn,
+    DemandShift,
+    FreeRiding,
+    NodeJoin,
+    PathCaching,
+    TraceReplay,
+)
 from .parse import SCENARIO_KINDS, parse_scenario, scenario_help
 from .plan import CacheRuntime, EpochPlan, EpochState
+from .trace import DYNAMICS_TRACE_FORMAT, DynamicsTrace, record_dynamics
 
 __all__ = [
     "Scenario",
@@ -38,11 +59,17 @@ __all__ = [
     "TopologyDelta",
     "CacheState",
     "PolicyOverride",
+    "event_to_json",
+    "event_from_json",
     "Churn",
     "PathCaching",
     "FreeRiding",
     "NodeJoin",
     "DemandShift",
+    "TraceReplay",
+    "DYNAMICS_TRACE_FORMAT",
+    "DynamicsTrace",
+    "record_dynamics",
     "SCENARIO_KINDS",
     "parse_scenario",
     "scenario_help",

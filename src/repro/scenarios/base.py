@@ -37,12 +37,17 @@ class ScenarioContext:
 
     ``n_epochs`` is derived from the *actual* workload (number of
     files over ``batch_files``), so custom workloads and trace replays
-    get correctly sized schedules.
+    get correctly sized schedules. ``overlay_seed`` identifies the
+    overlay the run routes on — synthetic scenarios ignore it, but a
+    recorded dynamics trace uses it to refuse replay against a
+    different overlay than it was captured for (``None`` means the
+    caller did not say, which skips that check).
     """
 
     n_nodes: int
     n_epochs: int
     space_size: int
+    overlay_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -102,6 +107,23 @@ class Scenario:
     def flattened(self) -> tuple["Scenario", ...]:
         """The scenario as a flat composition (overridden by Compose)."""
         return (self,)
+
+    def stream_schedules(self, ctx: ScenarioContext
+                         ) -> tuple[Schedule, ...]:
+        """The scenario's schedule split into independent event streams.
+
+        The :class:`~repro.scenarios.plan.EpochPlan` folds each
+        stream's :class:`~repro.scenarios.events.TopologyDelta` events
+        into a **private** alive mask and ANDs the masks per epoch —
+        the composition rule that keeps one dynamic's joins from
+        resurrecting another's offline cohort. A plain scenario is one
+        stream; :class:`~repro.scenarios.compose.Compose` concatenates
+        its children's streams, and a replayed dynamics trace
+        (:class:`~repro.scenarios.library.TraceReplay`) re-emits the
+        per-stream structure it recorded, so replay preserves the
+        source composition's topology semantics exactly.
+        """
+        return (self.schedule(ctx),)
 
     def _check_schedule(self, ctx: ScenarioContext,
                         schedule: Schedule) -> Schedule:

@@ -59,6 +59,14 @@ class Compose(Scenario):
         )
         return self._check_schedule(ctx, merged)
 
+    def stream_schedules(self, ctx: ScenarioContext
+                         ) -> tuple[Schedule, ...]:
+        return tuple(
+            stream
+            for child in self.scenarios
+            for stream in child.stream_schedules(ctx)
+        )
+
     def spec(self) -> str:
         return "+".join(s.spec() for s in self.scenarios)
 

@@ -21,16 +21,29 @@ dynamic state the unified hop kernel consumes:
 
 Events are frozen dataclasses with tuple payloads, so schedules are
 hashable, comparable, and deterministic — properties the composition
-tests pin.
+tests pin. :func:`event_to_json` / :func:`event_from_json` give every
+event an exact plain-data form (the dynamics-trace file format of
+:mod:`repro.scenarios.trace` is built on it): payloads are tagged by
+``kind`` and round-trip bit-exactly — the replayed schedule compares
+equal to the recorded one, which is what makes trace replay
+bit-identical to running the source scenario directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from ..errors import ConfigurationError
 
-__all__ = ["TopologyDelta", "CacheState", "PolicyOverride", "Event"]
+__all__ = [
+    "TopologyDelta",
+    "CacheState",
+    "PolicyOverride",
+    "Event",
+    "event_to_json",
+    "event_from_json",
+]
 
 
 def _index_tuple(values, name: str) -> tuple[int, ...]:
@@ -113,3 +126,72 @@ class PolicyOverride:
 
 
 Event = TopologyDelta | CacheState | PolicyOverride
+
+
+def event_to_json(event: Event) -> dict:
+    """The tagged plain-data form of one event (JSON-serializable)."""
+    if isinstance(event, TopologyDelta):
+        return {
+            "kind": "topology",
+            "leaves": list(event.leaves),
+            "joins": list(event.joins),
+        }
+    if isinstance(event, CacheState):
+        return {
+            "kind": "cache",
+            "enabled": event.enabled,
+            "capacity": event.capacity,
+        }
+    if isinstance(event, PolicyOverride):
+        return {
+            "kind": "policy",
+            "unpaid_origins": (
+                None if event.unpaid_origins is None
+                else list(event.unpaid_origins)
+            ),
+            "origin_focus": (
+                None if event.origin_focus is None
+                else list(event.origin_focus)
+            ),
+        }
+    raise ConfigurationError(f"unknown scenario event {event!r}")
+
+
+def event_from_json(payload: Mapping) -> Event:
+    """Inverse of :func:`event_to_json`; exact tuple round-trip.
+
+    Unknown or missing ``kind`` tags fail loudly — a trace written by
+    a newer format must not silently replay a subset of its dynamics.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"a trace event must be an object, got "
+            f"{type(payload).__name__}"
+        )
+    kind = payload.get("kind")
+    try:
+        if kind == "topology":
+            return TopologyDelta(
+                leaves=tuple(payload["leaves"]),
+                joins=tuple(payload["joins"]),
+            )
+        if kind == "cache":
+            return CacheState(
+                enabled=bool(payload["enabled"]),
+                capacity=int(payload["capacity"]),
+            )
+        if kind == "policy":
+            unpaid = payload["unpaid_origins"]
+            focus = payload["origin_focus"]
+            return PolicyOverride(
+                unpaid_origins=None if unpaid is None else tuple(unpaid),
+                origin_focus=None if focus is None else tuple(focus),
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"malformed {kind!r} trace event {payload!r}: {error}"
+        ) from None
+    raise ConfigurationError(
+        f"unknown trace event kind {kind!r}; this file needs a newer "
+        f"reader (known kinds: topology, cache, policy)"
+    )

@@ -19,19 +19,33 @@ and rates (so schedules are pure functions of the parameters):
   delta-patched epoch tables.
 * :class:`DemandShift` — each epoch's demand concentrates on a fresh
   hot subset of originators (flash crowds moving around the network).
+* :class:`TraceReplay` — not synthetic at all: replays a recorded
+  :class:`~repro.scenarios.trace.DynamicsTrace` file, stream for
+  stream, after validating its provenance header against the run's
+  overlay. Composes with everything above like any other scenario.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from .._validation import require_fraction, require_int, require_non_negative
+from ..errors import ConfigurationError
 from .base import Scenario, ScenarioContext, Schedule
 from .events import CacheState, PolicyOverride, TopologyDelta
+from .trace import DynamicsTrace
 
-__all__ = ["Churn", "PathCaching", "FreeRiding", "NodeJoin", "DemandShift"]
+__all__ = [
+    "Churn",
+    "PathCaching",
+    "FreeRiding",
+    "NodeJoin",
+    "DemandShift",
+    "TraceReplay",
+]
 
 
 @dataclass(frozen=True)
@@ -220,3 +234,82 @@ class DemandShift(Scenario):
             hot = np.sort(rng.choice(ctx.n_nodes, size=size, replace=False))
             epochs.append((PolicyOverride(origin_focus=tuple(hot)),))
         return self._check_schedule(ctx, tuple(epochs))
+
+
+#: Loaded dynamics traces keyed by (resolved path, mtime_ns, size):
+#: sweep specs construct every cell's config eagerly, so the same file
+#: would otherwise be parsed once per cell per process.
+_TRACE_CACHE: dict[tuple, DynamicsTrace] = {}
+
+
+def _load_dynamics_trace(path: str) -> DynamicsTrace:
+    resolved = os.path.abspath(path)
+    try:
+        stat = os.stat(resolved)
+    except OSError as error:
+        raise ConfigurationError(
+            f"cannot read dynamics trace {path}: {error}"
+        ) from None
+    key = (resolved, stat.st_mtime_ns, stat.st_size)
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = DynamicsTrace.load(resolved)
+        while len(_TRACE_CACHE) >= 8:  # a run touches a few files at most
+            _TRACE_CACHE.pop(next(iter(_TRACE_CACHE)))
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+@dataclass(frozen=True)
+class TraceReplay(Scenario):
+    """Replay a recorded :class:`~repro.scenarios.trace.DynamicsTrace`.
+
+    The file is read (and its versioned header validated) at
+    construction time — a bad path or corrupt file fails when the
+    configuration is built, never inside a sweep worker. At schedule
+    time the header is checked against the actual run context (bits,
+    node count, overlay seed, epoch count), so a trace can only replay
+    on the overlay it was captured for. The recorded streams pass
+    through verbatim: replay is bit-identical to running the source
+    scenario directly.
+
+    Note the composition grammar reserves ``+`` and ``,``, so trace
+    file paths containing those characters cannot be spelled in a
+    ``trace:path=...`` spec string (construct :class:`TraceReplay`
+    directly in that case; ``=`` is fine — the grammar splits on the
+    first ``=`` only).
+    """
+
+    path: str
+
+    kind = "trace"
+
+    def __post_init__(self) -> None:
+        self._trace()  # fail early: missing/corrupt files never sweep
+
+    def _trace(self) -> DynamicsTrace:
+        return _load_dynamics_trace(self.path)
+
+    @property
+    def recompute_storers(self) -> bool:  # type: ignore[override]
+        return self._trace().recompute_storers
+
+    def schedule(self, ctx: ScenarioContext) -> Schedule:
+        streams = self.stream_schedules(ctx)
+        merged = tuple(
+            tuple(
+                event
+                for stream in streams
+                for event in stream[epoch]
+            )
+            for epoch in range(ctx.n_epochs)
+        )
+        return self._check_schedule(ctx, merged)
+
+    def stream_schedules(self, ctx: ScenarioContext
+                         ) -> tuple[Schedule, ...]:
+        trace = self._trace()
+        trace.check_context(ctx, path=self.path)
+        return tuple(
+            stream[:ctx.n_epochs] for stream in trace.streams
+        )

@@ -33,7 +33,14 @@ import typing
 from ..errors import ConfigurationError
 from .base import Scenario
 from .compose import Compose
-from .library import Churn, DemandShift, FreeRiding, NodeJoin, PathCaching
+from .library import (
+    Churn,
+    DemandShift,
+    FreeRiding,
+    NodeJoin,
+    PathCaching,
+    TraceReplay,
+)
 
 __all__ = ["SCENARIO_KINDS", "parse_scenario", "scenario_help"]
 
@@ -41,7 +48,8 @@ __all__ = ["SCENARIO_KINDS", "parse_scenario", "scenario_help"]
 #: the CLI help, and the error messages share.
 SCENARIO_KINDS: dict[str, type[Scenario]] = {
     cls.kind: cls
-    for cls in (Churn, PathCaching, FreeRiding, NodeJoin, DemandShift)
+    for cls in (Churn, PathCaching, FreeRiding, NodeJoin, DemandShift,
+                TraceReplay)
 }
 
 

@@ -169,24 +169,25 @@ class EpochPlan:
             epoch_tables = global_epoch_table_cache()
         self.scenario = scenario
         self.ctx = ctx
-        self._children = scenario.flattened()
-        self._child_schedules = []
-        for child in self._children:
-            schedule = child.schedule(ctx)
-            if len(schedule) != ctx.n_epochs:
+        # One event stream per composed child (a replayed dynamics
+        # trace re-emits its recorded per-stream structure): each
+        # stream's topology deltas fold into a private alive mask.
+        self._streams = []
+        for index, stream in enumerate(scenario.stream_schedules(ctx)):
+            if len(stream) != ctx.n_epochs:
                 raise ConfigurationError(
-                    f"scenario {child.spec()!r} produced "
-                    f"{len(schedule)} epochs for a {ctx.n_epochs}-epoch "
-                    f"plan"
+                    f"scenario {scenario.spec()!r} stream {index} "
+                    f"produced {len(stream)} epochs for a "
+                    f"{ctx.n_epochs}-epoch plan"
                 )
-            self._child_schedules.append(schedule)
+            self._streams.append(stream)
         self.recompute_storers = scenario.recompute_storers
         self._epoch_tables = epoch_tables
         self._base_storers = base_storers
         self._addresses = addresses
         self._fingerprint = table_fingerprint
         self._alive: np.ndarray | None = None
-        self._child_alive: dict[int, np.ndarray] = {}
+        self._stream_alive: dict[int, np.ndarray] = {}
         self._storers: np.ndarray | None = None
         # Whether _storers (or, when None, _base_storers) matches the
         # current alive set — lost when every node goes offline.
@@ -213,13 +214,13 @@ class EpochPlan:
             )
         self._next += 1
         touched = False
-        for child_index, schedule in enumerate(self._child_schedules):
+        for stream_index, schedule in enumerate(self._streams):
             for event in schedule[index]:
                 if isinstance(event, TopologyDelta):
-                    mask = self._child_alive.get(child_index)
+                    mask = self._stream_alive.get(stream_index)
                     if mask is None:
                         mask = np.ones(self.ctx.n_nodes, dtype=bool)
-                        self._child_alive[child_index] = mask
+                        self._stream_alive[stream_index] = mask
                     touched = True
                     if event.leaves:
                         mask[list(event.leaves)] = False
@@ -245,7 +246,7 @@ class EpochPlan:
                 else np.ones(self.ctx.n_nodes, dtype=bool)
             )
             combined = np.ones(self.ctx.n_nodes, dtype=bool)
-            for mask in self._child_alive.values():
+            for mask in self._stream_alive.values():
                 combined &= mask
             self._alive = combined
             if self.recompute_storers:

@@ -81,7 +81,8 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
               resume: bool = True,
               confidence: float = 0.95,
               table_cache: bool = True,
-              cap_jobs: bool = False) -> SweepResult:
+              cap_jobs: bool = False,
+              epoch_cache_tables: int | None = None) -> SweepResult:
     """Execute *spec*, optionally persisting/resuming a JSON store.
 
     ``jobs <= 1`` runs serially in-process; larger values fan points
@@ -92,7 +93,9 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
     parent publish each unique topology's next-hop table to shared
     memory so workers attach instead of rebuilding; ``cap_jobs``
     clamps ``jobs`` to ``os.cpu_count()`` instead of merely warning
-    about oversubscription.
+    about oversubscription. ``epoch_cache_tables`` bounds every
+    executing process's epoch storer-table cache to an explicit table
+    count (``None``: the default per-address-width bytes budget).
     """
     points = spec.points()
     store = None
@@ -113,7 +116,8 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
 
     started = time.perf_counter()
     executor = make_executor(jobs, share_tables=table_cache,
-                             cap_jobs=cap_jobs)
+                             cap_jobs=cap_jobs,
+                             epoch_cache_tables=epoch_cache_tables)
     outcomes = executor.run(spec.base, pending, on_result)
     elapsed = time.perf_counter() - started
     if store is not None and not outcomes:

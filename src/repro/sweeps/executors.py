@@ -125,13 +125,19 @@ class SerialExecutor(SweepExecutor):
     too.
     """
 
+    def __init__(self, *, epoch_cache_tables: int | None = None) -> None:
+        self.epoch_cache_tables = epoch_cache_tables
+
     def run(self, base: FastSimulationConfig,
             points: Sequence[SweepPoint],
             on_result: OnResult | None = None) -> list[PointOutcome]:
         base_payload = dataclasses.asdict(base)
         outcomes = []
         for point in points:
-            outcome = execute_point(base_payload, point_payload(point))
+            outcome = execute_point(
+                base_payload, point_payload(point),
+                epoch_cache_tables=self.epoch_cache_tables,
+            )
             if on_result is not None:
                 on_result(outcome)
             outcomes.append(outcome)
@@ -148,9 +154,11 @@ class ProcessExecutor(SweepExecutor):
     """
 
     def __init__(self, jobs: int, *, share_tables: bool = True,
-                 cap_jobs: bool = False) -> None:
+                 cap_jobs: bool = False,
+                 epoch_cache_tables: int | None = None) -> None:
         self.jobs = resolve_jobs(jobs, cap_jobs=cap_jobs)
         self.share_tables = share_tables
+        self.epoch_cache_tables = epoch_cache_tables
 
     def _publish_tables(self, base: FastSimulationConfig,
                         points: Sequence[SweepPoint]
@@ -206,7 +214,8 @@ class ProcessExecutor(SweepExecutor):
             ) as pool:
                 pending = {
                     pool.submit(execute_point, base_payload,
-                                point_payload(point), handles or None)
+                                point_payload(point), handles or None,
+                                self.epoch_cache_tables)
                     for point in points
                 }
                 while pending:
@@ -228,11 +237,13 @@ class ProcessExecutor(SweepExecutor):
 
 
 def make_executor(jobs: int, *, share_tables: bool = True,
-                  cap_jobs: bool = False) -> SweepExecutor:
+                  cap_jobs: bool = False,
+                  epoch_cache_tables: int | None = None) -> SweepExecutor:
     """Serial for ``jobs == 1``, a spawn process pool otherwise."""
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1:
-        return SerialExecutor()
+        return SerialExecutor(epoch_cache_tables=epoch_cache_tables)
     return ProcessExecutor(jobs, share_tables=share_tables,
-                           cap_jobs=cap_jobs)
+                           cap_jobs=cap_jobs,
+                           epoch_cache_tables=epoch_cache_tables)

@@ -157,8 +157,20 @@ def register_table_handles(table_handles: Mapping | None) -> None:
 
 
 def execute_point(base: Mapping, payload: Mapping,
-                  table_handles: Mapping | None = None) -> PointOutcome:
-    """Run one sweep point and summarize it (the executor work unit)."""
+                  table_handles: Mapping | None = None,
+                  epoch_cache_tables: int | None = None) -> PointOutcome:
+    """Run one sweep point and summarize it (the executor work unit).
+
+    ``epoch_cache_tables`` re-bounds this process's epoch storer-table
+    cache (the ``--epoch-cache-tables`` sweep flag); ``None`` restores
+    the default byte-budget bound, so a bound set by an earlier sweep
+    in the same process never leaks into the next. Applied
+    idempotently, so per-point calls never flush the cache's
+    cross-replica amortization.
+    """
+    from ..perf.table_cache import configure_epoch_table_cache
+
+    configure_epoch_table_cache(max_tables=epoch_cache_tables)
     register_table_handles(table_handles)
     config = config_from_payload(base, payload)
     backend = get_backend(payload["backend"])

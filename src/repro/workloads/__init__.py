@@ -12,12 +12,13 @@ from .distributions import (
     ZipfCatalog,
 )
 from .generators import DownloadWorkload, FileDownload, paper_workload
-from .traces import TraceSummary, TraceWorkload, WorkloadTrace
+from .traces import TRACE_FORMAT, TraceSummary, TraceWorkload, WorkloadTrace
 
 __all__ = [
     "DownloadWorkload",
     "FileDownload",
     "OriginatorPool",
+    "TRACE_FORMAT",
     "TraceSummary",
     "TraceWorkload",
     "UniformChunks",

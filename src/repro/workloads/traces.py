@@ -5,6 +5,16 @@ event list so that (a) the exact same requests can be replayed against
 different mechanisms or topologies, and (b) workloads can be shipped
 between machines alongside a shared overlay (the paper's multi-machine
 protocol).
+
+Trace files are versioned JSON: a header records the provenance the
+replay is only valid for — the address width (``bits``), overlay size
+(``n_nodes``) and seed (``overlay_seed``) the trace was captured on —
+so a replay against the wrong overlay fails on the *header*, with an
+actionable message, instead of depending on the incidental
+originator-membership check (which an originator-set coincidence
+slips past silently). The pre-header format (a bare JSON event list)
+still loads, with ``None`` provenance; dynamics (join/leave/policy)
+traces are the separate format of :mod:`repro.scenarios.trace`.
 """
 
 from __future__ import annotations
@@ -17,9 +27,28 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..errors import WorkloadError
+from ..kademlia.address import target_dtype
 from .generators import FileDownload
 
-__all__ = ["TraceSummary", "WorkloadTrace", "TraceWorkload"]
+__all__ = ["TRACE_FORMAT", "TraceSummary", "WorkloadTrace", "TraceWorkload"]
+
+#: Format tag written into every request-trace file; bumped on any
+#: incompatible layout change so old readers fail loudly, not subtly.
+TRACE_FORMAT = "repro-swarm-trace/1"
+
+
+def _chunk_dtype(bits: int | None) -> np.dtype:
+    """Decoded chunk-address dtype for a recorded address width.
+
+    With provenance present, addresses decode straight into the
+    compact dtype the fast kernel's flatten path expects
+    (:func:`~repro.kademlia.address.target_dtype`); legacy headerless
+    traces (and the >32-bit spaces the vectorized backend refuses
+    anyway) keep the historical ``uint64``.
+    """
+    if bits is not None and bits <= 32:
+        return target_dtype(bits)
+    return np.dtype(np.uint64)
 
 
 @dataclass(frozen=True)
@@ -43,12 +72,27 @@ class TraceSummary:
 
 
 class WorkloadTrace:
-    """An explicit, immutable list of download events."""
+    """An explicit, immutable list of download events.
 
-    def __init__(self, events: Sequence[FileDownload]) -> None:
+    ``bits``, ``n_nodes`` and ``overlay_seed`` are the provenance the
+    trace was captured on; they are ``None`` for traces built in
+    memory without an overlay at hand (and for files in the legacy
+    headerless format), in which case replay-side validation can only
+    fall back to the membership checks.
+    """
+
+    def __init__(self, events: Sequence[FileDownload], *,
+                 bits: int | None = None,
+                 n_nodes: int | None = None,
+                 overlay_seed: int | None = None) -> None:
         if len(events) == 0:
             raise WorkloadError("a trace needs at least one event")
         self._events = tuple(events)
+        self.bits = None if bits is None else int(bits)
+        self.n_nodes = None if n_nodes is None else int(n_nodes)
+        self.overlay_seed = (
+            None if overlay_seed is None else int(overlay_seed)
+        )
 
     def __len__(self) -> int:
         return len(self._events)
@@ -89,40 +133,116 @@ class WorkloadTrace:
     # Persistence
 
     def save(self, path: str | Path) -> None:
-        """Write the trace as JSON."""
-        payload = [
-            {
-                "file_id": event.file_id,
-                "originator": event.originator,
-                "chunks": [int(a) for a in event.chunk_addresses],
-            }
-            for event in self._events
-        ]
+        """Write the trace as versioned JSON (header + event list)."""
+        payload = {
+            "format": TRACE_FORMAT,
+            "bits": self.bits,
+            "n_nodes": self.n_nodes,
+            "overlay_seed": self.overlay_seed,
+            "events": [
+                {
+                    "file_id": event.file_id,
+                    "originator": event.originator,
+                    "chunks": [int(a) for a in event.chunk_addresses],
+                }
+                for event in self._events
+            ],
+        }
         Path(path).write_text(json.dumps(payload))
 
     @classmethod
     def load(cls, path: str | Path) -> "WorkloadTrace":
-        """Read a trace written by :meth:`save`."""
-        payload = json.loads(Path(path).read_text())
-        events = [
-            FileDownload(
-                file_id=item["file_id"],
-                originator=item["originator"],
-                chunk_addresses=np.asarray(item["chunks"], dtype=np.uint64),
+        """Read a trace written by :meth:`save`.
+
+        Accepts the legacy bare-list payload (no header, ``None``
+        provenance); any other shape — a dict without the
+        :data:`TRACE_FORMAT` tag, a mismatched format version, a
+        missing event list, invalid JSON — raises
+        :class:`~repro.errors.WorkloadError` naming the problem.
+        """
+        try:
+            payload = json.loads(Path(path).read_text())
+        except OSError as error:
+            raise WorkloadError(
+                f"cannot read trace {path}: {error}"
+            ) from None
+        except json.JSONDecodeError as error:
+            raise WorkloadError(
+                f"cannot read trace {path}: not valid JSON ({error}); "
+                f"the file may be truncated or corrupt"
+            ) from None
+        bits = n_nodes = overlay_seed = None
+        if isinstance(payload, list):
+            raw_events = payload  # legacy headerless format
+        elif isinstance(payload, dict):
+            fmt = payload.get("format")
+            if fmt != TRACE_FORMAT:
+                raise WorkloadError(
+                    f"cannot read trace {path}: format tag {fmt!r} is "
+                    f"not {TRACE_FORMAT!r} (is this a dynamics trace "
+                    f"or a file from a newer version?)"
+                )
+            raw_events = payload.get("events")
+            if not isinstance(raw_events, list):
+                raise WorkloadError(
+                    f"cannot read trace {path}: missing or non-list "
+                    f"'events'"
+                )
+            bits = payload.get("bits")
+            n_nodes = payload.get("n_nodes")
+            overlay_seed = payload.get("overlay_seed")
+            for name, value in (("bits", bits), ("n_nodes", n_nodes),
+                                ("overlay_seed", overlay_seed)):
+                if value is not None and (
+                    isinstance(value, bool) or not isinstance(value, int)
+                ):
+                    raise WorkloadError(
+                        f"cannot read trace {path}: header field "
+                        f"{name!r} must be an integer or null, got "
+                        f"{value!r}"
+                    )
+            if bits is not None and not 1 <= bits <= 64:
+                raise WorkloadError(
+                    f"cannot read trace {path}: header field 'bits' "
+                    f"must be in [1, 64], got {bits}"
+                )
+        else:
+            raise WorkloadError(
+                f"cannot read trace {path}: expected an event list or "
+                f"a {TRACE_FORMAT} document, got "
+                f"{type(payload).__name__}"
             )
-            for item in payload
-        ]
-        return cls(events)
+        dtype = _chunk_dtype(bits)
+        try:
+            events = [
+                FileDownload(
+                    file_id=item["file_id"],
+                    originator=item["originator"],
+                    chunk_addresses=np.asarray(item["chunks"],
+                                               dtype=dtype),
+                )
+                for item in raw_events
+            ]
+        except (KeyError, TypeError, ValueError, OverflowError) as error:
+            raise WorkloadError(
+                f"cannot read trace {path}: malformed event "
+                f"({error})"
+            ) from None
+        return cls(
+            events, bits=bits, n_nodes=n_nodes, overlay_seed=overlay_seed
+        )
 
 
 class TraceWorkload:
     """Adapter replaying a frozen trace through the workload interface.
 
     Simulators consume workloads via ``events(nodes, space)``; this
-    wrapper satisfies that interface from a :class:`WorkloadTrace`,
-    validating that every recorded originator exists in the target
-    node population (replays against a different overlay are a user
-    error worth failing loudly on).
+    wrapper satisfies that interface from a :class:`WorkloadTrace`.
+    Replays against a different overlay than the trace was captured
+    for are a user error worth failing loudly on: the trace's
+    provenance header (when present) is checked against the target
+    population and space first, and every recorded originator must
+    exist in the population either way.
     """
 
     def __init__(self, trace: WorkloadTrace) -> None:
@@ -131,6 +251,19 @@ class TraceWorkload:
 
     def events(self, nodes, space) -> Iterator[FileDownload]:
         """Yield the trace's events after validating the population."""
+        trace = self.trace
+        if trace.bits is not None and trace.bits != space.bits:
+            raise WorkloadError(
+                f"trace was recorded in a {trace.bits}-bit space but "
+                f"this replay runs in {space.bits} bits; replay traces "
+                f"at the bits they were generated for"
+            )
+        if trace.n_nodes is not None and trace.n_nodes != len(nodes):
+            raise WorkloadError(
+                f"trace was recorded over {trace.n_nodes} nodes but "
+                f"this overlay has {len(nodes)}; replay traces against "
+                f"the overlay they were generated for"
+            )
         population = set(int(n) for n in nodes)
         for event in self.trace:
             if event.originator not in population:
@@ -139,9 +272,9 @@ class TraceWorkload:
                     "of this overlay; replay traces against the overlay "
                     "seed they were generated for"
                 )
-            if len(event.chunk_addresses) and (
-                int(event.chunk_addresses.max()) >= space.size
-            ):
+            # A FileDownload always has at least one chunk (enforced
+            # at construction), so the max is well-defined.
+            if int(event.chunk_addresses.max()) >= space.size:
                 raise WorkloadError(
                     f"trace chunk address {int(event.chunk_addresses.max())} "
                     f"outside the {space.bits}-bit space"

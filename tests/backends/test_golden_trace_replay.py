@@ -1,0 +1,100 @@
+"""Golden-pinned dynamics-trace round trip (the PR 5 acceptance run).
+
+Recording ``churn:rate=0.1,recompute=true+caching:size=64`` and
+replaying the trace file must be bit-identical — per-node forwarded
+and first-hop vectors, hop histograms, every counter — to running the
+scenario string directly, and both must match the committed golden
+fixture, so neither the direct path nor the serialization round trip
+can drift independently. ``pytest --update-golden`` refreshes the
+fixture from the *direct* run only; the replayed run is always
+compared, never recorded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.backends import run_simulation
+from repro.backends.config import FastSimulationConfig
+from repro.scenarios.trace import record_dynamics
+
+from .test_golden_scenarios import GOLDEN_DIR, scenario_payload
+
+#: The acceptance scenario at fixture scale: 30 files / 8-file batches
+#: = 4 epochs, catalog repeats so the bounded cache actually serves.
+ROUNDTRIP_SCENARIO = "churn:rate=0.1,recompute=true+caching:size=64"
+
+ROUNDTRIP_CONFIG = FastSimulationConfig(
+    n_nodes=120,
+    bits=12,
+    bucket_size=4,
+    originator_share=0.5,
+    n_files=30,
+    file_min=4,
+    file_max=12,
+    overlay_seed=42,
+    workload_seed=7,
+    batch_files=8,
+    catalog_size=20,
+    scenario=ROUNDTRIP_SCENARIO,
+)
+
+GOLDEN_PATH = GOLDEN_DIR / "scenario_trace_roundtrip.json"
+
+
+@pytest.fixture(scope="module")
+def recorded_trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("dynamics") / "roundtrip.json"
+    record_dynamics(
+        ROUNDTRIP_CONFIG.scenario_stack(),
+        ROUNDTRIP_CONFIG.scenario_context(),
+    ).save(path)
+    return path
+
+
+def assert_matches_golden(payload: dict, golden: dict) -> None:
+    assert payload["counters"] == golden["counters"]
+    assert payload["hop_histogram"] == golden["hop_histogram"]
+    assert payload["forwarded"] == golden["forwarded"]
+    assert payload["first_hop"] == golden["first_hop"]
+    np.testing.assert_allclose(
+        payload["income"], golden["income"], rtol=1e-9, atol=1e-12
+    )
+    np.testing.assert_allclose(
+        payload["expenditure"], golden["expenditure"], rtol=1e-9,
+        atol=1e-12,
+    )
+
+
+def test_direct_run_matches_golden(update_golden: bool):
+    payload = scenario_payload(run_simulation(ROUNDTRIP_CONFIG))
+    if update_golden:
+        GOLDEN_PATH.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        return
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden fixture {GOLDEN_PATH}; generate it with "
+        f"pytest --update-golden"
+    )
+    assert_matches_golden(payload, json.loads(GOLDEN_PATH.read_text()))
+
+
+def test_replayed_trace_matches_same_golden(recorded_trace_path):
+    replayed = run_simulation(dataclasses.replace(
+        ROUNDTRIP_CONFIG, scenario=f"trace:path={recorded_trace_path}",
+    ))
+    assert_matches_golden(
+        scenario_payload(replayed),
+        json.loads(GOLDEN_PATH.read_text()),
+    )
+
+
+def test_golden_run_exercised_both_dynamics():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["counters"]["unavailable"] > 0
+    assert golden["counters"]["cache_hits"] > 0

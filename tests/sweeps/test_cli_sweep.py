@@ -21,6 +21,13 @@ class TestSweepParser:
         assert args.backend == "fast"
         assert args.jobs == 1
         assert args.store is None
+        assert args.epoch_cache_tables is None
+
+    def test_epoch_cache_tables_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "--epoch-cache-tables", "64"]
+        )
+        assert args.epoch_cache_tables == 64
 
     def test_grid_repeatable_and_jobs(self):
         args = build_parser().parse_args([
@@ -82,12 +89,17 @@ class TestSweepCommand:
         assert code == 0
         assert "resumed from store" in capsys.readouterr().out
 
-    def test_jobs_flag_runs_multiprocess(self, capsys):
-        # Tiny but real: exercises the spawn pool end to end.
-        code = main([
-            "sweep", "--grid", "bucket_size=4", "--jobs", "2",
-            "--files", "10", "--nodes", "40", "--seeds", "2",
-        ])
+    def test_jobs_flag_runs_multiprocess(self, capsys, monkeypatch):
+        # Tiny but real: exercises the spawn pool end to end. The CPU
+        # count is pinned to 1 so the oversubscription warning fires
+        # deterministically and is asserted instead of leaking.
+        from .test_determinism import expect_oversubscription_warning
+
+        with expect_oversubscription_warning(monkeypatch):
+            code = main([
+                "sweep", "--grid", "bucket_size=4", "--jobs", "2",
+                "--files", "10", "--nodes", "40", "--seeds", "2",
+            ])
         assert code == 0
         assert "jobs=2" in capsys.readouterr().out
 

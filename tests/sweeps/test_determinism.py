@@ -35,6 +35,19 @@ TINY = FastSimulationConfig(
 VECTOR_KEYS = ("forwarded", "first_hop", "income", "expenditure")
 
 
+def expect_oversubscription_warning(monkeypatch):
+    """Make the resolve_jobs oversubscription warning deterministic.
+
+    The warning fires only when jobs exceed ``os.cpu_count()`` — a
+    machine property — so tests that spawn 2 workers pin the visible
+    CPU count to 1 and *assert* the RuntimeWarning instead of letting
+    it leak into tier-1 output on small machines (and silently not
+    fire on large ones).
+    """
+    monkeypatch.setattr("repro.sweeps.executors.os.cpu_count", lambda: 1)
+    return pytest.warns(RuntimeWarning, match="exceeds the 1 available")
+
+
 def all_backend_spec(seeds: int = 2) -> SweepSpec:
     return SweepSpec(
         base=TINY,
@@ -80,9 +93,12 @@ class TestDeterminism:
         reordered = SerialExecutor().run(spec.base, shuffled)
         assert_outcomes_identical(outcomes, reordered)
 
-    def test_parallel_executor_is_identical(self, serial_outcomes):
+    def test_parallel_executor_is_identical(self, serial_outcomes,
+                                            monkeypatch):
         spec, outcomes = serial_outcomes
-        parallel = ProcessExecutor(jobs=2).run(spec.base, spec.points())
+        with expect_oversubscription_warning(monkeypatch):
+            executor = ProcessExecutor(jobs=2)
+        parallel = executor.run(spec.base, spec.points())
         assert_outcomes_identical(outcomes, parallel)
 
     def test_replicas_actually_differ(self, serial_outcomes):
@@ -100,15 +116,17 @@ class TestDeterminism:
             ), f"{backend}: replicas produced identical traffic"
 
 
-def test_make_executor_selection_and_validation():
+def test_make_executor_selection_and_validation(monkeypatch):
     assert isinstance(make_executor(1), SerialExecutor)
-    assert isinstance(make_executor(2), ProcessExecutor)
+    with expect_oversubscription_warning(monkeypatch):
+        executor = make_executor(2)
+    assert isinstance(executor, ProcessExecutor)
     for bad in (0, -1):
         with pytest.raises(ConfigurationError, match="jobs"):
             make_executor(bad)
 
 
-def test_parallel_store_bytes_match_serial(tmp_path):
+def test_parallel_store_bytes_match_serial(tmp_path, monkeypatch):
     """The acceptance check: stores diff empty across job counts."""
     spec = SweepSpec(
         base=TINY, grid={"bucket_size": (4, 8)}, backends=("fast",),
@@ -117,5 +135,6 @@ def test_parallel_store_bytes_match_serial(tmp_path):
     serial_path = tmp_path / "serial.json"
     parallel_path = tmp_path / "parallel.json"
     run_sweep(spec, jobs=1, store_path=serial_path)
-    run_sweep(spec, jobs=2, store_path=parallel_path)
+    with expect_oversubscription_warning(monkeypatch):
+        run_sweep(spec, jobs=2, store_path=parallel_path)
     assert serial_path.read_bytes() == parallel_path.read_bytes()

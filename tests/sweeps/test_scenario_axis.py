@@ -11,6 +11,7 @@ patches/rebuilds than epoch-table resolutions).
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import warnings
 from collections import Counter
@@ -167,6 +168,61 @@ class TestComposedSweep:
             assert computed <= 5, (pid, events)
             if sum(events.values()) > 5:
                 assert events["hit"] > 0, (pid, events)
+
+
+class TestTraceReplayAxis:
+    """``--scenario trace:path=...`` crossing the sweep grid."""
+
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        from repro.scenarios.trace import record_dynamics
+
+        source = dataclasses.replace(BASE, scenario=COMPOSED)
+        path = tmp_path / "dynamics.json"
+        record_dynamics(
+            source.scenario_stack(), source.scenario_context()
+        ).save(path)
+        return path
+
+    def test_trace_axis_parallel_is_byte_identical(self, tmp_path,
+                                                   trace_path):
+        spec = SweepSpec(
+            base=BASE, scenarios=(f"trace:path={trace_path}",),
+            grid={"bucket_size": (4, 8)}, seeds=2, backends=("fast",),
+        )
+        serial_store = tmp_path / "serial.json"
+        parallel_store = tmp_path / "parallel.json"
+        serial = run_sweep(spec, jobs=1, store_path=serial_store)
+        clear_caches()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            parallel = run_sweep(spec, jobs=2, store_path=parallel_store)
+        assert serial.executed == parallel.executed == 4
+        assert serial_store.read_bytes() == parallel_store.read_bytes()
+
+    def test_trace_axis_metrics_equal_direct_scenario(self, trace_path):
+        """Replaying the recording sweeps to the same numbers as the
+        source scenario string — per point, not just on average."""
+        direct = run_sweep(SweepSpec(
+            base=BASE, scenarios=(COMPOSED,), seeds=2,
+            backends=("fast",),
+        ), jobs=1)
+        clear_caches()
+        replayed = run_sweep(SweepSpec(
+            base=BASE, scenarios=(f"trace:path={trace_path}",),
+            seeds=2, backends=("fast",),
+        ), jobs=1)
+        assert len(direct.records) == len(replayed.records) == 2
+        for left, right in zip(direct.records, replayed.records):
+            assert left["replica"] == right["replica"]
+            assert left["metrics"] == right["metrics"]
+
+    def test_missing_trace_fails_at_spec_build(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            SweepSpec(
+                base=BASE,
+                scenarios=(f"trace:path={tmp_path / 'gone.json'}",),
+            )
 
 
 class TestScenarioCLI:

@@ -202,3 +202,87 @@ class TestCliFlags:
         ])
         assert args.quick is True
         assert args.max_regression == 3.0
+        assert args.strict_provenance is False
+
+
+def fake_bench_record(dirty: bool) -> dict:
+    return {
+        "format": "repro-swarm-bench/1",
+        "label": "quick",
+        "config": {},
+        "provenance": {"git_commit": "abc", "git_dirty": dirty},
+        "workload": {"files": 1, "chunks": 1, "total_hops": 1},
+        "metrics": {
+            "table_build_seconds": 1.0,
+            "table_encode_seconds": 0.1,
+            "table_publish_seconds": 0.1,
+            "table_attach_seconds": 0.001,
+            "run_seconds": 0.5,
+            "files_per_second": 2.0,
+            "chunks_per_second": 2.0,
+            "attach_vs_build_speedup": 1000.0,
+        },
+    }
+
+
+class TestBenchProvenance:
+    """Baseline-writing hygiene: dirty trees warn; --strict refuses."""
+
+    @pytest.fixture()
+    def patched_bench(self, monkeypatch):
+        import repro.perf.bench as bench
+
+        state = {"dirty": True}
+        monkeypatch.setattr(
+            bench, "headline_bench",
+            lambda *, quick, repeats: fake_bench_record(state["dirty"]),
+        )
+        return state
+
+    def test_dirty_tree_warns_but_writes(self, patched_bench, tmp_path,
+                                         capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        assert out.exists()
+        err = capsys.readouterr().err
+        assert "DIRTY git tree" in err
+        assert "Do not commit this as a baseline" in err
+
+    def test_strict_provenance_refuses_dirty_tree(self, patched_bench,
+                                                  tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench", "--quick", "--strict-provenance", "--out", str(out),
+        ])
+        assert code == 1
+        assert not out.exists()
+        assert "REFUSING" in capsys.readouterr().err
+
+    def test_clean_tree_is_silent(self, patched_bench, tmp_path, capsys):
+        from repro.cli import main
+
+        patched_bench["dirty"] = False
+        out = tmp_path / "bench.json"
+        code = main([
+            "bench", "--quick", "--strict-provenance", "--out", str(out),
+        ])
+        assert code == 0
+        assert out.exists()
+        assert capsys.readouterr().err == ""
+
+    def test_committed_baselines_are_clean(self):
+        """The repo's own baselines must carry clean provenance."""
+        import json
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        for name in ("BENCH_headline.json", "benchmarks/BENCH_quick.json"):
+            record = json.loads((repo / name).read_text())
+            assert record["provenance"]["git_dirty"] is False, (
+                f"{name} was recorded from a dirty tree; regenerate it "
+                f"with repro-swarm bench --strict-provenance"
+            )

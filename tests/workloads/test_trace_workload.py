@@ -63,6 +63,58 @@ class TestTraceWorkload:
         assert np.array_equal(a.forwarded, b.forwarded)
         assert a.files == 10
 
+    def test_header_bits_mismatch_rejected(self):
+        space = AddressSpace(10)
+        nodes = np.arange(40, dtype=np.uint64)
+        trace = make_trace(nodes, space)
+        tagged = WorkloadTrace(
+            trace.events, bits=10, n_nodes=40, overlay_seed=1
+        )
+        with pytest.raises(WorkloadError, match="10-bit space"):
+            TraceWorkload(tagged).materialize(nodes, AddressSpace(12))
+
+    def test_header_population_mismatch_rejected(self):
+        space = AddressSpace(10)
+        nodes = np.arange(40, dtype=np.uint64)
+        trace = make_trace(nodes, space)
+        tagged = WorkloadTrace(
+            trace.events, bits=10, n_nodes=40, overlay_seed=1
+        )
+        with pytest.raises(WorkloadError, match="40 nodes"):
+            TraceWorkload(tagged).materialize(
+                np.arange(50, dtype=np.uint64), space
+            )
+
+    def test_saved_trace_replays_bit_identical_through_fast(self,
+                                                            tmp_path):
+        """The compact-dtype fix: a save/load round trip through the
+        versioned format must not perturb the fast backend at all."""
+        config = FastSimulationConfig(
+            n_nodes=80, bits=11, bucket_size=4, n_files=10,
+            overlay_seed=5, workload_seed=3, file_min=3, file_max=9,
+        )
+        simulation = FastSimulation(config)
+        original = simulation.run()  # the generated workload, batched
+        events = config.workload().materialize(
+            simulation.overlay.address_array(), simulation.space
+        )
+        path = tmp_path / "trace.json"
+        WorkloadTrace(
+            events, bits=config.bits, n_nodes=config.n_nodes,
+            overlay_seed=config.overlay_seed,
+        ).save(path)
+        loaded = WorkloadTrace.load(path)
+        # Addresses decode straight into the kernel's compact dtype.
+        assert loaded[0].chunk_addresses.dtype == np.uint16
+        replayed = simulation.run(TraceWorkload(loaded))
+        assert np.array_equal(original.forwarded, replayed.forwarded)
+        assert np.array_equal(original.first_hop, replayed.first_hop)
+        assert np.array_equal(original.income, replayed.income)
+        assert np.array_equal(
+            original.expenditure, replayed.expenditure
+        )
+        assert original.hop_histogram == replayed.hop_histogram
+
 
 class TestTraceCli:
     def test_generate_and_replay_roundtrip(self, tmp_path, capsys):
@@ -91,9 +143,87 @@ class TestTraceCli:
             "--files", "5", "--nodes", "100", "--bits", "12",
         ])
         capsys.readouterr()
-        with pytest.raises(WorkloadError):
+        with pytest.raises(WorkloadError, match="overlay seed"):
             main([
                 "trace", "replay", str(trace_path),
                 "--nodes", "100", "--bits", "12",
                 "--overlay-seed", "999",
             ])
+
+    def test_replay_defaults_come_from_the_header(self, tmp_path, capsys):
+        # No --nodes/--bits/--overlay-seed needed on replay: the
+        # header knows what the trace was generated for.
+        trace_path = tmp_path / "trace.json"
+        main([
+            "trace", "generate", str(trace_path),
+            "--files", "5", "--nodes", "90", "--bits", "12",
+            "--overlay-seed", "3",
+        ])
+        capsys.readouterr()
+        assert main(["trace", "replay", str(trace_path)]) == 0
+        assert "replayed" in capsys.readouterr().out
+
+
+class TestDynamicsCli:
+    def test_record_and_replay_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "dynamics.json"
+        code = main([
+            "trace", "record-dynamics", str(path),
+            "--scenario", "churn:rate=0.1,recompute=true+caching:size=64",
+            "--files", "30", "--nodes", "120", "--bits", "12",
+            "--batch-files", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dynamics trace written" in out
+        assert "4 epoch(s)" in out
+
+        code = main([
+            "trace", "replay-dynamics", str(path),
+            "--files", "30", "--batch-files", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replaying dynamics" in out
+        assert "F2 Gini" in out
+
+    def test_replay_dynamics_composes_extra_scenario(self, tmp_path,
+                                                     capsys):
+        path = tmp_path / "dynamics.json"
+        main([
+            "trace", "record-dynamics", str(path),
+            "--scenario", "churn:rate=0.2",
+            "--files", "30", "--nodes", "120", "--bits", "12",
+            "--batch-files", "8",
+        ])
+        capsys.readouterr()
+        code = main([
+            "trace", "replay-dynamics", str(path),
+            "--files", "30", "--batch-files", "8",
+            "--compose", "freeriding:fraction=0.3",
+        ])
+        assert code == 0
+        assert "replaying dynamics" in capsys.readouterr().out
+
+    def test_record_rejects_bad_scenario(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            main([
+                "trace", "record-dynamics",
+                str(tmp_path / "dynamics.json"),
+                "--scenario", "warp:factor=9",
+            ])
+
+    def test_request_and_dynamics_formats_do_not_mix(self, tmp_path,
+                                                     capsys):
+        trace_path = tmp_path / "requests.json"
+        main([
+            "trace", "generate", str(trace_path),
+            "--files", "5", "--nodes", "100", "--bits", "12",
+        ])
+        capsys.readouterr()
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="format tag"):
+            main(["trace", "replay-dynamics", str(trace_path)])

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -9,16 +11,16 @@ from repro.errors import WorkloadError
 from repro.kademlia.address import AddressSpace
 from repro.workloads.generators import DownloadWorkload
 from repro.workloads.distributions import UniformFileSize
-from repro.workloads.traces import WorkloadTrace
+from repro.workloads.traces import TRACE_FORMAT, WorkloadTrace
 
 
-def make_trace() -> WorkloadTrace:
+def make_trace(**provenance) -> WorkloadTrace:
     workload = DownloadWorkload(n_files=12, seed=4,
                                 file_size=UniformFileSize(2, 6))
     events = workload.materialize(
         np.arange(50, dtype=np.uint64), AddressSpace(10)
     )
-    return WorkloadTrace(events)
+    return WorkloadTrace(events, **provenance)
 
 
 class TestWorkloadTrace:
@@ -59,3 +61,111 @@ class TestWorkloadTrace:
             assert np.array_equal(
                 original.chunk_addresses, restored.chunk_addresses
             )
+
+
+class TestTraceProvenance:
+    def test_header_round_trips(self, tmp_path):
+        trace = make_trace(bits=10, n_nodes=50, overlay_seed=42)
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        document = json.loads(path.read_text())
+        assert document["format"] == TRACE_FORMAT
+        loaded = WorkloadTrace.load(path)
+        assert (loaded.bits, loaded.n_nodes, loaded.overlay_seed) == (
+            10, 50, 42
+        )
+
+    def test_provenance_free_trace_round_trips_none(self, tmp_path):
+        path = tmp_path / "trace.json"
+        make_trace().save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded.bits is loaded.n_nodes is loaded.overlay_seed is None
+
+    def test_legacy_bare_list_still_loads(self, tmp_path):
+        # The pre-header format: a bare JSON array of events.
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps([
+            {"file_id": 0, "originator": 3, "chunks": [1, 2, 900]},
+            {"file_id": 1, "originator": 7, "chunks": [4]},
+        ]))
+        loaded = WorkloadTrace.load(path)
+        assert len(loaded) == 2
+        assert loaded.bits is None
+        # Legacy decoding keeps the historical uint64.
+        assert loaded[0].chunk_addresses.dtype == np.uint64
+
+    def test_header_decodes_to_compact_dtype(self, tmp_path):
+        path = tmp_path / "trace.json"
+        make_trace(bits=10, n_nodes=50, overlay_seed=42).save(path)
+        loaded = WorkloadTrace.load(path)
+        assert loaded[0].chunk_addresses.dtype == np.uint16
+        wide = tmp_path / "wide.json"
+        make_trace(bits=20, n_nodes=50, overlay_seed=42).save(wide)
+        assert WorkloadTrace.load(wide)[0].chunk_addresses.dtype == np.uint32
+
+    def test_unknown_format_tag_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(
+            {"format": "repro-swarm-trace/99", "events": []}
+        ))
+        with pytest.raises(WorkloadError, match="format tag"):
+            WorkloadTrace.load(path)
+
+    def test_headerless_dict_rejected(self, tmp_path):
+        path = tmp_path / "noheader.json"
+        path.write_text(json.dumps({"events": []}))
+        with pytest.raises(WorkloadError, match="format tag"):
+            WorkloadTrace.load(path)
+
+    def test_dynamics_trace_file_rejected(self, tmp_path):
+        # The sibling dynamics format must fail with a pointer, not
+        # decode as zero requests.
+        path = tmp_path / "dynamics.json"
+        path.write_text(json.dumps(
+            {"format": "repro-swarm-dynamics/1", "streams": []}
+        ))
+        with pytest.raises(WorkloadError, match="dynamics trace"):
+            WorkloadTrace.load(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "trace.json"
+        make_trace(bits=10, n_nodes=50, overlay_seed=42).save(path)
+        path.write_text(path.read_text()[:-30])
+        with pytest.raises(WorkloadError, match="truncated or corrupt"):
+            WorkloadTrace.load(path)
+
+    def test_malformed_event_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format": TRACE_FORMAT, "bits": 10, "n_nodes": 50,
+            "overlay_seed": 42,
+            "events": [{"file_id": 0, "chunks": [1]}],
+        }))
+        with pytest.raises(WorkloadError, match="malformed event"):
+            WorkloadTrace.load(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError, match="cannot read"):
+            WorkloadTrace.load(tmp_path / "gone.json")
+
+    @pytest.mark.parametrize("bits", [0, -3, 65, "12"])
+    def test_out_of_range_bits_rejected(self, tmp_path, bits):
+        path = tmp_path / "badbits.json"
+        path.write_text(json.dumps({
+            "format": TRACE_FORMAT, "bits": bits, "n_nodes": 50,
+            "overlay_seed": 42,
+            "events": [{"file_id": 0, "originator": 1, "chunks": [2]}],
+        }))
+        with pytest.raises(WorkloadError, match="cannot read"):
+            WorkloadTrace.load(path)
+
+    def test_empty_chunk_event_rejected_at_load(self, tmp_path):
+        # FileDownload enforces >= 1 chunk at construction, which is
+        # why TraceWorkload.events needs no empty-event guard: a trace
+        # with an empty file cannot even be loaded.
+        path = tmp_path / "empty-file.json"
+        path.write_text(json.dumps([
+            {"file_id": 0, "originator": 3, "chunks": []},
+        ]))
+        with pytest.raises(WorkloadError, match="at least one chunk"):
+            WorkloadTrace.load(path)
