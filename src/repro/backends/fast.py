@@ -47,11 +47,18 @@ workload is segmented into ``batch_files`` slabs, and a composed
 :mod:`repro.scenarios` plan supplies each epoch's alive mask, storer
 table (incrementally delta-patched and cached by chained fingerprint
 in :mod:`repro.perf.table_cache`), cache mask, and policy overrides.
-With a storer column present the kernel decodes each gather back to
-raw next-hop semantics — the epoch's alive mask may re-home chunks to
-the closest *live* node, which the statically coded table cannot know
-— trading a little wave speed for the bookkeeping; the static
-headline path pays none of it.
+Dynamic epochs route at **static-kernel speed**: instead of carrying
+a per-chunk storer column and decoding every gather, the plan keeps
+the coded matrix itself patched in place with the sparse absolute
+diffs of :func:`~repro.kademlia.table.coded_arrive_patch` (re-homed
+storers' forward entries promoted into the arrive band, reverted on
+epoch exit via the recorded undo log), and the banded wave loop adds
+only a per-hop gather of a 3n-entry dead-value LUT: coded values that
+point at dead nodes are sparsely rewritten to the fallback band of
+the epoch's (live) storer, exactly the greedy-stall semantics the
+decoded mode produced. The decoded three-column reference mode is
+kept behind :data:`DECODED_DYNAMICS_ENV` for the bit-equivalence
+tests; the static headline path pays for none of it either way.
 
 Equivalence with the reference implementation is asserted by
 ``tests/integration/test_fast_vs_reference.py`` and
@@ -94,6 +101,7 @@ __all__ = [
     "target_dtype",
     "MAX_FAST_BITS",
     "TABLE_BUILD_LOG_ENV",
+    "DECODED_DYNAMICS_ENV",
 ]
 
 #: Maximum address width the vectorized backend supports; wider
@@ -105,6 +113,13 @@ MAX_FAST_BITS = 22
 #: sweep tests use this to prove a multi-worker sweep builds each
 #: topology's table exactly once, independent of machine speed.
 TABLE_BUILD_LOG_ENV = "REPRO_TABLE_BUILD_LOG"
+
+#: When set (to anything non-empty), dynamic epochs route through the
+#: decoded three-column reference mode instead of the patched-static
+#: kernel. The two are bit-identical (asserted by the equivalence
+#: tests, which flip this flag); the decoded mode is kept only as the
+#: independent oracle.
+DECODED_DYNAMICS_ENV = "REPRO_DECODED_DYNAMICS"
 
 _OVERLAY_CACHE: dict[tuple, Overlay] = {}
 
@@ -133,9 +148,11 @@ def clear_caches() -> None:
     """Drop every process-global simulation cache.
 
     Covers the overlay cache, the :mod:`repro.perf` dense-table cache
-    (memoized and shared-memory-registered :class:`NextHopTable`\\ s),
-    and the delta-fingerprinted epoch storer-table cache — so tests
-    cannot leak state across modules through any of them.
+    (memoized and shared-memory-registered :class:`NextHopTable`\\ s,
+    plus the writable coded-matrix working copies handed to epoch
+    plans), and the delta-fingerprinted epoch cache of storer tables
+    and sparse coded patches — so tests cannot leak state across
+    modules through any of them.
     """
     from ..perf.table_cache import (
         global_epoch_table_cache,
@@ -481,6 +498,13 @@ class FastSimulation:
         from ..scenarios.base import ScenarioContext
         from ..scenarios.plan import EpochPlan
 
+        decoded_reference = bool(os.environ.get(DECODED_DYNAMICS_ENV))
+        coded_working = flat_working = None
+        if not decoded_reference:
+            from ..perf.table_cache import global_table_cache
+
+            coded_working = global_table_cache().writable_coded(self.table)
+            flat_working = coded_working.reshape(-1)
         entry_dt = self.table.entry_dtype
         starts = range(0, len(sizes), config.batch_files)
         plan = EpochPlan(
@@ -494,8 +518,23 @@ class FastSimulation:
             table_fingerprint=self.overlay.fingerprint(),
             base_storers=self.table.storer,
             addresses=self.overlay.address_array(),
+            coded=coded_working,
         )
         offsets = np.concatenate(([0], np.cumsum(sizes)))
+        try:
+            self._run_epochs(plan, starts, offsets, sizes, origins,
+                             targets, result, unpaid_origins, entry_dt,
+                             decoded_reference, flat_working)
+        finally:
+            # The working matrix is shared across runs (and, for
+            # built tables, IS the table) — always leave it pristine.
+            plan.restore_coded()
+
+    def _run_epochs(self, plan, starts, offsets, sizes, origins, targets,
+                    result, unpaid_origins, entry_dt, decoded_reference,
+                    flat_working) -> None:
+        """The per-epoch slab loop of the scenario path."""
+        config = self.config
         for epoch, start in enumerate(starts):
             stop = min(start + config.batch_files, len(sizes))
             lo, hi = int(offsets[start]), int(offsets[stop])
@@ -513,6 +552,7 @@ class FastSimulation:
                           else state.unpaid | unpaid)
             alive = state.alive
             storers = None
+            storer_table = None
             if alive is not None:
                 if not alive.any():
                     result.unavailable += int(slab_origins.size)
@@ -530,10 +570,26 @@ class FastSimulation:
                     slab_targets = slab_targets[keep]
                     storers = storers[keep]
             cache = state.cache
-            self._route_batch(slab_origins, slab_targets, result,
-                              storers=storers, alive=alive,
-                              cached=None if cache is None else cache.mask,
-                              unpaid_origins=unpaid)
+            if alive is not None and not decoded_reference:
+                # Patched-static dynamics: the plan has already patched
+                # the working matrix to this epoch's storers, so the
+                # banded kernel runs as-is plus the dead-value LUT.
+                self._route_batch(
+                    slab_origins, slab_targets, result,
+                    storers=storers,
+                    cached=None if cache is None else cache.mask,
+                    unpaid_origins=unpaid,
+                    dead_lut=state.dead_lut,
+                    storer_table=storer_table,
+                    flat_coded=flat_working,
+                )
+            else:
+                self._route_batch(
+                    slab_origins, slab_targets, result,
+                    storers=storers, alive=alive,
+                    cached=None if cache is None else cache.mask,
+                    unpaid_origins=unpaid,
+                )
             if cache is not None:
                 # Every chunk retrieved this slab is now cached on its
                 # delivery path (mask model of path caching).
@@ -606,12 +662,27 @@ class FastSimulation:
                      storers: np.ndarray | None = None,
                      alive: np.ndarray | None = None,
                      cached: np.ndarray | None = None,
-                     unpaid_origins: np.ndarray | None = None) -> None:
+                     unpaid_origins: np.ndarray | None = None,
+                     dead_lut: np.ndarray | None = None,
+                     storer_table: np.ndarray | None = None,
+                     flat_coded: np.ndarray | None = None) -> None:
         """Route one flattened batch of chunk retrievals in hop waves.
 
         Chunks are sorted by target first: the in-flight columns stay
         target-ordered through every compaction, so the per-wave flat-
         index gathers walk the table near sequentially.
+
+        ``flat_coded`` selects the patched-static dynamics mode: the
+        caller's epoch plan holds the coded matrix behind it patched to
+        this epoch's storer set, ``dead_lut`` flags coded values that
+        point at dead nodes, and ``storer_table`` (full address space)
+        re-homes those to the fallback band — so every wave runs the
+        same banded kernel as the static headline, storer column and
+        per-gather decode gone. Local hits are detected in-band (the
+        wave-1 coded value is the origin's own fallback entry exactly
+        when the origin is the epoch's storer), so no prefilter is
+        needed unless a cache mask requires the storer comparison
+        anyway.
         """
         if origins.size == 0:
             return
@@ -629,11 +700,17 @@ class FastSimulation:
         # (dtype=intp forces the multiply loop out of the compact
         # dtype, which would silently wrap).
         row = np.multiply(tg, n, dtype=np.intp)
+        patched = flat_coded is not None
 
-        if cached is None and alive is None and storers is None:
-            # Headline path: no storer column, no local-hit prefilter —
-            # wave 1 detects local hits in-band (see _route_waves).
-            self._route_waves(cur, tg, row, result, unpaid_origins)
+        if cached is None and (
+                patched or (alive is None and storers is None)):
+            # Headline path (and patched-static dynamics): no storer
+            # column, no local-hit prefilter — wave 1 detects local
+            # hits in-band (see _route_waves).
+            self._route_waves(cur, tg, row, result, unpaid_origins,
+                              dead_lut=dead_lut,
+                              fallback_storers=storer_table,
+                              flat_table=flat_coded)
             return
 
         if storers is None:
@@ -657,12 +734,21 @@ class FastSimulation:
                 # Cache hits are the same kernel asked to stop after
                 # the (serving) first hop.
                 hit_index = np.flatnonzero(hits)
-                self._route_waves(
-                    np.take(cur, hit_index), np.take(tg, hit_index),
-                    np.take(row, hit_index), result, unpaid_origins,
-                    st=np.take(st, hit_index), alive=alive,
-                    first_hop_serves=True,
-                )
+                if patched:
+                    self._route_waves(
+                        np.take(cur, hit_index), np.take(tg, hit_index),
+                        np.take(row, hit_index), result, unpaid_origins,
+                        first_hop_serves=True, dead_lut=dead_lut,
+                        fallback_storers=storer_table,
+                        flat_table=flat_coded,
+                    )
+                else:
+                    self._route_waves(
+                        np.take(cur, hit_index), np.take(tg, hit_index),
+                        np.take(row, hit_index), result, unpaid_origins,
+                        st=np.take(st, hit_index), alive=alive,
+                        first_hop_serves=True,
+                    )
                 keep_mask &= ~hits
 
         n_start = int(np.count_nonzero(keep_mask))
@@ -672,7 +758,15 @@ class FastSimulation:
         cur = np.take(cur, index)
         tg = np.take(tg, index)
         row = np.take(row, index)
-        if alive is None and storers is None:
+        if patched:
+            # Locals are prefiltered here (the cache mask needed the
+            # storer comparison anyway), so the in-band wave-1 check
+            # simply finds none.
+            self._route_waves(cur, tg, row, result, unpaid_origins,
+                              dead_lut=dead_lut,
+                              fallback_storers=storer_table,
+                              flat_table=flat_coded)
+        elif alive is None and storers is None:
             # Caching only: locals are already filtered, so the banded
             # wave loop simply finds none.
             self._route_waves(cur, tg, row, result, unpaid_origins)
@@ -686,7 +780,10 @@ class FastSimulation:
                      unpaid_origins: np.ndarray | None, *,
                      st: np.ndarray | None = None,
                      alive: np.ndarray | None = None,
-                     first_hop_serves: bool = False) -> None:
+                     first_hop_serves: bool = False,
+                     dead_lut: np.ndarray | None = None,
+                     fallback_storers: np.ndarray | None = None,
+                     flat_table: np.ndarray | None = None) -> None:
         """The one epoch-segmented terminal-coded wave kernel.
 
         Every scenario — static, churn, caching, free-riding, and any
@@ -708,8 +805,21 @@ class FastSimulation:
           into a transient fourth band (``3n..4n``) so the same
           bincount also counts them — that is why
           :func:`table_entry_dtype` reserves headroom up to ``4n``.
-        * ``st``/``alive`` (epoch dynamics): a per-chunk storer column
-          is carried because the epoch's alive mask may re-home chunks
+        * ``dead_lut``/``fallback_storers``/``flat_table`` (patched-
+          static dynamics): the banded static loop runs verbatim
+          against the epoch-patched coded matrix behind *flat_table*;
+          the only addition is one gather per wave into the 3n-entry
+          boolean *dead_lut* (L1-resident), and the sparse set of
+          gathers that landed on a coded value pointing at a dead node
+          is rewritten to ``2n + fallback_storers[target]`` — the same
+          greedy-stall-to-live-storer semantics the decoded mode
+          computes per chunk, at static-kernel cost. The wave-1
+          in-band local check still works because the fixup maps an
+          origin that *is* the epoch's storer onto its own fallback
+          entry.
+        * ``st``/``alive`` (the decoded reference mode, kept behind
+          :data:`DECODED_DYNAMICS_ENV`): a per-chunk storer column is
+          carried because the epoch's alive mask may re-home chunks
           to the closest *live* node, which the statically coded table
           cannot know; each coded gather is decoded back to raw
           next-hop semantics, dead next hops fall back to the storer,
@@ -722,19 +832,22 @@ class FastSimulation:
         table = self.table
         dtype = table.entry_dtype
         n = table.n_nodes
-        flat_table = table.flat_coded
+        if flat_table is None:
+            flat_table = table.flat_coded
         n_start = int(cur.size)
         dynamic = st is not None
         if dynamic:
             src = (cur, st, row)
             dst = (np.empty(n_start, dtype), np.empty(n_start, dtype),
                    np.empty(n_start, np.intp))
-            nxt_buf = keep_buf = None
+            nxt_buf = keep_buf = dead_buf = None
         else:
             src = (cur, row)
             dst = (np.empty(n_start, dtype), np.empty(n_start, np.intp))
             nxt_buf = np.empty(n_start, dtype)
             keep_buf = np.empty(n_start, bool)
+            dead_buf = (np.empty(n_start, bool) if dead_lut is not None
+                        else None)
         first_tg = tg
         flat_buf = np.empty(n_start, np.intp)
         size = n_start
@@ -773,6 +886,19 @@ class FastSimulation:
                 # mode="clip" skips the bounds check; row + cur is in
                 # range by construction (row <= (space-1)*n, cur < n).
                 np.take(flat_table, flat, out=nxt, mode="clip")
+                if dead_lut is not None:
+                    # Patched-static dynamics: coded values pointing
+                    # at dead nodes (forward, arrive, or stale stall
+                    # entries alike — the LUT tiles ~alive over all
+                    # three bands) greedy-stall to the epoch's live
+                    # storer, sparsely.
+                    dead = dead_buf[:size]
+                    np.take(dead_lut, nxt, out=dead, mode="clip")
+                    dead_idx = np.flatnonzero(dead)
+                    if dead_idx.size:
+                        nxt[dead_idx] = dtype.type(2 * n) + (
+                            fallback_storers[row_w[dead_idx] // n]
+                        )
                 if hop == 1:
                     local_mask = nxt == cur_w + dtype.type(2 * n)
                     local_count = int(np.count_nonzero(local_mask))

@@ -463,6 +463,14 @@ def _bench_run(args: argparse.Namespace) -> int:
         f"{metrics['files_per_second']:,.0f} files/s, "
         f"{metrics['chunks_per_second']:,.0f} chunks/s"
     )
+    dynamics = record["dynamics"]
+    dynamics_metrics = dynamics["metrics"]
+    print(
+        f"dynamics ({dynamics['scenario']}) "
+        f"{dynamics_metrics['run_seconds']:.2f}s: "
+        f"{dynamics_metrics['chunks_per_second']:,.0f} chunks/s "
+        f"({dynamics_metrics['slowdown_vs_static']:.2f}x static)"
+    )
     print(f"record written to {args.out}")
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text())

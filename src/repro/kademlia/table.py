@@ -22,11 +22,24 @@ only the addresses a leave/join delta actually affects, and
 table (``parent_fp + delta``) that lets epoch tables hit the
 :class:`~repro.perf.table_cache.EpochTableCache` instead of being
 recomputed.
+
+The same machinery extends to the dense **terminal-coded routing
+matrix** itself (:class:`~repro.backends.fast.NextHopTable`'s
+``coded_transposed``): :func:`coded_arrive_patch` computes, for one
+epoch's storer table, the sparse set of matrix entries whose coded
+value must change so the *static* banded hop kernel reproduces the
+epoch's re-homed arrivals — packaged as a :class:`CodedPatch` that
+applies in place and reverts from its undo log (indices + prior
+values) in O(patch), never copying the ~131 MB paper-scale matrix.
+Dead next hops need no matrix entries at all: :func:`dead_value_lut`
+builds the per-epoch coded-value table the kernel consults to shunt
+them onto the live fallback band sparsely at gather time.
 """
 
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -40,6 +53,9 @@ __all__ = [
     "alive_storer_table",
     "patch_storer_table",
     "chain_fingerprint",
+    "CodedPatch",
+    "coded_arrive_patch",
+    "dead_value_lut",
 ]
 
 #: Element budget for the chunked distance scans below (bounds the
@@ -155,6 +171,129 @@ def chain_fingerprint(parent: str,
     digest.update(b"J")
     digest.update(np.sort(np.asarray(joins, dtype=np.uint32)).tobytes())
     return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CodedPatch:
+    """A sparse in-place edit of the terminal-coded routing matrix.
+
+    ``indices`` are flat positions into the C-contiguous
+    ``[target, node]`` coded matrix (the narrowest signed dtype that
+    spans it) and ``prior`` the pristine entries at those positions —
+    the undo log that makes :meth:`revert` restore the matrix
+    bit-exactly in O(patch) instead of re-copying or rebuilding it.
+    Every patched entry is an **arrive-band promotion** (pristine
+    forward value ``s`` becomes ``n + s``), so the epoch values are
+    derived as ``prior + n_nodes`` rather than stored: at paper-scale
+    churn a patch runs to ~10\\ :sup:`5` entries per epoch, and the
+    epoch cache budgets many of them (:attr:`nbytes`) — the undo log
+    alone halves what a values+prior representation would hold
+    resident. Patches are *absolute* (always expressed against the
+    pristine matrix), so one revert + one apply moves the matrix
+    between any two epochs.
+    """
+
+    indices: np.ndarray
+    prior: np.ndarray
+    n_nodes: int
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != len(self.prior):
+            raise ConfigurationError(
+                "coded patch arrays must have equal lengths, got "
+                f"{len(self.indices)}/{len(self.prior)}"
+            )
+
+    @property
+    def values(self) -> np.ndarray:
+        """The epoch's coded entries (the promotions of ``prior``)."""
+        return self.prior + self.prior.dtype.type(self.n_nodes)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint (how the epoch cache budgets patches)."""
+        return int(self.indices.nbytes + self.prior.nbytes)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def apply(self, flat_coded: np.ndarray) -> None:
+        """Write the epoch's coded values into the flat matrix."""
+        flat_coded[self.indices] = self.values
+
+    def revert(self, flat_coded: np.ndarray) -> None:
+        """Restore the pristine coded values from the undo log."""
+        flat_coded[self.indices] = self.prior
+
+
+def coded_arrive_patch(coded: np.ndarray, base_storers: np.ndarray,
+                       storers: np.ndarray) -> CodedPatch:
+    """The sparse coded-matrix patch for one epoch's storer table.
+
+    *coded* is the **pristine** terminal-coded ``[target, node]``
+    matrix, *base_storers* the static storer table it was coded
+    against, and *storers* the epoch's (re-homed) storer table. The
+    only entries whose coded value must change for the static banded
+    kernel to reproduce the decoded dynamic mode are the **arrive-band
+    promotions**: in every row ``t`` whose storer moved (its static
+    storer died), forward-band entries equal to the new storer
+    ``storers[t]`` must read ``n + storers[t]`` so routing terminates
+    there as an arrival. Dead next hops and dead-storer stalls are
+    *not* patched — the kernel's :func:`dead_value_lut` fixup re-codes
+    those sparsely at gather time, which keeps this patch proportional
+    to the rows whose storer actually moved (the new storer's forward
+    in-degree per such row, ~25 entries at paper scale) rather than to
+    every entry pointing at a dead node (~65 000 per dead node).
+    """
+    n_nodes = coded.shape[1]
+    dtype = coded.dtype
+    index_dtype = (np.int32 if coded.size <= np.iinfo(np.int32).max
+                   else np.int64)
+    rows = np.flatnonzero(storers != base_storers)
+    if rows.size == 0:
+        return CodedPatch(np.empty(0, dtype=index_dtype),
+                          np.empty(0, dtype=dtype), n_nodes)
+    # Budget-chunked row scan: gather the affected pristine rows and
+    # compare against each row's new storer. Forward-band entries are
+    # plain node indices, so one equality against storers[t] finds
+    # exactly the entries to promote (arrive/fallback bands are >= n
+    # and can never compare equal).
+    chunk = max(1, _SCAN_BUDGET // max(1, n_nodes))
+    index_parts: list[np.ndarray] = []
+    prior_parts: list[np.ndarray] = []
+    for start in range(0, rows.size, chunk):
+        block_rows = rows[start:start + chunk]
+        block = coded[block_rows]
+        new_storers = storers[block_rows]
+        hit_row, hit_col = np.nonzero(block == new_storers[:, None])
+        if hit_row.size == 0:
+            continue
+        index_parts.append(
+            (block_rows[hit_row] * np.int64(n_nodes)
+             + hit_col).astype(index_dtype)
+        )
+        # The pristine value at a promoted entry is the new storer's
+        # plain index itself — that equality is what found it.
+        prior_parts.append(new_storers[hit_row].astype(dtype))
+    if not index_parts:
+        return CodedPatch(np.empty(0, dtype=index_dtype),
+                          np.empty(0, dtype=dtype), n_nodes)
+    return CodedPatch(np.concatenate(index_parts),
+                      np.concatenate(prior_parts), n_nodes)
+
+
+def dead_value_lut(alive: np.ndarray) -> np.ndarray:
+    """Coded-value deadness table for one epoch's alive mask.
+
+    ``lut[v]`` is ``True`` when the node a terminal-coded value ``v``
+    decodes to — the forward target for ``v < n``, the arriving storer
+    for ``n <= v < 2n``, the fallback storer for ``2n <= v < 3n`` — is
+    offline this epoch. The static banded kernel gathers it per hop
+    (3n bools, L1-resident) and re-codes the flagged chunks onto the
+    live fallback band in one sparse pass, which is what lets churn
+    epochs skip the decoded per-chunk storer/alive columns entirely.
+    """
+    return np.tile(~np.asarray(alive, dtype=bool), 3)
 
 
 class RoutingTable:

@@ -59,6 +59,7 @@ __all__ = [
     "EpochTableCache",
     "global_epoch_table_cache",
     "configure_epoch_table_cache",
+    "log_epoch_event",
     "EPOCH_TABLE_LOG_ENV",
 ]
 
@@ -94,6 +95,7 @@ class TableCache:
     def __init__(self) -> None:
         self._tables: dict[str, "NextHopTable"] = {}
         self._handles: dict[str, "SharedTableHandle"] = {}
+        self._working: dict[str, np.ndarray] = {}
         self.stats = CacheStats()
 
     def get(self, overlay: "Overlay") -> "NextHopTable":
@@ -130,15 +132,37 @@ class TableCache:
         """Memoize an externally built table under *fingerprint*."""
         self._tables[fingerprint] = table
 
+    def writable_coded(self, table: "NextHopTable") -> np.ndarray:
+        """A writable coded matrix for in-place epoch patching.
+
+        Built tables own their coded matrix, so epoch plans patch (and
+        revert) it directly — zero copies. Shared-memory attachments
+        are read-only by design; for those, one writable copy per
+        topology is made here and reused by every later run in this
+        process (each run reverts its patches on exit, so the copy is
+        pristine again whenever it is handed out).
+        """
+        coded = table.coded_transposed
+        if coded.flags.writeable:
+            return coded
+        fingerprint = table.overlay.fingerprint()
+        working = self._working.get(fingerprint)
+        if working is None:
+            working = np.array(coded)
+            self._working[fingerprint] = working
+        return working
+
     def discard(self, fingerprint: str) -> None:
         """Drop one memoized table and any registered handle for it."""
         self._tables.pop(fingerprint, None)
         self._handles.pop(fingerprint, None)
+        self._working.pop(fingerprint, None)
 
     def clear(self) -> None:
-        """Drop every table, handle, and counter (for tests)."""
+        """Drop every table, handle, working copy, and counter."""
         self._tables.clear()
         self._handles.clear()
+        self._working.clear()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
@@ -150,11 +174,16 @@ class TableCache:
 
 @dataclass
 class EpochCacheStats:
-    """How many epoch tables were patched, rebuilt, and re-served."""
+    """How many epoch tables were patched, rebuilt, and re-served.
+
+    ``shared`` counts artifacts installed from another process's
+    shared-memory publication — work this process did *not* do.
+    """
 
     patches: int = 0
     rebuilds: int = 0
     hits: int = 0
+    shared: int = 0
 
     @property
     def resolutions(self) -> int:
@@ -167,10 +196,18 @@ class EpochCacheStats:
             "patches": self.patches,
             "rebuilds": self.rebuilds,
             "hits": self.hits,
+            "shared": self.shared,
         }
 
 
-def _log_epoch_event(fingerprint: str, event: str) -> None:
+def log_epoch_event(fingerprint: str, event: str) -> None:
+    """Append one epoch-table event line to the instrumentation log.
+
+    Used by the cache itself (``hit``/``patch``/``rebuild``/``shared``
+    resolutions) and by the epoch plans' coded-matrix patching
+    (``coded-patch``/``coded-revert``), so the instrumented tests can
+    reconstruct exactly which process did which table work.
+    """
     path = os.environ.get(EPOCH_TABLE_LOG_ENV)
     if not path:
         return
@@ -184,7 +221,11 @@ class EpochTableCache:
     """Memoizes per-epoch storer tables by chained fingerprint.
 
     Values are the compact per-address storer arrays the epoch plans
-    resolve (a few hundred KB at paper scale). Unlike the dense
+    resolve (a few hundred KB at paper scale) and, under a
+    ``"coded:"``-prefixed key, the sparse
+    :class:`~repro.kademlia.table.CodedPatch` objects that re-home the
+    coded routing matrix's arrive band for storer-recomputing epochs
+    (anything exposing ``nbytes`` participates in the bytes budget). Unlike the dense
     :class:`TableCache`, every churn epoch has a distinct alive set —
     a long run inserts one table per epoch forever — so this cache is
     **LRU-bounded**. The default bound is a *bytes* budget
@@ -223,6 +264,9 @@ class EpochTableCache:
         self.max_bytes = max_bytes
         self._bytes = 0
         self.stats = EpochCacheStats()
+        # Shared-memory segments whose lifetime is tied to installed
+        # epoch artifacts (see adopt_segments); closed on clear().
+        self._segments: list = []
 
     @property
     def nbytes(self) -> int:
@@ -242,19 +286,46 @@ class EpochTableCache:
         if table is not None:
             self.stats.hits += 1
             self._tables.move_to_end(fingerprint)
-            _log_epoch_event(fingerprint, "hit")
+            log_epoch_event(fingerprint, "hit")
             return table
         table = build()
         if patched:
             self.stats.patches += 1
-            _log_epoch_event(fingerprint, "patch")
+            log_epoch_event(fingerprint, "patch")
         else:
             self.stats.rebuilds += 1
-            _log_epoch_event(fingerprint, "rebuild")
+            log_epoch_event(fingerprint, "rebuild")
         self._tables[fingerprint] = table
         self._bytes += int(table.nbytes)
         self._evict()
         return table
+
+    def install(self, fingerprint: str, table) -> bool:
+        """Adopt a pre-resolved epoch artifact published by another process.
+
+        Sweeps precompute each schedule's storer tables and coded
+        patches once in the parent and ship them over shared memory;
+        workers install the attached views here so their epoch plans
+        resolve every request as a hit without redoing the patch work.
+        Returns ``False`` (and counts nothing) when *fingerprint* is
+        already resident.
+        """
+        if fingerprint in self._tables:
+            return False
+        self._tables[fingerprint] = table
+        self._bytes += int(table.nbytes)
+        self.stats.shared += 1
+        log_epoch_event(fingerprint, "shared")
+        self._evict()
+        return True
+
+    def adopt_segments(self, segments) -> None:
+        """Keep *segments* (shared-memory handles) open until clear().
+
+        Installed views alias these segments' buffers, so they must
+        outlive the cached entries.
+        """
+        self._segments.extend(segments)
 
     def _evict(self) -> None:
         """Drop LRU entries until within bounds (keeping the newest)."""
@@ -272,6 +343,12 @@ class EpochTableCache:
         self._tables.clear()
         self._bytes = 0
         self.stats = EpochCacheStats()
+        for segment in self._segments:
+            try:
+                segment.close()
+            except (OSError, ValueError):  # pragma: no cover - teardown
+                pass
+        self._segments.clear()
 
     def __len__(self) -> int:
         return len(self._tables)

@@ -15,6 +15,15 @@ table with :func:`~repro.kademlia.table.patch_storer_table` instead
 of rebuilding from scratch — so sweep replicas that share a scenario
 schedule compute each epoch's table once per process, and even cold
 epochs pay only for the addresses the delta actually touched.
+
+When handed a writable coded routing matrix, the plan additionally
+keeps that matrix patched to the current epoch's storer set with the
+sparse absolute :class:`~repro.kademlia.table.CodedPatch` diffs of
+:func:`~repro.kademlia.table.coded_arrive_patch` — applied in place on
+epoch entry, reverted on the next transition and on
+:meth:`EpochPlan.restore_coded` — which is what lets the engine route
+dynamic epochs with the *static* banded kernel instead of the decoded
+three-column mode.
 """
 
 from __future__ import annotations
@@ -27,12 +36,19 @@ from ..errors import ConfigurationError
 from ..kademlia.table import (
     alive_storer_table,
     chain_fingerprint,
+    coded_arrive_patch,
+    dead_value_lut,
     patch_storer_table,
 )
 from .base import Scenario, ScenarioContext
 from .events import CacheState, PolicyOverride, TopologyDelta
 
-__all__ = ["CacheRuntime", "EpochState", "EpochPlan"]
+__all__ = [
+    "CacheRuntime",
+    "EpochState",
+    "EpochPlan",
+    "precompute_epoch_tables",
+]
 
 
 class CacheRuntime:
@@ -119,6 +135,10 @@ class EpochState:
     else ``None`` (use the static table). ``cache`` is the live
     :class:`CacheRuntime` when caching is enabled this epoch.
     ``unpaid`` and ``origin_map`` carry the policy overrides.
+    ``dead_lut`` is the epoch's 3n-entry dead-value lookup
+    (:func:`~repro.kademlia.table.dead_value_lut`) when any node is
+    offline, else ``None`` — the patched-static kernel gathers it per
+    hop to spot coded values that point at dead nodes.
     """
 
     index: int
@@ -127,6 +147,7 @@ class EpochState:
     cache: CacheRuntime | None
     unpaid: np.ndarray | None
     origin_map: np.ndarray | None
+    dead_lut: np.ndarray | None = None
 
 
 class EpochPlan:
@@ -158,11 +179,21 @@ class EpochPlan:
     epoch_tables:
         The cache epoch storer tables resolve through; defaults to
         the process-global one.
+    coded:
+        A *writable* terminal-coded routing matrix
+        (``coded_transposed``, shape ``(space_size, n_nodes)``) for
+        in-place epoch patching, or ``None`` to skip coded patching
+        (the decoded reference mode). When given, the plan keeps an
+        absolute sparse :class:`~repro.kademlia.table.CodedPatch` per
+        storer-recomputing epoch applied to it, reverting on every
+        epoch transition and on :meth:`restore_coded`, so the matrix
+        is bit-exact pristine again when the run finishes.
     """
 
     def __init__(self, scenario: Scenario, ctx: ScenarioContext, *,
                  table_fingerprint: str, base_storers: np.ndarray,
-                 addresses: np.ndarray, epoch_tables=None) -> None:
+                 addresses: np.ndarray, epoch_tables=None,
+                 coded: np.ndarray | None = None) -> None:
         if epoch_tables is None:
             from ..perf.table_cache import global_epoch_table_cache
 
@@ -195,6 +226,22 @@ class EpochPlan:
         self._cache: CacheRuntime | None = None
         self._unpaid: np.ndarray | None = None
         self._origin_map: np.ndarray | None = None
+        if coded is not None and not (
+            coded.flags.writeable and coded.flags.c_contiguous
+        ):
+            # Contiguity guarantees reshape(-1) below is a *view* — a
+            # silent copy would divert every patch away from the
+            # matrix the kernel actually gathers from.
+            raise ConfigurationError(
+                "EpochPlan needs a writable C-contiguous coded matrix "
+                "for in-place patching; pass "
+                "TableCache.writable_coded(table)"
+            )
+        self._coded = coded
+        self._flat_coded = None if coded is None else coded.reshape(-1)
+        self._coded_patch = None
+        self._coded_key: str | None = None
+        self._dead_lut: np.ndarray | None = None
         self._next = 0
 
     @property
@@ -249,6 +296,9 @@ class EpochPlan:
             for mask in self._stream_alive.values():
                 combined &= mask
             self._alive = combined
+            self._dead_lut = (
+                dead_value_lut(combined) if not combined.all() else None
+            )
             if self.recompute_storers:
                 self._advance_storers(before)
         cache = (
@@ -263,6 +313,7 @@ class EpochPlan:
             cache=cache,
             unpaid=self._unpaid,
             origin_map=self._origin_map,
+            dead_lut=self._dead_lut,
         )
 
     # ------------------------------------------------------------------
@@ -301,6 +352,7 @@ class EpochPlan:
             # populated epoch cannot patch from here.
             self._storers = None
             self._parent_valid = False
+            self.restore_coded()
             return
         parent = (
             self._storers if self._storers is not None
@@ -323,3 +375,101 @@ class EpochPlan:
             self._fingerprint, build, patched=parent_valid
         )
         self._parent_valid = True
+        self._patch_coded()
+
+    # ------------------------------------------------------------------
+    # In-place coded-matrix patching
+
+    def _patch_coded(self) -> None:
+        """Swap the coded matrix's patch to this epoch's storer set.
+
+        Patches are *absolute* — computed against the pristine matrix,
+        never against the previous epoch's patched state — so an epoch
+        transition is revert-outstanding-then-apply, O(both patches)
+        regardless of how far the two alive sets drifted apart. The
+        patch itself only promotes forward entries equal to the
+        epoch's storer into the arrive band: a storer can differ from
+        the static one only because the static storer died (joins just
+        resurrect built-in nodes), so every other divergence is a
+        *dead* coded value the kernel's dead-value LUT already
+        reroutes. Patch objects are memoized in the epoch-table cache
+        under ``"coded:" + fingerprint``, so sweep replicas replaying
+        one schedule scan the matrix once per process.
+        """
+        if self._flat_coded is None:
+            return
+        self.restore_coded()
+        storers = self._storers
+        assert storers is not None
+        coded = self._coded
+        base = self._base_storers
+        key = "coded:" + self._fingerprint
+
+        def build():
+            return coded_arrive_patch(coded, base, storers)
+
+        patch = self._epoch_tables.get(key, build, patched=True)
+        patch.apply(self._flat_coded)
+        self._coded_patch = patch
+        self._coded_key = key
+
+    def restore_coded(self) -> None:
+        """Revert the outstanding coded-matrix patch, if any.
+
+        Idempotent; the engine calls it in a ``finally`` so the shared
+        working matrix is pristine again even when a run dies mid-way.
+        """
+        if self._coded_patch is None:
+            return
+        self._coded_patch.revert(self._flat_coded)
+        if self._coded_key is not None:
+            from ..perf.table_cache import log_epoch_event
+
+            log_epoch_event(self._coded_key, "revert")
+        self._coded_patch = None
+        self._coded_key = None
+
+
+def precompute_epoch_tables(
+    scenario: Scenario, ctx: ScenarioContext, *,
+    table_fingerprint: str, base_storers: np.ndarray,
+    addresses: np.ndarray, coded: np.ndarray | None = None,
+) -> tuple[dict[str, np.ndarray], dict[str, object]]:
+    """Resolve every epoch artifact of *scenario*'s schedule up front.
+
+    Sweeps call this once in the parent process before fanning out
+    replicas: the returned storer tables and coded patches (both
+    keyed by chained fingerprint, patches under their ``"coded:"``
+    keys) are published over shared memory, and each worker installs
+    the attached views into its epoch cache instead of re-deriving
+    the whole chain — one patch scan per *machine* instead of one per
+    process. Runs through a private, schedule-sized
+    :class:`~repro.perf.table_cache.EpochTableCache` so the caller's
+    process-global cache (and its stats) stay untouched. Schedules
+    are deterministic per ``(scenario spec, ctx)``, so the artifacts
+    workers replay are bit-identical to what they would derive
+    themselves.
+    """
+    from ..perf.table_cache import EpochTableCache
+
+    cache = EpochTableCache(max_tables=max(1, 2 * ctx.n_epochs))
+    plan = EpochPlan(
+        scenario, ctx,
+        table_fingerprint=table_fingerprint,
+        base_storers=base_storers,
+        addresses=addresses,
+        epoch_tables=cache,
+        coded=coded,
+    )
+    storer_tables: dict[str, np.ndarray] = {}
+    patches: dict[str, object] = {}
+    try:
+        for index in range(plan.n_epochs):
+            state = plan.epoch(index)
+            if state.storers is not None:
+                storer_tables.setdefault(plan._fingerprint, state.storers)
+            if plan._coded_patch is not None and plan._coded_key is not None:
+                patches.setdefault(plan._coded_key, plan._coded_patch)
+    finally:
+        plan.restore_coded()
+    return storer_tables, patches

@@ -21,7 +21,12 @@ them: before fanning out, the parent resolves each unique topology's
 memory via the :class:`~repro.perf.shared.SharedTableRegistry`
 (refcounted; unlinked when the run ends), and ships the handles with
 every work item — the fix for PR 2's finding that ``--jobs 4`` lost
-to serial because each worker rebuilt every table. ``share_tables=
+to serial because each worker rebuilt every table. Scenario points
+get the same treatment one level up: the parent replays each unique
+schedule once (:func:`~repro.scenarios.plan.precompute_epoch_tables`)
+and publishes the per-epoch storer tables and sparse coded-matrix
+patches alongside the dense tables, so replicas install shared views
+instead of re-deriving the epoch chain per worker. ``share_tables=
 False`` restores the rebuild-per-worker behavior for comparison.
 
 Requesting more workers than the machine has CPUs is allowed but
@@ -166,9 +171,15 @@ class ProcessExecutor(SweepExecutor):
         """Build each unique topology once and publish it to workers.
 
         Returns (handle payloads keyed by fingerprint, acquired
-        fingerprints to release). Falls back to unshared execution —
-        workers rebuild, exactly the pre-cache behavior — when shared
-        memory is unavailable on this platform.
+        fingerprints to release). Alongside the dense tables, every
+        unique ``(topology, scenario schedule)`` among the points gets
+        its epoch artifacts — per-epoch storer tables and sparse coded
+        patches — precomputed here and published too, so replicas
+        replaying one schedule install them instead of re-deriving the
+        chain in every worker (the patch scan happens once per
+        machine). Falls back to unshared execution — workers rebuild,
+        exactly the pre-cache behavior — when shared memory is
+        unavailable on this platform.
         """
         from ..backends.fast import cached_overlay
         from ..perf.shared import shared_table_registry
@@ -185,6 +196,9 @@ class ProcessExecutor(SweepExecutor):
                 handle = registry.acquire(table)
                 acquired.append(handle.fingerprint)
                 payloads[handle.fingerprint] = handle.to_payload()
+            self._publish_epoch_tables(
+                base, points, registry, payloads, acquired
+            )
         except (ImportError, OSError) as error:
             for fingerprint in acquired:
                 registry.release(fingerprint)
@@ -195,6 +209,56 @@ class ProcessExecutor(SweepExecutor):
             )
             return {}, []
         return payloads, acquired
+
+    def _publish_epoch_tables(self, base: FastSimulationConfig,
+                              points: Sequence[SweepPoint],
+                              registry, payloads: dict[str, dict],
+                              acquired: list[str]) -> None:
+        """Precompute and publish epoch artifacts per unique schedule.
+
+        A schedule is identified by its topology fingerprint plus the
+        composed scenario spec and epoch count — everything the
+        chained fingerprints derive from — so seed replicas of one
+        dynamics point share a single publication.
+        """
+        from ..backends.fast import cached_overlay
+        from ..perf.table_cache import global_table_cache
+        from ..scenarios.plan import precompute_epoch_tables
+
+        seen: set[str] = set()
+        for point in points:
+            if not get_backend_class(point.backend).uses_next_hop_table:
+                continue
+            config = point.config(base)
+            if not config.has_scenarios:
+                continue
+            scenario = config.scenario_stack()
+            if scenario is None:
+                continue
+            ctx = config.scenario_context()
+            table = global_table_cache().get(
+                cached_overlay(config.overlay_config())
+            )
+            fingerprint = table.overlay.fingerprint()
+            key = (f"epochs:{fingerprint}:"
+                   f"{scenario.spec()}:{ctx.n_epochs}")
+            if key in seen:
+                continue
+            seen.add(key)
+            storer_tables, patches = precompute_epoch_tables(
+                scenario, ctx,
+                table_fingerprint=fingerprint,
+                base_storers=table.storer,
+                addresses=table.overlay.address_array(),
+                coded=global_table_cache().writable_coded(table),
+            )
+            if not storer_tables and not patches:
+                continue
+            handle = registry.acquire_epochs(
+                key, storer_tables, patches, table.n_nodes
+            )
+            acquired.append(key)
+            payloads[key] = handle.to_payload()
 
     def run(self, base: FastSimulationConfig,
             points: Sequence[SweepPoint],

@@ -141,19 +141,45 @@ def register_table_handles(table_handles: Mapping | None) -> None:
     """Make published shared-memory tables visible to this process.
 
     *table_handles* maps overlay fingerprints to
-    :class:`~repro.perf.shared.SharedTableHandle` payloads. Handles
-    are registered lazily — nothing attaches until a backend actually
-    prepares that topology — and idempotently, so re-sending the same
-    handles with every work item is free.
+    :class:`~repro.perf.shared.SharedTableHandle` payloads — plus,
+    under ``"epochs:..."`` keys, the
+    :class:`~repro.perf.shared.SharedEpochTablesHandle` payloads
+    (``"kind": "epoch-tables"``) carrying precomputed scenario epoch
+    artifacts, which are attached eagerly and installed into this
+    process's epoch cache so its plans resolve every epoch as a hit.
+    Dense handles are registered lazily — nothing attaches until a
+    backend actually prepares that topology — and both kinds
+    idempotently, so re-sending the same handles with every work item
+    is free.
     """
     if not table_handles:
         return
-    from ..perf.shared import SharedTableHandle
-    from ..perf.table_cache import global_table_cache
+    from ..perf.shared import (
+        SharedEpochTablesHandle,
+        SharedTableHandle,
+        attach_epoch_tables,
+    )
+    from ..perf.table_cache import (
+        global_epoch_table_cache,
+        global_table_cache,
+    )
 
     cache = global_table_cache()
     for handle_payload in table_handles.values():
-        cache.register_handle(SharedTableHandle.from_payload(handle_payload))
+        if handle_payload.get("kind") == "epoch-tables":
+            handle = SharedEpochTablesHandle.from_payload(handle_payload)
+            epoch_cache = global_epoch_table_cache()
+            wanted = (*handle.storer_keys, *handle.patch_keys)
+            if all(key in epoch_cache for key in wanted):
+                continue
+            artifacts, segments = attach_epoch_tables(handle)
+            for key, artifact in artifacts.items():
+                epoch_cache.install(key, artifact)
+            epoch_cache.adopt_segments(segments)
+        else:
+            cache.register_handle(
+                SharedTableHandle.from_payload(handle_payload)
+            )
 
 
 def execute_point(base: Mapping, payload: Mapping,

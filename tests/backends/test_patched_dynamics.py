@@ -1,0 +1,143 @@
+"""Patched-static dynamics routing == the decoded reference, bit for bit.
+
+The tentpole claim of the sparse epoch-patching work: churn epochs run
+through the *static* banded kernel — over an in-place patched coded
+matrix plus a dead-value LUT — and produce exactly the numbers the
+decoded dynamic mode (kept behind ``REPRO_DECODED_DYNAMICS``) does.
+Not statistically equivalent: every counter, every per-node vector,
+every histogram bucket identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import run_simulation
+from repro.backends.config import FastSimulationConfig
+from repro.backends.fast import (
+    DECODED_DYNAMICS_ENV,
+    NextHopTable,
+    cached_overlay,
+    clear_caches,
+)
+from repro.perf.table_cache import EPOCH_TABLE_LOG_ENV, global_table_cache
+
+BASE = dict(
+    n_nodes=120, bits=12, bucket_size=4, n_files=48,
+    file_min=4, file_max=8, batch_files=8, catalog_size=30,
+    originator_share=0.5,
+)
+
+#: Every dynamics shape the engine distinguishes: plain churn (empty
+#: coded patch), storer-recomputing churn (non-trivial patches), a
+#: join storm arriving in waves, and a composed stack that also
+#: exercises caching, free-riding, and demand focus on top of
+#: recomputed storers.
+SCENARIOS = (
+    "churn:rate=0.2",
+    "churn:rate=0.2,recompute=true",
+    "join:fraction=0.5,waves=3",
+    "churn:rate=0.15,recompute=true+caching:size=64"
+    "+freeriding:fraction=0.25+demand:share=0.2",
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def run_config(monkeypatch, scenario: str, *, decoded: bool):
+    if decoded:
+        monkeypatch.setenv(DECODED_DYNAMICS_ENV, "1")
+    else:
+        monkeypatch.delenv(DECODED_DYNAMICS_ENV, raising=False)
+    clear_caches()
+    return run_simulation(FastSimulationConfig(**BASE, scenario=scenario))
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_patched_matches_decoded_exactly(monkeypatch, scenario):
+    patched = run_config(monkeypatch, scenario, decoded=False)
+    decoded = run_config(monkeypatch, scenario, decoded=True)
+    for name in ("files", "chunks", "total_hops", "fallbacks",
+                 "local_hits", "cache_hits", "unavailable"):
+        assert getattr(patched, name) == getattr(decoded, name), name
+    assert patched.hop_histogram == decoded.hop_histogram
+    for name in ("forwarded", "first_hop", "income", "expenditure"):
+        assert np.array_equal(
+            getattr(patched, name), getattr(decoded, name)
+        ), name
+
+
+def test_coded_matrix_is_pristine_after_patched_run(monkeypatch):
+    """The working copy reverts bit-exactly when a run finishes."""
+    monkeypatch.delenv(DECODED_DYNAMICS_ENV, raising=False)
+    config = FastSimulationConfig(
+        **BASE, scenario="churn:rate=0.2,recompute=true"
+    )
+    table = NextHopTable(cached_overlay(config.overlay_config()))
+    pristine = table.coded_transposed.copy()
+    run_simulation(config)
+    working = global_table_cache().writable_coded(table)
+    assert np.array_equal(working, pristine)
+    assert np.array_equal(table.coded_transposed, pristine)
+
+
+def test_epoch_log_records_coded_patch_lifecycle(monkeypatch, tmp_path):
+    """REPRO_EPOCH_TABLE_LOG covers the coded-matrix cache entries.
+
+    One storer-recomputing run logs a ``patch`` (or ``hit``) and a
+    matching ``revert`` for every epoch under the ``"coded:"``-prefixed
+    chained fingerprint; a second run in the same process serves every
+    patch from cache.
+    """
+    monkeypatch.delenv(DECODED_DYNAMICS_ENV, raising=False)
+    log = tmp_path / "epoch-tables.log"
+    monkeypatch.setenv(EPOCH_TABLE_LOG_ENV, str(log))
+    config = FastSimulationConfig(
+        **BASE, scenario="churn:rate=0.2,recompute=true"
+    )
+    n_epochs = config.n_epochs()
+    run_simulation(config)
+    lines = [line.split() for line in log.read_text().splitlines()]
+    coded = [(fp, event) for fp, _, event in lines
+             if fp.startswith("coded:")]
+    assert [e for _, e in coded].count("patch") == n_epochs
+    assert [e for _, e in coded].count("revert") == n_epochs
+    run_simulation(config)
+    lines = [line.split() for line in log.read_text().splitlines()]
+    coded = [(fp, event) for fp, _, event in lines
+             if fp.startswith("coded:")]
+    assert [e for _, e in coded].count("patch") == n_epochs
+    assert [e for _, e in coded].count("hit") == n_epochs
+    assert [e for _, e in coded].count("revert") == 2 * n_epochs
+
+
+def test_clear_caches_drops_working_copies(monkeypatch):
+    """clear_caches covers the coded working copies.
+
+    Built tables are patched in place (no copy), so the working-copy
+    path only engages for read-only tables — the shape shared-memory
+    attachments have. Freeze one to stand in for an attachment.
+    """
+    monkeypatch.delenv(DECODED_DYNAMICS_ENV, raising=False)
+    config = FastSimulationConfig(
+        **BASE, scenario="churn:rate=0.2,recompute=true"
+    )
+    overlay = cached_overlay(config.overlay_config())
+    built = NextHopTable(overlay)
+    coded = built.coded_transposed.copy()
+    coded.flags.writeable = False
+    storer = built.storer.copy()
+    storer.flags.writeable = False
+    frozen = NextHopTable.from_arrays(overlay, coded=coded, storer=storer)
+    cache = global_table_cache()
+    cache.install(overlay.fingerprint(), frozen)
+    run_simulation(config)
+    assert cache._working, "a read-only table forces a working copy"
+    clear_caches()
+    assert not cache._working

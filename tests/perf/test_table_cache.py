@@ -209,7 +209,7 @@ class TestEpochTableCache:
         assert cache.get("fp-1", lambda: 1 / 0) is table
         cache.get("fp-2", lambda: table.copy(), patched=False)
         assert cache.stats.snapshot() == {
-            "patches": 1, "rebuilds": 1, "hits": 1,
+            "patches": 1, "rebuilds": 1, "hits": 1, "shared": 0,
         }
         assert cache.stats.resolutions == 3
         events = [line.split()[2] for line in log.read_text().splitlines()]

@@ -1,0 +1,121 @@
+"""Property tests for sparse in-place coded-matrix epoch patching.
+
+The invariant the whole patched-static mode rests on: along *any*
+epoch history — arbitrary interleavings of leaves and joins, patches
+applied and reverted in any walk order — the coded routing matrix is
+restored bit-exactly whenever every applied patch has been reverted.
+Absolute patches make this order-free: each patch is expressed against
+the pristine matrix, so revert-outstanding-then-apply-next moves
+between any two epochs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kademlia.table import (
+    alive_storer_table,
+    coded_arrive_patch,
+    dead_value_lut,
+)
+
+N_NODES = 32
+SPACE = 256
+
+
+def _build_fixture():
+    from repro.backends.fast import NextHopTable
+    from repro.kademlia.buckets import BucketLimits
+    from repro.kademlia.overlay import Overlay, OverlayConfig
+
+    overlay = Overlay.build(OverlayConfig(
+        n_nodes=N_NODES, bits=8, limits=BucketLimits.uniform(4), seed=11
+    ))
+    table = NextHopTable(overlay)
+    return (
+        overlay.address_array().astype(np.uint64),
+        table.coded_transposed,
+        table.storer,
+    )
+
+
+ADDRESSES, CODED, BASE_STORERS = _build_fixture()
+PRISTINE = CODED.copy()
+
+# Alive masks with at least one survivor (all-offline epochs never
+# reach the patching layer: the engine skips them wholesale).
+alive_masks = st.lists(
+    st.booleans(), min_size=N_NODES, max_size=N_NODES
+).map(lambda bits: np.array(bits, dtype=bool)).filter(lambda m: m.any())
+
+
+def epoch_patch(alive: np.ndarray):
+    storers = alive_storer_table(
+        ADDRESSES, alive, BASE_STORERS.dtype, SPACE
+    )
+    return coded_arrive_patch(CODED, BASE_STORERS, storers), storers
+
+
+class TestPatchUndoRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(alive_masks)
+    def test_apply_then_revert_is_identity(self, alive):
+        working = PRISTINE.copy()
+        flat = working.reshape(-1)
+        patch, _ = epoch_patch(alive)
+        patch.apply(flat)
+        patch.revert(flat)
+        assert np.array_equal(working, PRISTINE)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(alive_masks, min_size=1, max_size=6))
+    def test_arbitrary_epoch_history_restores_pristine(self, history):
+        """Walk epochs the way EpochPlan does: revert-then-apply."""
+        working = PRISTINE.copy()
+        flat = working.reshape(-1)
+        outstanding = None
+        for alive in history:
+            if outstanding is not None:
+                outstanding.revert(flat)
+            outstanding, _ = epoch_patch(alive)
+            outstanding.apply(flat)
+        if outstanding is not None:
+            outstanding.revert(flat)
+        assert np.array_equal(working, PRISTINE)
+
+    @settings(max_examples=40, deadline=None)
+    @given(alive_masks)
+    def test_patch_is_promotion_only(self, alive):
+        """Every patched entry promotes a forward value into arrive."""
+        patch, storers = epoch_patch(alive)
+        flat_pristine = PRISTINE.reshape(-1)
+        assert np.array_equal(flat_pristine[patch.indices], patch.prior)
+        # Each patched position held the row's *epoch* storer as a
+        # plain forward pointer; the patch re-tags it as an arrival.
+        rows = patch.indices // N_NODES
+        assert np.array_equal(patch.prior, storers[rows])
+        assert np.array_equal(
+            patch.values, patch.prior + np.uint16(N_NODES)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(alive_masks)
+    def test_unchanged_storers_patch_nothing(self, alive):
+        """Rows whose storer survives contribute no patch entries."""
+        patch, storers = epoch_patch(alive)
+        rows = np.unique(patch.indices // N_NODES)
+        changed = np.flatnonzero(storers != BASE_STORERS)
+        assert np.isin(rows, changed).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(alive_masks)
+    def test_dead_value_lut_tiles_three_bands(self, alive):
+        lut = dead_value_lut(alive)
+        assert lut.shape == (3 * N_NODES,)
+        dead = ~alive
+        for band in range(3):
+            assert np.array_equal(
+                lut[band * N_NODES:(band + 1) * N_NODES], dead
+            )

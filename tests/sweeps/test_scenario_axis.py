@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import warnings
 from collections import Counter
 
@@ -134,19 +135,42 @@ class TestComposedSweep:
         )
         result = run_sweep(spec, jobs=1)
         assert result.executed == 3
-        events = Counter(
-            line.split()[2] for line in log.read_text().splitlines()
+        lines = [line.split() for line in log.read_text().splitlines()]
+        storer = Counter(
+            event for fingerprint, _, event in lines
+            if not fingerprint.startswith("coded:")
         )
-        resolutions = sum(events.values())
-        computed = events["patch"] + events["rebuild"]
+        resolutions = storer["patch"] + storer["rebuild"] + storer["hit"]
+        computed = storer["patch"] + storer["rebuild"]
         assert resolutions == 15
         assert computed == 5
-        assert events["hit"] == 10
+        assert storer["hit"] == 10
         assert computed < resolutions, (
             "the delta cache must beat recompute-per-replica"
         )
+        # The coded-matrix patches amortize identically: the matrix is
+        # scanned once per epoch on the first replica, the later
+        # replicas re-apply the cached sparse patch, and every applied
+        # patch is reverted on epoch exit (pristine-matrix guarantee).
+        coded = Counter(
+            event for fingerprint, _, event in lines
+            if fingerprint.startswith("coded:")
+        )
+        assert coded["patch"] + coded["rebuild"] == 5
+        assert coded["hit"] == 10
+        assert coded["revert"] == 15
 
     def test_parallel_workers_also_amortize(self, tmp_path, monkeypatch):
+        """Once-per-machine epoch work: the parent precomputes, the
+        pool installs.
+
+        The sweep parent replays the schedule once (5 storer patches +
+        5 coded-matrix scans, all under its own pid), publishes the
+        artifacts over shared memory, and every worker installs them
+        (``shared`` events) and resolves its epochs purely as cache
+        hits — no worker ever patches a storer table or scans the
+        coded matrix itself.
+        """
         log = tmp_path / "epoch-tables.log"
         monkeypatch.setenv(EPOCH_TABLE_LOG_ENV, str(log))
         spec = SweepSpec(
@@ -157,17 +181,31 @@ class TestComposedSweep:
             warnings.simplefilter("ignore", RuntimeWarning)
             result = run_sweep(spec, jobs=2)
         assert result.executed == 4
+        parent = str(os.getpid())
         per_pid: dict[str, Counter] = {}
         for line in log.read_text().splitlines():
-            _, pid, event = line.split()
-            per_pid.setdefault(pid, Counter())[event] += 1
-        # Every worker that ran >= 2 replicas computed each of the 5
-        # epoch tables at most once and served the rest from cache.
+            fingerprint, pid, event = line.split()
+            kind = ("coded" if fingerprint.startswith("coded:")
+                    else "storer")
+            per_pid.setdefault(pid, Counter())[f"{kind}:{event}"] += 1
+        assert parent in per_pid
+        assert len(per_pid) >= 2, "expected at least one pool worker"
         for pid, events in per_pid.items():
-            computed = events["patch"] + events["rebuild"]
-            assert computed <= 5, (pid, events)
-            if sum(events.values()) > 5:
-                assert events["hit"] > 0, (pid, events)
+            computed = (
+                events["storer:patch"] + events["storer:rebuild"]
+                + events["coded:patch"] + events["coded:rebuild"]
+            )
+            if pid == parent:
+                # The one precompute pass: 5 epochs' storer patches
+                # plus 5 coded-matrix scans, and nothing else.
+                assert computed == 10, (pid, events)
+                assert events["storer:hit"] == 0, (pid, events)
+            else:
+                assert computed == 0, (pid, events)
+                assert events["storer:shared"] == 5, (pid, events)
+                assert events["coded:shared"] == 5, (pid, events)
+                assert events["storer:hit"] > 0, (pid, events)
+                assert events["coded:hit"] > 0, (pid, events)
 
 
 class TestTraceReplayAxis:

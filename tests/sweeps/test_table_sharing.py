@@ -222,7 +222,56 @@ def fake_bench_record(dirty: bool) -> dict:
             "chunks_per_second": 2.0,
             "attach_vs_build_speedup": 1000.0,
         },
+        "dynamics": {
+            "scenario": "churn:rate=0.1",
+            "workload": {"files": 1, "chunks": 1, "total_hops": 1},
+            "metrics": {
+                "run_seconds": 0.6,
+                "chunks_per_second": 1.7,
+                "slowdown_vs_static": 1.18,
+            },
+        },
     }
+
+
+class TestDynamicsRegressionGate:
+    """check_regression covers the dynamics headline too."""
+
+    def test_dynamics_drop_fails_gate(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        current["dynamics"]["metrics"]["chunks_per_second"] = 0.5
+        problems = check_regression(current, baseline, 2.0)
+        assert len(problems) == 1
+        assert "dynamics throughput regression" in problems[0]
+
+    def test_pre_dynamics_baseline_gates_static_only(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        del baseline["dynamics"]
+        current["dynamics"]["metrics"]["chunks_per_second"] = 1e-6
+        assert check_regression(current, baseline, 2.0) == []
+
+    def test_mismatched_dynamics_workload_refuses_to_compare(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        baseline["dynamics"]["workload"]["chunks"] = 2
+        problems = check_regression(current, baseline, 2.0)
+        assert len(problems) == 1
+        assert "meaningless" in problems[0]
+
+    def test_matching_records_pass(self):
+        from repro.perf.bench import check_regression
+
+        assert check_regression(
+            fake_bench_record(False), fake_bench_record(False), 2.0
+        ) == []
 
 
 class TestBenchProvenance:
