@@ -1,13 +1,32 @@
-"""Extension benchmark: retrieval latency vs bucket size.
+"""Extension benchmark: retrieval latency vs bucket size, plus the
+time-domain backend's equivalence and throughput smoke.
 
-The performance companion to the paper's fairness result: every hop
-saved by a larger routing table is a saved round trip, so k=20 cuts
-both mean and tail retrieval latency.
+The pytest entry point keeps the original claim — every hop saved by
+a larger routing table is a saved round trip, so k=20 cuts both mean
+and tail retrieval latency. The script entry point is the CI
+perf-smoke gate for the ``time`` backend::
+
+    python benchmarks/bench_latency.py --quick
+
+It asserts the acceptance oracle (with unbounded bandwidth the time
+backend's per-node counters are bit-identical to the fast backend)
+and then measures the contended event wheel under the headline
+:data:`~repro.perf.bench.LATENCY_PROFILE`.
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
+import sys
+import time
+
+import numpy as np
+
+from repro.backends import get_backend
+from repro.backends.config import FastSimulationConfig
 from repro.experiments.extensions import run_latency
+from repro.perf.bench import LATENCY_PROFILE
 
 
 def test_latency(benchmark, bench_scale):
@@ -26,3 +45,75 @@ def test_latency(benchmark, bench_scale):
     # Mean latency decreases monotonically with k.
     means = [series[k]["mean_ms"] for k in ks]
     assert means == sorted(means, reverse=True)
+
+
+def _check_equivalence(config: FastSimulationConfig) -> list[str]:
+    """Unbounded-bandwidth time run vs fast run: exact counters."""
+    fast = get_backend("fast").prepare(config).run()
+    timed = get_backend("time").prepare(config).run()
+    problems = []
+    for attr in ("forwarded", "first_hop", "income", "expenditure"):
+        if not np.array_equal(getattr(fast, attr), getattr(timed, attr)):
+            problems.append(f"per-node {attr} diverged from fast")
+    for attr in ("total_hops", "local_hits", "fallbacks", "cache_hits",
+                 "unavailable", "chunks"):
+        if getattr(fast, attr) != getattr(timed, attr):
+            problems.append(f"{attr} diverged from fast")
+    if fast.hop_histogram != timed.hop_histogram:
+        problems.append("hop histogram diverged from fast")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="time-domain backend benchmark (equivalence + wheel)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI scale (300 nodes, 1000 files) instead of paper scale",
+    )
+    args = parser.parse_args(argv)
+
+    n_nodes = 300 if args.quick else 1000
+    n_files = 1000 if args.quick else 10_000
+    base = FastSimulationConfig(
+        n_nodes=n_nodes, n_files=n_files, hop_latency_ms=30.0
+    )
+
+    failures = _check_equivalence(base)
+    failures += _check_equivalence(
+        dataclasses.replace(base, scenario="churn:rate=0.1+caching")
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"equivalence: time backend matches fast bit-for-bit "
+        f"({n_nodes} nodes, {n_files} files, static + churn/caching)"
+    )
+
+    contended = dataclasses.replace(base, **LATENCY_PROFILE)
+    started = time.perf_counter()
+    result = get_backend("time").prepare(contended).run()
+    elapsed = time.perf_counter() - started
+    stats = result.latency_stats()
+    print(
+        f"event wheel: {result.chunks:,} chunks in {elapsed:.1f}s "
+        f"({result.chunks / elapsed:,.0f} chunks/s), {stats}"
+    )
+    # Contention can only make retrievals slower than pure propagation.
+    floor_ms = 2.0 * contended.hop_latency_ms
+    routed = result.latency_ms[result.latency_ms > 0]
+    if routed.size and routed.min() < floor_ms - 1e-9:
+        print(
+            f"FAIL: a routed chunk finished in {routed.min():.1f}ms, "
+            f"below the one-hop propagation floor {floor_ms:.1f}ms",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

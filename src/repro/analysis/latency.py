@@ -1,24 +1,36 @@
-"""Retrieval-latency modelling from hop counts.
+"""Retrieval-latency modelling and measurement.
 
 The paper measures bandwidth, not latency, but its §V trade-off
 discussion ("increasing k means ... higher cost") has a flip side the
-simulator can quantify for free: every saved hop is a saved network
-round trip. This module converts the per-chunk hop histogram any
-simulation produces into a latency distribution under a simple
-per-hop delay model, giving the k-sweep a user-visible axis
-(milliseconds) alongside fairness and bandwidth.
+simulator can quantify: every saved hop is a saved network round trip.
+Two complementary tools live here:
+
+* the hop-histogram *model* (:class:`LatencyModel` /
+  :func:`latency_distribution`): converts any simulation's per-chunk
+  hop histogram into latency percentiles under a fixed per-hop delay —
+  free, but blind to bandwidth contention; and
+* the *measured* path (:class:`LatencySummary` /
+  :func:`summarize_latencies`): percentile/CDF statistics over the
+  per-chunk latency samples the time-domain backend records, which do
+  include queueing and fair-share bandwidth effects.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .._validation import require_non_negative, require_positive
 from ..errors import ConfigurationError
 
-__all__ = ["LatencyModel", "LatencyDistribution", "latency_distribution"]
+__all__ = [
+    "LatencyModel",
+    "LatencyDistribution",
+    "latency_distribution",
+    "LatencySummary",
+    "summarize_latencies",
+]
 
 
 @dataclass(frozen=True)
@@ -102,4 +114,70 @@ def latency_distribution(hop_histogram: dict[int, int],
         p99_ms=percentile(0.99),
         max_ms=float(latencies[-1]),
         chunks=total,
+    )
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile statistics over measured per-chunk latency samples.
+
+    ``samples`` retains the raw sorted milliseconds for CDF plotting;
+    it is excluded from equality so summaries compare by their
+    statistics.
+    """
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    samples: np.ndarray = field(repr=False, compare=False,
+                                default_factory=lambda: np.empty(0))
+
+    def __str__(self) -> str:
+        return (
+            f"latency over {self.count} chunks: mean {self.mean_ms:.1f}ms, "
+            f"p50 {self.p50_ms:.1f}ms, p95 {self.p95_ms:.1f}ms, "
+            f"p99 {self.p99_ms:.1f}ms, max {self.max_ms:.1f}ms"
+        )
+
+    def cdf(self, points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """(latency_ms, cumulative fraction) pairs for plotting.
+
+        Evaluates the empirical CDF at *points* evenly spaced
+        quantiles — a fixed-size summary regardless of sample count.
+        """
+        require_positive(points, "points")
+        if self.samples.size == 0:
+            raise ConfigurationError(
+                "this summary was built without retained samples"
+            )
+        qs = np.linspace(0.0, 1.0, points + 1)
+        return np.quantile(self.samples, qs), qs
+
+
+def summarize_latencies(samples_ms: np.ndarray) -> LatencySummary:
+    """Summarize measured per-chunk retrieval latencies (milliseconds).
+
+    Percentiles use the empirical (inverted-CDF) definition so small
+    sample sets report latencies that actually occurred.
+    """
+    samples = np.asarray(samples_ms, dtype=np.float64)
+    if samples.size == 0:
+        raise ConfigurationError("no latency samples to summarize")
+    if np.any(samples < 0):
+        raise ConfigurationError("latency samples must be >= 0")
+    samples = np.sort(samples)
+    p50, p95, p99 = np.quantile(
+        samples, (0.50, 0.95, 0.99), method="inverted_cdf"
+    )
+    return LatencySummary(
+        count=int(samples.size),
+        mean_ms=float(samples.mean()),
+        p50_ms=float(p50),
+        p95_ms=float(p95),
+        p99_ms=float(p99),
+        max_ms=float(samples[-1]),
+        samples=samples,
     )

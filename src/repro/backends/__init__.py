@@ -16,6 +16,9 @@ name        engine
 fast        batched numpy: whole-workload lockstep hop waves, with
             native path-caching and churn scenarios
 fast-perfile legacy vectorized loop (one python iteration per file)
+time        time-domain event wheel over the same routing matrices:
+            finite up/down bandwidth, concurrency caps, per-chunk
+            latency samples (hop counters bit-identical to fast)
 reference   object-oriented SwarmNetwork, full SWAP observability
 flat        per-chunk flat reward on routed traffic (F1-ideal)
 filecoin    storage-power block rewards + retrieval payments
@@ -47,6 +50,11 @@ from .fast import (  # noqa: E402
     clear_caches,
     paper_result,
 )
+from .timed import (  # noqa: E402
+    FluidWheel,
+    TimeBackend,
+    TimedSimulation,
+)
 from .reference import ReferenceBackend  # noqa: E402
 from .baselines import (  # noqa: E402
     FilecoinBackend,
@@ -73,6 +81,9 @@ __all__ = [
     "cached_overlay",
     "clear_caches",
     "paper_result",
+    "FluidWheel",
+    "TimeBackend",
+    "TimedSimulation",
     "ReferenceBackend",
     "FilecoinBackend",
     "FlatRewardBackend",

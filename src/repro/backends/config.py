@@ -59,6 +59,27 @@ class FastSimulationConfig:
     * ``scenario`` — a composition string over the full scenario
       library (churn, caching, freeriding, join, demand), combined
       with ``+``; composes on top of the two legacy fields above.
+
+    Time-domain extensions (the ``time`` backend; ignored by the
+    timeless hop backends):
+
+    * ``arrival_rate`` — mean file-download arrivals per second (a
+      Poisson process drawn from ``arrival_seed``, separate from the
+      workload stream); 0 releases every download at ``t=0``.
+    * ``chunk_kib`` — payload size of one chunk transfer.
+    * ``node_up_mbps`` / ``node_down_mbps`` — per-node uplink and
+      downlink capacity in Mbit/s, fair-shared across a node's
+      concurrent transfers; 0 means unbounded (useful alone and as
+      the equivalence mode against the static kernel).
+    * ``max_concurrent`` — per-node cap on simultaneous *outgoing*
+      transfers; excess hops queue FIFO at the sender. 0 = no cap.
+    * ``hop_latency_ms`` — fixed one-way per-hop propagation delay;
+      a ``hops``-hop retrieval pays ``2 * hops`` of them (request out,
+      data back).
+    * ``time_quantum_ms`` — event-wheel completion slot width: fluid
+      transfer completions are batched up to the next multiple, which
+      bounds the number of bandwidth recomputations (coarser = faster,
+      at ≤ one quantum of per-chunk latency error). 0 = exact.
     """
 
     n_nodes: int = 1000
@@ -81,6 +102,14 @@ class FastSimulationConfig:
     churn_recompute_storers: bool = False
     scenario: str = ""
     batch_files: int = 512
+    arrival_rate: float = 0.0
+    arrival_seed: int = 909
+    chunk_kib: float = 4.0
+    node_up_mbps: float = 0.0
+    node_down_mbps: float = 0.0
+    max_concurrent: int = 0
+    hop_latency_ms: float = 0.0
+    time_quantum_ms: float = 0.0
 
     def __post_init__(self) -> None:
         require_int(self.n_files, "n_files")
@@ -99,6 +128,21 @@ class FastSimulationConfig:
                 f"pricing must be 'xor', 'proximity' or 'flat', got "
                 f"{self.pricing!r}"
             )
+        require_int(self.max_concurrent, "max_concurrent")
+        for name in ("arrival_rate", "chunk_kib", "node_up_mbps",
+                     "node_down_mbps", "hop_latency_ms",
+                     "time_quantum_ms"):
+            value = getattr(self, name)
+            if not value >= 0:
+                raise ConfigurationError(
+                    f"{name} must be >= 0, got {value!r}"
+                )
+        if self.max_concurrent < 0:
+            raise ConfigurationError(
+                f"max_concurrent must be >= 0, got {self.max_concurrent}"
+            )
+        if self.chunk_kib == 0:
+            raise ConfigurationError("chunk_kib must be positive")
         if not isinstance(self.scenario, str):
             raise ConfigurationError(
                 f"scenario must be a composition string, got "

@@ -29,6 +29,9 @@ class SimulationResult:
     the paid zero-proximity hop; ``expenditure`` is what originators
     paid out. ``cache_hits`` and ``unavailable`` are only non-zero
     when the corresponding scenario (path caching, churn) is active.
+    ``latency_ms`` holds one measured retrieval latency per retrieved
+    chunk (unordered) when the run came from the time-domain backend,
+    else ``None`` — the timeless hop backends have no clock.
     """
 
     config: FastSimulationConfig
@@ -46,6 +49,7 @@ class SimulationResult:
     unavailable: int = 0
     hop_histogram: dict[int, int] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    latency_ms: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Paper quantities
@@ -101,6 +105,22 @@ class SimulationResult:
         """F1/F2 with income (units) as the reward."""
         return evaluate_fairness(self.forwarded.astype(np.float64), self.income)
 
+    def latency_stats(self):
+        """Measured latency percentiles (time backend runs only).
+
+        Returns an :class:`~repro.analysis.latency.LatencySummary`;
+        raises :class:`ConfigurationError` when the run carries no
+        latency samples (any timeless backend).
+        """
+        from ..analysis.latency import summarize_latencies
+
+        if self.latency_ms is None:
+            raise ConfigurationError(
+                "this result carries no latency samples; run the "
+                "'time' backend to measure retrieval latency"
+            )
+        return summarize_latencies(self.latency_ms)
+
     def summary(self) -> str:
         """One-paragraph run summary."""
         extras = ""
@@ -108,6 +128,12 @@ class SimulationResult:
             extras += f", cache hits = {self.cache_hits}"
         if self.unavailable:
             extras += f", availability = {self.availability:.1%}"
+        if self.latency_ms is not None and self.latency_ms.size:
+            stats = self.latency_stats()
+            extras += (
+                f", latency p50/p95/p99 = {stats.p50_ms:.1f}/"
+                f"{stats.p95_ms:.1f}/{stats.p99_ms:.1f} ms"
+            )
         return (
             f"{self.files} files / {self.chunks} chunks over "
             f"{self.n_nodes} nodes (k={self.config.bucket_size}, "
@@ -138,6 +164,13 @@ class SimulationResult:
         merged_hist = dict(self.hop_histogram)
         for hops, count in other.hop_histogram.items():
             merged_hist[hops] = merged_hist.get(hops, 0) + count
+        if self.latency_ms is None and other.latency_ms is None:
+            merged_latency = None
+        else:
+            parts = [samples for samples in
+                     (self.latency_ms, other.latency_ms)
+                     if samples is not None]
+            merged_latency = np.concatenate(parts)
         return SimulationResult(
             config=self.config,
             node_addresses=self.node_addresses,
@@ -154,4 +187,5 @@ class SimulationResult:
             unavailable=self.unavailable + other.unavailable,
             hop_histogram=merged_hist,
             elapsed_seconds=self.elapsed_seconds + other.elapsed_seconds,
+            latency_ms=merged_latency,
         )

@@ -1,0 +1,745 @@
+"""The time-domain simulation backend (``--backend time``).
+
+The hop kernel answers "how many hops and who forwarded"; this module
+answers "*when* did each chunk arrive". It runs in two phases:
+
+1. **Path recording** — the same terminal-coded routing matrices, the
+   same target-sorted hop waves, the same epoch-patched scenario
+   plumbing as :class:`~repro.backends.fast.FastSimulation`, with one
+   addition: each wave also records ``(chunk id, receiver)`` so every
+   retrieval leaves a concrete node path behind. Every counter
+   (forwarded, first-hop, hop histogram, income, fallbacks, cache
+   hits) is computed with the same arithmetic in the same order, so
+   the hop-count projection of a time run is **bit-identical** to the
+   fast backend — the golden-fixture equivalence suite pins this.
+2. **Fluid timeline** — a vectorized event wheel over the recorded
+   paths, driven by the :class:`~repro.engine.des.EventScheduler`.
+   Each in-flight chunk carries ``(remaining_bytes, path, hop_index)``;
+   a transfer's rate is the fair share
+   ``min(up / sender_out, down / receiver_in)`` of its endpoints'
+   finite bandwidth, recomputed only at arrival/departure events.
+   Fixed per-hop propagation (``2 * hops * hop_latency_ms``: request
+   out, data back) is folded into the chunk's release time, so the
+   wheel only simulates the bandwidth-bound data hops. A positive
+   ``time_quantum_ms`` batches completions into slots, bounding the
+   number of bandwidth recomputations for paper-scale runs.
+
+With unbounded bandwidth and no concurrency cap the wheel collapses
+to closed form (latency = ``2 * hops * hop_latency``), which is both
+the equivalence mode against the static kernel and the pure
+propagation-delay model.
+
+Not supported here: the decoded three-column reference mode
+(:data:`~repro.backends.fast.DECODED_DYNAMICS_ENV` is ignored —
+dynamic epochs always route through the patched-static kernel) and
+the legacy per-file loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.des import EventScheduler
+from ..errors import SimulationError
+from ..workloads.distributions import PoissonArrivals
+from .base import SimulationBackend, register_backend
+from .config import FastSimulationConfig
+from .fast import FastSimulation
+from .result import SimulationResult
+
+__all__ = ["TimedSimulation", "TimeBackend", "ChunkPaths", "FluidWheel"]
+
+#: Decimal megabit per second -> bytes per second.
+MBPS_TO_BYTES = 1e6 / 8.0
+
+#: A transfer counts as complete when this many bytes (or fewer)
+#: remain — absorbs float error in ``remaining -= rate * dt``.
+_EPS_BYTES = 1e-6
+
+
+# ----------------------------------------------------------------------
+# Phase 1: path recording
+
+
+@dataclass
+class ChunkPaths:
+    """The per-chunk delivery paths one routing pass recorded.
+
+    ``hops[c]`` is chunk *c*'s network path length (0 for chunks that
+    never touched the network: local hits and unavailable chunks).
+    ``nodes[offsets[c]:offsets[c] + hops[c]]`` are the nodes the
+    *request* visited in hop order; the last entry is the node that
+    served the chunk, and the data retraces the path in reverse.
+    ``zero_ids`` are the local hits (retrieved instantly, latency 0);
+    chunks with ``hops == 0`` that are not in ``zero_ids`` were
+    unavailable and produce no latency sample.
+    """
+
+    hops: np.ndarray
+    offsets: np.ndarray
+    nodes: np.ndarray
+    zero_ids: np.ndarray
+
+    @property
+    def routed_ids(self) -> np.ndarray:
+        """Chunk ids that actually traversed the network."""
+        return np.flatnonzero(self.hops > 0)
+
+
+class _PathRecorder:
+    """Accumulates per-wave receivers into flat per-chunk paths."""
+
+    def __init__(self, n_chunks: int) -> None:
+        self.n_chunks = n_chunks
+        self._waves: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {}
+        self._zero: list[np.ndarray] = []
+
+    def record_wave(self, depth: int, ids: np.ndarray,
+                    receivers: np.ndarray) -> None:
+        """Chunks *ids* were forwarded to *receivers* at wave *depth*."""
+        if ids.size:
+            self._waves.setdefault(depth, []).append(
+                (ids, receivers.astype(np.int32))
+            )
+
+    def record_zero_hop(self, ids: np.ndarray) -> None:
+        """Chunks *ids* were local hits (no network path)."""
+        if ids.size:
+            self._zero.append(ids)
+
+    def assemble(self) -> ChunkPaths:
+        """Flatten the recorded waves into contiguous per-chunk paths."""
+        hops = np.zeros(self.n_chunks, dtype=np.int32)
+        for pairs in self._waves.values():
+            for ids, _ in pairs:
+                hops[ids] += 1
+        offsets = np.zeros(self.n_chunks + 1, dtype=np.int64)
+        np.cumsum(hops, out=offsets[1:])
+        nodes = np.empty(int(offsets[-1]), dtype=np.int32)
+        # A chunk in flight at wave d was in flight at every wave
+        # before it, so its wave-d receiver sits at path position d-1.
+        for depth, pairs in self._waves.items():
+            for ids, receivers in pairs:
+                nodes[offsets[ids] + (depth - 1)] = receivers
+        zero = (np.concatenate(self._zero) if self._zero
+                else np.empty(0, dtype=np.int64))
+        return ChunkPaths(hops=hops, offsets=offsets[:-1], nodes=nodes,
+                          zero_ids=np.sort(zero))
+
+
+# ----------------------------------------------------------------------
+# Phase 2: the fluid event wheel
+
+
+class FluidWheel:
+    """Fair-share fluid transfer timeline over recorded paths.
+
+    One instance simulates the data movement of every routed chunk:
+    chunk *j* is released into the wheel at ``release[j]`` (arrival
+    time plus total fixed propagation) and its payload then crosses
+    the recorded path in reverse, one bandwidth-bound transfer per
+    hop. All state is structure-of-arrays over the currently active
+    transfers; the :class:`EventScheduler` sequences release batches
+    and completion slots, with stale completion events invalidated by
+    a generation counter (lazy cancellation).
+    """
+
+    def __init__(self, *, n_nodes: int, chunk_bytes: float,
+                 up_bytes_s: float, down_bytes_s: float,
+                 max_concurrent: int, quantum_s: float,
+                 release_s: np.ndarray, hops: np.ndarray,
+                 offsets: np.ndarray, nodes: np.ndarray,
+                 origins: np.ndarray) -> None:
+        self.n_nodes = n_nodes
+        self.chunk_bytes = float(chunk_bytes)
+        self.up = up_bytes_s if up_bytes_s > 0 else np.inf
+        self.down = down_bytes_s if down_bytes_s > 0 else np.inf
+        self.cap = int(max_concurrent)
+        self.quantum = float(quantum_s)
+        self.hops = hops
+        self.offsets = offsets
+        self.nodes = nodes
+        self.origins = origins
+        if self.quantum > 0:
+            release_s = self._snap_up(release_s)
+        self.release = release_s
+        m = release_s.size
+        self.done = np.full(m, -1.0)
+        # Active transfers (structure of arrays).
+        self._chunk = np.empty(0, dtype=np.int64)
+        self._hop = np.empty(0, dtype=np.int32)
+        self._sender = np.empty(0, dtype=np.int64)
+        self._receiver = np.empty(0, dtype=np.int64)
+        self._remaining = np.empty(0, dtype=np.float64)
+        self._rate = np.empty(0, dtype=np.float64)
+        # FIFO admission queue (only populated when cap > 0).
+        self._q_chunk = np.empty(0, dtype=np.int64)
+        self._q_hop = np.empty(0, dtype=np.int32)
+        self._q_sender = np.empty(0, dtype=np.int64)
+        self._q_receiver = np.empty(0, dtype=np.int64)
+        self._last = 0.0
+        self._gen = 0
+
+    # -- helpers -------------------------------------------------------
+
+    def _snap_up(self, t):
+        """Quantize times up to the next slot boundary (vector or scalar)."""
+        q = self.quantum
+        return np.ceil(np.asarray(t) / q - 1e-12) * q
+
+    def _endpoints(self, chunks: np.ndarray,
+                   hop: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(sender, receiver) node indices of data-hop *hop* per chunk.
+
+        Data-hop 0 leaves the serving node (the last request hop);
+        the final data-hop delivers to the originator.
+        """
+        pos = self.offsets[chunks] + (self.hops[chunks] - 1 - hop)
+        sender = self.nodes[pos].astype(np.int64)
+        last = hop == self.hops[chunks] - 1
+        receiver = np.where(
+            last, self.origins[chunks],
+            self.nodes[np.maximum(pos - 1, 0)],
+        ).astype(np.int64)
+        return sender, receiver
+
+    def _enqueue(self, chunks: np.ndarray, hop: np.ndarray) -> None:
+        """Request data-hop *hop* for *chunks* (activate or queue)."""
+        if chunks.size == 0:
+            return
+        sender, receiver = self._endpoints(chunks, hop)
+        if self.cap == 0:
+            self._activate(chunks, hop, sender, receiver)
+            return
+        self._q_chunk = np.concatenate((self._q_chunk, chunks))
+        self._q_hop = np.concatenate((self._q_hop, hop.astype(np.int32)))
+        self._q_sender = np.concatenate((self._q_sender, sender))
+        self._q_receiver = np.concatenate((self._q_receiver, receiver))
+
+    def _activate(self, chunks, hop, sender, receiver) -> None:
+        self._chunk = np.concatenate((self._chunk, chunks))
+        self._hop = np.concatenate((self._hop, hop.astype(np.int32)))
+        self._sender = np.concatenate((self._sender, sender))
+        self._receiver = np.concatenate((self._receiver, receiver))
+        self._remaining = np.concatenate((
+            self._remaining,
+            np.full(chunks.size, self.chunk_bytes),
+        ))
+
+    def _admit(self) -> None:
+        """Move queued requests whose sender has a free slot to active.
+
+        FIFO per sender: among the queued requests of one sender, the
+        oldest fill the free slots (queue arrays are kept in request
+        order, so rank-in-queue is rank-in-time).
+        """
+        if self.cap == 0 or self._q_chunk.size == 0:
+            return
+        busy = np.bincount(self._sender, minlength=self.n_nodes)
+        free = self.cap - busy
+        senders = self._q_sender
+        by_sender = np.argsort(senders, kind="stable")
+        sorted_senders = senders[by_sender]
+        starts = np.concatenate(
+            ([True], sorted_senders[1:] != sorted_senders[:-1])
+        )
+        position = np.arange(senders.size)
+        group_first = position[starts]
+        group_id = np.cumsum(starts) - 1
+        rank = np.empty(senders.size, dtype=np.int64)
+        rank[by_sender] = position - group_first[group_id]
+        admit = rank < free[senders]
+        if not admit.any():
+            return
+        self._activate(self._q_chunk[admit], self._q_hop[admit],
+                       self._q_sender[admit], self._q_receiver[admit])
+        keep = ~admit
+        self._q_chunk = self._q_chunk[keep]
+        self._q_hop = self._q_hop[keep]
+        self._q_sender = self._q_sender[keep]
+        self._q_receiver = self._q_receiver[keep]
+
+    def _recompute_rates(self) -> None:
+        """Fair-share rate per active transfer at the current instant."""
+        if self._chunk.size == 0:
+            self._rate = np.empty(0, dtype=np.float64)
+            return
+        out = np.bincount(self._sender, minlength=self.n_nodes)
+        inn = np.bincount(self._receiver, minlength=self.n_nodes)
+        self._rate = np.minimum(
+            self.up / out[self._sender], self.down / inn[self._receiver]
+        )
+
+    def _advance(self, now: float) -> None:
+        """Progress every active transfer to *now* at its last rate."""
+        dt = now - self._last
+        if dt > 0 and self._remaining.size:
+            finite = np.isfinite(self._rate)
+            self._remaining[finite] -= self._rate[finite] * dt
+        self._last = now
+
+    def _complete(self, now: float) -> None:
+        """Retire finished transfers; chain or finish their chunks."""
+        finished = self._remaining <= _EPS_BYTES
+        infinite = ~np.isfinite(self._rate)
+        if infinite.any():
+            # Unbounded endpoints transfer instantaneously.
+            finished |= infinite
+        if not finished.any():
+            # The scheduled completion instant is exact up to float
+            # error; retire the nearest transfer so the wheel always
+            # makes progress.
+            finished = self._remaining <= self._remaining.min() + _EPS_BYTES
+        chunks = self._chunk[finished]
+        hop = self._hop[finished]
+        keep = ~finished
+        self._chunk = self._chunk[keep]
+        self._hop = self._hop[keep]
+        self._sender = self._sender[keep]
+        self._receiver = self._receiver[keep]
+        self._remaining = self._remaining[keep]
+        self._rate = self._rate[keep]
+        last_hop = hop == self.hops[chunks] - 1
+        self.done[chunks[last_hop]] = now
+        ongoing = ~last_hop
+        if ongoing.any():
+            self._enqueue(chunks[ongoing], hop[ongoing] + 1)
+
+    def _reschedule(self, scheduler: EventScheduler) -> None:
+        """Schedule the next completion slot (invalidating older ones)."""
+        self._gen += 1
+        if self._chunk.size == 0:
+            return
+        generation = self._gen
+        finite = np.isfinite(self._rate)
+        if finite.all():
+            dt = float((self._remaining / self._rate).min())
+        else:
+            dt = 0.0
+        when = self._last + dt
+        if self.quantum > 0:
+            when = float(self._snap_up(when))
+        when = max(when, scheduler.now)
+
+        def handler(s: EventScheduler, t: float) -> None:
+            if generation != self._gen:
+                return
+            self._advance(t)
+            self._complete(t)
+            self._admit()
+            self._recompute_rates()
+            self._reschedule(s)
+
+        scheduler.schedule_at(when, handler, name="complete")
+
+    # -- driver --------------------------------------------------------
+
+    def run(self) -> np.ndarray:
+        """Simulate every transfer; returns per-chunk completion times."""
+        if self.release.size == 0:
+            return self.done
+        order = np.argsort(self.release, kind="stable")
+        sorted_release = self.release[order]
+        boundaries = np.concatenate((
+            [0],
+            np.flatnonzero(sorted_release[1:] != sorted_release[:-1]) + 1,
+            [sorted_release.size],
+        ))
+        scheduler = EventScheduler()
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            lo, hi = int(lo), int(hi)
+            batch = order[lo:hi]
+
+            def release(s: EventScheduler, t: float,
+                        batch: np.ndarray = batch) -> None:
+                self._advance(t)
+                self._enqueue(batch, np.zeros(batch.size, dtype=np.int32))
+                self._admit()
+                self._recompute_rates()
+                self._reschedule(s)
+
+            scheduler.schedule_at(
+                float(sorted_release[lo]), release, name="release"
+            )
+        total_hops = int(self.hops.sum())
+        releases = len(boundaries) - 1
+        max_events = 4 * total_hops + 4 * releases + 1024
+        try:
+            scheduler.run_all(max_events=max_events)
+        except SimulationError as error:
+            raise SimulationError(
+                f"fluid event wheel exceeded {max_events} events; set "
+                f"time_quantum_ms to batch completions into slots "
+                f"({error})"
+            ) from error
+        if self.done.size and self.done.min() < 0:
+            raise SimulationError(
+                "fluid event wheel drained with unfinished transfers"
+            )
+        return self.done
+
+
+# ----------------------------------------------------------------------
+# The backend
+
+
+class TimedSimulation:
+    """Time-domain replay of a download workload (see module docstring)."""
+
+    def __init__(self, config: FastSimulationConfig) -> None:
+        self.config = config
+        self._fast = FastSimulation(config)
+        self.overlay = self._fast.overlay
+        self.table = self._fast.table
+        self.space = self._fast.space
+
+    # -- phase 1: recording routing mirror -----------------------------
+
+    def run(self, workload=None) -> SimulationResult:
+        """Route, record paths, and simulate the transfer timeline."""
+        started = time.perf_counter()
+        config = self.config
+        fast = self._fast
+        if workload is None:
+            workload = config.workload()
+        n = len(self.overlay)
+        result = SimulationResult(
+            config=config,
+            node_addresses=self.overlay.address_array().astype(np.int64),
+            forwarded=np.zeros(n, dtype=np.int64),
+            first_hop=np.zeros(n, dtype=np.int64),
+            income=np.zeros(n, dtype=np.float64),
+            expenditure=np.zeros(n, dtype=np.float64),
+        )
+        file_origins, sizes, targets = fast._flatten_workload(workload)
+        result.files += len(sizes)
+        n_chunks = int(targets.size)
+        recorder = _PathRecorder(n_chunks)
+        arrivals = PoissonArrivals(config.arrival_rate).sample(
+            len(sizes), np.random.default_rng(config.arrival_seed)
+        )
+        origins = np.repeat(file_origins, sizes)
+        if n_chunks:
+            release = np.repeat(arrivals, sizes)
+            ids = np.arange(n_chunks, dtype=np.int64)
+            scenario = config.scenario_stack()
+            if scenario is None:
+                result.chunks += n_chunks
+                self._record_route_batch(origins, targets, ids, result,
+                                         recorder=recorder)
+            else:
+                self._run_epochs(scenario, arrivals, sizes, origins,
+                                 targets, ids, result, recorder)
+            result.latency_ms = self._timeline(
+                recorder.assemble(), release, origins
+            )
+        else:
+            result.latency_ms = np.empty(0, dtype=np.float64)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    def _run_epochs(self, scenario, arrivals, sizes, origins, targets,
+                    ids, result, recorder) -> None:
+        """Mirror of the fast engine's epoch slab loop, with timestamps."""
+        from ..perf.table_cache import global_table_cache
+        from ..scenarios.base import ScenarioContext
+        from ..scenarios.plan import EpochPlan
+
+        config = self.config
+        fast = self._fast
+        coded_working = global_table_cache().writable_coded(self.table)
+        flat_working = coded_working.reshape(-1)
+        entry_dt = self.table.entry_dtype
+        starts = range(0, len(sizes), config.batch_files)
+        plan = EpochPlan(
+            scenario,
+            ScenarioContext(
+                n_nodes=self.table.n_nodes,
+                n_epochs=len(starts),
+                space_size=self.space.size,
+                overlay_seed=config.overlay_seed,
+            ),
+            table_fingerprint=self.overlay.fingerprint(),
+            base_storers=self.table.storer,
+            addresses=self.overlay.address_array(),
+            coded=coded_working,
+            timestamps=arrivals[np.asarray(starts)],
+        )
+        offsets = np.concatenate(([0], np.cumsum(sizes)))
+        try:
+            for epoch, start in enumerate(starts):
+                stop = min(start + config.batch_files, len(sizes))
+                lo, hi = int(offsets[start]), int(offsets[stop])
+                state = plan.epoch(epoch)
+                slab_origins = origins[lo:hi]
+                slab_targets = targets[lo:hi]
+                slab_ids = ids[lo:hi]
+                result.chunks += int(slab_origins.size)
+                if state.origin_map is not None:
+                    slab_origins = state.origin_map[slab_origins].astype(
+                        entry_dt
+                    )
+                unpaid = state.unpaid
+                alive = state.alive
+                storers = None
+                storer_table = None
+                if alive is not None:
+                    if not alive.any():
+                        result.unavailable += int(slab_origins.size)
+                        continue
+                    storer_table = (
+                        state.storers if state.storers is not None
+                        else self.table.storer
+                    )
+                    storers = storer_table[slab_targets]
+                    dead = ~alive[slab_origins] | ~alive[storers]
+                    if dead.any():
+                        result.unavailable += int(np.count_nonzero(dead))
+                        keep = ~dead
+                        slab_origins = slab_origins[keep]
+                        slab_targets = slab_targets[keep]
+                        storers = storers[keep]
+                        slab_ids = slab_ids[keep]
+                cache = state.cache
+                if alive is not None:
+                    self._record_route_batch(
+                        slab_origins, slab_targets, slab_ids, result,
+                        storers=storers,
+                        cached=None if cache is None else cache.mask,
+                        unpaid_origins=unpaid,
+                        dead_lut=state.dead_lut,
+                        storer_table=storer_table,
+                        flat_coded=flat_working,
+                        recorder=recorder,
+                    )
+                else:
+                    self._record_route_batch(
+                        slab_origins, slab_targets, slab_ids, result,
+                        storers=storers,
+                        cached=None if cache is None else cache.mask,
+                        unpaid_origins=unpaid,
+                        recorder=recorder,
+                    )
+                if cache is not None:
+                    cache.insert(slab_targets)
+        finally:
+            plan.restore_coded()
+
+    def _record_route_batch(self, origins, targets, ids, result, *,
+                            storers=None, cached=None,
+                            unpaid_origins=None, dead_lut=None,
+                            storer_table=None, flat_coded=None,
+                            recorder) -> None:
+        """Mirror of ``FastSimulation._route_batch`` that keeps ids.
+
+        Same target-stable sort, same local-hit prefilter and cache-hit
+        split, so every chunk takes the same wave sequence — only the
+        id column rides along for path attribution.
+        """
+        if origins.size == 0:
+            return
+        table = self.table
+        dtype = table.entry_dtype
+        n = table.n_nodes
+        order = np.argsort(targets, kind="stable")
+        tg = np.take(targets, order)
+        cur = np.take(origins, order)
+        ids = np.take(ids, order)
+        if cur.dtype != dtype:
+            cur = cur.astype(dtype)
+        row = np.multiply(tg, n, dtype=np.intp)
+        patched = flat_coded is not None
+
+        if cached is None and (patched or storers is None):
+            self._record_waves(cur, tg, row, ids, result, unpaid_origins,
+                               dead_lut=dead_lut,
+                               fallback_storers=storer_table,
+                               flat_table=flat_coded, recorder=recorder)
+            return
+
+        if storers is None:
+            st = np.take(table.storer, tg)
+        else:
+            st = np.take(storers, order)
+            if st.dtype != dtype:
+                st = st.astype(dtype)
+
+        keep_mask = st != cur
+        local_count = int(tg.size - np.count_nonzero(keep_mask))
+        if local_count:
+            result.local_hits += local_count
+            result.hop_histogram[0] = (
+                result.hop_histogram.get(0, 0) + local_count
+            )
+            recorder.record_zero_hop(ids[~keep_mask])
+
+        if cached is not None:
+            hits = keep_mask & cached[tg]
+            if hits.any():
+                hit_index = np.flatnonzero(hits)
+                self._record_waves(
+                    np.take(cur, hit_index), np.take(tg, hit_index),
+                    np.take(row, hit_index), np.take(ids, hit_index),
+                    result, unpaid_origins, first_hop_serves=True,
+                    dead_lut=dead_lut if patched else None,
+                    fallback_storers=storer_table if patched else None,
+                    flat_table=flat_coded, recorder=recorder,
+                )
+                keep_mask &= ~hits
+
+        if not np.count_nonzero(keep_mask):
+            return
+        index = np.flatnonzero(keep_mask)
+        self._record_waves(
+            np.take(cur, index), np.take(tg, index), np.take(row, index),
+            np.take(ids, index), result, unpaid_origins,
+            dead_lut=dead_lut if patched else None,
+            fallback_storers=storer_table if patched else None,
+            flat_table=flat_coded, recorder=recorder,
+        )
+
+    def _record_waves(self, cur, tg, row, ids, result, unpaid_origins, *,
+                      first_hop_serves=False, dead_lut=None,
+                      fallback_storers=None, flat_table=None,
+                      recorder) -> None:
+        """Path-recording twin of the static banded wave kernel.
+
+        Counter arithmetic (band sums, local in-band detection at wave
+        1, fallback counting, first-hop payment with the decoded
+        server column) matches ``FastSimulation._route_waves`` update
+        for update — the equivalence suite holds the two bit-identical
+        — with per-wave ``(ids, receivers)`` recording layered on top.
+        """
+        fast = self._fast
+        table = self.table
+        dtype = table.entry_dtype
+        n = table.n_nodes
+        if flat_table is None:
+            flat_table = table.flat_coded
+        first_tg = tg
+        size = int(cur.size)
+        hop = 0
+        while size:
+            hop += 1
+            flat = row + cur
+            nxt = flat_table[flat]
+            if dead_lut is not None:
+                dead_idx = np.flatnonzero(dead_lut[nxt])
+                if dead_idx.size:
+                    nxt[dead_idx] = dtype.type(2 * n) + (
+                        fallback_storers[row[dead_idx] // n]
+                    )
+            local_mask = None
+            local_count = 0
+            if hop == 1:
+                local_mask = nxt == cur + dtype.type(2 * n)
+                local_count = int(np.count_nonzero(local_mask))
+                if local_count:
+                    nxt[local_mask] += dtype.type(n)
+                    result.local_hits += local_count
+                    result.hop_histogram[0] = (
+                        result.hop_histogram.get(0, 0) + local_count
+                    )
+                    recorder.record_zero_hop(ids[local_mask])
+                else:
+                    local_mask = None
+            bands = np.bincount(nxt.astype(np.intp), minlength=4 * n)
+            wave_counts = (bands[:n] + bands[n:2 * n]
+                           + bands[2 * n:3 * n])
+            fallbacks = int(bands[2 * n:3 * n].sum())
+            if fallbacks:
+                result.fallbacks += fallbacks
+            result.forwarded += wave_counts
+            result.total_hops += size - local_count
+            servers = FastSimulation._decode_servers(nxt, n)
+            servers_intp = servers.astype(np.intp)
+            if hop == 1:
+                result.first_hop += wave_counts
+                fast._pay_first_hop(
+                    result, servers, first_tg, cur, unpaid_origins,
+                    servers_intp=servers_intp, suppressed=local_mask,
+                )
+            if local_mask is not None:
+                live = ~local_mask
+                recorder.record_wave(hop, ids[live], servers[live])
+            else:
+                recorder.record_wave(hop, ids, servers)
+            if hop == 1 and first_hop_serves:
+                served = size - local_count
+                result.cache_hits += served
+                result.hop_histogram[1] = (
+                    result.hop_histogram.get(1, 0) + served
+                )
+                return
+            keep = nxt < dtype.type(n)
+            survivors = int(np.count_nonzero(keep))
+            arrived = size - survivors - local_count
+            if arrived:
+                result.hop_histogram[hop] = (
+                    result.hop_histogram.get(hop, 0) + arrived
+                )
+            if not survivors:
+                return
+            index = np.flatnonzero(keep)
+            cur = nxt[index]
+            row = row[index]
+            ids = ids[index]
+            size = survivors
+
+    # -- phase 2: the timeline -----------------------------------------
+
+    def _timeline(self, paths: ChunkPaths, release: np.ndarray,
+                  origins: np.ndarray) -> np.ndarray:
+        """Per-chunk retrieval latency (ms) over the recorded paths."""
+        config = self.config
+        hop_lat_s = config.hop_latency_ms / 1000.0
+        routed = paths.routed_ids
+        routed_hops = paths.hops[routed].astype(np.float64)
+        propagation = 2.0 * routed_hops * hop_lat_s
+        unbounded = (config.node_up_mbps == 0
+                     and config.node_down_mbps == 0
+                     and config.max_concurrent == 0)
+        if unbounded:
+            routed_latency = propagation
+        else:
+            wheel = FluidWheel(
+                n_nodes=self.table.n_nodes,
+                chunk_bytes=config.chunk_kib * 1024.0,
+                up_bytes_s=config.node_up_mbps * MBPS_TO_BYTES,
+                down_bytes_s=config.node_down_mbps * MBPS_TO_BYTES,
+                max_concurrent=config.max_concurrent,
+                quantum_s=config.time_quantum_ms / 1000.0,
+                release_s=release[routed] + propagation,
+                hops=paths.hops[routed],
+                offsets=paths.offsets[routed],
+                nodes=paths.nodes,
+                origins=origins[routed].astype(np.int64),
+            )
+            routed_latency = wheel.run() - release[routed]
+        samples = np.full(paths.hops.size, np.nan)
+        samples[paths.zero_ids] = 0.0
+        samples[routed] = routed_latency * 1000.0
+        return samples[~np.isnan(samples)]
+
+
+@register_backend
+class TimeBackend(SimulationBackend):
+    """``time``: the latency/bandwidth-aware event-wheel backend."""
+
+    name = "time"
+    description = ("time-domain event wheel: finite up/down bandwidth, "
+                   "concurrency caps, measured latency CDF")
+    uses_next_hop_table = True
+
+    def prepare(self, config: FastSimulationConfig) -> "TimeBackend":
+        self.config = config
+        self.simulation = TimedSimulation(config)
+        self.overlay = self.simulation.overlay
+        return self
+
+    def run(self, workload=None) -> SimulationResult:
+        self._require_prepared()
+        return self.simulation.run(workload)

@@ -471,6 +471,16 @@ def _bench_run(args: argparse.Namespace) -> int:
         f"{dynamics_metrics['chunks_per_second']:,.0f} chunks/s "
         f"({dynamics_metrics['slowdown_vs_static']:.2f}x static)"
     )
+    latency = record["latency"]
+    latency_metrics = latency["metrics"]
+    print(
+        f"time-domain {latency_metrics['run_seconds']:.2f}s: "
+        f"{latency_metrics['chunks_per_second']:,.0f} chunks/s "
+        f"({latency_metrics['slowdown_vs_static']:.2f}x static), "
+        f"latency p50/p95/p99 = {latency_metrics['latency_p50_ms']:.0f}/"
+        f"{latency_metrics['latency_p95_ms']:.0f}/"
+        f"{latency_metrics['latency_p99_ms']:.0f} ms"
+    )
     print(f"record written to {args.out}")
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text())

@@ -88,22 +88,44 @@ class EventScheduler:
                           start_in: float | None = None) -> PeriodicEvent:
         """Schedule *handler* every *interval*, starting after one interval.
 
+        Tick *k* fires at exactly ``start + k * interval`` (or
+        ``start + start_in + (k - 1) * interval`` with an override),
+        computed by multiplication from the scheduling time — never by
+        repeated addition, whose accumulated float error would drift
+        tick N away from ``N * interval`` and desynchronize periodic
+        work (amortization ticks) from epoch timestamps.
+
         Returns a handle whose :meth:`PeriodicEvent.cancel` stops the
         repetition.
         """
         require_positive(interval, "interval")
         periodic = PeriodicEvent(name=name, interval=interval, handler=handler)
+        base = self.now
+        if start_in is not None:
+            require_non_negative(start_in, "start_in")
+            offset = start_in
+
+            def tick_time(tick: int) -> float:
+                return base + offset + (tick - 1) * interval
+        else:
+
+            def tick_time(tick: int) -> float:
+                return base + tick * interval
+
+        tick = 1
 
         def fire(scheduler: "EventScheduler", time: float) -> None:
+            nonlocal tick
             if periodic.cancelled:
                 return
             periodic.handler(scheduler, time)
+            tick += 1
             if not periodic.cancelled:
-                scheduler.schedule_in(periodic.interval, fire, periodic.name)
+                scheduler.schedule_at(
+                    tick_time(tick), fire, periodic.name
+                )
 
-        first_delay = interval if start_in is None else start_in
-        require_non_negative(first_delay, "start_in")
-        self.schedule_in(first_delay, fire, name)
+        self.schedule_at(tick_time(1), fire, name)
         return periodic
 
     def step(self) -> Event | None:
@@ -128,13 +150,13 @@ class EventScheduler:
             )
         fired = 0
         while self._queue and self._queue[0].time <= horizon:
-            self.step()
-            fired += 1
-            if max_events is not None and fired > max_events:
+            if max_events is not None and fired >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events} before horizon "
                     f"{horizon}; runaway event loop?"
                 )
+            self.step()
+            fired += 1
         self.now = horizon
         return fired
 
@@ -142,10 +164,10 @@ class EventScheduler:
         """Fire until the queue drains; returns count fired."""
         fired = 0
         while self._queue:
-            self.step()
-            fired += 1
-            if fired > max_events:
+            if fired >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; runaway event loop?"
                 )
+            self.step()
+            fired += 1
         return fired

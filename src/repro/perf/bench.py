@@ -12,7 +12,12 @@ performance story is built on:
 * the ``dynamics`` section — the same workload under the paper's
   churn headline (:data:`DYNAMICS_SCENARIO`), routed by the static
   kernel over the sparsely epoch-patched coded matrix, with its
-  slowdown ratio against the static run.
+  slowdown ratio against the static run;
+* the ``latency`` section — the same workload through the
+  time-domain event wheel under :data:`LATENCY_PROFILE` (finite
+  fair-share bandwidth, Poisson arrivals, slotted completions), with
+  measured latency percentiles and its slowdown against the static
+  run.
 
 Records carry git/seed/config provenance and are written to
 ``BENCH_headline.json``; committing one per machine-visible change
@@ -40,7 +45,8 @@ from .shared import attach_table, shared_table_registry
 from .table_cache import global_table_cache
 
 __all__ = ["BENCH_FORMAT", "QUICK_SCALE", "PAPER_SCALE",
-           "DYNAMICS_SCENARIO", "headline_bench", "check_regression"]
+           "DYNAMICS_SCENARIO", "LATENCY_PROFILE", "headline_bench",
+           "check_regression"]
 
 BENCH_FORMAT = "repro-swarm-bench/1"
 
@@ -56,6 +62,19 @@ QUICK_SCALE = {"n_nodes": 300, "n_files": 2000}
 
 #: The paper's §VI headline scale: ~5.5M chunk retrievals.
 PAPER_SCALE = {"n_nodes": 1000, "n_files": 10_000}
+
+#: The time-domain headline: contended fair-share bandwidth with
+#: Poisson arrivals and 10 ms completion slots — dense enough that
+#: the event wheel (not the analytic fast path) is what's measured.
+#: The acceptance bar is the paper-scale record staying under a
+#: minute on one core.
+LATENCY_PROFILE = {
+    "hop_latency_ms": 30.0,
+    "node_up_mbps": 50.0,
+    "node_down_mbps": 50.0,
+    "arrival_rate": 200.0,
+    "time_quantum_ms": 10.0,
+}
 
 
 def headline_bench(*, quick: bool = False, repeats: int = 3) -> dict:
@@ -110,14 +129,31 @@ def headline_bench(*, quick: bool = False, repeats: int = 3) -> dict:
             dynamics_result = dynamics_simulation.run()
             dynamics_times.append(time.perf_counter() - run_started)
         dynamics_seconds = min(dynamics_times)
+        # The time-domain headline reuses the same attached table
+        # through the wrapped FastSimulation; routing is identical,
+        # the extra cost is path recording plus the fluid wheel.
+        from ..backends.timed import TimedSimulation
+
+        latency_config = dataclasses.replace(config, **LATENCY_PROFILE)
+        latency_simulation = TimedSimulation(latency_config)
+        latency_times = []
+        latency_result = None
+        for _ in range(repeats):
+            run_started = time.perf_counter()
+            latency_result = latency_simulation.run()
+            latency_times.append(time.perf_counter() - run_started)
+        latency_seconds = min(latency_times)
     finally:
         global_table_cache().discard(fingerprint)
         registry.release(fingerprint)
 
     assert result is not None
     assert dynamics_result is not None
+    assert latency_result is not None
     static_rate = result.chunks / run_seconds
     dynamics_rate = dynamics_result.chunks / dynamics_seconds
+    latency_rate = latency_result.chunks / latency_seconds
+    latency_stats = latency_result.latency_stats()
     return {
         "format": BENCH_FORMAT,
         "label": "quick" if quick else "paper",
@@ -164,6 +200,24 @@ def headline_bench(*, quick: bool = False, repeats: int = 3) -> dict:
                 "slowdown_vs_static": round(
                     static_rate / max(dynamics_rate, 1e-9), 3
                 ),
+            },
+        },
+        "latency": {
+            "profile": dict(LATENCY_PROFILE),
+            "workload": {
+                "files": int(latency_result.files),
+                "chunks": int(latency_result.chunks),
+                "total_hops": int(latency_result.total_hops),
+            },
+            "metrics": {
+                "run_seconds": round(latency_seconds, 4),
+                "chunks_per_second": round(latency_rate, 1),
+                "slowdown_vs_static": round(
+                    static_rate / max(latency_rate, 1e-9), 3
+                ),
+                "latency_p50_ms": round(latency_stats.p50_ms, 2),
+                "latency_p95_ms": round(latency_stats.p95_ms, 2),
+                "latency_p99_ms": round(latency_stats.p99_ms, 2),
             },
         },
     }
@@ -233,6 +287,29 @@ def check_regression(current: Mapping, baseline: Mapping,
         problems.append(
             f"dynamics throughput regression "
             f"({current_dynamics['scenario']}): {current_rate:,.0f} "
+            f"chunks/s is more than {max_regression:.1f}x below the "
+            f"baseline {baseline_rate:,.0f} chunks/s"
+        )
+    current_latency = current.get("latency")
+    baseline_latency = baseline.get("latency")
+    if current_latency is None or baseline_latency is None:
+        # Pre-latency baselines gate static + dynamics only; the
+        # latency gate arms itself once a baseline carrying the
+        # section is committed.
+        return problems
+    if (current_latency.get("profile") != baseline_latency.get("profile")
+            or current_latency.get("workload")
+            != baseline_latency.get("workload")):
+        problems.append(
+            "latency profiles/workloads differ; the time-domain "
+            "throughput comparison would be meaningless"
+        )
+        return problems
+    current_rate = float(current_latency["metrics"]["chunks_per_second"])
+    baseline_rate = float(baseline_latency["metrics"]["chunks_per_second"])
+    if current_rate * max_regression < baseline_rate:
+        problems.append(
+            f"time-domain throughput regression: {current_rate:,.0f} "
             f"chunks/s is more than {max_regression:.1f}x below the "
             f"baseline {baseline_rate:,.0f} chunks/s"
         )

@@ -40,9 +40,11 @@ __all__ = [
     "result_metrics",
     "execute_point",
     "METRIC_NAMES",
+    "LATENCY_METRIC_NAMES",
 ]
 
-#: Scalar metrics recorded per point, in stable store order.
+#: Scalar metrics recorded per point, in stable store order. Points
+#: run on the ``time`` backend append :data:`LATENCY_METRIC_NAMES`.
 METRIC_NAMES = (
     "files",
     "chunks",
@@ -61,6 +63,18 @@ METRIC_NAMES = (
     "net_std",
     "net_min",
     "net_max",
+)
+
+#: Extra metrics present only when the result carries latency samples
+#: (the time-domain backend). Conditional: replicas of one (backend,
+#: cell) either all have them or none do, which is what aggregation
+#: keys on.
+LATENCY_METRIC_NAMES = (
+    "latency_mean_ms",
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+    "latency_max_ms",
 )
 
 
@@ -116,7 +130,7 @@ def result_metrics(result: SimulationResult) -> dict[str, Any]:
     baseline mechanisms.
     """
     net = result.income - result.expenditure
-    return {
+    metrics = {
         "files": int(result.files),
         "chunks": int(result.chunks),
         "total_hops": int(result.total_hops),
@@ -135,6 +149,16 @@ def result_metrics(result: SimulationResult) -> dict[str, Any]:
         "net_min": float(net.min()),
         "net_max": float(net.max()),
     }
+    if result.latency_ms is not None and result.latency_ms.size:
+        stats = result.latency_stats()
+        metrics.update({
+            "latency_mean_ms": stats.mean_ms,
+            "latency_p50_ms": stats.p50_ms,
+            "latency_p95_ms": stats.p95_ms,
+            "latency_p99_ms": stats.p99_ms,
+            "latency_max_ms": stats.max_ms,
+        })
+    return metrics
 
 
 def register_table_handles(table_handles: Mapping | None) -> None:

@@ -7,6 +7,7 @@ persistable traces for replaying identical request sequences.
 
 from .distributions import (
     OriginatorPool,
+    PoissonArrivals,
     UniformChunks,
     UniformFileSize,
     ZipfCatalog,
@@ -18,6 +19,7 @@ __all__ = [
     "DownloadWorkload",
     "FileDownload",
     "OriginatorPool",
+    "PoissonArrivals",
     "TRACE_FORMAT",
     "TraceSummary",
     "TraceWorkload",

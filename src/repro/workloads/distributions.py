@@ -14,6 +14,7 @@ Three axes of a download workload are configurable:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -24,6 +25,7 @@ from ..kademlia.address import AddressSpace
 
 __all__ = [
     "OriginatorPool",
+    "PoissonArrivals",
     "UniformFileSize",
     "UniformChunks",
     "ZipfCatalog",
@@ -53,11 +55,28 @@ class OriginatorPool:
             )
 
     def pool_size(self, n_nodes: int) -> int:
-        """Number of nodes eligible to originate downloads."""
+        """Number of nodes eligible to originate downloads.
+
+        The pool is ``ceil(share * n_nodes)`` — rounded *up*, so a
+        fractional share always admits the partially covered node and
+        the pool can never be empty. (``round()`` would banker's-round
+        half-fractions to the nearest even count: ``share=0.5`` over 5
+        nodes gave 2 but over 7 gave 4, an inconsistency this method
+        documents its way out of.) Shares that land within float
+        epsilon of an integer — ``0.2 * 120`` is
+        ``24.000000000000004`` — snap to that integer first, so exact
+        fractions of the population mean exactly what they say.
+        """
         require_int(n_nodes, "n_nodes")
         if n_nodes < 1:
             raise WorkloadError(f"n_nodes must be >= 1, got {n_nodes}")
-        return max(1, round(self.share * n_nodes))
+        scaled = self.share * n_nodes
+        nearest = round(scaled)
+        if abs(scaled - nearest) < 1e-9:
+            size = int(nearest)
+        else:
+            size = math.ceil(scaled)
+        return max(1, size)
 
     def members(self, nodes: np.ndarray,
                 rng: np.random.Generator) -> np.ndarray:
@@ -83,6 +102,43 @@ class OriginatorPool:
         weights = ranks ** (-self.zipf_exponent)
         weights /= weights.sum()
         return rng.choice(pool, size=count, replace=True, p=weights)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """When each download *starts*: a Poisson arrival process.
+
+    The hop kernel replays a workload as one timeless batch; the
+    time-domain backend needs every file to carry an arrival
+    timestamp. ``rate`` is the mean number of file downloads arriving
+    per second; inter-arrival gaps are exponential, so the cumulative
+    times are a homogeneous Poisson process starting at 0. A rate of
+    0 is the degenerate everything-at-once workload (all arrivals at
+    ``t=0``), which is what makes the time backend's hop-count
+    projection comparable to the static engine.
+
+    Arrival times are drawn from their own generator (seeded
+    separately from the workload stream), so turning time on or off
+    never perturbs which chunks a workload requests.
+    """
+
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.rate >= 0.0:
+            raise WorkloadError(
+                f"arrival rate must be >= 0 files/s, got {self.rate}"
+            )
+
+    def sample(self, n_files: int, rng: np.random.Generator) -> np.ndarray:
+        """Arrival times (seconds, non-decreasing) for *n_files* files."""
+        require_int(n_files, "n_files")
+        if n_files < 0:
+            raise WorkloadError(f"n_files must be >= 0, got {n_files}")
+        if self.rate == 0.0:
+            return np.zeros(n_files, dtype=np.float64)
+        gaps = rng.exponential(1.0 / self.rate, size=n_files)
+        return np.cumsum(gaps)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,264 @@
+"""The time-domain backend: equivalence oracle and the fluid wheel.
+
+The acceptance oracle for the ``time`` backend is that with unbounded
+bandwidth its hop-count projection (per-node forwarded / first-hop
+counters, hop histogram, income) is **bit-identical** to the fast
+backend — on the canonical golden configuration, on every frozen
+scenario fixture, and on composed scenario stacks. The wheel tests
+then pin the timing semantics: propagation floors, fair-share
+slowdowns, quantum batching, concurrency caps, and determinism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.backends import get_backend, run_simulation
+from repro.backends.config import FastSimulationConfig
+from repro.backends.timed import FluidWheel, TimedSimulation
+from repro.errors import ConfigurationError
+
+from .test_golden import GOLDEN_CONFIG, GOLDEN_DIR, golden_payload
+from .test_golden_scenarios import (
+    SCENARIO_GOLDEN_CONFIGS,
+    scenario_payload,
+)
+
+EXACT_ATTRS = ("forwarded", "first_hop", "income", "expenditure")
+COUNTERS = ("files", "chunks", "total_hops", "local_hits", "fallbacks",
+            "cache_hits", "unavailable")
+
+
+def assert_matches_fast(config: FastSimulationConfig) -> None:
+    fast = get_backend("fast").prepare(config).run()
+    timed = get_backend("time").prepare(config).run()
+    for attr in EXACT_ATTRS:
+        assert np.array_equal(getattr(fast, attr), getattr(timed, attr)), attr
+    for attr in COUNTERS:
+        assert getattr(fast, attr) == getattr(timed, attr), attr
+    assert fast.hop_histogram == timed.hop_histogram
+    # Every retrieved chunk produced exactly one latency sample.
+    assert timed.latency_ms is not None
+    assert timed.latency_ms.size == timed.chunks - timed.unavailable
+
+
+class TestEquivalenceOracle:
+    def test_matches_fast_on_golden_config(self):
+        assert_matches_fast(GOLDEN_CONFIG)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_GOLDEN_CONFIGS))
+    def test_matches_fast_on_scenario_configs(self, name):
+        assert_matches_fast(SCENARIO_GOLDEN_CONFIGS[name])
+
+    def test_matches_golden_fixture(self):
+        result = run_simulation(GOLDEN_CONFIG, backend="time")
+        frozen = json.loads((GOLDEN_DIR / "fast.json").read_text())
+        assert golden_payload(result) == frozen
+
+    @pytest.mark.parametrize("name", sorted(SCENARIO_GOLDEN_CONFIGS))
+    def test_matches_scenario_golden_fixtures(self, name):
+        result = run_simulation(
+            SCENARIO_GOLDEN_CONFIGS[name], backend="time"
+        )
+        frozen = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        assert scenario_payload(result) == frozen
+
+    def test_matches_fast_on_composed_scenario(self):
+        assert_matches_fast(dataclasses.replace(
+            GOLDEN_CONFIG,
+            batch_files=8,
+            scenario=("churn:rate=0.2,recompute=true+caching"
+                      "+freeriding:fraction=0.2"),
+        ))
+
+    def test_time_fields_do_not_perturb_routing(self):
+        # Timing parameters only affect the clock, never who forwards.
+        timeless = get_backend("fast").prepare(GOLDEN_CONFIG).run()
+        timed = get_backend("time").prepare(dataclasses.replace(
+            GOLDEN_CONFIG, hop_latency_ms=25.0, node_up_mbps=8.0,
+            node_down_mbps=8.0, max_concurrent=3, arrival_rate=100.0,
+            time_quantum_ms=5.0,
+        )).run()
+        for attr in EXACT_ATTRS:
+            assert np.array_equal(
+                getattr(timeless, attr), getattr(timed, attr)
+            ), attr
+        assert timeless.hop_histogram == timed.hop_histogram
+
+
+class TestTimingSemantics:
+    def test_pure_propagation_matches_hop_histogram(self):
+        # Unbounded bandwidth: latency is exactly 2 * hops * delay,
+        # so the sample distribution IS the hop histogram rescaled.
+        config = dataclasses.replace(GOLDEN_CONFIG, hop_latency_ms=30.0)
+        result = get_backend("time").prepare(config).run()
+        values, counts = np.unique(result.latency_ms, return_counts=True)
+        expected = {
+            2.0 * hops * 30.0: count
+            for hops, count in result.hop_histogram.items()
+        }
+        assert dict(zip(values.tolist(), counts.tolist())) == expected
+
+    def test_zero_latency_without_time_parameters(self):
+        result = get_backend("time").prepare(GOLDEN_CONFIG).run()
+        assert np.all(result.latency_ms == 0.0)
+
+    def test_finite_bandwidth_only_adds_latency(self):
+        base = dataclasses.replace(GOLDEN_CONFIG, hop_latency_ms=30.0)
+        free = get_backend("time").prepare(base).run()
+        contended = get_backend("time").prepare(dataclasses.replace(
+            base, node_up_mbps=10.0, node_down_mbps=10.0,
+        )).run()
+        assert np.all(np.sort(contended.latency_ms)
+                      >= np.sort(free.latency_ms) - 1e-9)
+        assert contended.latency_ms.sum() > free.latency_ms.sum()
+
+    def test_propagation_floor_holds_under_contention(self):
+        config = dataclasses.replace(
+            GOLDEN_CONFIG, hop_latency_ms=30.0, node_up_mbps=5.0,
+            node_down_mbps=5.0, max_concurrent=2, arrival_rate=50.0,
+        )
+        result = get_backend("time").prepare(config).run()
+        routed = result.latency_ms[result.latency_ms > 0]
+        assert routed.size
+        assert routed.min() >= 2 * 30.0 - 1e-9
+
+    def test_quantum_bounds_latency_error(self):
+        base = dataclasses.replace(
+            GOLDEN_CONFIG, hop_latency_ms=10.0, node_up_mbps=10.0,
+            node_down_mbps=10.0, arrival_rate=100.0,
+        )
+        exact = get_backend("time").prepare(base).run()
+        slotted = get_backend("time").prepare(dataclasses.replace(
+            base, time_quantum_ms=5.0,
+        )).run()
+        # Slots only ever defer completions, by less than one quantum
+        # per data hop.
+        delta = np.sort(slotted.latency_ms) - np.sort(exact.latency_ms)
+        assert np.all(delta >= -1e-6)
+        max_hops = max(exact.hop_histogram)
+        assert np.all(delta <= 5.0 * max_hops + 1e-6)
+
+    def test_arrival_process_is_seeded(self):
+        config = dataclasses.replace(
+            GOLDEN_CONFIG, hop_latency_ms=20.0, node_up_mbps=10.0,
+            node_down_mbps=10.0, arrival_rate=25.0,
+        )
+        first = get_backend("time").prepare(config).run()
+        again = get_backend("time").prepare(config).run()
+        assert np.array_equal(first.latency_ms, again.latency_ms)
+        other = get_backend("time").prepare(dataclasses.replace(
+            config, arrival_seed=1234,
+        )).run()
+        assert not np.array_equal(first.latency_ms, other.latency_ms)
+
+    def test_spread_arrivals_reduce_contention(self):
+        burst = dataclasses.replace(
+            GOLDEN_CONFIG, hop_latency_ms=30.0, node_up_mbps=5.0,
+            node_down_mbps=5.0,
+        )
+        spread = dataclasses.replace(burst, arrival_rate=5.0)
+        burst_p95 = get_backend("time").prepare(burst).run()
+        spread_p95 = get_backend("time").prepare(spread).run()
+        assert (spread_p95.latency_stats().p95_ms
+                <= burst_p95.latency_stats().p95_ms)
+
+    def test_latency_stats_requires_time_backend(self):
+        result = get_backend("fast").prepare(GOLDEN_CONFIG).run()
+        with pytest.raises(ConfigurationError):
+            result.latency_stats()
+
+
+class TestFluidWheel:
+    def _single_chain(self, *, up=0.0, down=0.0, cap=0, quantum=0.0,
+                      releases=(0.0,), n_chunks=1):
+        """n_chunks chunks sharing one 2-hop path 2 -> 1, origin 0."""
+        hops = np.full(n_chunks, 2, dtype=np.int32)
+        offsets = np.arange(n_chunks, dtype=np.int64) * 2
+        nodes = np.tile(np.array([1, 2], dtype=np.int32), n_chunks)
+        return FluidWheel(
+            n_nodes=3, chunk_bytes=1000.0, up_bytes_s=up,
+            down_bytes_s=down, max_concurrent=cap, quantum_s=quantum,
+            release_s=np.asarray(releases, dtype=np.float64),
+            hops=hops, offsets=offsets, nodes=nodes,
+            origins=np.zeros(n_chunks, dtype=np.int64),
+        )
+
+    def test_single_transfer_takes_bytes_over_rate(self):
+        # 1000 bytes over min(2000 up, 1000 down) B/s per hop = 1s,
+        # two data hops (storer -> relay -> origin) = 2s.
+        wheel = self._single_chain(up=2000.0, down=1000.0)
+        done = wheel.run()
+        assert done == pytest.approx([2.0])
+
+    def test_fair_share_halves_rate(self):
+        # Two chunks leave the same storer simultaneously: its uplink
+        # is split, so the first data hop takes 2s instead of 1s; the
+        # second hops overlap the same way.
+        wheel = self._single_chain(up=1000.0, n_chunks=2,
+                                   releases=(0.0, 0.0))
+        done = wheel.run()
+        assert done == pytest.approx([4.0, 4.0])
+
+    def test_concurrency_cap_serializes_transfers(self):
+        # cap=1 with instantaneous links: transfers still finish in
+        # zero time, so the cap alone leaves completion at release.
+        wheel = self._single_chain(cap=1, n_chunks=2, releases=(0.0, 1.0))
+        done = wheel.run()
+        assert done == pytest.approx([0.0, 1.0])
+
+    def test_cap_queues_fifo_per_sender(self):
+        # Finite bandwidth + cap=1: the second chunk's first hop waits
+        # for the first to release the storer's single slot.
+        wheel = self._single_chain(up=1000.0, cap=1, n_chunks=2,
+                                   releases=(0.0, 0.0))
+        done = wheel.run()
+        assert sorted(done.tolist()) == pytest.approx([2.0, 3.0])
+
+    def test_quantum_rounds_completions_up(self):
+        wheel = self._single_chain(up=1000.0, quantum=0.3)
+        done = wheel.run()
+        # Each 1s hop is deferred to the next 0.3s slot boundary.
+        assert done == pytest.approx([2.4])
+
+    def test_empty_wheel(self):
+        wheel = self._single_chain(n_chunks=0, releases=())
+        assert wheel.run().size == 0
+
+
+class TestPaths:
+    def test_recorded_paths_are_consistent(self):
+        simulation = TimedSimulation(GOLDEN_CONFIG)
+        fast = simulation._fast
+        workload = GOLDEN_CONFIG.workload()
+        file_origins, sizes, targets = fast._flatten_workload(workload)
+        result = get_backend("time").prepare(GOLDEN_CONFIG).run()
+        # Total recorded path length equals total network hops.
+        from repro.backends.timed import _PathRecorder
+
+        recorder = _PathRecorder(int(targets.size))
+        origins = np.repeat(file_origins, sizes)
+        ids = np.arange(targets.size, dtype=np.int64)
+        scratch = type(result)(
+            config=GOLDEN_CONFIG,
+            node_addresses=result.node_addresses,
+            forwarded=np.zeros(result.n_nodes, dtype=np.int64),
+            first_hop=np.zeros(result.n_nodes, dtype=np.int64),
+            income=np.zeros(result.n_nodes),
+            expenditure=np.zeros(result.n_nodes),
+        )
+        simulation._record_route_batch(origins, targets, ids, scratch,
+                                       recorder=recorder)
+        paths = recorder.assemble()
+        assert int(paths.hops.sum()) == result.total_hops
+        assert paths.zero_ids.size == result.local_hits
+        # Every recorded node index is a valid dense node.
+        assert paths.nodes.min() >= 0
+        assert paths.nodes.max() < GOLDEN_CONFIG.n_nodes
+        # Routed + local = retrieved.
+        assert (paths.routed_ids.size + paths.zero_ids.size
+                == result.chunks - result.unavailable)

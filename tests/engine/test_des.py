@@ -78,6 +78,37 @@ class TestRunUntil:
         with pytest.raises(SimulationError, match="runaway"):
             scheduler.run_until(1e9, max_events=100)
 
+    def test_max_events_fires_exactly_that_many(self):
+        # Regression: the guard used to fire max_events + 1 events
+        # before raising.
+        scheduler = EventScheduler()
+        fired: list[float] = []
+        def respawn(s, t):
+            fired.append(t)
+            s.schedule_in(0.1, respawn)
+        scheduler.schedule_in(0.0, respawn)
+        with pytest.raises(SimulationError):
+            scheduler.run_until(1e9, max_events=100)
+        assert len(fired) == 100
+        assert scheduler.events_fired == 100
+
+    def test_run_all_max_events_fires_exactly_that_many(self):
+        scheduler = EventScheduler()
+        fired: list[float] = []
+        def respawn(s, t):
+            fired.append(t)
+            s.schedule_in(0.1, respawn)
+        scheduler.schedule_in(0.0, respawn)
+        with pytest.raises(SimulationError):
+            scheduler.run_all(max_events=50)
+        assert len(fired) == 50
+
+    def test_max_events_not_tripped_when_queue_drains_at_bound(self):
+        scheduler = EventScheduler()
+        for i in range(10):
+            scheduler.schedule_at(float(i), lambda s, t: None)
+        assert scheduler.run_until(100.0, max_events=10) == 10
+
 
 class TestPeriodic:
     def test_fires_every_interval(self):
@@ -117,3 +148,38 @@ class TestPeriodic:
         handle = scheduler.schedule_periodic(1.0, tick)
         scheduler.run_until(10.0)
         assert ticks == [1.0, 2.0]
+
+    def test_no_accumulated_drift(self):
+        # Regression: rescheduling via now + interval accumulated one
+        # float rounding error per tick; tick k must fire at the exact
+        # float k * interval. 0.1 is the classic non-representable
+        # interval: summing it 1000 times gives 99.9999999999986.
+        scheduler = EventScheduler()
+        ticks: list[float] = []
+        scheduler.schedule_periodic(0.1, lambda s, t: ticks.append(t))
+        scheduler.run_until(100.0, max_events=2000)
+        assert len(ticks) == 1000
+        assert ticks[999] == 100.0
+        assert all(ticks[k] == (k + 1) * 0.1 for k in range(1000))
+
+    def test_no_drift_with_start_in(self):
+        scheduler = EventScheduler()
+        ticks: list[float] = []
+        scheduler.schedule_periodic(
+            0.1, lambda s, t: ticks.append(t), start_in=0.25
+        )
+        scheduler.run_until(50.0, max_events=1000)
+        assert ticks[0] == 0.25
+        assert all(
+            ticks[k] == 0.25 + k * 0.1 for k in range(len(ticks))
+        )
+
+    def test_drift_free_from_nonzero_base(self):
+        # Periodic schedules anchored mid-simulation multiply from
+        # their base time instead of accumulating from it.
+        scheduler = EventScheduler()
+        scheduler.run_until(7.0)
+        ticks: list[float] = []
+        scheduler.schedule_periodic(0.1, lambda s, t: ticks.append(t))
+        scheduler.run_until(107.0, max_events=2000)
+        assert ticks[999] == 7.0 + 100.0

@@ -28,7 +28,8 @@ from tests.backends.test_golden import (
 ALL_BACKENDS = tuple(available_backends())
 
 #: Backends that resolve a NextHopTable during prepare().
-TABLE_BACKENDS = ("fast", "fast-perfile", "flat", "filecoin", "freerider")
+TABLE_BACKENDS = ("fast", "fast-perfile", "flat", "filecoin", "freerider",
+                  "time")
 
 
 @pytest.fixture(autouse=True)
@@ -89,10 +90,10 @@ def assert_identical(a, b, context: str) -> None:
     assert a.hop_histogram == b.hop_histogram, context
 
 
-def test_registry_is_the_expected_seven():
+def test_registry_is_the_expected_eight():
     assert ALL_BACKENDS == (
         "fast", "fast-perfile", "filecoin", "flat", "freerider",
-        "reference", "tit_for_tat",
+        "reference", "time", "tit_for_tat",
     )
 
 

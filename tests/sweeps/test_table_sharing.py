@@ -231,6 +231,18 @@ def fake_bench_record(dirty: bool) -> dict:
                 "slowdown_vs_static": 1.18,
             },
         },
+        "latency": {
+            "profile": {"hop_latency_ms": 30.0},
+            "workload": {"files": 1, "chunks": 1, "total_hops": 1},
+            "metrics": {
+                "run_seconds": 0.8,
+                "chunks_per_second": 1.2,
+                "slowdown_vs_static": 1.6,
+                "latency_p50_ms": 180.0,
+                "latency_p95_ms": 320.0,
+                "latency_p99_ms": 400.0,
+            },
+        },
     }
 
 
@@ -272,6 +284,39 @@ class TestDynamicsRegressionGate:
         assert check_regression(
             fake_bench_record(False), fake_bench_record(False), 2.0
         ) == []
+
+
+class TestLatencyRegressionGate:
+    """check_regression covers the time-domain headline too."""
+
+    def test_latency_drop_fails_gate(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        current["latency"]["metrics"]["chunks_per_second"] = 0.1
+        problems = check_regression(current, baseline, 2.0)
+        assert len(problems) == 1
+        assert "time-domain throughput regression" in problems[0]
+
+    def test_pre_latency_baseline_gates_without_it(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        del baseline["latency"]
+        current["latency"]["metrics"]["chunks_per_second"] = 1e-6
+        assert check_regression(current, baseline, 2.0) == []
+
+    def test_mismatched_latency_profile_refuses_to_compare(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        baseline["latency"]["profile"]["hop_latency_ms"] = 5.0
+        problems = check_regression(current, baseline, 2.0)
+        assert len(problems) == 1
+        assert "meaningless" in problems[0]
 
 
 class TestBenchProvenance:

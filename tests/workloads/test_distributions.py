@@ -9,6 +9,7 @@ from repro.errors import WorkloadError
 from repro.kademlia.address import AddressSpace
 from repro.workloads.distributions import (
     OriginatorPool,
+    PoissonArrivals,
     UniformChunks,
     UniformFileSize,
     ZipfCatalog,
@@ -20,6 +21,27 @@ class TestOriginatorPool:
         assert OriginatorPool(share=0.2).pool_size(1000) == 200
         assert OriginatorPool(share=1.0).pool_size(1000) == 1000
         assert OriginatorPool(share=0.001).pool_size(100) == 1
+
+    def test_pool_size_fractional_takes_ceiling(self):
+        # Documented ceil semantics: a fractional pool rounds UP, so
+        # half-share pools over odd node counts are never understaffed
+        # (round() banker's rounding used to give 2 for 0.5 * 5).
+        assert OriginatorPool(share=0.5).pool_size(5) == 3
+        assert OriginatorPool(share=0.5).pool_size(7) == 4
+        assert OriginatorPool(share=0.5).pool_size(6) == 3
+        assert OriginatorPool(share=0.3).pool_size(9) == 3
+        assert OriginatorPool(share=0.26).pool_size(10) == 3
+
+    def test_pool_size_float_noise_does_not_inflate(self):
+        # 0.2 * 120 is 24.000000000000004 in binary floating point; a
+        # naive ceil would hand out a 25th member and silently change
+        # every existing workload. The epsilon snap keeps it at 24.
+        assert OriginatorPool(share=0.2).pool_size(120) == 24
+        assert OriginatorPool(share=0.3).pool_size(100) == 30
+        assert OriginatorPool(share=0.5).pool_size(120) == 60
+
+    def test_pool_size_never_empty(self):
+        assert OriginatorPool(share=0.001).pool_size(10) == 1
 
     def test_members_subset_and_deterministic(self, rng):
         nodes = np.arange(100)
@@ -108,3 +130,38 @@ class TestZipfCatalog:
             ZipfCatalog(0, 1.0, UniformFileSize(2, 3), space, rng)
         with pytest.raises(Exception):
             ZipfCatalog(5, 0.0, UniformFileSize(2, 3), space, rng)
+
+
+class TestPoissonArrivals:
+    def test_zero_rate_releases_everything_at_once(self, rng):
+        times = PoissonArrivals().sample(50, rng)
+        assert np.array_equal(times, np.zeros(50))
+
+    def test_arrivals_are_sorted_and_nonnegative(self, rng):
+        times = PoissonArrivals(rate=10.0).sample(200, rng)
+        assert times.shape == (200,)
+        assert np.all(times >= 0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_mean_spacing_matches_rate(self):
+        times = PoissonArrivals(rate=20.0).sample(
+            20_000, np.random.default_rng(3)
+        )
+        spacing = float(np.diff(times).mean())
+        assert spacing == pytest.approx(1.0 / 20.0, rel=0.05)
+
+    def test_deterministic_under_seed(self):
+        first = PoissonArrivals(rate=5.0).sample(
+            100, np.random.default_rng(11)
+        )
+        again = PoissonArrivals(rate=5.0).sample(
+            100, np.random.default_rng(11)
+        )
+        assert np.array_equal(first, again)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(WorkloadError):
+            PoissonArrivals(rate=-1.0)
+
+    def test_empty_sample(self, rng):
+        assert PoissonArrivals(rate=2.0).sample(0, rng).shape == (0,)
