@@ -171,6 +171,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="overwrite an existing store instead of resuming it",
     )
     sweep.add_argument(
+        "--salvage-store", action="store_true",
+        help=(
+            "if --store points at a truncated/corrupt file, recover "
+            "every parseable point record and re-run the rest instead "
+            "of refusing"
+        ),
+    )
+    sweep.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help=(
+            "extra attempts per failed point before it is quarantined "
+            "into the store's failures section (default: 2; "
+            "deterministic capped exponential backoff, no jitter)"
+        ),
+    )
+    sweep.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "wall-clock budget per point attempt; a point still "
+            "running past it has its worker recycled and counts as a "
+            "retryable timeout failure (requires --jobs >= 2; the "
+            "serial executor has no watchdog)"
+        ),
+    )
+    fail_mode = sweep.add_mutually_exclusive_group()
+    fail_mode.add_argument(
+        "--keep-going", dest="keep_going", action="store_true",
+        default=True,
+        help=(
+            "quarantine points that exhaust --max-retries and finish "
+            "the rest of the sweep (default)"
+        ),
+    )
+    fail_mode.add_argument(
+        "--fail-fast", dest="keep_going", action="store_false",
+        help="abort the sweep on the first point that exhausts its "
+             "retry budget",
+    )
+    sweep.add_argument(
+        "--fault-plan", type=Path, default=None, metavar="FILE",
+        help=(
+            "deterministic fault-injection plan (JSON; see "
+            "repro.sweeps.chaos) applied to this run — for testing "
+            "the recovery paths, not for production sweeps"
+        ),
+    )
+    sweep.add_argument(
         "--out", type=Path, default=None,
         help="also write the rendered report to this file",
     )
@@ -405,6 +452,11 @@ def _sweep_run(args: argparse.Namespace) -> int:
         resume=not args.no_resume, table_cache=args.table_cache,
         cap_jobs=args.cap_jobs,
         epoch_cache_tables=args.epoch_cache_tables,
+        max_retries=args.max_retries,
+        point_timeout=args.point_timeout,
+        keep_going=args.keep_going,
+        fault_plan=args.fault_plan,
+        salvage=args.salvage_store,
     )
     report = sweep_report(
         sweep, name="sweep",
@@ -417,7 +469,32 @@ def _sweep_run(args: argparse.Namespace) -> int:
     if args.out is not None:
         args.out.write_text(rendered + "\n")
         print(f"report written to {args.out}")
-    return 0
+    if sweep.failures:
+        print(
+            f"WARNING: {len(sweep.failures)} point(s) quarantined "
+            f"after exhausting --max-retries={args.max_retries}:"
+        )
+        for failure in sweep.failures:
+            print(f"  {failure.describe()}")
+        if args.store is not None:
+            print(
+                "  (recorded in the store's failures section; "
+                "re-running the sweep retries them)"
+            )
+    if sweep.interrupted is not None:
+        import signal as signal_module
+
+        name = signal_module.Signals(sweep.interrupted).name
+        print(
+            f"sweep interrupted by {name}: {sweep.executed} point(s) "
+            f"completed this run"
+            + (" and saved; re-run to resume"
+               if args.store is not None else "")
+        )
+        # The conventional shell encoding of death-by-signal, without
+        # actually re-raising it: completed work is already flushed.
+        return 128 + sweep.interrupted
+    return 1 if sweep.failures else 0
 
 
 def _bench_run(args: argparse.Namespace) -> int:

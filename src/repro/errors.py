@@ -59,5 +59,26 @@ class ExperimentError(ReproError):
     """An experiment definition or run is invalid."""
 
 
+class SweepExecutionError(ExperimentError):
+    """A sweep could not complete: a point exhausted its retry budget
+    under ``--fail-fast``, or the worker pool died more often than the
+    bounded-restart budget allows."""
+
+
+class SweepInterrupted(BaseException):
+    """SIGINT/SIGTERM arrived mid-sweep (graceful-shutdown signal).
+
+    Deliberately a :class:`BaseException` (like
+    :class:`KeyboardInterrupt`): the executor's per-point failure
+    handling catches :class:`Exception`, and a shutdown request must
+    never be mistaken for a retryable point failure. Carries the signal
+    number so the CLI can exit ``128 + signum``.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"sweep interrupted by signal {signum}")
+        self.signum = signum
+
+
 class WorkloadError(ConfigurationError):
     """A workload description is invalid (empty ranges, bad shares...)."""

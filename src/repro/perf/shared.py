@@ -25,8 +25,12 @@ falls back to unregistering manually on older interpreters.
 
 from __future__ import annotations
 
+import os
+import secrets
+import warnings
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
@@ -45,7 +49,79 @@ __all__ = [
     "attach_table",
     "attach_epoch_tables",
     "shared_table_registry",
+    "sweep_stale_segments",
 ]
+
+#: Prefix of every segment this registry creates. Embedding the
+#: publisher's pid makes leaked segments attributable: a segment named
+#: ``repro_<pid>_...`` whose pid no longer exists can only be garbage
+#: left by a killed publisher, which is exactly what
+#: :func:`sweep_stale_segments` reclaims at startup.
+SEGMENT_PREFIX = "repro"
+
+#: Where POSIX shared memory appears as files (Linux). On platforms
+#: without it the stale sweep degrades to a silent no-op.
+_SHM_DIR = Path("/dev/shm")
+
+
+def _segment_name() -> str:
+    """A fresh ``repro_<pid>_<hex>`` segment name for this process."""
+    return f"{SEGMENT_PREFIX}_{os.getpid()}_{secrets.token_hex(4)}"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether *pid* currently names a process we may not disturb."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True  # exists (another user's), or unknowable: keep it
+    return True
+
+
+def sweep_stale_segments() -> list[str]:
+    """Unlink ``repro_<pid>_*`` segments whose publisher is dead.
+
+    A publisher killed with SIGKILL never reaches its refcounted
+    ``release`` path, leaving its segments pinned in ``/dev/shm``
+    forever (shared memory survives process death by design). Every
+    fresh publisher sweeps those on startup: a segment carrying a pid
+    that no longer exists is unowned by construction — live publishers
+    always outlive their segments' names. Returns the names removed.
+    """
+    removed: list[str] = []
+    try:
+        entries = list(_SHM_DIR.iterdir())
+    except OSError:
+        return removed
+    for entry in entries:
+        parts = entry.name.split("_", 2)
+        if len(parts) != 3 or parts[0] != SEGMENT_PREFIX:
+            continue
+        try:
+            pid = int(parts[1])
+        except ValueError:
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            segment = _open_segment(entry.name)
+        except (OSError, ValueError):  # pragma: no cover - raced away
+            continue
+        try:
+            segment.unlink()
+            segment.close()
+        except OSError:  # pragma: no cover - raced away
+            continue
+        removed.append(entry.name)
+    if removed:
+        warnings.warn(
+            f"reclaimed {len(removed)} stale shared-memory segment(s) "
+            f"left by dead publisher(s): {sorted(removed)}",
+            RuntimeWarning,
+        )
+    return removed
 
 
 @dataclass(frozen=True)
@@ -170,9 +246,21 @@ class SharedEpochTablesHandle:
 
 def _create_segment(array: np.ndarray
                     ) -> tuple[shared_memory.SharedMemory, SharedArraySpec]:
-    """Copy *array* into a fresh shared-memory segment."""
+    """Copy *array* into a fresh shared-memory segment.
+
+    Segments are named ``repro_<pid>_<hex>`` (see
+    :data:`SEGMENT_PREFIX`) so that a later publisher can attribute —
+    and reclaim — anything a killed publisher left behind.
+    """
     array = np.ascontiguousarray(array)
-    segment = shared_memory.SharedMemory(create=True, size=array.nbytes)
+    while True:
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=array.nbytes, name=_segment_name()
+            )
+            break
+        except FileExistsError:  # pragma: no cover - 32-bit collision
+            continue
     view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
     view[:] = array
     spec = SharedArraySpec(
@@ -428,8 +516,14 @@ _GLOBAL_REGISTRY: SharedTableRegistry | None = None
 
 
 def shared_table_registry() -> SharedTableRegistry:
-    """The process-wide publisher registry used by sweep executors."""
+    """The process-wide publisher registry used by sweep executors.
+
+    The first call in a process also sweeps ``/dev/shm`` for segments
+    leaked by dead publishers (:func:`sweep_stale_segments`), so a
+    previously SIGKILLed sweep never permanently pins memory.
+    """
     global _GLOBAL_REGISTRY
     if _GLOBAL_REGISTRY is None:
+        sweep_stale_segments()
         _GLOBAL_REGISTRY = SharedTableRegistry()
     return _GLOBAL_REGISTRY

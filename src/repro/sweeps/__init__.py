@@ -12,13 +12,21 @@ replicated, parallelizable sweep:
 * :mod:`~repro.sweeps.aggregate` — per-cell mean / std / 95% CI
   across replicas (forwarded chunks, Gini fairness, net balance);
 * :mod:`~repro.sweeps.store` — deterministic, resumable, diffable
-  JSON result store with git/seed provenance;
+  JSON result store with git/seed provenance, durable (fsync'd)
+  atomic saves, and best-effort salvage of corrupt files;
+* :mod:`~repro.sweeps.resilience` — failure envelopes, deterministic
+  retry policy, and the quarantine bookkeeping behind
+  ``--max-retries`` / ``--keep-going``;
+* :mod:`~repro.sweeps.chaos` — deterministic fault injection
+  (exception / crash / kill / hang per ``(point_id, attempt)``) used
+  to exercise every recovery path in tests and CI;
 * :mod:`~repro.sweeps.engine` — :func:`run_sweep`, the entry point
   behind ``repro-swarm sweep`` and the replicated registry
   experiments in :mod:`repro.experiments.sweeps`.
 """
 
 from .aggregate import CellSummary, MetricSummary, aggregate_records
+from .chaos import Fault, FaultPlan, InjectedFault
 from .engine import SweepResult, outcome_record, run_sweep
 from .executors import (
     ProcessExecutor,
@@ -27,6 +35,12 @@ from .executors import (
     make_executor,
     resolve_jobs,
     table_topologies,
+)
+from .resilience import (
+    PointFailure,
+    PointResult,
+    RetryPolicy,
+    failure_digest,
 )
 from .spec import (
     SweepPoint,
@@ -49,10 +63,17 @@ __all__ = [
     "SerialExecutor",
     "ProcessExecutor",
     "PointOutcome",
+    "PointFailure",
+    "PointResult",
+    "RetryPolicy",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
     "CellSummary",
     "MetricSummary",
     "aggregate_records",
     "execute_point",
+    "failure_digest",
     "make_executor",
     "outcome_record",
     "parse_grid_arguments",

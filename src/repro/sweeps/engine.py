@@ -15,16 +15,32 @@ spawn-safe process pool); completed points stream into the
 interrupted sweep resumes where it stopped. ``points_per_second``
 counts only freshly executed points — the number
 ``benchmarks/bench_sweep.py`` compares serial vs parallel.
+
+Runs are fault-tolerant end to end: failed points retry under a
+deterministic policy and quarantine into the store's ``failures``
+section when they exhaust ``max_retries`` (see
+:mod:`repro.sweeps.resilience`); SIGINT/SIGTERM trigger a graceful
+shutdown — every completed point is already on disk, shared-memory
+segments are released, and the partial :class:`SweepResult` comes
+back with ``interrupted`` set so the CLI can report and exit
+``128 + signum``.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import threading
 import time
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..errors import SweepInterrupted
 from .aggregate import CellSummary, aggregate_records
+from .chaos import FAULT_PLAN_ENV
 from .executors import make_executor
+from .resilience import PointFailure, RetryPolicy
 from .spec import SweepSpec
 from .store import SweepStore
 from .worker import PointOutcome
@@ -58,7 +74,10 @@ class SweepResult:
     (freshly executed or resumed from the store — resumed points carry
     metrics only, never vectors). ``executed``/``resumed`` split the
     two; ``elapsed`` and ``points_per_second`` time only the executed
-    portion.
+    portion. ``failures`` lists the points quarantined after
+    exhausting their retry budget (empty on a healthy run), and
+    ``interrupted`` carries the signal number when a graceful
+    SIGINT/SIGTERM shutdown cut the run short.
     """
 
     spec: SweepSpec
@@ -67,6 +86,8 @@ class SweepResult:
     executed: int
     resumed: int
     elapsed: float
+    failures: list[PointFailure] = field(default_factory=list)
+    interrupted: int | None = None
 
     @property
     def points_per_second(self) -> float:
@@ -76,13 +97,67 @@ class SweepResult:
         return self.executed / self.elapsed
 
 
+@contextmanager
+def _graceful_shutdown():
+    """Convert SIGINT/SIGTERM into :class:`SweepInterrupted`.
+
+    Installed only in the main thread (signal handlers cannot be set
+    elsewhere); the handler raises, which unwinds the executor
+    through its cleanup path — pool killed, shared memory released —
+    while every already-completed point is safely in the store.
+    Previous handlers are restored on exit.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def handler(signum, frame):
+        raise SweepInterrupted(signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - no signals
+            pass
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
+@contextmanager
+def _fault_plan_env(fault_plan: Path | None):
+    """Expose *fault_plan* to this process and its spawn workers."""
+    if fault_plan is None:
+        yield
+        return
+    previous = os.environ.get(FAULT_PLAN_ENV)
+    os.environ[FAULT_PLAN_ENV] = str(fault_plan)
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous
+
+
 def run_sweep(spec: SweepSpec, *, jobs: int = 1,
               store_path: Path | None = None,
               resume: bool = True,
               confidence: float = 0.95,
               table_cache: bool = True,
               cap_jobs: bool = False,
-              epoch_cache_tables: int | None = None) -> SweepResult:
+              epoch_cache_tables: int | None = None,
+              max_retries: int = 2,
+              retry_backoff: float = 0.05,
+              point_timeout: float | None = None,
+              keep_going: bool = True,
+              max_pool_restarts: int = 8,
+              fault_plan: Path | None = None,
+              salvage: bool = False) -> SweepResult:
     """Execute *spec*, optionally persisting/resuming a JSON store.
 
     ``jobs <= 1`` runs serially in-process; larger values fan points
@@ -96,40 +171,79 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
     about oversubscription. ``epoch_cache_tables`` bounds every
     executing process's epoch storer-table cache to an explicit table
     count (``None``: the default per-address-width bytes budget).
+
+    Fault tolerance: every point gets ``max_retries`` extra attempts
+    (deterministic capped-exponential backoff from
+    ``retry_backoff``); ``point_timeout`` arms the process executor's
+    hang watchdog; ``keep_going=False`` aborts on the first point
+    that exhausts its budget instead of quarantining it;
+    ``max_pool_restarts`` bounds crash/hang pool rebuilds per run.
+    ``fault_plan`` points workers at a :mod:`~repro.sweeps.chaos`
+    JSON plan (testing/CI). ``salvage`` lets a corrupt/truncated
+    store at *store_path* be recovered (parseable records kept,
+    the rest re-run) instead of refused.
     """
     points = spec.points()
     store = None
     completed: set[str] = set()
     if store_path is not None:
-        store = SweepStore.open(store_path, spec, resume=resume)
+        store = SweepStore.open(store_path, spec, resume=resume,
+                                salvage=salvage)
         completed = store.completed_ids()
 
     pending = [point for point in points if point.point_id not in completed]
-    on_result = None
     if store is not None:
-        def on_result(outcome: PointOutcome) -> None:
+        # A quarantined point gets a fresh chance on resume: its stale
+        # failure record is dropped here and rewritten only if the
+        # point exhausts its budget again.
+        for point in pending:
+            store.failures.pop(point.point_id, None)
+
+    executed: dict[str, dict] = {}
+    failures: list[PointFailure] = []
+
+    def on_result(outcome: PointOutcome) -> None:
+        # Collected through the callback (not the executor's return
+        # value) so completed points survive a graceful interrupt.
+        executed[outcome.point_id] = outcome_record(outcome)
+        if store is not None:
             # Full rewrite per point: O(points^2) serialization, but
             # an interrupted sweep never loses a completed point and
             # the final file is identical however far the run got.
-            store.add(outcome_record(outcome))
+            store.add(executed[outcome.point_id])
             store.save()
 
-    started = time.perf_counter()
+    def on_failure(failure: PointFailure) -> None:
+        failures.append(failure)
+        if store is not None:
+            store.add_failure(failure.record())
+            store.save()
+
+    policy = RetryPolicy(max_retries=max_retries,
+                         backoff_base=retry_backoff)
     executor = make_executor(jobs, share_tables=table_cache,
                              cap_jobs=cap_jobs,
-                             epoch_cache_tables=epoch_cache_tables)
-    outcomes = executor.run(spec.base, pending, on_result)
+                             epoch_cache_tables=epoch_cache_tables,
+                             retry_policy=policy,
+                             keep_going=keep_going,
+                             point_timeout=point_timeout,
+                             max_pool_restarts=max_pool_restarts)
+    interrupted: int | None = None
+    started = time.perf_counter()
+    with _fault_plan_env(fault_plan), _graceful_shutdown():
+        try:
+            executor.run(spec.base, pending, on_result, on_failure)
+        except SweepInterrupted as signal_error:
+            interrupted = signal_error.signum
     elapsed = time.perf_counter() - started
-    if store is not None and not outcomes:
+    if store is not None and not executed:
         # Nothing executed (fully resumed, or a points-free store):
         # still materialize spec/provenance on disk.
         store.save()
 
-    fresh = {outcome.point_id: outcome_record(outcome)
-             for outcome in outcomes}
     records = []
     for point in points:
-        record = fresh.get(point.point_id)
+        record = executed.get(point.point_id)
         if record is None and store is not None:
             stored = store.points.get(point.point_id)
             if stored is not None:
@@ -141,7 +255,9 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
         spec=spec,
         records=records,
         summaries=aggregate_records(spec, records, confidence),
-        executed=len(outcomes),
-        resumed=len(records) - len(outcomes),
+        executed=len(executed),
+        resumed=len(records) - len(executed),
         elapsed=elapsed,
+        failures=failures,
+        interrupted=interrupted,
     )

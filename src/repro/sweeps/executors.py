@@ -14,6 +14,18 @@ start method: workers import :mod:`repro` fresh instead of inheriting
 forked state, which keeps results independent of whatever the parent
 process cached and behaves identically on Linux, macOS, and Windows.
 
+Execution is **fault-tolerant** (see :mod:`repro.sweeps.resilience`):
+a point that raises is retried under a deterministic
+:class:`~repro.sweeps.resilience.RetryPolicy` and quarantined (not
+fatal) when it exhausts the budget; a dead worker process
+(``BrokenProcessPool`` — segfault, OOM-kill, ``os._exit``) triggers a
+bounded pool rebuild with every lost in-flight point resubmitted; a
+wall-clock ``point_timeout`` watchdog recycles the pool out from
+under a hung point and counts the hang as a retryable failure. A
+point that fails and then succeeds within the budget leaves no trace
+in its outcome — recovered sweeps stay byte-identical to fault-free
+ones, the property :mod:`repro.sweeps.chaos` fault plans pin in CI.
+
 Spawned workers share built routing tables instead of rebuilding
 them: before fanning out, the parent resolves each unique topology's
 :class:`~repro.backends.fast.NextHopTable` once through the global
@@ -39,24 +51,48 @@ instead.
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import itertools
 import os
+import time
 import warnings
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
 from typing import Callable, Sequence
 
 from ..backends.base import get_backend_class
 from ..backends.config import FastSimulationConfig
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SweepExecutionError
 from ..kademlia.overlay import OverlayConfig
+from .resilience import FailureTracker, PointFailure, RetryPolicy
 from .spec import SweepPoint
 from .worker import PointOutcome, execute_point, point_payload
 
 __all__ = ["SweepExecutor", "SerialExecutor", "ProcessExecutor",
+           "WorkerCrash", "PointTimeout",
            "make_executor", "resolve_jobs", "table_topologies"]
 
 #: Callback invoked as each point completes (store persistence hook).
 OnResult = Callable[[PointOutcome], None]
+
+#: Callback invoked when a point exhausts its retry budget and is
+#: quarantined (store failure-section hook).
+OnFailure = Callable[[PointFailure], None]
+
+
+class WorkerCrash(RuntimeError):
+    """A worker process died while the point was in flight.
+
+    The pool cannot attribute the death to one future, so every lost
+    in-flight point is charged one attempt with this error; the fixed
+    message keeps quarantine records deterministic.
+    """
+
+
+class PointTimeout(RuntimeError):
+    """A point exceeded the wall-clock ``point_timeout`` watchdog."""
 
 
 def resolve_jobs(jobs: int, *, cap_jobs: bool = False) -> int:
@@ -116,9 +152,36 @@ class SweepExecutor:
 
     def run(self, base: FastSimulationConfig,
             points: Sequence[SweepPoint],
-            on_result: OnResult | None = None) -> list[PointOutcome]:
-        """Execute *points* against *base*; canonical-order outcomes."""
+            on_result: OnResult | None = None,
+            on_failure: OnFailure | None = None) -> list[PointOutcome]:
+        """Execute *points* against *base*; canonical-order outcomes.
+
+        Successful outcomes are returned (and streamed to
+        *on_result*); points that exhaust the retry budget are
+        reported to *on_failure* and omitted from the return value —
+        unless ``keep_going=False``, where the first exhausted point
+        raises :class:`~repro.errors.SweepExecutionError`.
+        """
         raise NotImplementedError
+
+    def _point_failed(self, point: SweepPoint, kind: str,
+                      error: BaseException, tracker: FailureTracker,
+                      on_failure: OnFailure | None) -> bool:
+        """Charge one failed attempt; ``True`` if the point may retry.
+
+        On exhaustion the terminal failure is reported to *on_failure*
+        (quarantine) or raised (``keep_going=False``).
+        """
+        failure = tracker.record(point, kind, error)
+        if failure is None:
+            return True
+        if on_failure is not None:
+            on_failure(failure)
+        if not self.keep_going:
+            raise SweepExecutionError(
+                f"sweep aborted (fail-fast): {failure.describe()}"
+            ) from error
+        return False
 
 
 class SerialExecutor(SweepExecutor):
@@ -127,27 +190,57 @@ class SerialExecutor(SweepExecutor):
     The process-global table cache already deduplicates builds within
     one process, so the serial path needs no shared memory: a K-seed x
     M-parameter sweep over one topology builds its table once here
-    too.
+    too. Failures retry in place (with the policy's backoff) — crash
+    and hang recovery are inherently process-pool features, so the
+    serial path only ever sees the ``exception`` kind.
     """
 
-    def __init__(self, *, epoch_cache_tables: int | None = None) -> None:
+    def __init__(self, *, epoch_cache_tables: int | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 keep_going: bool = True) -> None:
         self.epoch_cache_tables = epoch_cache_tables
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.keep_going = keep_going
 
     def run(self, base: FastSimulationConfig,
             points: Sequence[SweepPoint],
-            on_result: OnResult | None = None) -> list[PointOutcome]:
+            on_result: OnResult | None = None,
+            on_failure: OnFailure | None = None) -> list[PointOutcome]:
         base_payload = dataclasses.asdict(base)
+        tracker = FailureTracker(self.retry_policy)
         outcomes = []
         for point in points:
-            outcome = execute_point(
-                base_payload, point_payload(point),
-                epoch_cache_tables=self.epoch_cache_tables,
-            )
-            if on_result is not None:
-                on_result(outcome)
-            outcomes.append(outcome)
+            while True:
+                attempt = tracker.failed_attempts(point)
+                try:
+                    outcome = execute_point(
+                        base_payload, point_payload(point),
+                        epoch_cache_tables=self.epoch_cache_tables,
+                        attempt=attempt,
+                    )
+                except Exception as error:
+                    if self._point_failed(point, "exception", error,
+                                          tracker, on_failure):
+                        delay = self.retry_policy.delay(attempt)
+                        if delay > 0:
+                            time.sleep(delay)
+                        continue
+                    break
+                if on_result is not None:
+                    on_result(outcome)
+                outcomes.append(outcome)
+                break
         outcomes.sort(key=lambda o: o.index)
         return outcomes
+
+
+@dataclasses.dataclass
+class _InFlight:
+    """One submitted point: its attempt number and watchdog deadline."""
+
+    point: SweepPoint
+    attempt: int
+    deadline: float | None
 
 
 class ProcessExecutor(SweepExecutor):
@@ -156,14 +249,52 @@ class ProcessExecutor(SweepExecutor):
     Results are collected as they complete (so the store can persist
     incrementally) and re-sorted into canonical point order before
     returning; scheduling order never leaks into the output.
+
+    At most ``jobs`` points are in flight at a time (the rest wait in
+    a parent-side queue), so a submitted future is running almost
+    immediately — which is what lets ``point_timeout`` deadlines be
+    measured from submission. Three recovery paths:
+
+    * a worker **exception** charges the point one attempt and
+      reschedules it after the policy's backoff;
+    * a **dead worker** breaks the whole pool; the executor kills and
+      rebuilds it (at most ``max_pool_restarts`` times per run) and
+      charges every lost in-flight point one ``crash`` attempt —
+      attribution is impossible, and the charge makes a
+      deterministically crashing point exhaust its budget instead of
+      looping forever;
+    * a point running past ``point_timeout`` is **hung**: pool
+      workers cannot be cancelled individually, so the pool is killed
+      and rebuilt, the hung point is charged a ``timeout`` attempt,
+      and innocent in-flight points are resubmitted *without* losing
+      budget.
     """
 
     def __init__(self, jobs: int, *, share_tables: bool = True,
                  cap_jobs: bool = False,
-                 epoch_cache_tables: int | None = None) -> None:
+                 epoch_cache_tables: int | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 keep_going: bool = True,
+                 point_timeout: float | None = None,
+                 max_pool_restarts: int = 8) -> None:
         self.jobs = resolve_jobs(jobs, cap_jobs=cap_jobs)
         self.share_tables = share_tables
         self.epoch_cache_tables = epoch_cache_tables
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.keep_going = keep_going
+        if point_timeout is not None and point_timeout <= 0:
+            raise ConfigurationError(
+                f"point_timeout must be > 0, got {point_timeout}"
+            )
+        self.point_timeout = point_timeout
+        if max_pool_restarts < 0:
+            raise ConfigurationError(
+                f"max_pool_restarts must be >= 0, got {max_pool_restarts}"
+            )
+        self.max_pool_restarts = max_pool_restarts
+
+    # ------------------------------------------------------------------
+    # Shared-memory publication
 
     def _publish_tables(self, base: FastSimulationConfig,
                         points: Sequence[SweepPoint]
@@ -179,7 +310,10 @@ class ProcessExecutor(SweepExecutor):
         chain in every worker (the patch scan happens once per
         machine). Falls back to unshared execution — workers rebuild,
         exactly the pre-cache behavior — when shared memory is
-        unavailable on this platform.
+        unavailable on this platform. Any failure mid-publication
+        (including inside the epoch loop) releases exactly the handles
+        acquired so far before falling back or re-raising: a partial
+        publish must never leak segments.
         """
         from ..backends.fast import cached_overlay
         from ..perf.shared import shared_table_registry
@@ -199,15 +333,17 @@ class ProcessExecutor(SweepExecutor):
             self._publish_epoch_tables(
                 base, points, registry, payloads, acquired
             )
-        except (ImportError, OSError) as error:
-            for fingerprint in acquired:
-                registry.release(fingerprint)
-            warnings.warn(
-                f"shared-memory table publication unavailable "
-                f"({error}); sweep workers will rebuild next-hop tables",
-                RuntimeWarning,
-            )
-            return {}, []
+        except BaseException as error:
+            self._release_handles(acquired)
+            if isinstance(error, (ImportError, OSError)):
+                warnings.warn(
+                    f"shared-memory table publication unavailable "
+                    f"({error}); sweep workers will rebuild next-hop "
+                    f"tables",
+                    RuntimeWarning,
+                )
+                return {}, []
+            raise
         return payloads, acquired
 
     def _publish_epoch_tables(self, base: FastSimulationConfig,
@@ -260,9 +396,81 @@ class ProcessExecutor(SweepExecutor):
             acquired.append(key)
             payloads[key] = handle.to_payload()
 
+    @staticmethod
+    def _release_handles(acquired: Sequence[str]) -> None:
+        """Release published segments, exception-safe per handle.
+
+        One failing release (a segment torn down behind our back, a
+        tracker hiccup) must not strand the remaining handles — each
+        release is isolated and failures demote to warnings.
+        """
+        if not acquired:
+            return
+        from ..perf.shared import shared_table_registry
+
+        registry = shared_table_registry()
+        for key in acquired:
+            try:
+                registry.release(key)
+            except Exception as error:  # pragma: no cover - best effort
+                warnings.warn(
+                    f"failed to release shared table segment {key!r}: "
+                    f"{error}",
+                    RuntimeWarning,
+                )
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+
+    def _new_pool(self, workers: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context("spawn")
+        )
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Kill every worker and shut the pool down without blocking.
+
+        SIGKILL (not terminate) because the workers we tear down this
+        way are hung or already broken — and a killed pool joins
+        immediately, so the interpreter's atexit hook can never block
+        on a worker that will not finish.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # pragma: no cover - best effort
+            pass
+
+    def _count_restart(self, restarts: int, why: str) -> int:
+        restarts += 1
+        if restarts > self.max_pool_restarts:
+            raise SweepExecutionError(
+                f"worker pool needed {restarts} restarts "
+                f"(max_pool_restarts={self.max_pool_restarts}); "
+                f"last cause: {why}. The sweep is likely facing a "
+                f"systematic crash — run with --jobs 1 to see the "
+                f"failure directly."
+            )
+        warnings.warn(
+            f"sweep worker pool {why}; rebuilding "
+            f"(restart {restarts}/{self.max_pool_restarts})",
+            RuntimeWarning,
+        )
+        return restarts
+
+    # ------------------------------------------------------------------
+    # Execution
+
     def run(self, base: FastSimulationConfig,
             points: Sequence[SweepPoint],
-            on_result: OnResult | None = None) -> list[PointOutcome]:
+            on_result: OnResult | None = None,
+            on_failure: OnFailure | None = None) -> list[PointOutcome]:
         if not points:
             return []
         base_payload = dataclasses.asdict(base)
@@ -271,43 +479,214 @@ class ProcessExecutor(SweepExecutor):
         acquired: list[str] = []
         if self.share_tables:
             handles, acquired = self._publish_tables(base, points)
+        tracker = FailureTracker(self.retry_policy)
         outcomes: list[PointOutcome] = []
+        #: Points eligible to run now (initial order = canonical).
+        ready: deque[SweepPoint] = deque(points)
+        #: Backoff-delayed retries: (ready_at, tiebreak, point).
+        retries: list[tuple[float, int, SweepPoint]] = []
+        sequence = itertools.count()
+        inflight: dict = {}
+        restarts = 0
+        pool = self._new_pool(workers)
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=get_context("spawn")
-            ) as pool:
-                pending = {
-                    pool.submit(execute_point, base_payload,
-                                point_payload(point), handles or None,
-                                self.epoch_cache_tables)
-                    for point in points
-                }
-                while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        outcome = future.result()
-                        if on_result is not None:
-                            on_result(outcome)
-                        outcomes.append(outcome)
+            while ready or retries or inflight:
+                now = time.monotonic()
+                while retries and retries[0][0] <= now:
+                    ready.append(heapq.heappop(retries)[2])
+                broken = self._top_up(pool, base_payload, handles, ready,
+                                      inflight, tracker, workers)
+                if not broken:
+                    if not inflight:
+                        # Only backoff-delayed retries remain.
+                        pause = max(0.0, retries[0][0] - time.monotonic())
+                        time.sleep(min(pause, 0.25))
+                        continue
+                    done, _ = wait(
+                        set(inflight),
+                        timeout=self._wait_timeout(inflight, retries),
+                        return_when=FIRST_COMPLETED,
+                    )
+                    broken = self._collect(done, inflight, outcomes,
+                                           tracker, retries, sequence,
+                                           on_result, on_failure)
+                if broken:
+                    restarts = self._count_restart(
+                        restarts, "lost a worker process"
+                    )
+                    self._terminate_pool(pool)
+                    lost = list(inflight.values())
+                    inflight.clear()
+                    pool = self._new_pool(workers)
+                    for running in lost:
+                        crash = WorkerCrash(
+                            "worker process died while this point was "
+                            "in flight"
+                        )
+                        if self._point_failed(running.point, "crash",
+                                              crash, tracker, on_failure):
+                            heapq.heappush(retries, (
+                                time.monotonic()
+                                + self.retry_policy.delay(running.attempt),
+                                next(sequence), running.point,
+                            ))
+                    continue
+                restarts, pool = self._reap_hung(
+                    pool, workers, restarts, ready, retries, sequence,
+                    inflight, tracker, on_failure,
+                )
         finally:
-            if acquired:
-                from ..perf.shared import shared_table_registry
-
-                registry = shared_table_registry()
-                for fingerprint in acquired:
-                    registry.release(fingerprint)
+            try:
+                self._terminate_pool(pool)
+            finally:
+                self._release_handles(acquired)
         outcomes.sort(key=lambda o: o.index)
         return outcomes
+
+    def _top_up(self, pool: ProcessPoolExecutor, base_payload: dict,
+                handles: dict, ready: deque, inflight: dict,
+                tracker: FailureTracker, workers: int) -> bool:
+        """Submit ready points up to the worker count.
+
+        Returns ``True`` when the pool turned out to be broken — the
+        unsubmitted point goes back to the queue head and the caller
+        runs crash recovery.
+        """
+        while ready and len(inflight) < workers:
+            point = ready.popleft()
+            attempt = tracker.failed_attempts(point)
+            try:
+                future = pool.submit(
+                    execute_point, base_payload, point_payload(point),
+                    handles or None, self.epoch_cache_tables, attempt,
+                )
+            except BrokenProcessPool:
+                ready.appendleft(point)
+                return True
+            deadline = (
+                None if self.point_timeout is None
+                else time.monotonic() + self.point_timeout
+            )
+            inflight[future] = _InFlight(point, attempt, deadline)
+        return False
+
+    def _wait_timeout(self, inflight: dict,
+                      retries: list) -> float | None:
+        """How long :func:`wait` may block before bookkeeping is due."""
+        now = time.monotonic()
+        candidates = []
+        if retries:
+            candidates.append(retries[0][0] - now)
+        deadlines = [running.deadline for running in inflight.values()
+                     if running.deadline is not None]
+        if deadlines:
+            candidates.append(min(deadlines) - now)
+        if not candidates:
+            return None
+        return max(0.05, min(candidates))
+
+    def _collect(self, done, inflight: dict, outcomes: list,
+                 tracker: FailureTracker, retries: list, sequence,
+                 on_result: OnResult | None,
+                 on_failure: OnFailure | None) -> bool:
+        """Drain completed futures; ``True`` when the pool broke.
+
+        On a broken pool the triggering future is pushed back into
+        *inflight* so the caller's crash recovery charges it together
+        with every other lost point.
+        """
+        for future in done:
+            running = inflight.pop(future)
+            try:
+                outcome = future.result()
+            except BrokenProcessPool:
+                inflight[future] = running
+                return True
+            except Exception as error:
+                if self._point_failed(running.point, "exception", error,
+                                      tracker, on_failure):
+                    heapq.heappush(retries, (
+                        time.monotonic()
+                        + self.retry_policy.delay(running.attempt),
+                        next(sequence), running.point,
+                    ))
+            else:
+                if on_result is not None:
+                    on_result(outcome)
+                outcomes.append(outcome)
+        return False
+
+    def _reap_hung(self, pool: ProcessPoolExecutor, workers: int,
+                   restarts: int, ready: deque, retries: list, sequence,
+                   inflight: dict, tracker: FailureTracker,
+                   on_failure: OnFailure | None
+                   ) -> tuple[int, ProcessPoolExecutor]:
+        """Recycle the pool when any in-flight point is past deadline.
+
+        The hung point is charged a ``timeout`` attempt; other
+        in-flight points are innocent bystanders of the pool kill and
+        requeue with their budget intact.
+        """
+        if self.point_timeout is None or not inflight:
+            return restarts, pool
+        now = time.monotonic()
+        hung = [future for future, running in inflight.items()
+                if running.deadline is not None
+                and running.deadline <= now and not future.done()]
+        if not hung:
+            return restarts, pool
+        hung_running = [inflight.pop(future) for future in hung]
+        survivors = list(inflight.values())
+        inflight.clear()
+        restarts = self._count_restart(
+            restarts,
+            f"had {len(hung_running)} point(s) exceed "
+            f"point_timeout={self.point_timeout:g}s",
+        )
+        self._terminate_pool(pool)
+        pool = self._new_pool(workers)
+        for running in survivors:
+            ready.append(running.point)
+        for running in hung_running:
+            timeout_error = PointTimeout(
+                f"point exceeded point-timeout "
+                f"{self.point_timeout:g}s"
+            )
+            if self._point_failed(running.point, "timeout", timeout_error,
+                                  tracker, on_failure):
+                heapq.heappush(retries, (
+                    time.monotonic()
+                    + self.retry_policy.delay(running.attempt),
+                    next(sequence), running.point,
+                ))
+        return restarts, pool
 
 
 def make_executor(jobs: int, *, share_tables: bool = True,
                   cap_jobs: bool = False,
-                  epoch_cache_tables: int | None = None) -> SweepExecutor:
+                  epoch_cache_tables: int | None = None,
+                  retry_policy: RetryPolicy | None = None,
+                  keep_going: bool = True,
+                  point_timeout: float | None = None,
+                  max_pool_restarts: int = 8) -> SweepExecutor:
     """Serial for ``jobs == 1``, a spawn process pool otherwise."""
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1:
-        return SerialExecutor(epoch_cache_tables=epoch_cache_tables)
+        if point_timeout is not None:
+            warnings.warn(
+                "point_timeout needs the process executor (a hung "
+                "in-process point has no watchdog); ignored for "
+                "--jobs 1",
+                RuntimeWarning,
+            )
+        return SerialExecutor(epoch_cache_tables=epoch_cache_tables,
+                              retry_policy=retry_policy,
+                              keep_going=keep_going)
     return ProcessExecutor(jobs, share_tables=share_tables,
                            cap_jobs=cap_jobs,
-                           epoch_cache_tables=epoch_cache_tables)
+                           epoch_cache_tables=epoch_cache_tables,
+                           retry_policy=retry_policy,
+                           keep_going=keep_going,
+                           point_timeout=point_timeout,
+                           max_pool_restarts=max_pool_restarts)

@@ -1,0 +1,215 @@
+"""Failure envelopes and retry policy for fault-tolerant sweeps.
+
+Sweep executors wrap every point execution in a :class:`PointResult`
+envelope instead of letting a worker exception unwind the whole run:
+a successful attempt carries its
+:class:`~repro.sweeps.worker.PointOutcome`, a failed one a
+:class:`PointFailure` (exception type, message digest, attempt
+count). A deterministic :class:`RetryPolicy` — capped exponential
+backoff, deliberately **without** jitter so nothing time-dependent
+ever reaches recorded state — re-runs failed points up to
+``max_retries`` extra attempts; points that exhaust the budget are
+*quarantined* into the store's ``failures`` section (sorted, no
+timestamps) rather than aborting the sweep, unless ``--fail-fast``
+asked for the abort.
+
+The design invariant: a point that fails and then succeeds within the
+retry budget leaves **no trace** in the result store — its record is
+identical to a never-failed run's, which is what extends the sweep
+subsystem's byte-determinism guarantee from "regardless of --jobs" to
+"regardless of recovered faults".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ConfigurationError
+from .spec import SweepPoint
+
+__all__ = [
+    "FAILURE_KINDS",
+    "FailureTracker",
+    "PointFailure",
+    "PointResult",
+    "RetryPolicy",
+    "failure_digest",
+]
+
+#: How a point attempt can fail: an exception raised by the worker, a
+#: wall-clock ``--point-timeout`` expiry (hang), or the death of the
+#: worker process itself (segfault, OOM-kill, injected ``os._exit``).
+FAILURE_KINDS = ("exception", "timeout", "crash")
+
+
+def failure_digest(error: BaseException) -> str:
+    """A short deterministic digest of an exception chain.
+
+    Hashes ``traceback.format_exception_only`` over the full
+    ``__cause__``/``__context__`` chain — type and message only, never
+    file paths or line numbers — so the digest is identical whether
+    the exception was raised in-process (serial executor) or pickled
+    back from a spawn worker (whose traceback frames do not survive
+    the trip), and identical across machines and checkouts.
+    """
+    parts: list[str] = []
+    seen: set[int] = set()
+    current: BaseException | None = error
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        parts.extend(traceback.format_exception_only(type(current), current))
+        current = current.__cause__ or current.__context__
+    return hashlib.sha256("".join(parts).encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """One sweep point's terminal failure after its last attempt.
+
+    ``error`` is the human-readable ``Type: message`` of the last
+    failure, ``digest`` the deterministic exception-chain hash (see
+    :func:`failure_digest`), ``attempts`` the total number of tries
+    (``max_retries + 1`` when the budget was exhausted).
+    """
+
+    point: SweepPoint
+    kind: str
+    error: str
+    digest: str
+    attempts: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAILURE_KINDS:
+            raise ConfigurationError(
+                f"unknown failure kind {self.kind!r}; expected one of "
+                f"{FAILURE_KINDS}"
+            )
+
+    @property
+    def point_id(self) -> str:
+        return self.point.point_id
+
+    def record(self) -> dict[str, Any]:
+        """The deterministic store record (sorted keys, no timestamps).
+
+        Mirrors :func:`~repro.sweeps.engine.outcome_record` minus the
+        metrics: the quarantined point stays fully identified (backend,
+        overrides, replica, derived seed) so a later resume — which
+        clears the entry and re-runs the point — needs nothing but the
+        store.
+        """
+        return {
+            "point_id": self.point.point_id,
+            "backend": self.point.backend,
+            "overrides": dict(self.point.overrides),
+            "replica": self.point.replica,
+            "workload_seed": self.point.workload_seed,
+            "kind": self.kind,
+            "error": self.error,
+            "digest": self.digest,
+            "attempts": self.attempts,
+        }
+
+    def describe(self) -> str:
+        """One human-readable line for CLI summaries."""
+        return (f"{self.point.point_id}: {self.kind} after "
+                f"{self.attempts} attempt(s) — {self.error}")
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Envelope around one point's execution: outcome or failure."""
+
+    outcome: Any = None
+    failure: PointFailure | None = None
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if (self.outcome is None) == (self.failure is None):
+            raise ConfigurationError(
+                "a PointResult carries exactly one of outcome/failure"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic capped exponential backoff for failed points.
+
+    ``max_retries`` is the number of *extra* attempts after the first
+    (so a point runs at most ``max_retries + 1`` times). The delay
+    before retry ``a`` (0-based failed-attempt index) is
+    ``min(backoff_cap, backoff_base * 2**a)`` — no jitter: randomized
+    delays would make two runs of the same faulted sweep schedule
+    differently, and while scheduling never reaches the recorded
+    state, keeping the whole layer deterministic makes fault-plan
+    tests exactly reproducible.
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ConfigurationError(
+                "retry backoff times must be >= 0"
+            )
+
+    def allows(self, attempt: int) -> bool:
+        """Whether failed attempt *attempt* (0-based) may be retried."""
+        return attempt < self.max_retries
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before the retry after failed *attempt*."""
+        return min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+
+
+@dataclass
+class FailureTracker:
+    """Per-run bookkeeping of attempts and quarantined failures.
+
+    Owned by an executor during one :meth:`run`; maps each point to
+    its failed-attempt count and collects the failures that exhausted
+    the policy. ``record`` returns ``True`` when the point may retry.
+    """
+
+    policy: RetryPolicy
+    attempts: dict[str, int] = field(default_factory=dict)
+    quarantined: list[PointFailure] = field(default_factory=list)
+
+    def record(self, point: SweepPoint, kind: str,
+               error: BaseException) -> PointFailure | None:
+        """Count one failed attempt; quarantine when the budget is gone.
+
+        Returns ``None`` while the policy still allows a retry, else
+        the terminal :class:`PointFailure` (also appended to
+        ``quarantined``).
+        """
+        attempt = self.attempts.get(point.point_id, 0)
+        self.attempts[point.point_id] = attempt + 1
+        if self.policy.allows(attempt):
+            return None
+        failure = PointFailure(
+            point=point,
+            kind=kind,
+            error=f"{type(error).__name__}: {error}",
+            digest=failure_digest(error),
+            attempts=attempt + 1,
+        )
+        self.quarantined.append(failure)
+        return failure
+
+    def failed_attempts(self, point: SweepPoint) -> int:
+        """0-based count of failed attempts so far for *point*."""
+        return self.attempts.get(point.point_id, 0)

@@ -14,16 +14,29 @@ deterministic — sorted keys, no timestamps, no timings — so that:
 Stores are resumable: reopening an existing file with the same spec
 skips completed points, while a different spec is refused rather than
 silently mixed (pass ``resume=False`` to overwrite).
+
+Durability: :meth:`SweepStore.save` writes a temp file, fsyncs it
+*and* the parent directory, then renames — a SIGKILL or power loss at
+any instant leaves either the old complete file or the new complete
+file, never a torn one. Points quarantined after exhausting their
+retry budget live in a ``failures`` section (sorted, no timestamps;
+omitted when empty so healthy stores stay byte-identical with
+pre-fault-tolerance ones). Should a file still end up truncated or
+corrupt (filesystem damage, a partial copy), :meth:`SweepStore.
+salvage` recovers the spec and every parseable point record instead
+of refusing the whole file.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import platform
 import subprocess
+import warnings
 from pathlib import Path
-from typing import Mapping
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -73,15 +86,31 @@ def git_provenance(repo_dir: Path | None = None) -> dict:
         return {"git_commit": None, "git_dirty": None}
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Flush a directory entry (the rename) to stable storage."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dir unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
 class SweepStore:
     """Spec + per-point metric records, persisted as diffable JSON."""
 
     def __init__(self, path: Path, spec: SweepSpec,
                  points: dict[str, dict] | None = None,
-                 provenance: dict | None = None) -> None:
+                 provenance: dict | None = None,
+                 failures: dict[str, dict] | None = None) -> None:
         self.path = Path(path)
         self.spec = spec
         self.points: dict[str, dict] = dict(points or {})
+        self.failures: dict[str, dict] = dict(failures or {})
         self._provenance = provenance
 
     # ------------------------------------------------------------------
@@ -89,16 +118,39 @@ class SweepStore:
 
     @classmethod
     def open(cls, path: Path, spec: SweepSpec, *,
-             resume: bool = True) -> "SweepStore":
+             resume: bool = True, salvage: bool = False) -> "SweepStore":
         """Open (resuming) or create the store for *spec* at *path*.
 
         An existing file is resumed only when its spec matches
         exactly; a mismatch raises so results from different sweeps
         never mix. With ``resume=False`` an existing file is replaced.
+        A stale ``.tmp`` sibling left by a previous run killed between
+        write and rename is removed (its contents are by definition
+        incomplete — the rename that would have blessed them never
+        happened). With ``salvage=True`` a corrupt or truncated file
+        is recovered via :meth:`salvage` — every parseable point
+        record kept, the rest re-run — instead of refused.
         """
         path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        if tmp.exists():
+            warnings.warn(
+                f"removing stale sweep store temp file {tmp} (a "
+                f"previous run was killed mid-save; the renamed store "
+                f"file is the only blessed copy)",
+                RuntimeWarning,
+            )
+            tmp.unlink(missing_ok=True)
         if path.exists() and resume:
-            loaded = cls.load(path)
+            try:
+                loaded = cls.load(path)
+            except ConfigurationError:
+                if not salvage:
+                    raise
+                loaded, notes = cls.salvage(path, spec=spec)
+                for note in notes:
+                    warnings.warn(f"salvaged {path}: {note}",
+                                  RuntimeWarning)
             if not _resumable(loaded.spec, spec):
                 raise ConfigurationError(
                     f"sweep store {path} holds a different spec; delete "
@@ -119,38 +171,158 @@ class SweepStore:
             document = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as error:
             raise ConfigurationError(
-                f"cannot read sweep store {path}: {error}"
+                f"cannot read sweep store {path}: {error} (if the file "
+                f"is truncated or corrupt, SweepStore.salvage / "
+                f"repro-swarm sweep --salvage-store can recover the "
+                f"parseable records)"
             ) from None
         if document.get("format") != FORMAT:
             raise ConfigurationError(
                 f"{path} is not a {FORMAT} sweep store"
             )
-        provenance = {
-            key: value
-            for key, value in document.get("provenance", {}).items()
-            if key != "seed_table"
-        }
-        return cls(
-            path,
-            SweepSpec.from_json(document["spec"]),
-            points=document.get("points", {}),
-            # Keep the provenance the points were actually computed
-            # under; a resume in a newer environment must not rewrite
-            # the recorded origin of old results.
-            provenance=provenance or None,
-        )
+        try:
+            spec = SweepSpec.from_json(document["spec"])
+            provenance = {
+                key: value
+                for key, value in document.get("provenance", {}).items()
+                if key != "seed_table"
+            }
+            return cls(
+                path,
+                spec,
+                points=document.get("points", {}),
+                # Keep the provenance the points were actually computed
+                # under; a resume in a newer environment must not
+                # rewrite the recorded origin of old results.
+                provenance=provenance or None,
+                failures=document.get("failures", {}),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise ConfigurationError(
+                f"sweep store {path} is malformed: {error!r}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Salvage
+
+    @classmethod
+    def salvage(cls, path: Path,
+                spec: SweepSpec | None = None
+                ) -> tuple["SweepStore", list[str]]:
+        """Recover what a truncated/corrupt store file still holds.
+
+        Scans the text for the ``spec``, ``points``, ``failures`` and
+        ``provenance`` sections and decodes each record independently
+        (:meth:`json.JSONDecoder.raw_decode`), stopping a section at
+        the first undecodable byte — so every record written before
+        the corruption survives. Records whose ``point_id`` does not
+        belong to the recovered (or provided fallback) spec are
+        dropped rather than resurrected into the wrong sweep.
+
+        Returns the salvaged store plus human-readable notes on what
+        was recovered and what was lost. Raises
+        :class:`~repro.errors.ConfigurationError` when neither the
+        file nor *spec* yields a usable spec — without one, the
+        records cannot be attributed to any sweep.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text(errors="replace")
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read sweep store {path}: {error}"
+            ) from None
+        try:
+            store = cls.load(path)
+            return store, ["store parsed cleanly; nothing to salvage"]
+        except ConfigurationError:
+            pass
+
+        notes: list[str] = []
+        spec_payload = _salvage_object(text, "spec")
+        salvaged_spec: SweepSpec | None = None
+        if spec_payload is not None:
+            try:
+                salvaged_spec = SweepSpec.from_json(spec_payload)
+            except Exception as error:
+                notes.append(f"embedded spec unusable ({error})")
+        if salvaged_spec is None:
+            if spec is None:
+                raise ConfigurationError(
+                    f"cannot salvage {path}: the spec section is "
+                    f"missing or corrupt and no fallback spec was "
+                    f"given"
+                )
+            salvaged_spec = spec
+            notes.append(
+                "spec section unrecoverable; trusting the caller's "
+                "spec for record validation"
+            )
+        valid_ids = {point.point_id
+                     for point in salvaged_spec.points()}
+
+        def keep(section: str, wants_metrics: bool) -> dict[str, dict]:
+            records, clean = _salvage_mapping(text, section)
+            kept: dict[str, dict] = {}
+            dropped = 0
+            for point_id, record in records.items():
+                if point_id not in valid_ids or not isinstance(
+                    record, dict
+                ) or (wants_metrics
+                      and not isinstance(record.get("metrics"), dict)):
+                    dropped += 1
+                    continue
+                kept[point_id] = record
+            if kept or dropped or not clean:
+                notes.append(
+                    f"{section}: recovered {len(kept)} record(s)"
+                    + (f", dropped {dropped} unusable" if dropped else "")
+                    + ("" if clean else "; section truncated — any "
+                       "later records are lost and will be re-run")
+                )
+            return kept
+
+        points = keep("points", wants_metrics=True)
+        failures = keep("failures", wants_metrics=False)
+        provenance = _salvage_object(text, "provenance")
+        if provenance is not None:
+            provenance = {key: value for key, value in provenance.items()
+                          if key != "seed_table"} or None
+        if provenance is None:
+            notes.append(
+                "provenance unrecoverable; the next save records the "
+                "current environment"
+            )
+        return cls(path, salvaged_spec, points=points,
+                   provenance=provenance, failures=failures), notes
 
     def save(self) -> None:
-        """Write the store atomically (temp file + rename)."""
+        """Write the store atomically *and durably*.
+
+        Temp file + fsync + rename + directory fsync: after save()
+        returns, the record survives a crash or power loss at any
+        point — and a crash *during* save leaves the previous blessed
+        file untouched (the stale ``.tmp`` is swept by :meth:`open`).
+        """
         document = self.to_json()
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(
-            json.dumps(document, indent=2, sort_keys=True) + "\n"
-        )
+        with open(tmp, "w") as handle:
+            handle.write(
+                json.dumps(document, indent=2, sort_keys=True) + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
         tmp.replace(self.path)
+        _fsync_directory(self.path.parent)
 
     def to_json(self) -> dict:
-        """The full document (deterministic; no timestamps/timings)."""
+        """The full document (deterministic; no timestamps/timings).
+
+        ``failures`` is omitted when empty, so stores from healthy
+        runs — and from faulted runs whose every failure was recovered
+        within the retry budget — stay byte-identical with stores
+        written before the section existed.
+        """
         if self._provenance is None:
             # Computed once per store: incremental per-point saves
             # must not shell out to git for every completed point.
@@ -159,7 +331,7 @@ class SweepStore:
                 "python": platform.python_version(),
                 "numpy": np.__version__,
             }
-        return {
+        document = {
             "format": FORMAT,
             "spec": self.spec.to_json(),
             "provenance": {
@@ -174,12 +346,19 @@ class SweepStore:
             },
             "points": self.points,
         }
+        if self.failures:
+            document["failures"] = self.failures
+        return document
 
     # ------------------------------------------------------------------
     # Records
 
     def completed_ids(self) -> set[str]:
-        """Point ids already recorded (skipped on resume)."""
+        """Point ids already recorded (skipped on resume).
+
+        Quarantined failures deliberately do not count: a resumed
+        sweep re-runs them with a fresh retry budget.
+        """
         return set(self.points)
 
     def add(self, record: Mapping) -> None:
@@ -187,6 +366,89 @@ class SweepStore:
         record = dict(record)
         point_id = record.pop("point_id")
         self.points[point_id] = record
+        # A success supersedes any quarantine left by an earlier run.
+        self.failures.pop(point_id, None)
+
+    def add_failure(self, record: Mapping) -> None:
+        """Quarantine one exhausted point (keyed by its ``point_id``)."""
+        record = dict(record)
+        point_id = record.pop("point_id")
+        self.failures[point_id] = record
 
     def __len__(self) -> int:
         return len(self.points)
+
+
+# ----------------------------------------------------------------------
+# Salvage scanning helpers
+
+def _skip_whitespace(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos] in " \t\r\n":
+        pos += 1
+    return pos
+
+
+def _section_start(text: str, name: str) -> int | None:
+    """Position of the value of top-level key *name*, or ``None``.
+
+    The store is always written by :meth:`SweepStore.save` with
+    ``indent=2, sort_keys=True``, so a top-level key appears at the
+    start of a line as ``  "name": `` — point ids and metric names
+    can never be mistaken for one (they are indented deeper).
+    """
+    marker = f'\n  "{name}": '
+    index = text.find(marker)
+    if index < 0:
+        return None
+    return index + len(marker)
+
+
+def _salvage_object(text: str, name: str) -> dict | None:
+    """Decode top-level object *name* if it is intact."""
+    start = _section_start(text, name)
+    if start is None:
+        return None
+    try:
+        value, _ = json.JSONDecoder().raw_decode(text, start)
+    except ValueError:
+        return None
+    return value if isinstance(value, dict) else None
+
+
+def _salvage_mapping(text: str, name: str) -> tuple[dict[str, Any], bool]:
+    """Decode the entries of top-level mapping *name*, best effort.
+
+    Walks ``"key": value`` pairs one at a time with ``raw_decode``;
+    the first undecodable byte ends the scan. Returns the recovered
+    entries and whether the section closed cleanly (``False`` means
+    truncation — entries after the damage are unrecoverable).
+    """
+    start = _section_start(text, name)
+    if start is None:
+        return {}, False
+    pos = _skip_whitespace(text, start)
+    if pos >= len(text) or text[pos] != "{":
+        return {}, False
+    pos += 1
+    decoder = json.JSONDecoder()
+    records: dict[str, Any] = {}
+    while True:
+        pos = _skip_whitespace(text, pos)
+        if pos < len(text) and text[pos] == ",":
+            pos = _skip_whitespace(text, pos + 1)
+        if pos >= len(text):
+            return records, False
+        if text[pos] == "}":
+            return records, True
+        try:
+            key, pos = decoder.raw_decode(text, pos)
+            pos = _skip_whitespace(text, pos)
+            if text[pos] != ":":
+                return records, False
+            pos = _skip_whitespace(text, pos + 1)
+            value, pos = decoder.raw_decode(text, pos)
+        except (ValueError, IndexError):
+            return records, False
+        if not isinstance(key, str):
+            return records, False
+        records[key] = value

@@ -208,7 +208,8 @@ def register_table_handles(table_handles: Mapping | None) -> None:
 
 def execute_point(base: Mapping, payload: Mapping,
                   table_handles: Mapping | None = None,
-                  epoch_cache_tables: int | None = None) -> PointOutcome:
+                  epoch_cache_tables: int | None = None,
+                  attempt: int = 0) -> PointOutcome:
     """Run one sweep point and summarize it (the executor work unit).
 
     ``epoch_cache_tables`` re-bounds this process's epoch storer-table
@@ -217,9 +218,17 @@ def execute_point(base: Mapping, payload: Mapping,
     in the same process never leaks into the next. Applied
     idempotently, so per-point calls never flush the cache's
     cross-replica amortization.
+
+    ``attempt`` is the 0-based retry attempt the executor is running;
+    it never influences the simulation (results are attempt-invariant
+    by construction) and exists only so the :mod:`~repro.sweeps.chaos`
+    fault-injection hook below can key faults by
+    ``(point_id, attempt)`` — "fail the first try, pass the retry".
     """
     from ..perf.table_cache import configure_epoch_table_cache
+    from .chaos import maybe_inject
 
+    maybe_inject(payload["point_id"], attempt)
     configure_epoch_table_cache(max_tables=epoch_cache_tables)
     register_table_handles(table_handles)
     config = config_from_payload(base, payload)

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import os
+from multiprocessing import shared_memory
+
 import numpy as np
 import pytest
 
@@ -9,7 +12,13 @@ from repro.backends.fast import NextHopTable, clear_caches
 from repro.errors import ConfigurationError
 from repro.kademlia.buckets import BucketLimits
 from repro.kademlia.overlay import Overlay, OverlayConfig
-from repro.perf.shared import SharedTableHandle, SharedTableRegistry, attach_table
+from repro.perf.shared import (
+    SEGMENT_PREFIX,
+    SharedTableHandle,
+    SharedTableRegistry,
+    attach_table,
+    sweep_stale_segments,
+)
 
 CONFIG = OverlayConfig(
     n_nodes=60, bits=10, limits=BucketLimits.uniform(4), seed=5
@@ -118,3 +127,60 @@ class TestRefcounting:
         finally:
             registry.release(handle_a.fingerprint)
             registry.release(handle_b.fingerprint)
+
+
+class TestStaleSegmentSweep:
+    def test_segments_carry_the_publisher_pid(self, registry):
+        handle = registry.acquire(NextHopTable(Overlay.build(CONFIG)))
+        try:
+            prefix = f"{SEGMENT_PREFIX}_{os.getpid()}_"
+            assert handle.coded.name.startswith(prefix)
+            assert handle.storer.name.startswith(prefix)
+        finally:
+            registry.release(handle.fingerprint)
+
+    def test_dead_pid_segment_is_reclaimed(self):
+        # Fabricate a segment attributed to a pid that cannot exist:
+        # re-using a dead child's pid models a SIGKILLed publisher.
+        child = os.fork()
+        if child == 0:
+            os._exit(0)  # pragma: no cover - child exits immediately
+        os.waitpid(child, 0)
+        name = f"{SEGMENT_PREFIX}_{child}_deadbeef"
+        segment = shared_memory.SharedMemory(
+            create=True, size=64, name=name
+        )
+        segment.close()
+        try:
+            with pytest.warns(RuntimeWarning, match="stale"):
+                removed = sweep_stale_segments()
+            assert name in removed
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        finally:
+            try:
+                shared_memory.SharedMemory(name=name).unlink()
+            except FileNotFoundError:
+                pass
+
+    def test_live_publisher_segments_survive(self, registry):
+        # Our own (live) pid owns these; the sweep must not touch them.
+        handle = registry.acquire(NextHopTable(Overlay.build(CONFIG)))
+        try:
+            removed = sweep_stale_segments()
+            assert handle.coded.name not in removed
+            assert handle.storer.name not in removed
+            attach_table(handle, Overlay.build(CONFIG))  # still there
+        finally:
+            registry.release(handle.fingerprint)
+
+    def test_foreign_names_are_ignored(self):
+        segment = shared_memory.SharedMemory(
+            create=True, size=64, name="notrepro_123_aa"
+        )
+        try:
+            removed = sweep_stale_segments()
+            assert "notrepro_123_aa" not in removed
+        finally:
+            segment.close()
+            segment.unlink()

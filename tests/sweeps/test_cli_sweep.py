@@ -103,6 +103,62 @@ class TestSweepCommand:
         assert code == 0
         assert "jobs=2" in capsys.readouterr().out
 
+    def test_fault_tolerance_flag_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.max_retries == 2
+        assert args.point_timeout is None
+        assert args.keep_going is True
+        assert args.fault_plan is None
+        assert args.salvage_store is False
+
+    def test_fail_fast_flag_flips_keep_going(self):
+        args = build_parser().parse_args(["sweep", "--fail-fast"])
+        assert args.keep_going is False
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--keep-going", "--fail-fast"]
+            )
+
+    def test_quarantine_reports_and_exits_nonzero(self, tmp_path,
+                                                  capsys):
+        # A poison point (faulted on every attempt) is quarantined;
+        # the CLI summarizes it and exits 1.
+        plan = tmp_path / "plan.json"
+        plan.write_text(json.dumps({"faults": [
+            {"point_id": "fast|bucket_size=4|r0", "attempt": a,
+             "kind": "exception", "message": "poison"}
+            for a in range(2)
+        ]}))
+        store = tmp_path / "sweep.json"
+        code = main([
+            "sweep", "--grid", "bucket_size=4", *SMALL,
+            "--store", str(store), "--fault-plan", str(plan),
+            "--max-retries", "1",
+        ])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "1 point(s) quarantined" in output
+        assert "poison" in output
+        document = json.loads(store.read_text())
+        assert "fast|bucket_size=4|r0" in document["failures"]
+
+    def test_salvage_store_flag_recovers_corrupt_store(self, tmp_path,
+                                                       capsys):
+        store = tmp_path / "sweep.json"
+        argv = ["sweep", "--grid", "bucket_size=4", *SMALL,
+                "--store", str(store)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        clean = store.read_bytes()
+        store.write_bytes(clean[: len(clean) // 3])
+
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            main(argv)
+        with pytest.warns(RuntimeWarning, match="salvaged"):
+            code = main(argv + ["--salvage-store"])
+        assert code == 0
+        assert store.read_bytes() == clean
+
     def test_markdown_and_out_file(self, tmp_path, capsys):
         out = tmp_path / "sweep.md"
         code = main([
