@@ -23,6 +23,17 @@ experiments and the ablations from the terminal::
     repro-swarm sweep --grid bucket_size=4,8,16 --seeds 10 \
         --backend fast,reference --jobs 4 --store sweep.json
 
+    # distributed: shard the same sweep across 2 host processes
+    repro-swarm sweep --grid bucket_size=4,8,16 --seeds 10 \
+        --workers 2 --jobs 2 --shard-dir shards --store sweep.json
+    # ...or across machines: serve a queue, point hosts at it,
+    # then merge the per-host shard stores byte-identically
+    repro-swarm sweep-serve --grid bucket_size=4,8,16 --seeds 10 \
+        --host 0.0.0.0 --port 8750
+    repro-swarm sweep-work --queue http://coordinator:8750 \
+        --jobs 4 --store shard-a.json
+    repro-swarm sweep --merge-stores shard-*.json --store sweep.json
+
     repro-swarm bench --quick --baseline benchmarks/BENCH_quick.json
 
 The ``sweep`` subcommand expands a parameter grid over the simulation
@@ -48,6 +59,47 @@ from .errors import ExperimentError
 from .experiments.registry import get_experiment, list_experiments
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags that define a sweep spec (shared by sweep / sweep-serve)."""
+    parser.add_argument(
+        "--grid", action="append", default=[], metavar="FIELD=V1,V2",
+        help=(
+            "sweep a config field over comma-separated values "
+            "(repeatable; fields are FastSimulationConfig's)"
+        ),
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=[], metavar="SPEC",
+        help=(
+            "scenario axis crossed with the grid (repeatable): a "
+            "composition like 'churn:rate=0.1,recompute=true+"
+            "caching:size=64'; kinds: churn, caching, freeriding, "
+            "join, demand, trace (trace:path=... replays a recorded "
+            "dynamics trace)"
+        ),
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3,
+        help="workload-seed replicas per grid cell (default: 3)",
+    )
+    parser.add_argument(
+        "--backend", default="fast",
+        help="comma-separated backend names (see 'backends')",
+    )
+    parser.add_argument(
+        "--files", type=int, default=1000,
+        help="downloads per point (default: 1000)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=1000,
+        help="overlay nodes (default: 1000)",
+    )
+    parser.add_argument(
+        "--entropy", type=int, default=2022,
+        help="root entropy for replica seed derivation",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -96,34 +148,59 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep", help="run a parameter-grid x seed-replica sweep"
     )
-    sweep.add_argument(
-        "--grid", action="append", default=[], metavar="FIELD=V1,V2",
-        help=(
-            "sweep a config field over comma-separated values "
-            "(repeatable; fields are FastSimulationConfig's)"
-        ),
-    )
-    sweep.add_argument(
-        "--scenario", action="append", default=[], metavar="SPEC",
-        help=(
-            "scenario axis crossed with the grid (repeatable): a "
-            "composition like 'churn:rate=0.1,recompute=true+"
-            "caching:size=64'; kinds: churn, caching, freeriding, "
-            "join, demand, trace (trace:path=... replays a recorded "
-            "dynamics trace)"
-        ),
-    )
-    sweep.add_argument(
-        "--seeds", type=int, default=3,
-        help="workload-seed replicas per grid cell (default: 3)",
-    )
-    sweep.add_argument(
-        "--backend", default="fast",
-        help="comma-separated backend names (see 'backends')",
-    )
+    _add_spec_arguments(sweep)
     sweep.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes (1 = serial; results are identical)",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help=(
+            "distribute the sweep over N sweep-work host subprocesses "
+            "pulling from an HTTP work queue, each running --jobs "
+            "local processes; results (and the --store file) are "
+            "byte-identical to a local run"
+        ),
+    )
+    sweep.add_argument(
+        "--lease-timeout", type=float, default=300.0, metavar="SECONDS",
+        help=(
+            "distributed only: a host silent this long forfeits its "
+            "leased points (each charged one crash attempt and "
+            "re-queued; default: 300)"
+        ),
+    )
+    sweep.add_argument(
+        "--shard-dir", type=Path, default=None, metavar="DIR",
+        help=(
+            "distributed only: where each host writes its durable "
+            "shard store (host-NN.json; default: a temp dir discarded "
+            "after the run)"
+        ),
+    )
+    sweep.add_argument(
+        "--merge-stores", nargs="+", type=Path, default=None,
+        metavar="SHARD",
+        help=(
+            "merge shard stores from a distributed run into --store "
+            "and exit (no execution); byte-identical to a serial run "
+            "of the same spec when the shards cover it"
+        ),
+    )
+    sweep.add_argument(
+        "--dry-run", action="store_true",
+        help=(
+            "report pending/completed/quarantined points against "
+            "--store and exit without executing anything"
+        ),
+    )
+    sweep.add_argument(
+        "--progress", action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "periodic 'completed/total · points/s · ETA' on stderr "
+            "(default: only when stderr is a tty)"
+        ),
     )
     sweep.add_argument(
         "--cap-jobs", action="store_true",
@@ -149,18 +226,6 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: a bytes budget sized by address width; see "
             "repro.perf.table_cache.EpochTableCache)"
         ),
-    )
-    sweep.add_argument(
-        "--files", type=int, default=1000,
-        help="downloads per point (default: 1000)",
-    )
-    sweep.add_argument(
-        "--nodes", type=int, default=1000,
-        help="overlay nodes (default: 1000)",
-    )
-    sweep.add_argument(
-        "--entropy", type=int, default=2022,
-        help="root entropy for replica seed derivation",
     )
     sweep.add_argument(
         "--store", type=Path, default=None,
@@ -224,6 +289,104 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--markdown", action="store_true",
         help="render tables as Markdown",
+    )
+
+    serve = subparsers.add_parser(
+        "sweep-serve",
+        help="serve a sweep's points as an HTTP work queue for "
+             "sweep-work hosts",
+    )
+    _add_spec_arguments(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help=(
+            "bind address (default: 127.0.0.1; use 0.0.0.0 for other "
+            "machines — NOTE: plaintext HTTP, no auth; serve only to "
+            "hosts you trust)"
+        ),
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default: 0 = OS-assigned, printed at start)",
+    )
+    serve.add_argument(
+        "--lease-timeout", type=float, default=300.0, metavar="SECONDS",
+        help=(
+            "a host silent this long forfeits its leased points "
+            "(default: 300)"
+        ),
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="global per-point retry budget (default: 2)",
+    )
+    serve.add_argument(
+        "--store", type=Path, default=None,
+        help=(
+            "maintain the merged main store here incrementally "
+            "(resumable; equivalently, merge the hosts' shards "
+            "afterwards with sweep --merge-stores)"
+        ),
+    )
+    serve.add_argument(
+        "--no-resume", action="store_true",
+        help="overwrite an existing --store instead of resuming it",
+    )
+    serve.add_argument(
+        "--salvage-store", action="store_true",
+        help=(
+            "recover a corrupt/truncated --store (keep parseable "
+            "records, re-serve the rest) instead of refusing it"
+        ),
+    )
+
+    work = subparsers.add_parser(
+        "sweep-work",
+        help="pull and execute sweep points from a sweep-serve queue",
+    )
+    work.add_argument(
+        "--queue", required=True, metavar="URL",
+        help="the work queue, e.g. http://coordinator:8750",
+    )
+    work.add_argument(
+        "--store", type=Path, required=True,
+        help="this host's durable shard store (resumed if present)",
+    )
+    work.add_argument(
+        "--worker-id", default=None,
+        help="stable host name for leases/logs (default: host-<pid>)",
+    )
+    work.add_argument(
+        "--jobs", type=int, default=1,
+        help="local worker processes on this host (1 = serial)",
+    )
+    work.add_argument(
+        "--cap-jobs", action="store_true",
+        help="clamp --jobs to this host's os.cpu_count()",
+    )
+    work.add_argument(
+        "--table-cache", action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "share built next-hop tables with local workers via "
+            "shared memory (--no-table-cache: rebuild per process)"
+        ),
+    )
+    work.add_argument(
+        "--epoch-cache-tables", type=int, default=None, metavar="N",
+        help="bound the per-process epoch storer-table cache",
+    )
+    work.add_argument(
+        "--point-timeout", type=float, default=None, metavar="SECONDS",
+        help="local hang watchdog per point attempt (needs --jobs >= 2)",
+    )
+    work.add_argument(
+        "--max-pool-restarts", type=int, default=8,
+        help="local pool crash/hang rebuild budget (default: 8)",
+    )
+    work.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="idle re-poll interval while other hosts hold leases",
     )
 
     bench = subparsers.add_parser(
@@ -417,11 +580,11 @@ def _run_one(name: str, args: argparse.Namespace) -> str:
     return f"{rendered}\n\n[{name} completed in {elapsed:.1f}s]"
 
 
-def _sweep_run(args: argparse.Namespace) -> int:
+def _spec_from_args(args: argparse.Namespace):
+    """Build the SweepSpec shared by sweep / sweep-serve / --dry-run."""
     from .backends import get_backend
     from .backends.config import FastSimulationConfig
-    from .experiments.sweeps import sweep_report
-    from .sweeps import SweepSpec, parse_grid_arguments, run_sweep
+    from .sweeps import SweepSpec, parse_grid_arguments
 
     grid = parse_grid_arguments(args.grid)
     backends = tuple(
@@ -429,7 +592,7 @@ def _sweep_run(args: argparse.Namespace) -> int:
     )
     for name in backends:
         get_backend(name)  # fail early with the known-backend list
-    spec = SweepSpec(
+    return SweepSpec(
         base=FastSimulationConfig(n_nodes=args.nodes, n_files=args.files),
         grid=grid,
         backends=backends,
@@ -437,15 +600,59 @@ def _sweep_run(args: argparse.Namespace) -> int:
         seed_entropy=args.entropy,
         scenarios=tuple(args.scenario),
     )
+
+
+def _merge_stores_run(args: argparse.Namespace) -> int:
+    from .sweeps import SweepStore
+
+    if args.store is None:
+        raise ExperimentError(
+            "--merge-stores needs --store for the merged output"
+        )
+    shards = [SweepStore.load(path) for path in args.merge_stores]
+    merged = SweepStore.merge(shards, path=args.store)
+    merged.save()
+    print(
+        f"merged {len(shards)} shard(s) -> {args.store}: "
+        f"{len(merged.points)} point(s), "
+        f"{len(merged.failures)} quarantined"
+    )
+    return 0
+
+
+def _sweep_run(args: argparse.Namespace) -> int:
+    from .experiments.sweeps import sweep_report
+    from .sweeps import run_sweep, sweep_status
+
+    if args.merge_stores is not None:
+        return _merge_stores_run(args)
+    spec = _spec_from_args(args)
+    if args.dry_run:
+        status = sweep_status(spec, args.store,
+                              salvage=args.salvage_store)
+        print(
+            f"sweep --dry-run: {status['total']} point(s) total, "
+            f"{len(status['completed'])} completed, "
+            f"{len(status['pending'])} pending, "
+            f"{len(status['quarantined'])} quarantined"
+        )
+        for heading in ("pending", "quarantined"):
+            for point_id in status[heading]:
+                print(f"  {heading}: {point_id}")
+        return 0
+    backends = spec.backends
     # cells() already crosses in the scenario axis; print the grid
     # factor separately so the breakdown multiplies to the point count.
     n_grid_cells = len(spec.cells()) // (len(spec.scenarios) or 1)
     breakdown = f"{n_grid_cells} cell(s)"
     if spec.scenarios:
         breakdown += f" x {len(spec.scenarios)} scenario(s)"
+    layout = f"jobs={args.jobs}"
+    if args.workers is not None:
+        layout = f"workers={args.workers} x {layout}"
     print(
         f"sweep: {len(spec)} points ({breakdown} x {len(backends)} "
-        f"backend(s) x {args.seeds} seed(s)), jobs={args.jobs}"
+        f"backend(s) x {args.seeds} seed(s)), {layout}"
     )
     sweep = run_sweep(
         spec, jobs=args.jobs, store_path=args.store,
@@ -457,6 +664,10 @@ def _sweep_run(args: argparse.Namespace) -> int:
         keep_going=args.keep_going,
         fault_plan=args.fault_plan,
         salvage=args.salvage_store,
+        workers=args.workers,
+        lease_timeout=args.lease_timeout,
+        shard_dir=args.shard_dir,
+        progress=args.progress,
     )
     report = sweep_report(
         sweep, name="sweep",
@@ -495,6 +706,43 @@ def _sweep_run(args: argparse.Namespace) -> int:
         # actually re-raising it: completed work is already flushed.
         return 128 + sweep.interrupted
     return 1 if sweep.failures else 0
+
+
+def _sweep_serve_run(args: argparse.Namespace) -> int:
+    from .sweeps import sweep_serve
+
+    spec = _spec_from_args(args)
+    try:
+        quarantined = sweep_serve(
+            spec,
+            host=args.host,
+            port=args.port,
+            lease_timeout=args.lease_timeout,
+            max_retries=args.max_retries,
+            store_path=args.store,
+            resume=not args.no_resume,
+            salvage=args.salvage_store,
+        )
+    except KeyboardInterrupt:
+        return 130
+    return 1 if quarantined else 0
+
+
+def _sweep_work_run(args: argparse.Namespace) -> int:
+    from .sweeps import sweep_work
+
+    return sweep_work(
+        args.queue,
+        store_path=args.store,
+        worker_id=args.worker_id,
+        jobs=args.jobs,
+        share_tables=args.table_cache,
+        cap_jobs=args.cap_jobs,
+        epoch_cache_tables=args.epoch_cache_tables,
+        point_timeout=args.point_timeout,
+        max_pool_restarts=args.max_pool_restarts,
+        poll_interval=args.poll_interval,
+    )
 
 
 def _bench_run(args: argparse.Namespace) -> int:
@@ -740,6 +988,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "sweep":
         return _sweep_run(args)
+
+    if args.command == "sweep-serve":
+        return _sweep_serve_run(args)
+
+    if args.command == "sweep-work":
+        return _sweep_work_run(args)
 
     if args.command == "bench":
         return _bench_run(args)

@@ -65,6 +65,16 @@ class SweepExecutionError(ExperimentError):
     bounded-restart budget allows."""
 
 
+class StoreMergeError(ConfigurationError):
+    """Shard sweep stores cannot be merged into one.
+
+    Raised by :meth:`repro.sweeps.store.SweepStore.merge` when shards
+    disagree on the spec they were sharded from, or hold irreconcilable
+    records for the same point — conditions under which no merged store
+    could be byte-identical to a serial run.
+    """
+
+
 class SweepInterrupted(BaseException):
     """SIGINT/SIGTERM arrived mid-sweep (graceful-shutdown signal).
 

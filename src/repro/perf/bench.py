@@ -17,7 +17,12 @@ performance story is built on:
   time-domain event wheel under :data:`LATENCY_PROFILE` (finite
   fair-share bandwidth, Poisson arrivals, slotted completions), with
   measured latency percentiles and its slowdown against the static
-  run.
+  run;
+* the ``sweep`` section — a small fixed grid through the *whole*
+  sweep engine (:data:`SWEEP_GRID`), serial vs ``jobs=2``, in
+  points/s. The serial figure is regression-gated; the parallel
+  speedup is recorded but not gated (shared 1-core runners routinely
+  invert it).
 
 Records carry git/seed/config provenance and are written to
 ``BENCH_headline.json``; committing one per machine-visible change
@@ -45,8 +50,8 @@ from .shared import attach_table, shared_table_registry
 from .table_cache import global_table_cache
 
 __all__ = ["BENCH_FORMAT", "QUICK_SCALE", "PAPER_SCALE",
-           "DYNAMICS_SCENARIO", "LATENCY_PROFILE", "headline_bench",
-           "check_regression"]
+           "DYNAMICS_SCENARIO", "LATENCY_PROFILE", "SWEEP_GRID",
+           "SWEEP_SCALE", "headline_bench", "check_regression"]
 
 BENCH_FORMAT = "repro-swarm-bench/1"
 
@@ -74,6 +79,20 @@ LATENCY_PROFILE = {
     "node_down_mbps": 50.0,
     "arrival_rate": 200.0,
     "time_quantum_ms": 10.0,
+}
+
+#: The sweep-engine headline: two topologies x two seeds through
+#: run_sweep — spec expansion, executor, retry bookkeeping, store
+#: callbacks — measured end to end in points/s.
+SWEEP_GRID = {"bucket_size": (4, 8)}
+SWEEP_SEEDS = 2
+
+#: Per-point scale for the sweep section. Smaller than the static
+#: headline: the sweep runs 2 x #grid-cells x seeds full simulations
+#: and must not dominate the benchmark's wall clock.
+SWEEP_SCALE = {
+    "quick": {"n_nodes": 150, "n_files": 200},
+    "paper": {"n_nodes": 300, "n_files": 500},
 }
 
 
@@ -150,6 +169,32 @@ def headline_bench(*, quick: bool = False, repeats: int = 3) -> dict:
     assert result is not None
     assert dynamics_result is not None
     assert latency_result is not None
+
+    # Sweep-engine throughput: the same small grid serially and with
+    # a 2-process pool. Oversubscription warnings are expected (CI
+    # runners are often 1-core) and suppressed — the speedup figure
+    # itself records what the hardware did.
+    import warnings
+
+    from ..sweeps import SweepSpec, run_sweep, table_topologies
+
+    label = "quick" if quick else "paper"
+    sweep_spec = SweepSpec(
+        base=FastSimulationConfig(**SWEEP_SCALE[label]),
+        grid=SWEEP_GRID,
+        backends=("fast",),
+        seeds=SWEEP_SEEDS,
+    )
+    # Pre-build both topologies' tables so serial and jobs=2 measure
+    # the same steady state (neither charged the one-off cold builds).
+    for topology in table_topologies(sweep_spec.base,
+                                     sweep_spec.points()):
+        global_table_cache().get(cached_overlay(topology))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        sweep_serial = run_sweep(sweep_spec, jobs=1)
+        sweep_jobs2 = run_sweep(sweep_spec, jobs=2)
+
     static_rate = result.chunks / run_seconds
     dynamics_rate = dynamics_result.chunks / dynamics_seconds
     latency_rate = latency_result.chunks / latency_seconds
@@ -218,6 +263,30 @@ def headline_bench(*, quick: bool = False, repeats: int = 3) -> dict:
                 "latency_p50_ms": round(latency_stats.p50_ms, 2),
                 "latency_p95_ms": round(latency_stats.p95_ms, 2),
                 "latency_p99_ms": round(latency_stats.p99_ms, 2),
+            },
+        },
+        "sweep": {
+            "spec": {
+                **SWEEP_SCALE[label],
+                "grid": {name: list(values)
+                         for name, values in SWEEP_GRID.items()},
+                "backends": ["fast"],
+                "seeds": SWEEP_SEEDS,
+                "points": len(sweep_spec),
+            },
+            "metrics": {
+                "serial_seconds": round(sweep_serial.elapsed, 4),
+                "serial_points_per_second": round(
+                    sweep_serial.points_per_second, 3
+                ),
+                "jobs2_seconds": round(sweep_jobs2.elapsed, 4),
+                "jobs2_points_per_second": round(
+                    sweep_jobs2.points_per_second, 3
+                ),
+                "parallel_speedup": round(
+                    sweep_jobs2.points_per_second
+                    / max(sweep_serial.points_per_second, 1e-9), 3
+                ),
             },
         },
     }
@@ -312,5 +381,33 @@ def check_regression(current: Mapping, baseline: Mapping,
             f"time-domain throughput regression: {current_rate:,.0f} "
             f"chunks/s is more than {max_regression:.1f}x below the "
             f"baseline {baseline_rate:,.0f} chunks/s"
+        )
+    current_sweep = current.get("sweep")
+    baseline_sweep = baseline.get("sweep")
+    if current_sweep is None or baseline_sweep is None:
+        # Pre-sweep-section baselines gate the kernels only; this gate
+        # arms itself once a baseline carrying the section is
+        # committed.
+        return problems
+    if current_sweep.get("spec") != baseline_sweep.get("spec"):
+        problems.append(
+            "sweep-section specs differ; the sweep throughput "
+            "comparison would be meaningless"
+        )
+        return problems
+    # Only the serial figure is gated: it measures the engine's
+    # per-point overhead. The parallel speedup is hardware commentary
+    # (1-core CI runners legitimately invert it).
+    current_rate = float(
+        current_sweep["metrics"]["serial_points_per_second"]
+    )
+    baseline_rate = float(
+        baseline_sweep["metrics"]["serial_points_per_second"]
+    )
+    if current_rate * max_regression < baseline_rate:
+        problems.append(
+            f"sweep-engine regression: {current_rate:,.2f} points/s "
+            f"(serial) is more than {max_regression:.1f}x below the "
+            f"baseline {baseline_rate:,.2f} points/s"
         )
     return problems

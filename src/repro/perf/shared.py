@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import secrets
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from pathlib import Path
@@ -48,6 +49,7 @@ __all__ = [
     "SharedTableRegistry",
     "attach_table",
     "attach_epoch_tables",
+    "pinned_tables",
     "shared_table_registry",
     "sweep_stale_segments",
 ]
@@ -510,6 +512,56 @@ class SharedTableRegistry:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+@contextmanager
+def pinned_tables(base, points):
+    """Pin every unique topology of a sweep for one host session.
+
+    A distributed ``sweep-work`` host runs many small lease batches
+    through a fresh :class:`~repro.sweeps.executors.ProcessExecutor`
+    call each; per-batch publication would create and unlink the
+    shared segments over and over (builds are already amortized by the
+    in-process table cache, but the segment copies are not). Holding a
+    session-level reference here turns every per-batch
+    ``acquire``/``release`` pair into pure refcount traffic on
+    segments that live for the whole host session — and, as a side
+    effect, builds every topology the spec can lease *eagerly*, so a
+    host pays its one build per topology up front instead of on the
+    first unlucky batch.
+
+    Yields the pinned fingerprints. Degrades to a no-op (with a
+    warning) where shared memory is unavailable, exactly like the
+    executor's own publication path.
+    """
+    from ..backends.fast import cached_overlay
+    from ..sweeps.executors import table_topologies
+    from .table_cache import global_table_cache
+
+    registry = shared_table_registry()
+    pinned: list[str] = []
+    try:
+        try:
+            for config in table_topologies(base, points):
+                table = global_table_cache().get(cached_overlay(config))
+                pinned.append(registry.acquire(table).fingerprint)
+        except (ImportError, OSError) as error:
+            warnings.warn(
+                f"shared-memory table pinning unavailable ({error}); "
+                f"each lease batch will republish its tables",
+                RuntimeWarning,
+            )
+        yield tuple(pinned)
+    finally:
+        for fingerprint in pinned:
+            try:
+                registry.release(fingerprint)
+            except Exception as error:  # pragma: no cover - best effort
+                warnings.warn(
+                    f"failed to release pinned table segment "
+                    f"{fingerprint!r}: {error}",
+                    RuntimeWarning,
+                )
 
 
 _GLOBAL_REGISTRY: SharedTableRegistry | None = None

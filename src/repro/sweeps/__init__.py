@@ -22,12 +22,23 @@ replicated, parallelizable sweep:
   to exercise every recovery path in tests and CI;
 * :mod:`~repro.sweeps.engine` — :func:`run_sweep`, the entry point
   behind ``repro-swarm sweep`` and the replicated registry
-  experiments in :mod:`repro.experiments.sweeps`.
+  experiments in :mod:`repro.experiments.sweeps`;
+* :mod:`~repro.sweeps.queue_daemon` — the stdlib HTTP work queue
+  behind ``repro-swarm sweep-serve`` (leases, global retry budget,
+  lease-expiry crash accounting);
+* :mod:`~repro.sweeps.distributed` — :func:`sweep_work` pull-based
+  hosts, the in-process :class:`DistributedExecutor` behind
+  ``sweep --workers N``, and byte-identical shard-store merging via
+  :meth:`SweepStore.merge <repro.sweeps.store.SweepStore.merge>`;
+* :mod:`~repro.sweeps.progress` — the rate-limited
+  ``completed/total · points/s · ETA`` stderr reporter shared by
+  every executor.
 """
 
 from .aggregate import CellSummary, MetricSummary, aggregate_records
 from .chaos import Fault, FaultPlan, InjectedFault
-from .engine import SweepResult, outcome_record, run_sweep
+from .distributed import DistributedExecutor, sweep_serve, sweep_work
+from .engine import SweepResult, outcome_record, run_sweep, sweep_status
 from .executors import (
     ProcessExecutor,
     SerialExecutor,
@@ -36,6 +47,8 @@ from .executors import (
     resolve_jobs,
     table_topologies,
 )
+from .progress import ProgressReporter
+from .queue_daemon import QueueState, SweepQueueDaemon
 from .resilience import (
     PointFailure,
     PointResult,
@@ -51,8 +64,13 @@ from .spec import (
     replica_seeds,
     sweepable_fields,
 )
-from .store import SweepStore
-from .worker import PointOutcome, execute_point, result_metrics
+from .store import SweepStore, merge_provenance
+from .worker import (
+    PointOutcome,
+    execute_point,
+    point_from_payload,
+    result_metrics,
+)
 
 __all__ = [
     "SweepSpec",
@@ -62,10 +80,14 @@ __all__ = [
     "SweepExecutor",
     "SerialExecutor",
     "ProcessExecutor",
+    "DistributedExecutor",
     "PointOutcome",
     "PointFailure",
     "PointResult",
+    "ProgressReporter",
+    "QueueState",
     "RetryPolicy",
+    "SweepQueueDaemon",
     "Fault",
     "FaultPlan",
     "InjectedFault",
@@ -75,14 +97,19 @@ __all__ = [
     "execute_point",
     "failure_digest",
     "make_executor",
+    "merge_provenance",
     "outcome_record",
     "parse_grid_arguments",
     "parse_grid_value",
+    "point_from_payload",
     "replica_seed",
     "replica_seeds",
     "resolve_jobs",
     "result_metrics",
     "run_sweep",
+    "sweep_serve",
+    "sweep_status",
+    "sweep_work",
     "sweepable_fields",
     "table_topologies",
 ]

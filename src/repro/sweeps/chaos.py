@@ -46,6 +46,15 @@ Fault kinds:
 a serial in-process run they would take the whole sweep down — or
 hang it with nobody left to watch the clock — so there they warn and
 skip instead. ``exception`` faults fire everywhere.
+
+The distributed executor adds ``kill-host``: SIGKILL the whole
+``repro-swarm sweep-work`` *host* process (found via the
+``REPRO_SWEEP_HOST_PID`` environment variable every host exports to
+itself and its pool children), simulating a machine vanishing
+mid-point. The work-queue daemon sees the lease die, charges the
+point exactly one ``crash`` attempt, and re-leases it to a surviving
+host. Outside a sweep-work host the kind warns and skips, like the
+other fatal kinds.
 """
 
 from __future__ import annotations
@@ -64,6 +73,7 @@ from ..errors import ConfigurationError
 
 __all__ = [
     "FAULT_PLAN_ENV",
+    "HOST_PID_ENV",
     "FAULT_KINDS",
     "Fault",
     "FaultPlan",
@@ -76,7 +86,12 @@ __all__ = [
 #: by spawn workers, read lazily (and mtime-cached) per process.
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
-FAULT_KINDS = ("exception", "crash", "kill", "hang")
+#: Set by every ``repro-swarm sweep-work`` host to its own pid (and
+#: inherited by its spawned pool children), so a ``kill-host`` fault
+#: can find the host process to SIGKILL from wherever it fires.
+HOST_PID_ENV = "REPRO_SWEEP_HOST_PID"
+
+FAULT_KINDS = ("exception", "crash", "kill", "hang", "kill-host")
 
 #: Exit status used by ``crash`` faults — distinctive in process
 #: tables but never observed by the parent as a status (the pool only
@@ -234,6 +249,23 @@ def maybe_inject(point_id: str, attempt: int) -> None:
         raise InjectedFault(
             f"{fault.message} (point {point_id}, attempt {attempt})"
         )
+    if fault.kind == "kill-host":
+        host_pid = os.environ.get(HOST_PID_ENV)
+        if not host_pid:
+            warnings.warn(
+                f"fault plan requests a 'kill-host' fault for point "
+                f"{point_id} attempt {attempt}, but this process is "
+                f"not (inside) a sweep-work host; skipping (kill-host "
+                f"only fires under the distributed executor)",
+                RuntimeWarning,
+            )
+            return
+        # Kill the host first — taking down its whole process tree is
+        # the point — then this process if it was a pool child of it.
+        os.kill(int(host_pid), signal.SIGKILL)
+        if int(host_pid) != os.getpid():  # pragma: no cover - dies
+            os.kill(os.getpid(), signal.SIGKILL)
+        return  # pragma: no cover - unreachable
     if not _in_worker():
         warnings.warn(
             f"fault plan requests a {fault.kind!r} fault for point "

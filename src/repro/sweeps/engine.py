@@ -40,12 +40,13 @@ from ..errors import SweepInterrupted
 from .aggregate import CellSummary, aggregate_records
 from .chaos import FAULT_PLAN_ENV
 from .executors import make_executor
+from .progress import ProgressReporter
 from .resilience import PointFailure, RetryPolicy
 from .spec import SweepSpec
 from .store import SweepStore
 from .worker import PointOutcome
 
-__all__ = ["SweepResult", "run_sweep", "outcome_record"]
+__all__ = ["SweepResult", "run_sweep", "outcome_record", "sweep_status"]
 
 
 def outcome_record(outcome: PointOutcome) -> dict:
@@ -144,6 +145,36 @@ def _fault_plan_env(fault_plan: Path | None):
             os.environ[FAULT_PLAN_ENV] = previous
 
 
+def sweep_status(spec: SweepSpec, store_path: Path | None = None, *,
+                 salvage: bool = False) -> dict:
+    """What a sweep run would do — without executing anything.
+
+    Backs ``repro-swarm sweep --dry-run``: opens (but never writes)
+    the store at *store_path* and splits the spec's canonical points
+    into ``completed`` (recorded), ``quarantined`` (in the failures
+    section — counted as pending too, since a resume re-runs them
+    with a fresh budget), and ``pending``. Ids come back in canonical
+    spec order.
+    """
+    points = spec.points()
+    completed_ids: set[str] = set()
+    quarantined_ids: set[str] = set()
+    if store_path is not None:
+        store = SweepStore.open(Path(store_path), spec, resume=True,
+                                salvage=salvage)
+        completed_ids = store.completed_ids()
+        quarantined_ids = set(store.failures)
+    return {
+        "total": len(points),
+        "completed": [point.point_id for point in points
+                      if point.point_id in completed_ids],
+        "pending": [point.point_id for point in points
+                    if point.point_id not in completed_ids],
+        "quarantined": [point.point_id for point in points
+                        if point.point_id in quarantined_ids],
+    }
+
+
 def run_sweep(spec: SweepSpec, *, jobs: int = 1,
               store_path: Path | None = None,
               resume: bool = True,
@@ -157,7 +188,11 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
               keep_going: bool = True,
               max_pool_restarts: int = 8,
               fault_plan: Path | None = None,
-              salvage: bool = False) -> SweepResult:
+              salvage: bool = False,
+              workers: int | None = None,
+              lease_timeout: float = 300.0,
+              shard_dir: Path | None = None,
+              progress: bool | None = None) -> SweepResult:
     """Execute *spec*, optionally persisting/resuming a JSON store.
 
     ``jobs <= 1`` runs serially in-process; larger values fan points
@@ -182,6 +217,18 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
     JSON plan (testing/CI). ``salvage`` lets a corrupt/truncated
     store at *store_path* be recovered (parseable records kept,
     the rest re-run) instead of refused.
+
+    ``workers`` switches to the distributed executor: that many
+    ``sweep-work`` host subprocesses pull points from an HTTP work
+    queue (see :mod:`repro.sweeps.distributed`), each running
+    ``jobs`` local processes and writing a durable shard store under
+    ``shard_dir`` (a temp dir when unset); ``lease_timeout`` bounds
+    how long a silent host keeps its leases. Results — including the
+    store at *store_path* — are byte-identical to a local run.
+
+    ``progress`` draws ``completed/total · points/s · ETA`` on stderr
+    (``None``: only when stderr is a tty), identically for every
+    executor.
     """
     points = spec.points()
     store = None
@@ -201,6 +248,11 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
 
     executed: dict[str, dict] = {}
     failures: list[PointFailure] = []
+    reporter = ProgressReporter(
+        total=len(points),
+        completed=len(points) - len(pending),
+        enabled=progress,
+    )
 
     def on_result(outcome: PointOutcome) -> None:
         # Collected through the callback (not the executor's return
@@ -212,12 +264,14 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
             # the final file is identical however far the run got.
             store.add(executed[outcome.point_id])
             store.save()
+        reporter.advance()
 
     def on_failure(failure: PointFailure) -> None:
         failures.append(failure)
         if store is not None:
             store.add_failure(failure.record())
             store.save()
+        reporter.advance()
 
     policy = RetryPolicy(max_retries=max_retries,
                          backoff_base=retry_backoff)
@@ -227,7 +281,11 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
                              retry_policy=policy,
                              keep_going=keep_going,
                              point_timeout=point_timeout,
-                             max_pool_restarts=max_pool_restarts)
+                             max_pool_restarts=max_pool_restarts,
+                             workers=workers,
+                             spec=spec if workers is not None else None,
+                             lease_timeout=lease_timeout,
+                             shard_dir=shard_dir)
     interrupted: int | None = None
     started = time.perf_counter()
     with _fault_plan_env(fault_plan), _graceful_shutdown():
@@ -235,6 +293,8 @@ def run_sweep(spec: SweepSpec, *, jobs: int = 1,
             executor.run(spec.base, pending, on_result, on_failure)
         except SweepInterrupted as signal_error:
             interrupted = signal_error.signum
+        finally:
+            reporter.close()
     elapsed = time.perf_counter() - started
     if store is not None and not executed:
         # Nothing executed (fully resumed, or a points-free store):

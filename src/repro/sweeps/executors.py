@@ -60,15 +60,18 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_context
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from ..backends.base import get_backend_class
 from ..backends.config import FastSimulationConfig
 from ..errors import ConfigurationError, SweepExecutionError
 from ..kademlia.overlay import OverlayConfig
 from .resilience import FailureTracker, PointFailure, RetryPolicy
-from .spec import SweepPoint
+from .spec import SweepPoint, SweepSpec
 from .worker import PointOutcome, execute_point, point_payload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .distributed import DistributedExecutor  # noqa: F401
 
 __all__ = ["SweepExecutor", "SerialExecutor", "ProcessExecutor",
            "WorkerCrash", "PointTimeout",
@@ -153,7 +156,9 @@ class SweepExecutor:
     def run(self, base: FastSimulationConfig,
             points: Sequence[SweepPoint],
             on_result: OnResult | None = None,
-            on_failure: OnFailure | None = None) -> list[PointOutcome]:
+            on_failure: OnFailure | None = None,
+            attempts: Mapping[str, int] | None = None
+            ) -> list[PointOutcome]:
         """Execute *points* against *base*; canonical-order outcomes.
 
         Successful outcomes are returned (and streamed to
@@ -161,6 +166,12 @@ class SweepExecutor:
         reported to *on_failure* and omitted from the return value —
         unless ``keep_going=False``, where the first exhausted point
         raises :class:`~repro.errors.SweepExecutionError`.
+
+        *attempts* seeds prior failed-attempt counts per ``point_id``
+        (default: none). The distributed work queue uses it to make a
+        host's local run count attempts from the global number its
+        lease carries, so quarantine records stay identical to a
+        single-machine run's.
         """
         raise NotImplementedError
 
@@ -205,9 +216,12 @@ class SerialExecutor(SweepExecutor):
     def run(self, base: FastSimulationConfig,
             points: Sequence[SweepPoint],
             on_result: OnResult | None = None,
-            on_failure: OnFailure | None = None) -> list[PointOutcome]:
+            on_failure: OnFailure | None = None,
+            attempts: Mapping[str, int] | None = None
+            ) -> list[PointOutcome]:
         base_payload = dataclasses.asdict(base)
-        tracker = FailureTracker(self.retry_policy)
+        tracker = FailureTracker(self.retry_policy,
+                                 attempts=dict(attempts or {}))
         outcomes = []
         for point in points:
             while True:
@@ -470,7 +484,9 @@ class ProcessExecutor(SweepExecutor):
     def run(self, base: FastSimulationConfig,
             points: Sequence[SweepPoint],
             on_result: OnResult | None = None,
-            on_failure: OnFailure | None = None) -> list[PointOutcome]:
+            on_failure: OnFailure | None = None,
+            attempts: Mapping[str, int] | None = None
+            ) -> list[PointOutcome]:
         if not points:
             return []
         base_payload = dataclasses.asdict(base)
@@ -479,7 +495,8 @@ class ProcessExecutor(SweepExecutor):
         acquired: list[str] = []
         if self.share_tables:
             handles, acquired = self._publish_tables(base, points)
-        tracker = FailureTracker(self.retry_policy)
+        tracker = FailureTracker(self.retry_policy,
+                                 attempts=dict(attempts or {}))
         outcomes: list[PointOutcome] = []
         #: Points eligible to run now (initial order = canonical).
         ready: deque[SweepPoint] = deque(points)
@@ -668,10 +685,42 @@ def make_executor(jobs: int, *, share_tables: bool = True,
                   retry_policy: RetryPolicy | None = None,
                   keep_going: bool = True,
                   point_timeout: float | None = None,
-                  max_pool_restarts: int = 8) -> SweepExecutor:
-    """Serial for ``jobs == 1``, a spawn process pool otherwise."""
+                  max_pool_restarts: int = 8,
+                  workers: int | None = None,
+                  spec: SweepSpec | None = None,
+                  lease_timeout: float = 300.0,
+                  shard_dir=None,
+                  queue_host: str = "127.0.0.1",
+                  queue_port: int = 0) -> SweepExecutor:
+    """Serial for ``jobs == 1``, a spawn process pool otherwise.
+
+    With ``workers`` set, a :class:`~repro.sweeps.distributed.
+    DistributedExecutor` instead: *workers* host subprocesses pull
+    points from an HTTP work queue and each runs ``jobs`` local
+    processes. The distributed executor serves the sweep spec to its
+    hosts, so ``spec`` is required then; ``lease_timeout``,
+    ``shard_dir`` and the queue bind address apply only to it.
+    """
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if workers is not None:
+        if spec is None:
+            raise ConfigurationError(
+                "the distributed executor needs the sweep spec (it "
+                "serves it to worker hosts); pass spec= alongside "
+                "workers="
+            )
+        from .distributed import DistributedExecutor
+
+        return DistributedExecutor(
+            workers, spec=spec, jobs=jobs, share_tables=share_tables,
+            cap_jobs=cap_jobs, epoch_cache_tables=epoch_cache_tables,
+            retry_policy=retry_policy, keep_going=keep_going,
+            point_timeout=point_timeout,
+            max_pool_restarts=max_pool_restarts,
+            lease_timeout=lease_timeout, host=queue_host,
+            port=queue_port, shard_dir=shard_dir,
+        )
     if jobs == 1:
         if point_timeout is not None:
             warnings.warn(

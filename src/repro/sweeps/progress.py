@@ -1,0 +1,120 @@
+"""Rate-limited sweep progress reporting to stderr.
+
+All three executors (serial, process, distributed) report progress
+through the same :class:`ProgressReporter`, fed from the engine's
+``on_result``/``on_failure`` callbacks — so ``completed/total ·
+points/s · ETA`` means the same thing regardless of ``--jobs`` or
+``--workers``, and the executors themselves stay print-free.
+
+Progress goes to **stderr**, never stdout: sweep stdout is the
+machine-readable surface (breakdown, summaries) and must stay clean
+for pipelines. By default the reporter only draws when stderr is a
+tty (interactive runs get a live ``\\r``-rewritten line; CI logs stay
+quiet); ``--progress`` forces it on — then a non-tty stream gets
+plain newline-terminated lines so logs remain readable — and
+``--no-progress`` forces it off.
+
+The throughput figure counts only *freshly executed* points: a
+resumed sweep that skips 900 already-stored points must not claim an
+absurd rate for the 100 it actually ran, and the ETA is computed from
+that honest rate. Emission is rate-limited (default twice a second)
+so tight sweeps of tiny points do not spend their time repainting a
+terminal.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, TextIO
+
+__all__ = ["ProgressReporter"]
+
+
+def _format_eta(seconds: float) -> str:
+    """``m:ss`` / ``h:mm:ss`` rendering of a (non-negative) duration."""
+    total = max(0, int(seconds + 0.5))
+    hours, rest = divmod(total, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Periodic ``completed/total · points/s · ETA`` lines on a stream.
+
+    ``total`` counts every point the sweep will account for, including
+    the ``completed`` already present in a resumed store; the rate and
+    ETA are computed from points finished *after* construction.
+
+    ``enabled=None`` (the default) auto-detects: progress draws only
+    when *stream* is a tty. Pass ``True``/``False`` to force (the
+    ``--progress``/``--no-progress`` flags). The reporter is safe to
+    drive from any single thread; the engine calls it from the main
+    thread's result callbacks only.
+    """
+
+    def __init__(self, total: int, *, completed: int = 0,
+                 enabled: bool | None = None,
+                 stream: TextIO | None = None,
+                 interval: float = 0.5,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.enabled = self._tty if enabled is None else bool(enabled)
+        self.total = int(total)
+        self.completed = int(completed)
+        self._resumed = int(completed)
+        self._interval = float(interval)
+        self._clock = clock
+        self._start = clock()
+        self._next_emit = self._start  # first advance may draw at once
+        self._line_len = 0
+        self._closed = False
+
+    def advance(self, n: int = 1) -> None:
+        """Count *n* finished points (success or quarantine) and maybe draw."""
+        self.completed += n
+        if not self.enabled or self._closed:
+            return
+        now = self._clock()
+        if now >= self._next_emit or self.completed >= self.total:
+            self._emit(now)
+            self._next_emit = now + self._interval
+
+    def close(self) -> None:
+        """Draw one final line and, on a tty, terminate it with a newline."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self.enabled:
+            return
+        self._emit(self._clock())
+        if self._tty:
+            self.stream.write("\n")
+            self.stream.flush()
+
+    def _render(self, now: float) -> str:
+        fresh = self.completed - self._resumed
+        elapsed = max(now - self._start, 1e-9)
+        line = f"sweep {self.completed}/{self.total}"
+        if fresh > 0:
+            rate = fresh / elapsed
+            line += f" · {rate:.1f} points/s"
+            remaining = self.total - self.completed
+            if remaining > 0:
+                line += f" · eta {_format_eta(remaining / rate)}"
+        return line
+
+    def _emit(self, now: float) -> None:
+        line = self._render(now)
+        if self._tty:
+            # Rewrite in place, blank-padding any leftover of a longer
+            # previous line.
+            pad = max(0, self._line_len - len(line))
+            self.stream.write("\r" + line + " " * pad)
+            self._line_len = len(line)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()

@@ -196,6 +196,23 @@ class FailureTracker:
         the terminal :class:`PointFailure` (also appended to
         ``quarantined``).
         """
+        return self.record_reported(
+            point, kind,
+            error=f"{type(error).__name__}: {error}",
+            digest=failure_digest(error),
+        )
+
+    def record_reported(self, point: SweepPoint, kind: str, *,
+                        error: str, digest: str) -> PointFailure | None:
+        """Count a failure observed (and digested) somewhere else.
+
+        The distributed work queue's failure reports arrive as plain
+        data — the exception object died with the worker host, but the
+        host already rendered the deterministic message and
+        :func:`failure_digest` — so the tracker counts the attempt
+        from the reported fields instead of a live exception. Same
+        return contract as :meth:`record`.
+        """
         attempt = self.attempts.get(point.point_id, 0)
         self.attempts[point.point_id] = attempt + 1
         if self.policy.allows(attempt):
@@ -203,8 +220,8 @@ class FailureTracker:
         failure = PointFailure(
             point=point,
             kind=kind,
-            error=f"{type(error).__name__}: {error}",
-            digest=failure_digest(error),
+            error=error,
+            digest=digest,
             attempts=attempt + 1,
         )
         self.quarantined.append(failure)

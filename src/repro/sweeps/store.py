@@ -36,14 +36,14 @@ import platform
 import subprocess
 import warnings
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, StoreMergeError
 from .spec import SweepSpec
 
-__all__ = ["SweepStore", "git_provenance"]
+__all__ = ["SweepStore", "git_provenance", "merge_provenance"]
 
 FORMAT = "repro-swarm-sweep/1"
 
@@ -296,6 +296,93 @@ class SweepStore:
         return cls(path, salvaged_spec, points=points,
                    provenance=provenance, failures=failures), notes
 
+    # ------------------------------------------------------------------
+    # Merging (distributed shards -> one store)
+
+    @classmethod
+    def merge(cls, shards: Sequence["SweepStore"],
+              path: Path | None = None) -> "SweepStore":
+        """Merge distributed shard stores into one store, purely.
+
+        The distributed executor shards a sweep's points across hosts;
+        each host writes an ordinary :class:`SweepStore` holding the
+        full spec and the points it executed. Because every section is
+        deterministic sorted JSON, merging is a pure function of the
+        shard contents — and when the shards partition a sweep, the
+        merged store is **byte-identical** to a serial run of the same
+        spec (the distributed acceptance oracle).
+
+        Rules, all commutative and associative:
+
+        * every shard must hold *exactly* the same spec — a mismatch
+          raises :class:`~repro.errors.StoreMergeError`, results from
+          different sweeps never mix;
+        * ``points`` are unioned; two shards recording the same point
+          must agree byte-for-byte (they do, by determinism — a
+          disagreement means the shards ran different code and is
+          refused);
+        * ``failures`` are unioned with **later-attempt-wins**: a
+          success anywhere supersedes any failure record (the success
+          *is* the later attempt), and between failure records the
+          higher ``attempts`` count — the one closer to the terminal
+          quarantine — survives;
+        * provenance is collapsed when the shards agree (the common
+          case: one checkout fanned out over hosts) and otherwise
+          recorded per shard (see :func:`merge_provenance`).
+
+        *path* names the merged store's save target (defaults to the
+        first shard's — callers merging in memory can ignore it).
+        """
+        if not shards:
+            raise StoreMergeError("no shard stores to merge")
+        spec = shards[0].spec
+        for shard in shards[1:]:
+            if shard.spec != spec:
+                raise StoreMergeError(
+                    f"shard {shard.path} holds a different spec than "
+                    f"{shards[0].path}; shards of one sweep share the "
+                    f"spec exactly (byte-identity depends on it)"
+                )
+        points: dict[str, dict] = {}
+        for shard in shards:
+            for point_id, record in shard.points.items():
+                known = points.get(point_id)
+                if known is not None and known != record:
+                    raise StoreMergeError(
+                        f"shards disagree on point {point_id!r}: sweep "
+                        f"points are deterministic, so conflicting "
+                        f"success records mean the shards ran "
+                        f"different code or configs"
+                    )
+                points[point_id] = record
+        failures: dict[str, dict] = {}
+        for shard in shards:
+            for point_id, record in shard.failures.items():
+                if point_id in points:
+                    # A success in any shard is the later attempt.
+                    continue
+                known = failures.get(point_id)
+                if known is None or int(record.get("attempts", 0)) > int(
+                    known.get("attempts", 0)
+                ):
+                    failures[point_id] = record
+                elif (int(record.get("attempts", 0))
+                      == int(known.get("attempts", 0)) and known != record):
+                    raise StoreMergeError(
+                        f"shards hold conflicting failure records for "
+                        f"point {point_id!r} at the same attempt count "
+                        f"({record.get('attempts')}); cannot pick a "
+                        f"winner deterministically"
+                    )
+        provenance = merge_provenance(
+            [shard._provenance for shard in shards]
+        )
+        return cls(
+            path if path is not None else shards[0].path,
+            spec, points=points, provenance=provenance,
+            failures=failures,
+        )
+
     def save(self) -> None:
         """Write the store atomically *and durably*.
 
@@ -377,6 +464,42 @@ class SweepStore:
 
     def __len__(self) -> int:
         return len(self.points)
+
+
+# ----------------------------------------------------------------------
+# Merge helpers
+
+
+def merge_provenance(provenances: Sequence[dict | None]) -> dict | None:
+    """Fold shard provenances into the merged store's provenance.
+
+    When every shard recorded the same provenance — the normal case:
+    one clean checkout fanned out across hosts — the merge collapses
+    to that common record, keeping the merged store byte-identical to
+    a serial run. When shards disagree (mixed hosts, mixed python or
+    numpy versions), the top level keeps only the keys all shards
+    agree on and the full per-shard records are preserved under a
+    ``"shards"`` list, deduplicated and sorted by their JSON dump so
+    the result is independent of merge order. ``None`` entries (shards
+    that never computed provenance) are ignored; all-``None`` yields
+    ``None`` — the merged store stamps its own environment on save,
+    exactly like a fresh store.
+    """
+    known = [dict(p) for p in provenances if p is not None]
+    if not known:
+        return None
+    distinct: dict[str, dict] = {}
+    for record in known:
+        distinct[json.dumps(record, sort_keys=True)] = record
+    if len(distinct) == 1:
+        return next(iter(distinct.values()))
+    common = {
+        key: value
+        for key, value in known[0].items()
+        if all(record.get(key, object()) == value for record in known[1:])
+    }
+    common["shards"] = [distinct[dump] for dump in sorted(distinct)]
+    return common
 
 
 # ----------------------------------------------------------------------

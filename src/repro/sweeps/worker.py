@@ -35,6 +35,7 @@ from .spec import SweepPoint
 __all__ = [
     "PointOutcome",
     "point_payload",
+    "point_from_payload",
     "config_from_payload",
     "register_table_handles",
     "result_metrics",
@@ -110,6 +111,26 @@ def point_payload(point: SweepPoint) -> dict:
         "replica": point.replica,
         "workload_seed": point.workload_seed,
     }
+
+
+def point_from_payload(payload: Mapping) -> SweepPoint:
+    """Inverse of :func:`point_payload` (used by distributed hosts).
+
+    Overrides survive the JSON round-trip in insertion order (both
+    Python dicts and JSON objects preserve it), and ``point_id``
+    sorts them anyway, so the rebuilt point is identical to the one
+    the coordinator leased out.
+    """
+    return SweepPoint(
+        index=int(payload["index"]),
+        backend=str(payload["backend"]),
+        overrides=tuple(
+            (str(name), value)
+            for name, value in payload["overrides"].items()
+        ),
+        replica=int(payload["replica"]),
+        workload_seed=int(payload["workload_seed"]),
+    )
 
 
 def config_from_payload(base: Mapping, payload: Mapping

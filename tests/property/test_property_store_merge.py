@@ -1,0 +1,182 @@
+"""Property tests for shard-store merging.
+
+:meth:`SweepStore.merge` is the distributed sweep's correctness
+anchor, so its algebra is pinned over synthesized shard contents:
+
+* **commutative** and **associative** — shard arrival order and
+  grouping can never change the merged bytes;
+* **idempotent** — merging a shard with itself is that shard;
+* **partition-recomposition** — however a store's records are split
+  across shards (including overlaps), the merge reproduces the whole
+  store byte-for-byte;
+* spec mismatches always raise the *named* error
+  (:class:`~repro.errors.StoreMergeError`), never mixed results.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.backends.config import FastSimulationConfig
+from repro.errors import StoreMergeError
+from repro.sweeps import SweepSpec, SweepStore
+
+TINY = FastSimulationConfig(
+    n_nodes=40, bits=10, n_files=4, file_min=2, file_max=4
+)
+SPEC = SweepSpec(base=TINY, grid={"bucket_size": (4, 8)},
+                 backends=("fast",), seeds=3)
+POINTS = SPEC.points()
+
+metric_values = st.one_of(
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=-1e9, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+def success_record(point, metrics) -> dict:
+    return {
+        "point_id": point.point_id, "backend": point.backend,
+        "overrides": dict(point.overrides), "replica": point.replica,
+        "workload_seed": point.workload_seed, "metrics": metrics,
+    }
+
+
+def failure_record(point, attempts) -> dict:
+    return {
+        "point_id": point.point_id, "backend": point.backend,
+        "overrides": dict(point.overrides), "replica": point.replica,
+        "workload_seed": point.workload_seed, "kind": "exception",
+        "error": f"E: boom after {attempts}", "digest": "d" * 16,
+        "attempts": attempts,
+    }
+
+
+@st.composite
+def store_contents(draw):
+    """Synthesize one sweep's settled records: successes + failures."""
+    outcomes = draw(st.lists(
+        st.sampled_from(["success", "failure", "missing"]),
+        min_size=len(POINTS), max_size=len(POINTS),
+    ))
+    successes, failures = [], []
+    for point, outcome in zip(POINTS, outcomes):
+        if outcome == "success":
+            chunks = draw(metric_values)
+            successes.append(
+                success_record(point, {"chunks": chunks})
+            )
+        elif outcome == "failure":
+            failures.append(
+                failure_record(point, draw(st.integers(1, 5)))
+            )
+    return successes, failures
+
+
+def make_store(successes, failures, name="store.json") -> SweepStore:
+    store = SweepStore(Path(name), SPEC)
+    for record in successes:
+        store.add(dict(record))
+    for record in failures:
+        store.add_failure(dict(record))
+    return store
+
+
+def store_bytes(store: SweepStore) -> bytes:
+    # Compare in-memory stores by their canonical serialization,
+    # dropping provenance (it records *who* saved, not what ran).
+    document = store.to_json()
+    document.pop("provenance", None)
+    return json.dumps(document, sort_keys=True).encode()
+
+
+@st.composite
+def sharded_store(draw):
+    """A whole store plus an arbitrary (overlapping) sharding of it."""
+    successes, failures = draw(store_contents())
+    n_shards = draw(st.integers(min_value=1, max_value=4))
+    shards = [([], []) for _ in range(n_shards)]
+    for record in successes:
+        owners = draw(st.lists(st.integers(0, n_shards - 1),
+                               min_size=1, max_size=n_shards,
+                               unique=True))
+        for owner in owners:
+            shards[owner][0].append(record)
+    for record in failures:
+        # Failure records may repeat across shards only at differing
+        # attempt counts (a re-leased retry) or identically; model
+        # the identical-duplicate case, the executor's actual overlap.
+        owners = draw(st.lists(st.integers(0, n_shards - 1),
+                               min_size=1, max_size=n_shards,
+                               unique=True))
+        for owner in owners:
+            shards[owner][1].append(record)
+    return (successes, failures), shards
+
+
+@given(contents=store_contents())
+@settings(max_examples=30, deadline=None)
+def test_merge_is_idempotent(contents):
+    successes, failures = contents
+    shard = make_store(successes, failures)
+    merged = SweepStore.merge([shard, shard])
+    assert store_bytes(merged) == store_bytes(shard)
+
+
+@given(data=sharded_store())
+@settings(max_examples=30, deadline=None)
+def test_merge_is_commutative(data):
+    (_, _), shards = data
+    stores = [make_store(s, f, f"shard-{i}.json")
+              for i, (s, f) in enumerate(shards)]
+    forward = SweepStore.merge(stores)
+    backward = SweepStore.merge(list(reversed(stores)))
+    assert store_bytes(forward) == store_bytes(backward)
+
+
+@given(data=sharded_store())
+@settings(max_examples=30, deadline=None)
+def test_merge_is_associative(data):
+    (_, _), shards = data
+    stores = [make_store(s, f, f"shard-{i}.json")
+              for i, (s, f) in enumerate(shards)]
+    if len(stores) < 3:
+        stores = stores + stores  # pad; merge tolerates duplicates
+    left = SweepStore.merge(
+        [SweepStore.merge(stores[:2]), *stores[2:]]
+    )
+    right = SweepStore.merge(
+        [stores[0], SweepStore.merge(stores[1:])]
+    )
+    assert store_bytes(left) == store_bytes(right)
+
+
+@given(data=sharded_store())
+@settings(max_examples=30, deadline=None)
+def test_partition_merge_reproduces_the_whole_store(data):
+    (successes, failures), shards = data
+    whole = make_store(successes, failures)
+    stores = [make_store(s, f, f"shard-{i}.json")
+              for i, (s, f) in enumerate(shards)]
+    merged = SweepStore.merge(stores)
+    assert store_bytes(merged) == store_bytes(whole)
+
+
+@given(contents=store_contents(), seeds=st.integers(4, 8))
+@settings(max_examples=10, deadline=None)
+def test_spec_mismatch_raises_the_named_error(contents, seeds):
+    successes, failures = contents
+    shard = make_store(successes, failures)
+    other = SweepStore(Path("other.json"),
+                       SweepSpec(base=TINY,
+                                 grid={"bucket_size": (4, 8)},
+                                 backends=("fast",), seeds=seeds))
+    with pytest.raises(StoreMergeError):
+        SweepStore.merge([shard, other])

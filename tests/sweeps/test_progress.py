@@ -1,0 +1,169 @@
+"""Unit tests for the shared sweep progress reporter."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.backends.config import FastSimulationConfig
+from repro.sweeps import ProgressReporter, SweepSpec, run_sweep
+from repro.sweeps.progress import _format_eta
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TtyStream(io.StringIO):
+    def isatty(self) -> bool:
+        return True
+
+
+class TestEnableLogic:
+    def test_auto_off_on_non_tty(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(4, stream=stream)
+        reporter.advance()
+        reporter.close()
+        assert stream.getvalue() == ""
+
+    def test_auto_on_for_tty(self):
+        stream = TtyStream()
+        reporter = ProgressReporter(4, stream=stream,
+                                    clock=FakeClock())
+        reporter.advance()
+        reporter.close()
+        assert "sweep 1/4" in stream.getvalue()
+
+    def test_forced_on_writes_lines_to_non_tty(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        reporter = ProgressReporter(2, enabled=True, stream=stream,
+                                    clock=clock)
+        reporter.advance()
+        clock.tick(1.0)
+        reporter.advance()
+        reporter.close()
+        lines = stream.getvalue().splitlines()
+        assert lines[0].startswith("sweep 1/2")
+        assert lines[-1].startswith("sweep 2/2")
+
+    def test_forced_off_silences_a_tty(self):
+        stream = TtyStream()
+        reporter = ProgressReporter(4, enabled=False, stream=stream)
+        reporter.advance()
+        reporter.close()
+        assert stream.getvalue() == ""
+
+
+class TestRendering:
+    def test_rate_and_eta_from_fresh_points_only(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        # 10 total, 6 resumed: after 2 fresh points in 1s the honest
+        # rate is 2.0/s and 2 remain -> eta 1s.
+        reporter = ProgressReporter(10, completed=6, enabled=True,
+                                    stream=stream, clock=clock,
+                                    interval=0.0)
+        clock.tick(1.0)
+        reporter.advance(2)
+        line = stream.getvalue().splitlines()[-1]
+        assert "sweep 8/10" in line
+        assert "2.0 points/s" in line
+        assert "eta 0:01" in line
+
+    def test_no_rate_before_any_fresh_point(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(4, completed=2, enabled=True,
+                                    stream=stream, clock=FakeClock())
+        reporter.close()
+        line = stream.getvalue().strip()
+        assert line == "sweep 2/4"
+
+    def test_rate_limited_emission(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        reporter = ProgressReporter(100, enabled=True, stream=stream,
+                                    clock=clock, interval=0.5)
+        for _ in range(10):
+            reporter.advance()
+            clock.tick(0.01)  # 10 points in 0.1s: one emission window
+        assert len(stream.getvalue().splitlines()) == 1
+
+    def test_final_point_always_draws(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        reporter = ProgressReporter(3, enabled=True, stream=stream,
+                                    clock=clock, interval=10.0)
+        reporter.advance(3)
+        assert "sweep 3/3" in stream.getvalue()
+
+    def test_tty_rewrites_in_place(self):
+        stream = TtyStream()
+        clock = FakeClock()
+        reporter = ProgressReporter(2, enabled=True, stream=stream,
+                                    clock=clock, interval=0.0)
+        reporter.advance()
+        clock.tick(1.0)
+        reporter.advance()
+        reporter.close()
+        output = stream.getvalue()
+        assert output.count("\r") >= 2
+        assert output.endswith("\n")
+
+    def test_close_is_idempotent(self):
+        stream = io.StringIO()
+        reporter = ProgressReporter(1, enabled=True, stream=stream,
+                                    clock=FakeClock())
+        reporter.advance()
+        reporter.close()
+        once = stream.getvalue()
+        reporter.close()
+        assert stream.getvalue() == once
+
+
+class TestEtaFormat:
+    @pytest.mark.parametrize("seconds,rendered", [
+        (0.0, "0:00"),
+        (61.0, "1:01"),
+        (3599.6, "1:00:00"),
+        (3661.0, "1:01:01"),
+    ])
+    def test_rendering(self, seconds, rendered):
+        assert _format_eta(seconds) == rendered
+
+
+class TestEngineWiring:
+    def test_run_sweep_progress_reports_to_stderr(self, capsys):
+        spec = SweepSpec(
+            base=FastSimulationConfig(
+                n_nodes=60, bits=10, n_files=8, file_min=3, file_max=6
+            ),
+            grid={"bucket_size": (4,)}, backends=("fast",), seeds=2,
+        )
+        result = run_sweep(spec, jobs=1, progress=True)
+        assert result.executed == 2
+        captured = capsys.readouterr()
+        assert "sweep 2/2" in captured.err
+        assert "points/s" in captured.err
+        assert "sweep 2/2" not in captured.out, (
+            "progress must stay off the machine-readable stdout"
+        )
+
+    def test_run_sweep_progress_defaults_off_without_tty(self, capsys):
+        spec = SweepSpec(
+            base=FastSimulationConfig(
+                n_nodes=60, bits=10, n_files=8, file_min=3, file_max=6
+            ),
+            grid={"bucket_size": (4,)}, backends=("fast",), seeds=1,
+        )
+        run_sweep(spec, jobs=1)
+        assert "sweep 1/1" not in capsys.readouterr().err

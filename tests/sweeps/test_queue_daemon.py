@@ -1,0 +1,326 @@
+"""Unit tests for the distributed sweep work queue.
+
+:class:`QueueState` is exercised directly (no sockets, fake clock):
+lease ordering and attempt numbers, completion idempotence, the
+retry-then-quarantine ladder, lease expiry charging exactly one
+``crash`` attempt, and the stale-report guard that keeps a
+double-charge from ever happening. A short HTTP section smoke-tests
+the daemon's JSON protocol end to end over loopback.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.backends.config import FastSimulationConfig
+from repro.errors import ConfigurationError
+from repro.sweeps import RetryPolicy, SweepSpec
+from repro.sweeps.queue_daemon import (
+    LEASE_CRASH_DIGEST,
+    LEASE_CRASH_ERROR,
+    QueueState,
+    SweepQueueDaemon,
+)
+
+TINY = FastSimulationConfig(
+    n_nodes=60, bits=10, n_files=8, file_min=3, file_max=6
+)
+
+
+def tiny_spec(**kwargs) -> SweepSpec:
+    defaults = dict(base=TINY, grid={"bucket_size": (4, 8)},
+                    backends=("fast",), seeds=2)
+    defaults.update(kwargs)
+    return SweepSpec(**defaults)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_state(spec=None, **kwargs) -> tuple[QueueState, FakeClock]:
+    spec = spec or tiny_spec()
+    clock = FakeClock()
+    kwargs.setdefault("retry_policy",
+                      RetryPolicy(max_retries=2, backoff_base=0.0))
+    state = QueueState(spec, spec.points(), clock=clock, **kwargs)
+    return state, clock
+
+
+def fake_record(point_id: str) -> dict:
+    return {"point_id": point_id, "backend": "fast", "overrides": {},
+            "replica": 0, "workload_seed": 1, "metrics": {"chunks": 1}}
+
+
+class TestLease:
+    def test_leases_in_canonical_order(self):
+        state, _ = make_state()
+        expected = [p.point_id for p in state.spec.points()]
+        got = []
+        while True:
+            response = state.lease("w", 1)
+            if not response["points"]:
+                break
+            got.append(response["points"][0]["point"]["point_id"])
+        assert got == expected
+
+    def test_batch_lease_respects_count(self):
+        state, _ = make_state()
+        response = state.lease("w", 3)
+        assert len(response["points"]) == 3
+        assert state.status()["leased"] == 3
+
+    def test_fresh_points_carry_attempt_zero(self):
+        state, _ = make_state()
+        response = state.lease("w", 4)
+        assert [e["attempt"] for e in response["points"]] == [0, 0, 0, 0]
+
+    def test_seeded_attempts_surface_in_lease(self):
+        spec = tiny_spec()
+        first = spec.points()[0].point_id
+        state, _ = make_state(spec, attempts={first: 2})
+        response = state.lease("w", 1)
+        assert response["points"][0]["attempt"] == 2
+
+    def test_idle_worker_gets_retry_after_not_done(self):
+        state, _ = make_state()
+        state.lease("a", len(state.points))  # everything leased out
+        response = state.lease("b", 1)
+        assert response["points"] == []
+        assert response["done"] is False
+        assert response["retry_after"] is not None
+
+    def test_invalid_lease_timeout_refused(self):
+        spec = tiny_spec()
+        with pytest.raises(ConfigurationError, match="lease_timeout"):
+            QueueState(spec, spec.points(), lease_timeout=0.0)
+
+
+class TestComplete:
+    def test_complete_settles_and_emits(self):
+        state, _ = make_state()
+        leased = state.lease("w", 1)["points"][0]
+        point_id = leased["point"]["point_id"]
+        response = state.complete("w", fake_record(point_id), 0, 0.1)
+        assert response["ok"] and not response["duplicate"]
+        kind, record, index, elapsed = state.events.get_nowait()
+        assert kind == "result" and record["point_id"] == point_id
+
+    def test_duplicate_completion_dedups(self):
+        state, _ = make_state()
+        leased = state.lease("w", 1)["points"][0]
+        point_id = leased["point"]["point_id"]
+        state.complete("w", fake_record(point_id), 0, 0.1)
+        response = state.complete("other", fake_record(point_id), 0, 0.2)
+        assert response["duplicate"] is True
+        state.events.get_nowait()
+        assert state.events.empty(), "a duplicate must not re-emit"
+
+    def test_unknown_point_refused(self):
+        state, _ = make_state()
+        with pytest.raises(KeyError):
+            state.complete("w", fake_record("no|such|point"), 0, 0.1)
+
+    def test_final_completion_reports_done(self):
+        state, _ = make_state()
+        responses = []
+        while True:
+            leased = state.lease("w", 1)["points"]
+            if not leased:
+                break
+            point_id = leased[0]["point"]["point_id"]
+            responses.append(
+                state.complete("w", fake_record(point_id), 0, 0.1)
+            )
+        assert [r["done"] for r in responses[:-1]] == [False] * 3
+        assert responses[-1]["done"] is True
+        assert state.finished
+
+
+class TestFail:
+    def test_retry_then_quarantine_with_global_numbering(self):
+        state, _ = make_state()
+        # Lease the whole queue so the failing point is the only one
+        # ever requeued (a requeue lands *behind* untouched pending
+        # points, by design).
+        leased = state.lease("w", 4)["points"]
+        target = leased[0]["point"]["point_id"]
+        verdicts = []
+        for _ in range(3):  # max_retries=2 -> third report is terminal
+            verdicts.append(
+                state.fail("w", target, "exception", "E: boom", "d" * 16)
+            )
+            if verdicts[-1]["retry"]:
+                leased = state.lease("w", 1)["points"][0]
+                assert leased["point"]["point_id"] == target
+        assert [v["retry"] for v in verdicts] == [True, True, False]
+        record = verdicts[-1]["failure"]
+        assert record["point_id"] == target
+        assert record["attempts"] == 3
+        kind, failure = state.events.get_nowait()
+        assert kind == "failure" and failure.attempts == 3
+
+    def test_requeued_point_carries_bumped_attempt(self):
+        state, _ = make_state()
+        target = state.lease("w", 4)["points"][0]["point"]["point_id"]
+        state.fail("w", target, "exception", "E: boom", "d" * 16)
+        leased = state.lease("w", 1)["points"][0]
+        assert leased["point"]["point_id"] == target
+        assert leased["attempt"] == 1
+
+    def test_stale_report_is_ignored(self):
+        state, clock = make_state(lease_timeout=10.0)
+        target = state.lease("w", 1)["points"][0]["point"]["point_id"]
+        clock.tick(11.0)
+        state.expire_overdue()  # charges the crash attempt
+        verdict = state.fail("w", target, "exception", "E: late", "x" * 16)
+        assert verdict.get("stale") is True
+        assert state.tracker.attempts[target] == 1, (
+            "the expiry charge must not be doubled by the late report"
+        )
+
+    def test_success_supersedes_quarantine(self):
+        state, _ = make_state(
+            retry_policy=RetryPolicy(max_retries=0, backoff_base=0.0)
+        )
+        target = state.lease("w", 1)["points"][0]["point"]["point_id"]
+        state.fail("w", target, "exception", "E: boom", "d" * 16)
+        assert target in state.terminal
+        # A re-lease elsewhere completed meanwhile (false expiry race).
+        state.complete("other", fake_record(target), 0, 0.1)
+        assert target not in state.terminal
+        assert state.status()["quarantined"] == 0
+
+
+class TestExpiry:
+    def test_expired_lease_charges_exactly_one_crash(self):
+        state, clock = make_state(lease_timeout=5.0)
+        leased = state.lease("w", 4)["points"]
+        target = leased[0]["point"]["point_id"]
+        for entry in leased[1:]:  # settle the rest so only it expires
+            state.complete("w", fake_record(entry["point"]["point_id"]),
+                           0, 0.1)
+        clock.tick(6.0)
+        assert state.expire_overdue() == [target]
+        assert state.tracker.attempts[target] == 1
+        # The point is ready again for any worker, attempt bumped.
+        leased = state.lease("other", 1)["points"][0]
+        assert leased["point"]["point_id"] == target
+        assert leased["attempt"] == 1
+
+    def test_exhausted_expiries_quarantine_with_fixed_record(self):
+        state, clock = make_state(
+            lease_timeout=5.0,
+            retry_policy=RetryPolicy(max_retries=0, backoff_base=0.0),
+        )
+        target = state.lease("w", 1)["points"][0]["point"]["point_id"]
+        clock.tick(6.0)
+        state.expire_overdue()
+        record = state.terminal[target]
+        assert record["kind"] == "crash"
+        assert record["error"] == LEASE_CRASH_ERROR
+        assert record["digest"] == LEASE_CRASH_DIGEST
+
+    def test_heartbeat_renews_leases(self):
+        state, clock = make_state(lease_timeout=5.0)
+        target = state.lease("w", 1)["points"][0]["point"]["point_id"]
+        clock.tick(4.0)
+        assert state.heartbeat("w")["renewed"] == 1
+        clock.tick(4.0)  # 8s total, but renewed at 4s
+        assert state.expire_overdue() == []
+        assert target in state.leases
+
+    def test_expire_worker_targets_one_host(self):
+        state, _ = make_state()
+        state.lease("a", 2)
+        state.lease("b", 2)
+        expired = state.expire_worker("a")
+        assert len(expired) == 2
+        assert all(lease["worker"] == "b"
+                   for lease in state.leases.values())
+
+    def test_completed_point_never_expires(self):
+        state, clock = make_state(lease_timeout=5.0)
+        target = state.lease("w", 1)["points"][0]["point"]["point_id"]
+        state.complete("w", fake_record(target), 0, 0.1)
+        clock.tick(6.0)
+        assert state.expire_overdue() == []
+        assert target not in state.tracker.attempts
+
+
+class TestStatus:
+    def test_counters_track_the_lifecycle(self):
+        state, _ = make_state()
+        assert state.status() == {
+            "total": 4, "pending": 4, "leased": 0, "completed": 0,
+            "quarantined": 0, "done": False,
+        }
+        target = state.lease("w", 1)["points"][0]["point"]["point_id"]
+        assert state.status()["leased"] == 1
+        state.complete("w", fake_record(target), 0, 0.1)
+        counters = state.status()
+        assert counters["completed"] == 1
+        assert counters["pending"] == 3
+
+
+def http_json(url: str, payload: dict | None = None) -> dict:
+    data = None if payload is None else json.dumps(payload).encode()
+    with urllib.request.urlopen(
+            urllib.request.Request(url, data=data), timeout=10.0
+    ) as response:
+        return json.loads(response.read())
+
+
+class TestDaemonHTTP:
+    def test_protocol_round_trip_over_loopback(self):
+        spec = tiny_spec()
+        state, _ = make_state(spec)
+        daemon = SweepQueueDaemon(state).start()
+        try:
+            handshake = http_json(f"{daemon.url}/spec")
+            assert (SweepSpec.from_json(handshake["spec"]).points()
+                    == spec.points())
+            leased = http_json(f"{daemon.url}/lease",
+                               {"worker": "w", "count": 2})
+            assert len(leased["points"]) == 2
+            first = leased["points"][0]["point"]["point_id"]
+            done = http_json(f"{daemon.url}/complete", {
+                "worker": "w", "record": fake_record(first),
+                "index": 0, "elapsed": 0.1,
+            })
+            assert done["ok"] is True
+            second = leased["points"][1]["point"]["point_id"]
+            verdict = http_json(f"{daemon.url}/fail", {
+                "worker": "w", "point_id": second, "kind": "exception",
+                "error": "E: boom", "digest": "d" * 16,
+            })
+            assert verdict["retry"] is True
+            assert http_json(f"{daemon.url}/heartbeat",
+                             {"worker": "w"})["renewed"] == 0
+            assert http_json(f"{daemon.url}/status")["completed"] == 1
+        finally:
+            daemon.close()
+
+    def test_unknown_path_and_bad_body_are_http_errors(self):
+        state, _ = make_state()
+        daemon = SweepQueueDaemon(state).start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as missing:
+                http_json(f"{daemon.url}/nope")
+            assert missing.value.code == 404
+            with pytest.raises(urllib.error.HTTPError) as bad:
+                http_json(f"{daemon.url}/lease", {"count": 1})
+            assert bad.value.code == 400
+        finally:
+            daemon.close()

@@ -243,6 +243,20 @@ def fake_bench_record(dirty: bool) -> dict:
                 "latency_p99_ms": 400.0,
             },
         },
+        "sweep": {
+            "spec": {
+                "n_nodes": 150, "n_files": 200,
+                "grid": {"bucket_size": [4, 8]},
+                "backends": ["fast"], "seeds": 2, "points": 4,
+            },
+            "metrics": {
+                "serial_seconds": 2.0,
+                "serial_points_per_second": 2.0,
+                "jobs2_seconds": 1.3,
+                "jobs2_points_per_second": 3.1,
+                "parallel_speedup": 1.55,
+            },
+        },
     }
 
 
@@ -314,6 +328,50 @@ class TestLatencyRegressionGate:
         current = fake_bench_record(False)
         baseline = fake_bench_record(False)
         baseline["latency"]["profile"]["hop_latency_ms"] = 5.0
+        problems = check_regression(current, baseline, 2.0)
+        assert len(problems) == 1
+        assert "meaningless" in problems[0]
+
+
+class TestSweepRegressionGate:
+    """check_regression covers the sweep-engine headline too."""
+
+    def test_serial_drop_fails_gate(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        current["sweep"]["metrics"]["serial_points_per_second"] = 0.5
+        problems = check_regression(current, baseline, 2.0)
+        assert len(problems) == 1
+        assert "sweep-engine regression" in problems[0]
+
+    def test_parallel_speedup_is_not_gated(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        # 1-core runners legitimately invert the speedup; only the
+        # serial per-point overhead is a code property.
+        current["sweep"]["metrics"]["jobs2_points_per_second"] = 0.1
+        current["sweep"]["metrics"]["parallel_speedup"] = 0.05
+        assert check_regression(current, baseline, 2.0) == []
+
+    def test_pre_sweep_baseline_gates_without_it(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        del baseline["sweep"]
+        current["sweep"]["metrics"]["serial_points_per_second"] = 1e-6
+        assert check_regression(current, baseline, 2.0) == []
+
+    def test_mismatched_sweep_spec_refuses_to_compare(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        baseline["sweep"]["spec"]["seeds"] = 5
         problems = check_regression(current, baseline, 2.0)
         assert len(problems) == 1
         assert "meaningless" in problems[0]
