@@ -1,0 +1,154 @@
+"""Serve-path benchmark: streamed throughput and bounded memory.
+
+Two claims behind ``repro-swarm serve``:
+
+1. **Streaming costs what batch costs** — micro-epoch execution
+   through the persistent :class:`StreamSession` plus online
+   aggregation must stay within noise of the one-shot batch run
+   (the kernel is identical; the session only re-plumbs state), and
+   the final aggregate must be *bit-identical* to the batch result.
+2. **Memory is bounded independent of stream length** — the session
+   holds O(n_nodes) state plus one micro-batch, so RSS sampled early
+   in the stream and at its end must agree (no per-request growth).
+
+Runs as a pytest module (``pytest benchmarks/bench_serve.py``) and as
+a script::
+
+    python benchmarks/bench_serve.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis.streaming import StreamingAggregator
+from repro.backends.config import FastSimulationConfig
+from repro.backends.fast import FastSimulation, StreamSession
+from repro.perf.bench import _rss_kib
+from repro.workloads.streams import GeneratorStream
+
+#: RSS growth allowed between the early-stream sample and the end of
+#: the stream. The true session state is a few MiB at paper scale;
+#: the slack absorbs allocator noise on shared runners.
+MAX_RSS_GROWTH_KIB = 64_000
+
+
+def _measure_serve(n_nodes: int, n_files: int, *,
+                   max_batch: int = 256, repeats: int = 3) -> dict:
+    config = FastSimulationConfig(n_nodes=n_nodes, n_files=n_files)
+    simulation = FastSimulation(config)
+    addresses = simulation.overlay.address_array()
+    _ = simulation.table.flat_coded  # build outside the timed region
+
+    batch_started = time.perf_counter()
+    batch_result = simulation.run()
+    batch_seconds = time.perf_counter() - batch_started
+
+    best_seconds = float("inf")
+    aggregator = None
+    rss_early = rss_end = 0
+    early_epoch = max(1, (n_files // max_batch) // 4)
+    for _ in range(repeats):
+        stream = GeneratorStream(config.workload(),
+                                 max_batch=max_batch)
+        aggregator = StreamingAggregator(addresses.astype(np.int64))
+        started = time.perf_counter()
+        with StreamSession(simulation) as session:
+            for events in stream.batches(addresses, simulation.space):
+                scratch = simulation.new_result()
+                file_origins, sizes, targets = (
+                    simulation.flatten_events(events)
+                )
+                scratch.files += len(sizes)
+                session.feed(np.repeat(file_origins, sizes), targets,
+                             into=scratch)
+                aggregator.absorb(scratch)
+                if session.epochs_fed == early_epoch:
+                    rss_early = _rss_kib()
+        best_seconds = min(best_seconds,
+                           time.perf_counter() - started)
+        rss_end = _rss_kib()
+
+    assert aggregator is not None
+    return {
+        "n_nodes": n_nodes,
+        "n_files": n_files,
+        "max_batch": max_batch,
+        "chunks": aggregator.chunks,
+        "batch_seconds": batch_seconds,
+        "stream_seconds": best_seconds,
+        "chunks_per_second": aggregator.chunks / best_seconds,
+        "overhead": best_seconds / max(batch_seconds, 1e-9),
+        "rss_early_kib": rss_early,
+        "rss_end_kib": rss_end,
+        "rss_growth_kib": rss_end - rss_early,
+        "identical": aggregator.matches_result(batch_result),
+    }
+
+
+def _render(report: dict) -> str:
+    return (
+        f"serve @ {report['n_nodes']} nodes / {report['n_files']} "
+        f"files (max_batch={report['max_batch']}): "
+        f"{report['chunks_per_second']:,.0f} chunks/s streamed "
+        f"({report['overhead']:.2f}x batch), RSS "
+        f"{report['rss_end_kib'] / 1024:.0f} MiB "
+        f"({report['rss_growth_kib']:+,} KiB after early-stream)"
+    )
+
+
+def test_serve_streams_bit_identically_in_bounded_memory(bench_scale):
+    report = _measure_serve(
+        n_nodes=bench_scale["n_nodes"],
+        n_files=bench_scale["n_files"],
+    )
+    print()
+    print(_render(report))
+    assert report["identical"], "streamed aggregate diverged from batch"
+    assert report["rss_growth_kib"] < MAX_RSS_GROWTH_KIB
+    # Very loose bound for shared runners: session re-plumbing must
+    # never turn into a kernel-scale cost.
+    assert report["overhead"] < 3.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="serve-path benchmark")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI scale (300 nodes, 2000 files) instead of paper scale",
+    )
+    parser.add_argument(
+        "--min-rate", type=float, default=0.0, metavar="CHUNKS_PER_S",
+        help="fail below this streamed throughput (default: no floor)",
+    )
+    args = parser.parse_args(argv)
+
+    n_nodes = 300 if args.quick else 1000
+    n_files = 2000 if args.quick else 10_000
+    report = _measure_serve(n_nodes=n_nodes, n_files=n_files)
+    print(_render(report))
+    if not report["identical"]:
+        print("FAIL: streamed aggregate diverged from the batch run",
+              file=sys.stderr)
+        return 1
+    if report["rss_growth_kib"] >= MAX_RSS_GROWTH_KIB:
+        print(
+            f"FAIL: RSS grew {report['rss_growth_kib']:,} KiB over the "
+            f"stream (bound: {MAX_RSS_GROWTH_KIB:,})", file=sys.stderr,
+        )
+        return 1
+    if args.min_rate and report["chunks_per_second"] < args.min_rate:
+        print(
+            f"FAIL: {report['chunks_per_second']:,.0f} chunks/s is "
+            f"below the {args.min_rate:,.0f} floor", file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ from .stats import (
     mean_confidence_interval,
     summarize,
 )
+from .streaming import QuantileSketch, StreamingAggregator
 from .table_viz import render_bucket_occupancy, render_routing_table
 
 __all__ = [
@@ -24,6 +25,8 @@ __all__ = [
     "LatencyDistribution",
     "LatencyModel",
     "MetricEstimate",
+    "QuantileSketch",
+    "StreamingAggregator",
     "Summary",
     "Table",
     "area_ratio",

@@ -90,6 +90,7 @@ __all__ = [
     "NextHopTable",
     "SimulationResult",
     "FastSimulation",
+    "StreamSession",
     "FastBackend",
     "PerFileFastBackend",
     "clear_caches",
@@ -442,15 +443,7 @@ class FastSimulation:
         started = time.perf_counter()
         if workload is None:
             workload = self.config.workload()
-        n = len(self.overlay)
-        result = SimulationResult(
-            config=self.config,
-            node_addresses=self.overlay.address_array().astype(np.int64),
-            forwarded=np.zeros(n, dtype=np.int64),
-            first_hop=np.zeros(n, dtype=np.int64),
-            income=np.zeros(n, dtype=np.float64),
-            expenditure=np.zeros(n, dtype=np.float64),
-        )
+        result = self.new_result()
         if batched:
             self._run_batched(workload, result, unpaid_origins)
         else:
@@ -470,12 +463,95 @@ class FastSimulation:
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
+    def new_result(self) -> SimulationResult:
+        """A zeroed result over this simulation's overlay."""
+        n = len(self.overlay)
+        return SimulationResult(
+            config=self.config,
+            node_addresses=self.overlay.address_array().astype(np.int64),
+            forwarded=np.zeros(n, dtype=np.int64),
+            first_hop=np.zeros(n, dtype=np.int64),
+            income=np.zeros(n, dtype=np.float64),
+            expenditure=np.zeros(n, dtype=np.float64),
+        )
+
+    def flatten_events(self, events) -> tuple[np.ndarray, np.ndarray,
+                                              np.ndarray]:
+        """Flatten a micro-batch of download events into kernel columns.
+
+        Returns ``(file_origins, sizes, targets)`` in the same dtypes
+        and layout as ``_flatten_workload`` — per-file dense origin
+        indices, per-file chunk counts, and the concatenated chunk
+        addresses.
+        """
+        target_dt = target_dtype(self.space.bits)
+        entry_dt = self.table.entry_dtype
+        index_of = self.overlay.index_of
+        origin_list: list[int] = []
+        parts: list[np.ndarray] = []
+        for event in events:
+            origin_list.append(index_of(int(event.originator)))
+            parts.append(
+                np.asarray(event.chunk_addresses).astype(target_dt)
+            )
+        file_origins = np.asarray(origin_list, dtype=entry_dt)
+        sizes = np.fromiter(
+            (part.size for part in parts),
+            dtype=np.int64, count=len(parts),
+        )
+        targets = (np.concatenate(parts) if parts
+                   else np.empty(0, dtype=target_dt))
+        return file_origins, sizes, targets
+
+    def run_stream(self, batches, *, n_epochs: int | None = None,
+                   unpaid_origins: np.ndarray | None = None,
+                   on_epoch=None) -> SimulationResult:
+        """Consume an iterator of micro-batches of download events.
+
+        *batches* yields bounded sequences of
+        :class:`~repro.workloads.generators.FileDownload` events (a
+        :meth:`~repro.workloads.streams.WorkloadStream.batches`
+        iterator, or any iterable of event lists). Each micro-batch
+        routes as one micro-epoch against a persistent
+        :class:`StreamSession`, so memory stays bounded by the largest
+        single batch plus the O(n_nodes) result vectors — the whole
+        workload is never materialized.
+
+        Scenario configs must pass ``n_epochs`` (the schedule is sized
+        per epoch up front); feed ``batch_files``-file batches to make
+        the stream bit-identical to the one-shot batch run, which
+        segments epochs on exactly that boundary. ``on_epoch(epoch,
+        result)`` is called after each micro-epoch with the cumulative
+        result — the hook rolling aggregates hang off.
+        """
+        started = time.perf_counter()
+        result = self.new_result()
+        with StreamSession(self, result=result, n_epochs=n_epochs,
+                           unpaid_origins=unpaid_origins) as session:
+            for batch in batches:
+                file_origins, sizes, targets = self.flatten_events(batch)
+                if sizes.size == 0:
+                    continue
+                result.files += len(sizes)
+                session.feed(np.repeat(file_origins, sizes), targets)
+                if on_epoch is not None:
+                    on_epoch(session.epochs_fed, result)
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
     # ------------------------------------------------------------------
     # Batched hot path
 
     def _run_batched(self, workload, result: SimulationResult,
                      unpaid_origins: np.ndarray | None = None) -> None:
-        """Flatten the whole workload and route all chunks in hop waves."""
+        """Flatten the whole workload and route it through a session.
+
+        The one-shot run is the streaming core fed from one flatten:
+        static configs feed a single micro-epoch holding the entire
+        workload (one kernel invocation, exactly the pre-streaming
+        behavior), scenario configs feed one ``batch_files``-file slab
+        per epoch — the same loop a live stream drives incrementally.
+        """
         config = self.config
         file_origins, sizes, targets = self._flatten_workload(workload)
         result.files += len(sizes)
@@ -483,117 +559,20 @@ class FastSimulation:
             return
         origins = np.repeat(file_origins, sizes)
 
-        scenario = config.scenario_stack()
-        if scenario is None:
-            result.chunks += int(origins.size)
-            self._route_batch(origins, targets, result,
-                              unpaid_origins=unpaid_origins)
+        if config.scenario_stack() is None:
+            with StreamSession(self, result=result,
+                               unpaid_origins=unpaid_origins) as session:
+                session.feed(origins, targets)
             return
 
-        # Scenario path: slabs of ``batch_files`` files are the
-        # epochs. The plan folds the composed scenario's schedule into
-        # per-epoch alive masks, storer tables (delta-patched through
-        # the epoch cache), cache state, and policy overrides; each
-        # slab still routes fully vectorized through the one kernel.
-        from ..scenarios.base import ScenarioContext
-        from ..scenarios.plan import EpochPlan
-
-        decoded_reference = bool(os.environ.get(DECODED_DYNAMICS_ENV))
-        coded_working = flat_working = None
-        if not decoded_reference:
-            from ..perf.table_cache import global_table_cache
-
-            coded_working = global_table_cache().writable_coded(self.table)
-            flat_working = coded_working.reshape(-1)
-        entry_dt = self.table.entry_dtype
         starts = range(0, len(sizes), config.batch_files)
-        plan = EpochPlan(
-            scenario,
-            ScenarioContext(
-                n_nodes=self.table.n_nodes,
-                n_epochs=len(starts),
-                space_size=self.space.size,
-                overlay_seed=config.overlay_seed,
-            ),
-            table_fingerprint=self.overlay.fingerprint(),
-            base_storers=self.table.storer,
-            addresses=self.overlay.address_array(),
-            coded=coded_working,
-        )
         offsets = np.concatenate(([0], np.cumsum(sizes)))
-        try:
-            self._run_epochs(plan, starts, offsets, sizes, origins,
-                             targets, result, unpaid_origins, entry_dt,
-                             decoded_reference, flat_working)
-        finally:
-            # The working matrix is shared across runs (and, for
-            # built tables, IS the table) — always leave it pristine.
-            plan.restore_coded()
-
-    def _run_epochs(self, plan, starts, offsets, sizes, origins, targets,
-                    result, unpaid_origins, entry_dt, decoded_reference,
-                    flat_working) -> None:
-        """The per-epoch slab loop of the scenario path."""
-        config = self.config
-        for epoch, start in enumerate(starts):
-            stop = min(start + config.batch_files, len(sizes))
-            lo, hi = int(offsets[start]), int(offsets[stop])
-            state = plan.epoch(epoch)
-            slab_origins = origins[lo:hi]
-            slab_targets = targets[lo:hi]
-            result.chunks += int(slab_origins.size)
-            if state.origin_map is not None:
-                slab_origins = state.origin_map[slab_origins].astype(
-                    entry_dt
-                )
-            unpaid = unpaid_origins
-            if state.unpaid is not None:
-                unpaid = (state.unpaid if unpaid is None
-                          else state.unpaid | unpaid)
-            alive = state.alive
-            storers = None
-            storer_table = None
-            if alive is not None:
-                if not alive.any():
-                    result.unavailable += int(slab_origins.size)
-                    continue
-                storer_table = (state.storers if state.storers is not None
-                                else self.table.storer)
-                storers = storer_table[slab_targets]
-                # Under re-homing every epoch storer is alive, so the
-                # second clause only bites for static placement.
-                dead = ~alive[slab_origins] | ~alive[storers]
-                if dead.any():
-                    result.unavailable += int(np.count_nonzero(dead))
-                    keep = ~dead
-                    slab_origins = slab_origins[keep]
-                    slab_targets = slab_targets[keep]
-                    storers = storers[keep]
-            cache = state.cache
-            if alive is not None and not decoded_reference:
-                # Patched-static dynamics: the plan has already patched
-                # the working matrix to this epoch's storers, so the
-                # banded kernel runs as-is plus the dead-value LUT.
-                self._route_batch(
-                    slab_origins, slab_targets, result,
-                    storers=storers,
-                    cached=None if cache is None else cache.mask,
-                    unpaid_origins=unpaid,
-                    dead_lut=state.dead_lut,
-                    storer_table=storer_table,
-                    flat_coded=flat_working,
-                )
-            else:
-                self._route_batch(
-                    slab_origins, slab_targets, result,
-                    storers=storers, alive=alive,
-                    cached=None if cache is None else cache.mask,
-                    unpaid_origins=unpaid,
-                )
-            if cache is not None:
-                # Every chunk retrieved this slab is now cached on its
-                # delivery path (mask model of path caching).
-                cache.insert(slab_targets)
+        with StreamSession(self, result=result, n_epochs=len(starts),
+                           unpaid_origins=unpaid_origins) as session:
+            for start in starts:
+                stop = min(start + config.batch_files, len(sizes))
+                lo, hi = int(offsets[start]), int(offsets[stop])
+                session.feed(origins[lo:hi], targets[lo:hi])
 
     def _flatten_workload(self, workload):
         """(per-file origin indices, file sizes, flat targets) columns.
@@ -1074,6 +1053,219 @@ class FastSimulation:
             current = nxt[keep]
             targets = targets[keep]
             storers = storers[keep]
+
+
+# ----------------------------------------------------------------------
+# The streaming micro-epoch session
+
+
+class StreamSession:
+    """Persistent micro-epoch execution state for one simulation.
+
+    A session owns everything the scenario path used to rebuild per
+    run — the :class:`~repro.scenarios.plan.EpochPlan` (alive masks,
+    delta-patched storer tables, cache state, coded patches) and the
+    shared working coded matrix — and keeps them alive *across*
+    micro-batches: :meth:`feed` routes one flattened batch of chunk
+    columns as the next epoch, executing exactly the loop body the
+    one-shot batch run executes per ``batch_files`` slab. That makes
+    a stream of slab-sized batches bit-identical to the batch run
+    (the streaming golden tests pin every counter), and it is what
+    lets ``repro-swarm serve`` run indefinitely in bounded memory:
+    session state is O(n_nodes) + the coded patches, independent of
+    how many batches flow through.
+
+    Always :meth:`close` the session (or use it as a context manager)
+    — the working coded matrix is shared across runs and must be
+    restored to its pristine state.
+    """
+
+    def __init__(self, simulation: "FastSimulation", *,
+                 result: SimulationResult | None = None,
+                 n_epochs: int | None = None,
+                 unpaid_origins: np.ndarray | None = None,
+                 timestamps: np.ndarray | None = None,
+                 router=None) -> None:
+        self.simulation = simulation
+        config = simulation.config
+        self.result = (simulation.new_result() if result is None
+                       else result)
+        self.n_epochs = None if n_epochs is None else int(n_epochs)
+        self._unpaid = unpaid_origins
+        self._entry_dt = simulation.table.entry_dtype
+        # router lets the time backend ride the same session: it is
+        # called like _route_batch plus an ids= column for path
+        # attribution. Router sessions always take the patched-static
+        # path (the recording kernel has no decoded mode).
+        self._router = router
+        self._decoded_reference = router is None and bool(
+            os.environ.get(DECODED_DYNAMICS_ENV)
+        )
+        self._epoch = 0
+        self._closed = False
+        self.plan = None
+        self._flat_working = None
+        scenario = config.scenario_stack()
+        if scenario is not None:
+            if self.n_epochs is None:
+                raise ConfigurationError(
+                    "streaming a scenario run needs the epoch count up "
+                    "front (schedules are sized per epoch); pass "
+                    "n_epochs — for a bounded workload that is "
+                    "ceil(n_files / batch_files)"
+                )
+            from ..scenarios.base import ScenarioContext
+            from ..scenarios.plan import EpochPlan
+
+            coded_working = None
+            if not self._decoded_reference:
+                from ..perf.table_cache import global_table_cache
+
+                coded_working = global_table_cache().writable_coded(
+                    simulation.table
+                )
+                self._flat_working = coded_working.reshape(-1)
+            self.plan = EpochPlan(
+                scenario,
+                ScenarioContext(
+                    n_nodes=simulation.table.n_nodes,
+                    n_epochs=self.n_epochs,
+                    space_size=simulation.space.size,
+                    overlay_seed=config.overlay_seed,
+                ),
+                table_fingerprint=simulation.overlay.fingerprint(),
+                base_storers=simulation.table.storer,
+                addresses=simulation.overlay.address_array(),
+                coded=coded_working,
+                timestamps=timestamps,
+            )
+
+    @property
+    def epochs_fed(self) -> int:
+        """How many micro-epochs have been routed so far."""
+        return self._epoch
+
+    def __enter__(self) -> "StreamSession":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def _route(self, origins, targets, result, ids, **kwargs) -> None:
+        """Dispatch one routing call to the kernel or the router."""
+        if self._router is None:
+            self.simulation._route_batch(origins, targets, result,
+                                         **kwargs)
+        else:
+            # Router sessions never take the decoded path, so an
+            # `alive` kwarg only ever arrives here as None.
+            kwargs.pop("alive", None)
+            self._router(origins, targets, result, ids=ids, **kwargs)
+
+    def feed(self, origins: np.ndarray, targets: np.ndarray, *,
+             into: SimulationResult | None = None,
+             ids: np.ndarray | None = None) -> SimulationResult:
+        """Route one micro-epoch of flattened origin/target columns.
+
+        *origins* are dense node indices (one per chunk), *targets*
+        the chunk addresses — the same columns the flatten path
+        produces. Counters accumulate into the session's cumulative
+        result, or into *into* when given (the serve daemon routes
+        each micro-epoch into a fresh scratch result and absorbs it
+        into a mergeable aggregator). *ids* is the per-chunk id
+        column router sessions thread through to the path recorder.
+        """
+        if self._closed:
+            raise ConfigurationError(
+                "this stream session is closed; open a new one"
+            )
+        result = self.result if into is None else into
+        simulation = self.simulation
+        if self.plan is None:
+            result.chunks += int(origins.size)
+            self._route(origins, targets, result, ids,
+                        unpaid_origins=self._unpaid)
+            self._epoch += 1
+            return result
+        if self._epoch >= self.n_epochs:
+            raise ConfigurationError(
+                f"this stream session was sized for {self.n_epochs} "
+                f"epoch(s) and they are all consumed; size n_epochs "
+                f"to the stream's full length"
+            )
+        state = self.plan.epoch(self._epoch)
+        slab_origins = origins
+        slab_targets = targets
+        slab_ids = ids
+        result.chunks += int(slab_origins.size)
+        if state.origin_map is not None:
+            slab_origins = state.origin_map[slab_origins].astype(
+                self._entry_dt
+            )
+        unpaid = self._unpaid
+        if state.unpaid is not None:
+            unpaid = (state.unpaid if unpaid is None
+                      else state.unpaid | unpaid)
+        alive = state.alive
+        storers = None
+        storer_table = None
+        if alive is not None:
+            if not alive.any():
+                result.unavailable += int(slab_origins.size)
+                self._epoch += 1
+                return result
+            storer_table = (state.storers if state.storers is not None
+                            else simulation.table.storer)
+            storers = storer_table[slab_targets]
+            # Under re-homing every epoch storer is alive, so the
+            # second clause only bites for static placement.
+            dead = ~alive[slab_origins] | ~alive[storers]
+            if dead.any():
+                result.unavailable += int(np.count_nonzero(dead))
+                keep = ~dead
+                slab_origins = slab_origins[keep]
+                slab_targets = slab_targets[keep]
+                storers = storers[keep]
+                if slab_ids is not None:
+                    slab_ids = slab_ids[keep]
+        cache = state.cache
+        if alive is not None and not self._decoded_reference:
+            # Patched-static dynamics: the plan has already patched
+            # the working matrix to this epoch's storers, so the
+            # banded kernel runs as-is plus the dead-value LUT.
+            self._route(
+                slab_origins, slab_targets, result, slab_ids,
+                storers=storers,
+                cached=None if cache is None else cache.mask,
+                unpaid_origins=unpaid,
+                dead_lut=state.dead_lut,
+                storer_table=storer_table,
+                flat_coded=self._flat_working,
+            )
+        else:
+            self._route(
+                slab_origins, slab_targets, result, slab_ids,
+                storers=storers, alive=alive,
+                cached=None if cache is None else cache.mask,
+                unpaid_origins=unpaid,
+            )
+        if cache is not None:
+            # Every chunk retrieved this epoch is now cached on its
+            # delivery path (mask model of path caching).
+            cache.insert(slab_targets)
+        self._epoch += 1
+        return result
+
+    def close(self) -> None:
+        """Restore the shared coded matrix; the session is done."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.plan is not None:
+            # The working matrix is shared across runs (and, for
+            # built tables, IS the table) — always leave it pristine.
+            self.plan.restore_coded()
 
 
 # ----------------------------------------------------------------------

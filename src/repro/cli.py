@@ -425,6 +425,47 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help=(
+            "live service mode: NDJSON requests in, NDJSON rolling "
+            "aggregates out"
+        ),
+    )
+    serve.add_argument(
+        "--input", default="-", metavar="PATH",
+        help="NDJSON request source ('-' = stdin, the default); an "
+             "NDJSON workload-trace file is accepted directly",
+    )
+    serve.add_argument("--nodes", type=int, default=1000)
+    serve.add_argument("--bits", type=int, default=16)
+    serve.add_argument("--bucket-size", type=int, default=4)
+    serve.add_argument("--overlay-seed", type=int, default=42)
+    serve.add_argument(
+        "--max-batch", type=int, default=256,
+        help="files per micro-epoch (default: 256)",
+    )
+    serve.add_argument(
+        "--flush-interval", type=int, default=1,
+        help="emit a snapshot line every N micro-epochs (default: 1)",
+    )
+    serve.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help="serve under dynamics, e.g. 'churn:rate=0.1'; requires "
+             "--epochs",
+    )
+    serve.add_argument(
+        "--epochs", type=int, default=None,
+        help="epoch count for --scenario serving (schedules are "
+             "sized up front)",
+    )
+    serve.add_argument(
+        "--batch", action="store_true",
+        help="reference mode: materialize the whole input, run the "
+             "one-shot engine, emit only the final line (CI compares "
+             "this byte-for-byte against the streamed final line)",
+    )
+
     trace = subparsers.add_parser(
         "trace", help="generate or replay workload traces"
     )
@@ -498,6 +539,54 @@ def build_parser() -> argparse.ArgumentParser:
     replay_dynamics.add_argument("--batch-files", type=int, default=512)
     replay_dynamics.add_argument("--bucket-size", type=int, default=4)
     replay_dynamics.add_argument("--workload-seed", type=int, default=7)
+
+    import_requests = trace_sub.add_parser(
+        "import-requests",
+        help=(
+            "convert a measured gateway request log (NDJSON) into an "
+            "NDJSON workload trace"
+        ),
+    )
+    import_requests.add_argument(
+        "log", help="request log to import ('-' = stdin)"
+    )
+    import_requests.add_argument(
+        "out", type=Path, help="output NDJSON trace file"
+    )
+    import_requests.add_argument("--nodes", type=int, default=1000)
+    import_requests.add_argument("--bits", type=int, default=16)
+    import_requests.add_argument("--overlay-seed", type=int, default=42)
+
+    import_dynamics = trace_sub.add_parser(
+        "import-dynamics",
+        help=(
+            "convert a measured join/leave log (NDJSON) into a "
+            "dynamics trace"
+        ),
+    )
+    import_dynamics.add_argument(
+        "log", help="membership log to import ('-' = stdin)"
+    )
+    import_dynamics.add_argument(
+        "out", type=Path, help="output dynamics-trace file"
+    )
+    import_dynamics.add_argument("--nodes", type=int, default=1000)
+    import_dynamics.add_argument("--bits", type=int, default=16)
+    import_dynamics.add_argument("--overlay-seed", type=int, default=42)
+    grid = import_dynamics.add_mutually_exclusive_group(required=True)
+    grid.add_argument(
+        "--epochs", type=int, default=None,
+        help="split the log's time span into this many equal epochs",
+    )
+    grid.add_argument(
+        "--epoch-seconds", type=float, default=None,
+        help="fixed epoch width in log seconds",
+    )
+    import_dynamics.add_argument(
+        "--recompute", action="store_true",
+        help="replay re-homes storers onto the surviving population "
+             "each epoch",
+    )
 
     overlay = subparsers.add_parser(
         "overlay", help="build or inspect overlay networks"
@@ -936,6 +1025,83 @@ def _trace_replay_dynamics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_run(args: argparse.Namespace) -> int:
+    from .backends.config import FastSimulationConfig
+    from .serve import open_input, run_serve
+
+    if args.scenario is not None and args.epochs is None:
+        raise ExperimentError(
+            "--scenario serving needs --epochs: epoch schedules are "
+            "sized up front (use the expected stream length in "
+            "micro-epochs)"
+        )
+    config = FastSimulationConfig(
+        n_nodes=args.nodes, bits=args.bits,
+        bucket_size=args.bucket_size, overlay_seed=args.overlay_seed,
+        batch_files=args.max_batch, scenario=args.scenario or "",
+    )
+    source = open_input(args.input)
+    try:
+        run_serve(
+            config, source, sys.stdout,
+            max_batch=args.max_batch,
+            flush_interval=args.flush_interval,
+            n_epochs=args.epochs, batch_mode=args.batch,
+        )
+    finally:
+        if source is not sys.stdin:
+            source.close()
+    return 0
+
+
+def _trace_import_requests(args: argparse.Namespace) -> int:
+    from .backends.fast import cached_overlay
+    from .kademlia.buckets import BucketLimits
+    from .kademlia.overlay import OverlayConfig
+    from .workloads.ingest import import_requests
+
+    overlay = cached_overlay(OverlayConfig(
+        n_nodes=args.nodes, bits=args.bits,
+        limits=BucketLimits.uniform(4), seed=args.overlay_seed,
+    ))
+    if args.log == "-":
+        summary = import_requests(sys.stdin, args.out, overlay=overlay)
+    else:
+        with open(args.log, "r", encoding="utf-8") as handle:
+            summary = import_requests(handle, args.out, overlay=overlay)
+    print(f"trace written to {args.out}: {summary}")
+    return 0
+
+
+def _trace_import_dynamics(args: argparse.Namespace) -> int:
+    from .backends.fast import cached_overlay
+    from .kademlia.buckets import BucketLimits
+    from .kademlia.overlay import OverlayConfig
+    from .scenarios.ingest import import_dynamics
+
+    overlay = cached_overlay(OverlayConfig(
+        n_nodes=args.nodes, bits=args.bits,
+        limits=BucketLimits.uniform(4), seed=args.overlay_seed,
+    ))
+    source_label = (
+        "import:stdin" if args.log == "-"
+        else f"import:{Path(args.log).name}"
+    )
+    kwargs = dict(
+        overlay=overlay, n_epochs=args.epochs,
+        epoch_seconds=args.epoch_seconds,
+        recompute_storers=args.recompute, source=source_label,
+    )
+    if args.log == "-":
+        trace, summary = import_dynamics(sys.stdin, **kwargs)
+    else:
+        with open(args.log, "r", encoding="utf-8") as handle:
+            trace, summary = import_dynamics(handle, **kwargs)
+    trace.save(args.out)
+    print(f"dynamics trace written to {args.out}: {summary}")
+    return 0
+
+
 def _overlay_build(args: argparse.Namespace) -> int:
     from .kademlia.buckets import BucketLimits
     from .kademlia.overlay import Overlay, OverlayConfig
@@ -998,6 +1164,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench":
         return _bench_run(args)
 
+    if args.command == "serve":
+        return _serve_run(args)
+
     if args.command == "trace":
         if args.trace_command == "generate":
             return _trace_generate(args)
@@ -1005,6 +1174,10 @@ def main(argv: list[str] | None = None) -> int:
             return _trace_record_dynamics(args)
         if args.trace_command == "replay-dynamics":
             return _trace_replay_dynamics(args)
+        if args.trace_command == "import-requests":
+            return _trace_import_requests(args)
+        if args.trace_command == "import-dynamics":
+            return _trace_import_dynamics(args)
         return _trace_replay(args)
 
     if args.command == "overlay":

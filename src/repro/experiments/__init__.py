@@ -1,7 +1,6 @@
 """Experiment runners: one per paper table/figure, plus ablations.
 
-The vectorized simulation engine lives in :mod:`repro.backends`
-(:mod:`repro.experiments.fast` is only a deprecation stub over it);
+The vectorized simulation engine lives in :mod:`repro.backends`;
 :mod:`repro.experiments.paper` reproduces Table I and Figures 4-6;
 :mod:`repro.experiments.ablations` covers the §V future-work
 extensions; :mod:`repro.experiments.scenarios` runs the composed

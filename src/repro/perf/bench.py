@@ -22,7 +22,14 @@ performance story is built on:
   sweep engine (:data:`SWEEP_GRID`), serial vs ``jobs=2``, in
   points/s. The serial figure is regression-gated; the parallel
   speedup is recorded but not gated (shared 1-core runners routinely
-  invert it).
+  invert it);
+* the ``serve`` section — the same workload re-fed through the
+  streaming session in :data:`SERVE_MAX_BATCH`-file micro-epochs
+  (the ``repro-swarm serve`` execution path: persistent
+  :class:`StreamSession`, per-epoch scratch results absorbed into a
+  :class:`StreamingAggregator`), in streamed chunks/s plus the
+  process RSS before/after as the bounded-memory record. Throughput
+  is regression-gated; RSS is machine commentary.
 
 Records carry git/seed/config provenance and are written to
 ``BENCH_headline.json``; committing one per machine-visible change
@@ -43,7 +50,12 @@ from typing import Mapping
 import numpy as np
 
 from ..backends.config import FastSimulationConfig
-from ..backends.fast import FastSimulation, NextHopTable, cached_overlay
+from ..backends.fast import (
+    FastSimulation,
+    NextHopTable,
+    StreamSession,
+    cached_overlay,
+)
 from ..errors import ConfigurationError
 from ..sweeps.store import git_provenance
 from .shared import attach_table, shared_table_registry
@@ -51,7 +63,8 @@ from .table_cache import global_table_cache
 
 __all__ = ["BENCH_FORMAT", "QUICK_SCALE", "PAPER_SCALE",
            "DYNAMICS_SCENARIO", "LATENCY_PROFILE", "SWEEP_GRID",
-           "SWEEP_SCALE", "headline_bench", "check_regression"]
+           "SWEEP_SCALE", "SERVE_MAX_BATCH", "headline_bench",
+           "check_regression"]
 
 BENCH_FORMAT = "repro-swarm-bench/1"
 
@@ -94,6 +107,23 @@ SWEEP_SCALE = {
     "quick": {"n_nodes": 150, "n_files": 200},
     "paper": {"n_nodes": 300, "n_files": 500},
 }
+
+#: Micro-epoch size for the serve section — the serve CLI default.
+SERVE_MAX_BATCH = 256
+
+
+def _rss_kib() -> int:
+    """Current resident set size in KiB (Linux; ru_maxrss fallback)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    import resource  # pragma: no cover - non-Linux
+
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
 def headline_bench(*, quick: bool = False, repeats: int = 3) -> dict:
@@ -195,6 +225,41 @@ def headline_bench(*, quick: bool = False, repeats: int = 3) -> dict:
         sweep_serial = run_sweep(sweep_spec, jobs=1)
         sweep_jobs2 = run_sweep(sweep_spec, jobs=2)
 
+    # Serve-path throughput: the exact loop ``repro-swarm serve``
+    # runs — persistent session, micro-epoch scratch results, online
+    # aggregation — minus the JSON I/O. RSS is sampled around the
+    # best-of repeats as the bounded-memory record.
+    from ..analysis.streaming import StreamingAggregator
+    from ..workloads.streams import GeneratorStream
+
+    addresses = simulation.overlay.address_array().astype(np.int64)
+    serve_times = []
+    serve_aggregator = None
+    serve_rss_before = _rss_kib()
+    for _ in range(repeats):
+        stream = GeneratorStream(
+            config.workload(), max_batch=SERVE_MAX_BATCH
+        )
+        aggregator = StreamingAggregator(addresses)
+        run_started = time.perf_counter()
+        with StreamSession(simulation) as session:
+            for batch in stream.batches(
+                simulation.overlay.address_array(), simulation.space
+            ):
+                scratch = simulation.new_result()
+                file_origins, sizes, targets = (
+                    simulation.flatten_events(batch)
+                )
+                scratch.files += len(sizes)
+                session.feed(np.repeat(file_origins, sizes), targets,
+                             into=scratch)
+                aggregator.absorb(scratch)
+        serve_times.append(time.perf_counter() - run_started)
+        serve_aggregator = aggregator
+    serve_seconds = min(serve_times)
+    serve_rss_after = _rss_kib()
+    assert serve_aggregator is not None
+
     static_rate = result.chunks / run_seconds
     dynamics_rate = dynamics_result.chunks / dynamics_seconds
     latency_rate = latency_result.chunks / latency_seconds
@@ -287,6 +352,27 @@ def headline_bench(*, quick: bool = False, repeats: int = 3) -> dict:
                     sweep_jobs2.points_per_second
                     / max(sweep_serial.points_per_second, 1e-9), 3
                 ),
+            },
+        },
+        "serve": {
+            "max_batch": SERVE_MAX_BATCH,
+            "workload": {
+                "files": int(serve_aggregator.files),
+                "chunks": int(serve_aggregator.chunks),
+                "total_hops": int(serve_aggregator.total_hops),
+            },
+            "metrics": {
+                "run_seconds": round(serve_seconds, 4),
+                "chunks_per_second": round(
+                    serve_aggregator.chunks / serve_seconds, 1
+                ),
+                "slowdown_vs_static": round(
+                    static_rate
+                    / max(serve_aggregator.chunks / serve_seconds,
+                          1e-9), 3
+                ),
+                "rss_kib": serve_rss_after,
+                "rss_growth_kib": serve_rss_after - serve_rss_before,
             },
         },
     }
@@ -409,5 +495,30 @@ def check_regression(current: Mapping, baseline: Mapping,
             f"sweep-engine regression: {current_rate:,.2f} points/s "
             f"(serial) is more than {max_regression:.1f}x below the "
             f"baseline {baseline_rate:,.2f} points/s"
+        )
+    current_serve = current.get("serve")
+    baseline_serve = baseline.get("serve")
+    if current_serve is None or baseline_serve is None:
+        # Pre-serve-section baselines gate everything above only; the
+        # streaming gate arms itself once a baseline carrying the
+        # section is committed.
+        return problems
+    if (current_serve.get("max_batch") != baseline_serve.get("max_batch")
+            or current_serve.get("workload")
+            != baseline_serve.get("workload")):
+        problems.append(
+            "serve-section batching/workloads differ; the streaming "
+            "throughput comparison would be meaningless"
+        )
+        return problems
+    # Only streamed throughput is gated; the RSS figures are machine
+    # properties recorded for the bounded-memory story.
+    current_rate = float(current_serve["metrics"]["chunks_per_second"])
+    baseline_rate = float(baseline_serve["metrics"]["chunks_per_second"])
+    if current_rate * max_regression < baseline_rate:
+        problems.append(
+            f"serve streaming regression: {current_rate:,.0f} chunks/s "
+            f"is more than {max_regression:.1f}x below the baseline "
+            f"{baseline_rate:,.0f} chunks/s"
         )
     return problems

@@ -1,0 +1,183 @@
+"""The ``repro-swarm serve`` daemon: a long-lived streaming session.
+
+NDJSON requests in (stdin or a file), NDJSON rolling aggregates out.
+Each input line is one download request in the wire format of
+:func:`~repro.workloads.streams.parse_request_line`; the daemon
+batches arrivals into micro-epochs of at most ``--max-batch`` files,
+routes each micro-epoch through a persistent
+:class:`~repro.backends.fast.StreamSession` (tables built once,
+scenario coded patches reused across batches), and absorbs each
+micro-epoch's result into a
+:class:`~repro.analysis.streaming.StreamingAggregator`. Every
+``--flush-interval`` batches it emits a ``snapshot`` line; at end of
+input — or on SIGTERM/SIGINT, which flush gracefully — it emits one
+``final`` line.
+
+Memory is bounded independent of stream length: one micro-batch of
+decoded events, the O(n_nodes) session/aggregator state, and (for
+scenario serving) the coded patches. The ``final`` line's metrics are
+exactly what a batch run over the same requests reports — the
+``--batch`` reference mode materializes the input and runs the
+one-shot engine to let CI ``cmp`` the two byte-for-byte.
+
+Convenience: input starting with an NDJSON workload-trace header line
+(``repro-swarm trace import-requests`` output) is accepted directly —
+the header is validated against the serving overlay and skipped, so
+``repro-swarm serve < trace.ndjson`` just works.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import signal
+import sys
+from typing import IO, Iterable, Iterator
+
+import numpy as np
+
+from .analysis.streaming import StreamingAggregator
+from .backends.config import FastSimulationConfig
+from .backends.fast import FastSimulation, StreamSession
+from .errors import WorkloadError
+from .workloads.streams import RequestStream
+
+__all__ = ["run_serve"]
+
+
+class _Shutdown(Exception):
+    """Raised by the signal handler to unwind into the final flush."""
+
+
+def _install_handlers() -> list:
+    """Route SIGTERM/SIGINT into a clean final flush; return originals."""
+    def handler(signum, frame):
+        raise _Shutdown()
+
+    previous = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous.append((signum, signal.signal(signum, handler)))
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    return previous
+
+
+def _skip_trace_header(lines: Iterable[str] | IO[str],
+                       config: FastSimulationConfig) -> Iterator[str]:
+    """Pass request lines through, consuming a leading trace header.
+
+    The first line is peeked: an NDJSON workload-trace header is
+    validated against the serving overlay and dropped; anything else
+    is fed back into the stream untouched.
+    """
+    iterator = iter(lines)
+    first = next(iterator, None)
+    if first is None:
+        return iter(())
+    header = None
+    if first.strip():
+        try:
+            candidate = json.loads(first)
+        except json.JSONDecodeError:
+            candidate = None
+        if isinstance(candidate, dict) and "format" in candidate:
+            header = candidate
+    if header is None:
+        return itertools.chain([first], iterator)
+    bits = header.get("bits")
+    n_nodes = header.get("n_nodes")
+    if bits is not None and bits != config.bits:
+        raise WorkloadError(
+            f"input trace was recorded in a {bits}-bit space but this "
+            f"server runs in {config.bits} bits; serve with --bits "
+            f"{bits}"
+        )
+    if n_nodes is not None and n_nodes != config.n_nodes:
+        raise WorkloadError(
+            f"input trace was recorded over {n_nodes} nodes but this "
+            f"server has {config.n_nodes}; serve with --nodes {n_nodes}"
+        )
+    return iterator
+
+
+class _MaterializedWorkload:
+    """Workload adapter over an already-validated event list."""
+
+    def __init__(self, events) -> None:
+        self._events = list(events)
+
+    def events(self, nodes, space):
+        return iter(self._events)
+
+
+def _emit(out: IO[str], kind: str, payload: dict) -> None:
+    """One deterministic NDJSON output line."""
+    line = {"type": kind}
+    line.update(payload)
+    out.write(json.dumps(line, sort_keys=True) + "\n")
+    out.flush()
+
+
+def run_serve(config: FastSimulationConfig,
+              lines: Iterable[str] | IO[str], out: IO[str], *,
+              max_batch: int = 256, flush_interval: int = 1,
+              n_epochs: int | None = None,
+              batch_mode: bool = False) -> StreamingAggregator:
+    """Serve a request stream; returns the final aggregator.
+
+    *lines* is the NDJSON request source, *out* the NDJSON sink.
+    ``n_epochs`` is required when *config* carries a scenario (epoch
+    schedules are sized up front). ``batch_mode`` materializes the
+    whole input and runs the one-shot engine instead — the reference
+    the CI smoke compares the streamed ``final`` line against.
+    """
+    if flush_interval < 1:
+        raise WorkloadError(
+            f"flush_interval must be at least 1, got {flush_interval}"
+        )
+    simulation = FastSimulation(config)
+    addresses = simulation.overlay.address_array()
+    aggregator = StreamingAggregator(addresses.astype(np.int64))
+    stream = RequestStream(
+        _skip_trace_header(lines, config), max_batch=max_batch
+    )
+    batches = stream.batches(addresses, simulation.space)
+
+    if batch_mode:
+        events = [event for batch in batches for event in batch]
+        if events:
+            result = simulation.run(_MaterializedWorkload(events))
+            aggregator.absorb(result)
+        _emit(out, "final", aggregator.summary())
+        return aggregator
+
+    previous = _install_handlers()
+    try:
+        with StreamSession(simulation, n_epochs=n_epochs) as session:
+            try:
+                for batch in batches:
+                    scratch = simulation.new_result()
+                    file_origins, sizes, targets = (
+                        simulation.flatten_events(batch)
+                    )
+                    scratch.files += len(sizes)
+                    session.feed(np.repeat(file_origins, sizes),
+                                 targets, into=scratch)
+                    aggregator.absorb(scratch)
+                    if session.epochs_fed % flush_interval == 0:
+                        _emit(out, "snapshot", aggregator.snapshot())
+            except _Shutdown:
+                pass
+    finally:
+        for signum, original in previous:
+            signal.signal(signum, original)
+    _emit(out, "final", aggregator.summary())
+    return aggregator
+
+
+def open_input(path: str) -> IO[str]:
+    """The request source for a path argument (``-`` means stdin)."""
+    if path == "-":
+        return sys.stdin
+    return open(path, "r", encoding="utf-8")

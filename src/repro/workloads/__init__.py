@@ -13,18 +13,38 @@ from .distributions import (
     ZipfCatalog,
 )
 from .generators import DownloadWorkload, FileDownload, paper_workload
-from .traces import TRACE_FORMAT, TraceSummary, TraceWorkload, WorkloadTrace
+from .streams import (
+    GeneratorStream,
+    RequestStream,
+    TraceStream,
+    WorkloadStream,
+    parse_request_line,
+)
+from .traces import (
+    TRACE_FORMAT,
+    TRACE_NDJSON_FORMAT,
+    TraceReader,
+    TraceSummary,
+    TraceWorkload,
+    WorkloadTrace,
+)
 
 __all__ = [
     "DownloadWorkload",
     "FileDownload",
+    "GeneratorStream",
     "OriginatorPool",
     "PoissonArrivals",
+    "RequestStream",
     "TRACE_FORMAT",
+    "TRACE_NDJSON_FORMAT",
+    "TraceReader",
+    "TraceStream",
     "TraceSummary",
     "TraceWorkload",
     "UniformChunks",
     "UniformFileSize",
+    "WorkloadStream",
     "WorkloadTrace",
     "ZipfCatalog",
     "paper_workload",

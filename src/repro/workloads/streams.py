@@ -1,0 +1,256 @@
+"""Workload streams: bounded micro-batches of download events.
+
+The batch pipeline materializes a whole workload before routing it;
+a :class:`WorkloadStream` instead yields *micro-batches* — bounded
+lists of :class:`~repro.workloads.generators.FileDownload`s — so the
+engine can route arbitrarily long request streams in memory bounded
+by the batch size, not the stream length. This is the workload-side
+half of the streaming contract (``FastSimulation.run_stream`` and
+``repro-swarm serve`` are the engine side).
+
+Three adapters cover the sources that exist today:
+
+- :class:`GeneratorStream` chunks any RNG workload generator's
+  ``events()`` iterator. Generators draw per-file chunk addresses
+  lazily (sizes are sampled up front in one call), so chunking their
+  event stream is *RNG-exact*: the batched draws are bit-identical
+  to the materialized path, and streaming results match batch
+  results exactly.
+- :class:`TraceStream` replays a recorded
+  :class:`~repro.workloads.traces.WorkloadTrace` file. NDJSON traces
+  stream line-by-line (one decoded batch in memory at a time);
+  single-document traces fall back to a one-shot parse.
+- :class:`RequestStream` parses live NDJSON request lines (one JSON
+  object per line, ``{"originator": <address>, "chunks": [...]}``)
+  from stdin or a socket file — the wire format of
+  ``repro-swarm serve``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import (
+    IO,
+    Iterable,
+    Iterator,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .generators import FileDownload
+from .traces import TraceReader, _chunk_dtype
+
+__all__ = [
+    "WorkloadStream",
+    "GeneratorStream",
+    "TraceStream",
+    "RequestStream",
+    "parse_request_line",
+]
+
+#: Default micro-batch size (files per batch) for stream adapters.
+DEFAULT_MAX_BATCH = 256
+
+
+@runtime_checkable
+class WorkloadStream(Protocol):
+    """An iterator of bounded micro-batches of download events.
+
+    ``batches(nodes, space)`` mirrors the workload ``events()``
+    signature: *nodes* is the overlay's address array, *space* its
+    :class:`~repro.kademlia.address.AddressSpace`. Every yielded
+    batch is a non-empty sequence of at most ``max_batch`` events;
+    adapters must never hold more than one batch's events at a time.
+    """
+
+    #: Upper bound on the number of files per yielded batch.
+    max_batch: int
+
+    def batches(
+        self, nodes, space
+    ) -> Iterator[Sequence[FileDownload]]:  # pragma: no cover
+        """Yield the stream's events in bounded micro-batches."""
+        ...
+
+
+def _check_max_batch(max_batch: int) -> int:
+    max_batch = int(max_batch)
+    if max_batch < 1:
+        raise WorkloadError(
+            f"max_batch must be at least 1, got {max_batch}"
+        )
+    return max_batch
+
+
+def _chunk_iterator(
+    events: Iterator[FileDownload], max_batch: int
+) -> Iterator[list[FileDownload]]:
+    """Group an event iterator into lists of at most *max_batch*."""
+    batch: list[FileDownload] = []
+    for event in events:
+        batch.append(event)
+        if len(batch) >= max_batch:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
+
+
+class GeneratorStream:
+    """Chunk an RNG workload generator into micro-batches.
+
+    Wraps any object with ``events(nodes, space)`` (for example
+    :class:`~repro.workloads.generators.DownloadWorkload`). Because
+    generators sample file sizes up front and draw chunk addresses
+    per file, slicing the event iterator does not perturb the RNG
+    stream — the batches concatenate to exactly the materialized
+    workload, which the streaming golden tests pin bit-for-bit.
+    """
+
+    def __init__(self, workload, *,
+                 max_batch: int = DEFAULT_MAX_BATCH) -> None:
+        self.workload = workload
+        self.max_batch = _check_max_batch(max_batch)
+
+    def batches(self, nodes, space) -> Iterator[list[FileDownload]]:
+        yield from _chunk_iterator(
+            self.workload.events(nodes, space), self.max_batch
+        )
+
+
+class TraceStream:
+    """Replay a recorded trace file in micro-batches.
+
+    Validation matches :class:`~repro.workloads.traces.TraceWorkload`
+    replay: the provenance header (when present) is checked against
+    the target overlay, every originator must be a population member,
+    and chunk addresses must fit the space. NDJSON traces decode
+    lazily, so a day-long imported trace streams in memory bounded by
+    the batch size.
+    """
+
+    def __init__(self, path: str | Path, *,
+                 max_batch: int = DEFAULT_MAX_BATCH) -> None:
+        self.path = Path(path)
+        self.max_batch = _check_max_batch(max_batch)
+        self.reader = TraceReader(path)
+
+    def batches(self, nodes, space) -> Iterator[list[FileDownload]]:
+        reader = self.reader
+        if reader.bits is not None and reader.bits != space.bits:
+            raise WorkloadError(
+                f"trace was recorded in a {reader.bits}-bit space but "
+                f"this replay runs in {space.bits} bits; replay traces "
+                f"at the bits they were generated for"
+            )
+        if reader.n_nodes is not None and reader.n_nodes != len(nodes):
+            raise WorkloadError(
+                f"trace was recorded over {reader.n_nodes} nodes but "
+                f"this overlay has {len(nodes)}; replay traces against "
+                f"the overlay they were generated for"
+            )
+        population = set(int(n) for n in nodes)
+
+        def validated() -> Iterator[FileDownload]:
+            for event in reader.events():
+                if event.originator not in population:
+                    raise WorkloadError(
+                        f"trace originator {event.originator} is not a "
+                        "node of this overlay; replay traces against "
+                        "the overlay seed they were generated for"
+                    )
+                if int(event.chunk_addresses.max()) >= space.size:
+                    raise WorkloadError(
+                        f"trace chunk address "
+                        f"{int(event.chunk_addresses.max())} outside "
+                        f"the {space.bits}-bit space"
+                    )
+                yield event
+
+        yield from _chunk_iterator(validated(), self.max_batch)
+
+
+def parse_request_line(line: str, *, bits: int | None = None,
+                       lineno: int | None = None,
+                       file_id: int = 0) -> FileDownload:
+    """Decode one NDJSON request line into a download event.
+
+    The wire format of ``repro-swarm serve``::
+
+        {"originator": 40163, "chunks": [12, 993, 57120]}
+
+    ``file_id`` is optional on the wire (requests are anonymous by
+    default); a single address may be sent as ``"chunk": 12``.
+    """
+    where = "" if lineno is None else f" (line {lineno})"
+    try:
+        item = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise WorkloadError(
+            f"bad request line{where}: not valid JSON ({error})"
+        ) from None
+    if not isinstance(item, dict):
+        raise WorkloadError(
+            f"bad request line{where}: expected a JSON object, got "
+            f"{type(item).__name__}"
+        )
+    chunks = item.get("chunks")
+    if chunks is None and "chunk" in item:
+        chunks = [item["chunk"]]
+    try:
+        return FileDownload(
+            file_id=int(item.get("file_id", file_id)),
+            originator=item["originator"],
+            chunk_addresses=np.asarray(chunks, dtype=_chunk_dtype(bits)),
+        )
+    except (KeyError, TypeError, ValueError, OverflowError) as error:
+        raise WorkloadError(
+            f"bad request line{where}: {error}"
+        ) from None
+
+
+class RequestStream:
+    """Micro-batch live NDJSON request lines (the serve wire format).
+
+    *lines* is any iterable of text lines — ``sys.stdin``, a socket
+    file object, a list in tests. Blank lines are skipped; malformed
+    lines raise :class:`~repro.errors.WorkloadError` naming the line
+    number. Events are validated against the serving overlay exactly
+    like trace replay (membership + address range).
+    """
+
+    def __init__(self, lines: Iterable[str] | IO[str], *,
+                 max_batch: int = DEFAULT_MAX_BATCH) -> None:
+        self.lines = lines
+        self.max_batch = _check_max_batch(max_batch)
+
+    def batches(self, nodes, space) -> Iterator[list[FileDownload]]:
+        population = set(int(n) for n in nodes)
+
+        def validated() -> Iterator[FileDownload]:
+            for lineno, line in enumerate(self.lines, start=1):
+                if not line.strip():
+                    continue
+                event = parse_request_line(
+                    line, bits=space.bits, lineno=lineno,
+                    file_id=lineno - 1,
+                )
+                if event.originator not in population:
+                    raise WorkloadError(
+                        f"request originator {event.originator} (line "
+                        f"{lineno}) is not a node of this overlay"
+                    )
+                if int(event.chunk_addresses.max()) >= space.size:
+                    raise WorkloadError(
+                        f"request chunk address "
+                        f"{int(event.chunk_addresses.max())} (line "
+                        f"{lineno}) outside the {space.bits}-bit space"
+                    )
+                yield event
+
+        yield from _chunk_iterator(validated(), self.max_batch)

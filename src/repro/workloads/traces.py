@@ -30,11 +30,25 @@ from ..errors import WorkloadError
 from ..kademlia.address import target_dtype
 from .generators import FileDownload
 
-__all__ = ["TRACE_FORMAT", "TraceSummary", "WorkloadTrace", "TraceWorkload"]
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_NDJSON_FORMAT",
+    "TraceSummary",
+    "TraceReader",
+    "WorkloadTrace",
+    "TraceWorkload",
+]
 
 #: Format tag written into every request-trace file; bumped on any
 #: incompatible layout change so old readers fail loudly, not subtly.
 TRACE_FORMAT = "repro-swarm-trace/1"
+
+#: Format tag on the first line of an NDJSON trace (header line, then
+#: one event per line). NDJSON is the streaming sibling of
+#: :data:`TRACE_FORMAT`: importers write it line-by-line and readers
+#: decode it line-by-line, so day-long measured traces never need the
+#: whole file's parse tree in memory at once.
+TRACE_NDJSON_FORMAT = "repro-swarm-trace/ndjson-1"
 
 
 def _chunk_dtype(bits: int | None) -> np.dtype:
@@ -49,6 +63,39 @@ def _chunk_dtype(bits: int | None) -> np.dtype:
     if bits is not None and bits <= 32:
         return target_dtype(bits)
     return np.dtype(np.uint64)
+
+
+def _check_header_fields(path, bits, n_nodes, overlay_seed) -> None:
+    """Validate a trace header's provenance field types and ranges."""
+    for name, value in (("bits", bits), ("n_nodes", n_nodes),
+                        ("overlay_seed", overlay_seed)):
+        if value is not None and (
+            isinstance(value, bool) or not isinstance(value, int)
+        ):
+            raise WorkloadError(
+                f"cannot read trace {path}: header field "
+                f"{name!r} must be an integer or null, got "
+                f"{value!r}"
+            )
+    if bits is not None and not 1 <= bits <= 64:
+        raise WorkloadError(
+            f"cannot read trace {path}: header field 'bits' "
+            f"must be in [1, 64], got {bits}"
+        )
+
+
+def _decode_event(item, dtype: np.dtype, path) -> FileDownload:
+    """One raw event dict -> FileDownload, with a path-naming error."""
+    try:
+        return FileDownload(
+            file_id=item["file_id"],
+            originator=item["originator"],
+            chunk_addresses=np.asarray(item["chunks"], dtype=dtype),
+        )
+    except (KeyError, TypeError, ValueError, OverflowError) as error:
+        raise WorkloadError(
+            f"cannot read trace {path}: malformed event ({error})"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -150,87 +197,164 @@ class WorkloadTrace:
         }
         Path(path).write_text(json.dumps(payload))
 
+    def save_ndjson(self, path: str | Path) -> None:
+        """Write the trace as NDJSON: a header line, then one event
+        per line. Events are serialized one at a time, so writing is
+        as bounded-memory as :class:`TraceReader`'s reading."""
+        with Path(path).open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "format": TRACE_NDJSON_FORMAT,
+                "bits": self.bits,
+                "n_nodes": self.n_nodes,
+                "overlay_seed": self.overlay_seed,
+            }) + "\n")
+            for event in self._events:
+                handle.write(json.dumps({
+                    "file_id": event.file_id,
+                    "originator": event.originator,
+                    "chunks": [int(a) for a in event.chunk_addresses],
+                }) + "\n")
+
     @classmethod
     def load(cls, path: str | Path) -> "WorkloadTrace":
-        """Read a trace written by :meth:`save`.
+        """Read a trace written by :meth:`save` or :meth:`save_ndjson`.
 
         Accepts the legacy bare-list payload (no header, ``None``
         provenance); any other shape — a dict without the
         :data:`TRACE_FORMAT` tag, a mismatched format version, a
         missing event list, invalid JSON — raises
         :class:`~repro.errors.WorkloadError` naming the problem.
+
+        NDJSON traces decode one line at a time: each raw event's
+        parse tree is dropped as soon as its compact
+        :class:`FileDownload` exists, so peak memory is the decoded
+        trace plus one line — not the whole file's JSON tree. That is
+        what lets imported day-long gateway traces load at all.
         """
+        reader = TraceReader(path)
+        return cls(
+            list(reader.events()),
+            bits=reader.bits, n_nodes=reader.n_nodes,
+            overlay_seed=reader.overlay_seed,
+        )
+
+
+class TraceReader:
+    """Lazy access to a trace file on disk.
+
+    The constructor parses only enough to learn the format and the
+    provenance header (``bits``, ``n_nodes``, ``overlay_seed``);
+    :meth:`events` then decodes events on demand. For NDJSON traces
+    that is true streaming — one line's parse tree in memory at a
+    time, which is how ``repro-swarm serve`` replays day-long
+    imported traces in bounded memory. Single-document and legacy
+    traces cannot stream (one JSON value holds every event), so the
+    constructor parses the document once and :meth:`events` decodes
+    from the retained tree.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.bits: int | None = None
+        self.n_nodes: int | None = None
+        self.overlay_seed: int | None = None
+        self.ndjson = False
+        self._raw_events: list | None = None
         try:
-            payload = json.loads(Path(path).read_text())
+            with self.path.open("r", encoding="utf-8") as handle:
+                first = handle.readline()
         except OSError as error:
             raise WorkloadError(
                 f"cannot read trace {path}: {error}"
             ) from None
-        except json.JSONDecodeError as error:
-            raise WorkloadError(
-                f"cannot read trace {path}: not valid JSON ({error}); "
-                f"the file may be truncated or corrupt"
-            ) from None
-        bits = n_nodes = overlay_seed = None
+        # save() emits one-line documents, so the first line usually
+        # parses whole; a multi-line (pretty-printed) document fails
+        # here and is re-parsed in full below.
+        try:
+            payload = json.loads(first) if first.strip() else None
+        except json.JSONDecodeError:
+            payload = None
+        if (isinstance(payload, dict)
+                and payload.get("format") == TRACE_NDJSON_FORMAT):
+            self.ndjson = True
+            self.bits = payload.get("bits")
+            self.n_nodes = payload.get("n_nodes")
+            self.overlay_seed = payload.get("overlay_seed")
+            _check_header_fields(self.path, self.bits, self.n_nodes,
+                                 self.overlay_seed)
+            return
+        if payload is None:
+            try:
+                payload = json.loads(self.path.read_text())
+            except OSError as error:
+                raise WorkloadError(
+                    f"cannot read trace {path}: {error}"
+                ) from None
+            except json.JSONDecodeError as error:
+                raise WorkloadError(
+                    f"cannot read trace {path}: not valid JSON "
+                    f"({error}); the file may be truncated or corrupt"
+                ) from None
+        self._parse_document(payload)
+
+    def _parse_document(self, payload) -> None:
+        """Adopt a single-document (or legacy bare-list) payload."""
+        path = self.path
         if isinstance(payload, list):
-            raw_events = payload  # legacy headerless format
-        elif isinstance(payload, dict):
-            fmt = payload.get("format")
-            if fmt != TRACE_FORMAT:
-                raise WorkloadError(
-                    f"cannot read trace {path}: format tag {fmt!r} is "
-                    f"not {TRACE_FORMAT!r} (is this a dynamics trace "
-                    f"or a file from a newer version?)"
-                )
-            raw_events = payload.get("events")
-            if not isinstance(raw_events, list):
-                raise WorkloadError(
-                    f"cannot read trace {path}: missing or non-list "
-                    f"'events'"
-                )
-            bits = payload.get("bits")
-            n_nodes = payload.get("n_nodes")
-            overlay_seed = payload.get("overlay_seed")
-            for name, value in (("bits", bits), ("n_nodes", n_nodes),
-                                ("overlay_seed", overlay_seed)):
-                if value is not None and (
-                    isinstance(value, bool) or not isinstance(value, int)
-                ):
-                    raise WorkloadError(
-                        f"cannot read trace {path}: header field "
-                        f"{name!r} must be an integer or null, got "
-                        f"{value!r}"
-                    )
-            if bits is not None and not 1 <= bits <= 64:
-                raise WorkloadError(
-                    f"cannot read trace {path}: header field 'bits' "
-                    f"must be in [1, 64], got {bits}"
-                )
-        else:
+            self._raw_events = payload  # legacy headerless format
+            return
+        if not isinstance(payload, dict):
             raise WorkloadError(
                 f"cannot read trace {path}: expected an event list or "
                 f"a {TRACE_FORMAT} document, got "
                 f"{type(payload).__name__}"
             )
-        dtype = _chunk_dtype(bits)
-        try:
-            events = [
-                FileDownload(
-                    file_id=item["file_id"],
-                    originator=item["originator"],
-                    chunk_addresses=np.asarray(item["chunks"],
-                                               dtype=dtype),
-                )
-                for item in raw_events
-            ]
-        except (KeyError, TypeError, ValueError, OverflowError) as error:
+        fmt = payload.get("format")
+        if fmt != TRACE_FORMAT:
             raise WorkloadError(
-                f"cannot read trace {path}: malformed event "
-                f"({error})"
-            ) from None
-        return cls(
-            events, bits=bits, n_nodes=n_nodes, overlay_seed=overlay_seed
-        )
+                f"cannot read trace {path}: format tag {fmt!r} is "
+                f"not {TRACE_FORMAT!r} (is this a dynamics trace "
+                f"or a file from a newer version?)"
+            )
+        raw_events = payload.get("events")
+        if not isinstance(raw_events, list):
+            raise WorkloadError(
+                f"cannot read trace {path}: missing or non-list "
+                f"'events'"
+            )
+        self.bits = payload.get("bits")
+        self.n_nodes = payload.get("n_nodes")
+        self.overlay_seed = payload.get("overlay_seed")
+        _check_header_fields(path, self.bits, self.n_nodes,
+                             self.overlay_seed)
+        self._raw_events = raw_events
+
+    def events(self) -> Iterator[FileDownload]:
+        """Decode the trace's events in order.
+
+        NDJSON traces stream straight off the file handle; each
+        yielded event is the only decoded state held.
+        """
+        dtype = _chunk_dtype(self.bits)
+        if not self.ndjson:
+            assert self._raw_events is not None
+            for item in self._raw_events:
+                yield _decode_event(item, dtype, self.path)
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            handle.readline()  # the header line, already parsed
+            for lineno, line in enumerate(handle, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    item = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise WorkloadError(
+                        f"cannot read trace {self.path}: line "
+                        f"{lineno} is not valid JSON ({error}); the "
+                        f"file may be truncated or corrupt"
+                    ) from None
+                yield _decode_event(item, dtype, self.path)
 
 
 class TraceWorkload:

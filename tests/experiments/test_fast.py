@@ -16,18 +16,6 @@ from repro.errors import ConfigurationError
 from repro.kademlia.routing import Router
 
 
-def test_legacy_shim_warns_and_reexports():
-    """repro.experiments.fast is a deprecation stub over the backends."""
-    import importlib
-    import sys
-
-    sys.modules.pop("repro.experiments.fast", None)
-    with pytest.warns(DeprecationWarning, match="repro.backends"):
-        shim = importlib.import_module("repro.experiments.fast")
-    assert shim.FastSimulation is FastSimulation
-    assert shim.FastSimulationConfig is FastSimulationConfig
-
-
 SMALL = FastSimulationConfig(
     n_nodes=80, bits=10, bucket_size=4, originator_share=0.5,
     n_files=30, file_min=5, file_max=20, overlay_seed=3, workload_seed=9,

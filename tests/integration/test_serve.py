@@ -1,0 +1,192 @@
+"""End-to-end tests for ``repro-swarm serve`` (live service mode)."""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends.config import FastSimulationConfig
+from repro.backends.fast import FastSimulation
+from repro.cli import main
+from repro.errors import ExperimentError, WorkloadError
+from repro.serve import run_serve
+
+CONFIG = FastSimulationConfig(
+    n_nodes=60, bits=10, bucket_size=4, overlay_seed=5,
+    batch_files=8,
+)
+
+
+def request_lines(config, n_files=40, seed=3):
+    """NDJSON request lines sampled from the serving overlay."""
+    simulation = FastSimulation(config)
+    addresses = simulation.overlay.address_array()
+    rng = np.random.default_rng(seed)
+    lines = []
+    for _ in range(n_files):
+        originator = int(rng.choice(addresses))
+        chunks = rng.integers(
+            0, simulation.space.size, size=int(rng.integers(2, 6))
+        )
+        lines.append(json.dumps({
+            "originator": originator,
+            "chunks": [int(c) for c in chunks],
+        }) + "\n")
+    return lines
+
+
+def serve_lines(lines, **kwargs):
+    out = io.StringIO()
+    run_serve(CONFIG, iter(lines), out, **kwargs)
+    return [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestRunServe:
+    def test_streamed_final_equals_batch_final(self):
+        """The byte-identity CI relies on: stream == batch reference."""
+        lines = request_lines(CONFIG)
+        streamed = io.StringIO()
+        batch = io.StringIO()
+        run_serve(CONFIG, iter(lines), streamed, max_batch=8)
+        run_serve(CONFIG, iter(lines), batch, batch_mode=True)
+        streamed_final = streamed.getvalue().splitlines()[-1]
+        batch_final = batch.getvalue().splitlines()[-1]
+        assert streamed_final == batch_final
+
+    def test_final_is_batch_size_invariant(self):
+        lines = request_lines(CONFIG)
+        finals = {
+            serve_lines(lines, max_batch=max_batch)[-1]["chunks"]
+            for max_batch in (1, 8, 1000)
+        }
+        assert len(finals) == 1
+
+    def test_snapshot_cadence(self):
+        lines = request_lines(CONFIG, n_files=40)
+        output = serve_lines(lines, max_batch=10, flush_interval=2)
+        kinds = [line["type"] for line in output]
+        # 4 micro-epochs, snapshot every 2nd, plus the final line.
+        assert kinds == ["snapshot", "snapshot", "final"]
+        assert output[0]["epochs"] == 2
+        assert "epochs" not in output[-1]
+
+    def test_rolling_snapshots_are_monotonic(self):
+        lines = request_lines(CONFIG, n_files=40)
+        output = serve_lines(lines, max_batch=8)
+        snapshots = [li for li in output if li["type"] == "snapshot"]
+        chunk_counts = [snap["chunks"] for snap in snapshots]
+        assert chunk_counts == sorted(chunk_counts)
+        assert len(snapshots) == 5
+
+    def test_empty_input_emits_final_only(self):
+        output = serve_lines([])
+        assert [line["type"] for line in output] == ["final"]
+        assert output[0]["chunks"] == 0
+
+    def test_accepts_ndjson_trace_header(self):
+        header = json.dumps({
+            "format": "repro-swarm-trace/ndjson-1",
+            "bits": CONFIG.bits, "n_nodes": CONFIG.n_nodes,
+        }) + "\n"
+        lines = request_lines(CONFIG, n_files=10)
+        with_header = serve_lines([header] + lines)
+        without = serve_lines(lines)
+        assert with_header[-1] == without[-1]
+
+    def test_trace_header_mismatch_rejected(self):
+        header = json.dumps({
+            "format": "repro-swarm-trace/ndjson-1",
+            "bits": 16, "n_nodes": CONFIG.n_nodes,
+        }) + "\n"
+        with pytest.raises(WorkloadError, match="--bits"):
+            serve_lines([header])
+        header = json.dumps({
+            "format": "repro-swarm-trace/ndjson-1",
+            "bits": CONFIG.bits, "n_nodes": 1000,
+        }) + "\n"
+        with pytest.raises(WorkloadError, match="--nodes"):
+            serve_lines([header])
+
+    def test_rejects_bad_flush_interval(self):
+        with pytest.raises(WorkloadError, match="flush_interval"):
+            serve_lines([], flush_interval=0)
+
+    def test_scenario_serving_matches_batch(self):
+        """Churn dynamics stream exactly (micro-epoch = engine epoch)."""
+        config = FastSimulationConfig(
+            n_nodes=60, bits=10, bucket_size=4, overlay_seed=5,
+            batch_files=8, scenario="churn:rate=0.25",
+        )
+        lines = request_lines(config)
+        streamed = io.StringIO()
+        batch = io.StringIO()
+        run_serve(config, iter(lines), streamed, max_batch=8,
+                  n_epochs=5)
+        run_serve(config, iter(lines), batch, batch_mode=True)
+        assert (streamed.getvalue().splitlines()[-1]
+                == batch.getvalue().splitlines()[-1])
+        final = json.loads(streamed.getvalue().splitlines()[-1])
+        assert final["unavailable"] > 0  # the churn actually bit
+
+
+class TestServeCli:
+    def test_cli_serve_file_input(self, tmp_path, capsys):
+        path = tmp_path / "requests.ndjson"
+        path.write_text("".join(request_lines(CONFIG, n_files=10)))
+        code = main([
+            "serve", "--input", str(path), "--nodes", "60",
+            "--bits", "10", "--overlay-seed", "5",
+            "--max-batch", "4",
+        ])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        assert lines[-1]["type"] == "final"
+        assert lines[-1]["files"] == 10
+
+    def test_cli_scenario_without_epochs_rejected(self, capsys):
+        with pytest.raises(ExperimentError, match="--epochs"):
+            main([
+                "serve", "--input", "-", "--nodes", "60",
+                "--bits", "10", "--scenario", "churn:rate=0.1",
+            ])
+        capsys.readouterr()
+
+    def test_sigterm_flushes_final_line(self, tmp_path):
+        """A killed server still emits its final aggregate line."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            "src" + os.pathsep + env.get("PYTHONPATH", "")
+        ).rstrip(os.pathsep)
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--nodes", "60", "--bits", "10", "--overlay-seed", "5",
+             "--max-batch", "2"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, env=env,
+            cwd="/root/repo",
+        )
+        try:
+            for line in request_lines(CONFIG, n_files=6):
+                process.stdin.write(line)
+            process.stdin.flush()
+            # Give the server a moment to route, then terminate it
+            # mid-stream with the pipe still open.
+            time.sleep(2.0)
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+        finally:
+            process.kill()
+        assert process.returncode == 0, stderr
+        lines = [json.loads(line) for line in stdout.splitlines()]
+        assert lines, "no output before SIGTERM"
+        assert lines[-1]["type"] == "final"
+        assert lines[-1]["files"] > 0

@@ -1,0 +1,136 @@
+"""Merge algebra of the streaming aggregator, property-checked.
+
+The two laws ``repro-swarm serve`` and the distributed sweep shards
+rely on: folding a stream of micro-epoch results is invariant to how
+the stream is cut into batches, and :meth:`StreamingAggregator.merge`
+is associative. Incomes are drawn as dyadic rationals (k / 65536) —
+the engine's actual price lattice — so float sums are exact and both
+laws hold with ``==``, not approximately.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.streaming import StreamingAggregator
+
+N_NODES = 5
+ADDRS = np.arange(3, 3 + N_NODES, dtype=np.int64)
+
+
+def dyadic_vector(draw, elements):
+    """A per-node float vector off the engine's dyadic price lattice."""
+    ticks = draw(elements)
+    return np.asarray(ticks, dtype=np.float64) / 65536.0
+
+
+@st.composite
+def micro_results(draw):
+    """One micro-epoch's worth of absorbed fields."""
+    counts = st.lists(
+        st.integers(min_value=0, max_value=50),
+        min_size=N_NODES, max_size=N_NODES,
+    )
+    ticks = st.lists(
+        st.integers(min_value=0, max_value=1 << 20),
+        min_size=N_NODES, max_size=N_NODES,
+    )
+    chunks = draw(st.integers(min_value=0, max_value=200))
+    unavailable = draw(st.integers(min_value=0, max_value=chunks))
+    histogram = draw(st.dictionaries(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=1, max_value=40),
+        max_size=4,
+    ))
+    latency = draw(st.one_of(
+        st.none(),
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e4,
+                      allow_nan=False, allow_infinity=False),
+            max_size=20,
+        ).map(np.asarray),
+    ))
+    return SimpleNamespace(
+        node_addresses=ADDRS,
+        forwarded=np.asarray(draw(counts), dtype=np.int64),
+        first_hop=np.asarray(draw(counts), dtype=np.int64),
+        income=dyadic_vector(draw, ticks),
+        expenditure=dyadic_vector(draw, ticks),
+        files=draw(st.integers(min_value=0, max_value=30)),
+        chunks=chunks,
+        total_hops=draw(st.integers(min_value=0, max_value=500)),
+        local_hits=draw(st.integers(min_value=0, max_value=50)),
+        fallbacks=draw(st.integers(min_value=0, max_value=50)),
+        cache_hits=draw(st.integers(min_value=0, max_value=50)),
+        unavailable=unavailable,
+        hop_histogram=histogram,
+        latency_ms=latency,
+    )
+
+
+def aggregate(results):
+    agg = StreamingAggregator(ADDRS)
+    for result in results:
+        agg.absorb(result)
+    return agg
+
+
+def assert_equal_state(a: StreamingAggregator,
+                       b: StreamingAggregator) -> None:
+    """Full-state exact equality: vectors, counters, sketch buckets."""
+    np.testing.assert_array_equal(a.forwarded, b.forwarded)
+    np.testing.assert_array_equal(a.first_hop, b.first_hop)
+    np.testing.assert_array_equal(a.income, b.income)
+    np.testing.assert_array_equal(a.expenditure, b.expenditure)
+    assert a.files == b.files
+    assert a.chunks == b.chunks
+    assert a.total_hops == b.total_hops
+    assert a.local_hits == b.local_hits
+    assert a.fallbacks == b.fallbacks
+    assert a.cache_hits == b.cache_hits
+    assert a.unavailable == b.unavailable
+    assert a.hop_histogram == b.hop_histogram
+    assert a.epochs == b.epochs
+    assert a.latency.count == b.latency.count
+    assert a.latency.zero_count == b.latency.zero_count
+    assert a.latency.buckets == b.latency.buckets
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    results=st.lists(micro_results(), min_size=1, max_size=8),
+    data=st.data(),
+)
+def test_batch_size_invariance(results, data):
+    """Any split of the stream into shards folds to the same state."""
+    cut = data.draw(
+        st.integers(min_value=0, max_value=len(results)), label="cut"
+    )
+    whole = aggregate(results)
+    sharded = aggregate(results[:cut]).merge(aggregate(results[cut:]))
+    assert_equal_state(whole, sharded)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    first=st.lists(micro_results(), max_size=4),
+    second=st.lists(micro_results(), max_size=4),
+    third=st.lists(micro_results(), max_size=4),
+)
+def test_merge_is_associative(first, second, third):
+    a, b, c = (aggregate(shard) for shard in (first, second, third))
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert_equal_state(left, right)
+
+
+@settings(max_examples=40, deadline=None)
+@given(results=st.lists(micro_results(), min_size=1, max_size=6))
+def test_merge_with_empty_is_identity(results):
+    agg = aggregate(results)
+    merged = agg.merge(StreamingAggregator(ADDRS))
+    assert_equal_state(agg, merged)

@@ -257,6 +257,17 @@ def fake_bench_record(dirty: bool) -> dict:
                 "parallel_speedup": 1.55,
             },
         },
+        "serve": {
+            "max_batch": 256,
+            "workload": {"files": 1, "chunks": 1, "total_hops": 1},
+            "metrics": {
+                "run_seconds": 0.55,
+                "chunks_per_second": 1.9,
+                "slowdown_vs_static": 1.05,
+                "rss_kib": 100_000,
+                "rss_growth_kib": 50,
+            },
+        },
     }
 
 
@@ -372,6 +383,49 @@ class TestSweepRegressionGate:
         current = fake_bench_record(False)
         baseline = fake_bench_record(False)
         baseline["sweep"]["spec"]["seeds"] = 5
+        problems = check_regression(current, baseline, 2.0)
+        assert len(problems) == 1
+        assert "meaningless" in problems[0]
+
+
+class TestServeRegressionGate:
+    """check_regression covers the streaming (serve) headline too."""
+
+    def test_streamed_throughput_drop_fails_gate(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        current["serve"]["metrics"]["chunks_per_second"] = 0.5
+        problems = check_regression(current, baseline, 2.0)
+        assert len(problems) == 1
+        assert "serve streaming regression" in problems[0]
+
+    def test_rss_is_not_gated(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        # RSS is a machine property, recorded but never gated.
+        current["serve"]["metrics"]["rss_kib"] = 10_000_000
+        current["serve"]["metrics"]["rss_growth_kib"] = 500_000
+        assert check_regression(current, baseline, 2.0) == []
+
+    def test_pre_serve_baseline_gates_without_it(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        del baseline["serve"]
+        current["serve"]["metrics"]["chunks_per_second"] = 1e-6
+        assert check_regression(current, baseline, 2.0) == []
+
+    def test_mismatched_serve_batching_refuses_to_compare(self):
+        from repro.perf.bench import check_regression
+
+        current = fake_bench_record(False)
+        baseline = fake_bench_record(False)
+        baseline["serve"]["max_batch"] = 64
         problems = check_regression(current, baseline, 2.0)
         assert len(problems) == 1
         assert "meaningless" in problems[0]

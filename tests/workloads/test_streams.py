@@ -1,0 +1,183 @@
+"""Tests for the workload stream adapters (micro-batch sources)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.kademlia.address import AddressSpace
+from repro.workloads.distributions import UniformFileSize
+from repro.workloads.generators import DownloadWorkload
+from repro.workloads.streams import (
+    GeneratorStream,
+    RequestStream,
+    TraceStream,
+    WorkloadStream,
+    parse_request_line,
+)
+from repro.workloads.traces import WorkloadTrace
+
+SPACE = AddressSpace(10)
+NODES = np.arange(40, dtype=np.uint64)
+
+
+def make_workload(n_files=20):
+    return DownloadWorkload(
+        n_files=n_files, file_size=UniformFileSize(3, 9), seed=2,
+    )
+
+
+def flatten(stream, nodes=NODES, space=SPACE):
+    return [event for batch in stream.batches(nodes, space)
+            for event in batch]
+
+
+def assert_same_events(streamed, materialized):
+    assert len(streamed) == len(materialized)
+    for got, want in zip(streamed, materialized):
+        assert got.file_id == want.file_id
+        assert got.originator == want.originator
+        np.testing.assert_array_equal(
+            got.chunk_addresses, want.chunk_addresses
+        )
+
+
+class TestGeneratorStream:
+    @pytest.mark.parametrize("max_batch", [1, 7, 1000])
+    def test_rng_exact_vs_materialize(self, max_batch):
+        """Chunking the event iterator must not perturb the RNG."""
+        materialized = make_workload().materialize(NODES, SPACE)
+        stream = GeneratorStream(make_workload(), max_batch=max_batch)
+        assert_same_events(flatten(stream), materialized)
+
+    def test_batches_are_bounded(self):
+        stream = GeneratorStream(make_workload(), max_batch=7)
+        sizes = [len(b) for b in stream.batches(NODES, SPACE)]
+        assert all(size <= 7 for size in sizes)
+        assert sum(sizes) == 20
+
+    def test_satisfies_protocol(self):
+        assert isinstance(
+            GeneratorStream(make_workload()), WorkloadStream
+        )
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(WorkloadError, match="max_batch"):
+            GeneratorStream(make_workload(), max_batch=0)
+
+
+class TestTraceStream:
+    def make_trace_file(self, tmp_path, *, ndjson=True):
+        events = make_workload().materialize(NODES, SPACE)
+        trace = WorkloadTrace(
+            events, bits=SPACE.bits, n_nodes=len(NODES), overlay_seed=9
+        )
+        path = tmp_path / "trace.ndjson"
+        if ndjson:
+            trace.save_ndjson(path)
+        else:
+            trace.save(path)
+        return path, events
+
+    @pytest.mark.parametrize("ndjson", [True, False])
+    def test_replays_trace_exactly(self, tmp_path, ndjson):
+        path, events = self.make_trace_file(tmp_path, ndjson=ndjson)
+        stream = TraceStream(path, max_batch=6)
+        assert_same_events(flatten(stream), events)
+
+    def test_bits_mismatch_rejected(self, tmp_path):
+        path, _ = self.make_trace_file(tmp_path)
+        stream = TraceStream(path)
+        with pytest.raises(WorkloadError, match="bit space"):
+            flatten(stream, space=AddressSpace(12))
+
+    def test_population_size_mismatch_rejected(self, tmp_path):
+        path, _ = self.make_trace_file(tmp_path)
+        stream = TraceStream(path)
+        with pytest.raises(WorkloadError, match="nodes"):
+            flatten(stream, nodes=np.arange(80, dtype=np.uint64))
+
+    def test_foreign_originator_rejected(self, tmp_path):
+        path, _ = self.make_trace_file(tmp_path)
+        stream = TraceStream(path)
+        with pytest.raises(WorkloadError, match="originator"):
+            flatten(stream, nodes=np.arange(100, 140, dtype=np.uint64))
+
+
+class TestParseRequestLine:
+    def test_chunks_list(self):
+        event = parse_request_line(
+            '{"originator": 5, "chunks": [1, 2, 3]}'
+        )
+        assert event.originator == 5
+        assert event.file_id == 0
+        np.testing.assert_array_equal(event.chunk_addresses, [1, 2, 3])
+
+    def test_scalar_chunk_and_file_id(self):
+        event = parse_request_line(
+            '{"originator": 5, "chunk": 9, "file_id": 4}'
+        )
+        assert event.file_id == 4
+        np.testing.assert_array_equal(event.chunk_addresses, [9])
+
+    def test_bad_json_names_the_line(self):
+        with pytest.raises(WorkloadError, match=r"line 12"):
+            parse_request_line("{nope", lineno=12)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(WorkloadError, match="object"):
+            parse_request_line("[1, 2]")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(WorkloadError, match="originator"):
+            parse_request_line('{"chunks": [1]}')
+        with pytest.raises(WorkloadError, match="bad request"):
+            parse_request_line('{"originator": 5}')
+
+
+class TestRequestStream:
+    def lines_for(self, events):
+        return [
+            json.dumps({
+                "originator": int(event.originator),
+                "chunks": [int(c) for c in event.chunk_addresses],
+            }) + "\n"
+            for event in events
+        ]
+
+    def test_parses_wire_format_exactly(self):
+        events = make_workload().materialize(NODES, SPACE)
+        stream = RequestStream(self.lines_for(events), max_batch=5)
+        streamed = flatten(stream)
+        assert len(streamed) == len(events)
+        for lineno, (got, want) in enumerate(zip(streamed, events)):
+            assert got.file_id == lineno  # assigned from line order
+            assert got.originator == want.originator
+            np.testing.assert_array_equal(
+                got.chunk_addresses, want.chunk_addresses
+            )
+
+    def test_blank_lines_skipped_but_numbering_kept(self):
+        lines = ['{"originator": 3, "chunks": [1]}\n', "\n",
+                 '{"originator": 4, "chunks": [2]}\n']
+        streamed = flatten(RequestStream(lines))
+        assert [e.file_id for e in streamed] == [0, 2]
+
+    def test_foreign_originator_names_the_line(self):
+        lines = ['{"originator": 3, "chunks": [1]}\n',
+                 '{"originator": 9999, "chunks": [2]}\n']
+        with pytest.raises(WorkloadError, match=r"line 2"):
+            flatten(RequestStream(lines))
+
+    def test_out_of_space_chunk_names_the_line(self):
+        # 5000 fits the chunk dtype but not the 10-bit (1024) space.
+        lines = ['{"originator": 3, "chunks": [5000]}\n']
+        with pytest.raises(WorkloadError, match="space"):
+            flatten(RequestStream(lines))
+
+    def test_rejects_bad_max_batch(self):
+        with pytest.raises(WorkloadError, match="max_batch"):
+            RequestStream([], max_batch=-1)
